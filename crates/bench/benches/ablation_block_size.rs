@@ -1,0 +1,29 @@
+//! Criterion bench for the block-size ablation (DESIGN.md §4): the §5
+//! trade-off between carrying large stream blocks through the plan and
+//! re-running the plan when a block is exhausted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdbr_bench::{run_tail_sampling, test_tpch};
+use mcdbr_core::TailSamplingConfig;
+
+fn bench_block_size(c: &mut Criterion) {
+    let w = test_tpch();
+    let query = w.total_loss_query();
+    let mut group = c.benchmark_group("ablation_block_size");
+    group.sample_size(10);
+    for &block in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| {
+                let cfg = TailSamplingConfig::new(0.01, 20, 100)
+                    .with_m(2)
+                    .with_block_size(block)
+                    .with_master_seed(5);
+                run_tail_sampling(&query, &w.catalog, cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_size);
+criterion_main!(benches);

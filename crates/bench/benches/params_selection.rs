@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E6: the Appendix C parameter-selection
+//! machinery (optimal m*, w(N), budget inversion) — cheap analytics that the
+//! engine calls before every tail-sampling run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcdbr_core::params::{budget_for_msre, optimal_m, w_of_n};
+
+fn bench_params(c: &mut Criterion) {
+    let mut group = c.benchmark_group("params_selection");
+    group.bench_function("optimal_m_n1000_p001", |b| b.iter(|| optimal_m(1000, 0.001)));
+    group.bench_function("w_of_n_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &n in &[100usize, 500, 1000, 5000, 10_000] {
+                acc += w_of_n(n, 0.001);
+            }
+            acc
+        })
+    });
+    group.bench_function("budget_for_msre_5pct", |b| b.iter(|| budget_for_msre(0.001, 0.05)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

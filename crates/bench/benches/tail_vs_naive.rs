@@ -1,0 +1,39 @@
+//! Criterion bench for experiments E1/E3: one MCDB-R tail-sampling pass vs
+//! one batch of naive MCDB repetitions on the (test-scale) Appendix D
+//! workload.  The per-iteration times here are the raw material for the
+//! paper's ~11-minutes-vs-~18-hours comparison: multiply the naive
+//! per-repetition cost by l/p repetitions to recover the headline ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcdbr_bench::{run_tail_sampling, test_tpch};
+use mcdbr_core::TailSamplingConfig;
+use mcdbr_mcdb::McdbEngine;
+
+fn bench_tail_vs_naive(c: &mut Criterion) {
+    let w = test_tpch();
+    let query = w.total_loss_query();
+    let mut group = c.benchmark_group("tail_vs_naive");
+    group.sample_size(10);
+
+    group.bench_function("mcdbr_tail_sampling_n100", |b| {
+        b.iter(|| {
+            let cfg = TailSamplingConfig::new(0.01, 20, 100)
+                .with_m(2)
+                .with_block_size(200)
+                .with_master_seed(3);
+            run_tail_sampling(&query, &w.catalog, cfg).unwrap()
+        })
+    });
+
+    group.bench_function("naive_mcdb_100_repetitions", |b| {
+        b.iter(|| {
+            let mut engine = McdbEngine::new();
+            engine.run_samples(&query, &w.catalog, 100, 3).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tail_vs_naive);
+criterion_main!(benches);

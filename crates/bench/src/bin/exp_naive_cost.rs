@@ -1,0 +1,47 @@
+//! Experiment E4: the §1 motivating numbers for naive Monte Carlo.
+//!
+//! Prints, for the paper's Normal(10M, (1M)²) total-loss example, the
+//! expected repetitions per tail hit at 15M, the repetitions needed to
+//! estimate the tail area to ±1% at 95% confidence, and the repetitions
+//! needed to locate the 0.999-quantile to a 1% relative standard error.
+
+use mcdbr_bench::row;
+use mcdbr_mcdb::NaiveCostModel;
+
+fn main() {
+    let model = NaiveCostModel::paper_example();
+    println!("E4: cost of naive Monte Carlo in the tail (paper §1)");
+    println!("{}", row(&["quantity".into(), "paper".into(), "computed".into()]));
+    println!(
+        "{}",
+        row(&[
+            "reps per 15M hit".into(),
+            "3.5 million".into(),
+            format!("{:.3e}", model.expected_reps_per_tail_hit(15.0e6)),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "reps for area +/-1%".into(),
+            "130 billion".into(),
+            format!("{:.3e}", model.reps_for_tail_probability(15.0e6, 0.01, 0.95)),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "reps for 0.999-q".into(),
+            "10 million".into(),
+            format!("{:.3e}", model.reps_for_quantile(0.001, 0.01)),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "0.999 quantile".into(),
+            "(13.09M)".into(),
+            format!("{:.4e}", model.quantile(0.001)),
+        ])
+    );
+}

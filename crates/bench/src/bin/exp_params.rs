@@ -1,0 +1,48 @@
+//! Experiments E5 + E6: the Appendix C parameter-selection theory.
+//!
+//! Prints (a) the §3.3 staging example (p = 0.001, m = 4 ⇒ per-stage
+//! 0.82-quantiles), (b) the optimal m* and MSRE as a function of the budget
+//! N (the w(N) curve), and (c) an ablation sweep of m around m* at fixed N.
+
+use mcdbr_bench::row;
+use mcdbr_core::params::{
+    budget_for_msre, msre_even, optimal_m, staged_parameters_with_m, w_of_n,
+};
+
+fn main() {
+    let p = 0.001;
+    println!("E5: staged quantile levels for p = {p}, m = 4 (paper §3.3)");
+    let params = staged_parameters_with_m(1000, p, 4);
+    for (i, level) in params.intermediate_quantile_levels().iter().enumerate() {
+        println!("  stage {}: estimate the {:.4}-quantile", i + 1, level);
+    }
+
+    println!("\nE6a: w(N) — MSRE of the optimized sampler vs budget N (p = {p})");
+    println!("{}", row(&["N".into(), "m*".into(), "w(N) (MSRE)".into(), "rel. std err".into()]));
+    for &n in &[100usize, 250, 500, 1000, 2500, 5000, 10_000] {
+        let m = optimal_m(n, p);
+        let w = w_of_n(n, p);
+        println!(
+            "{}",
+            row(&[n.to_string(), m.to_string(), format!("{w:.4}"), format!("{:.3}", w.sqrt())])
+        );
+    }
+    let target = 0.05;
+    println!("  budget for MSRE <= {target}: N = {}", budget_for_msre(p, target));
+
+    println!("\nE6b: ablation — MSRE vs m at fixed N = 1000 (paper Theorem 1 optimum marked *)");
+    println!("{}", row(&["m".into(), "p^(1/m)".into(), "MSRE".into()]));
+    let m_star = optimal_m(1000, p);
+    for m in 1..=10usize {
+        let tag = if m == m_star { "*" } else { "" };
+        println!(
+            "{}",
+            row(&[
+                format!("{m}{tag}"),
+                format!("{:.4}", p.powf(1.0 / m as f64)),
+                format!("{:.4}", msre_even(1000, p, m)),
+            ])
+        );
+    }
+    println!("\nAppendix D uses m = 5, p^(1/m) = 0.25, i.e. p = {:.6}", 0.25f64.powi(5));
+}

@@ -1,0 +1,61 @@
+//! Experiment E3: MCDB-R vs naive MCDB wall-clock (Appendix D headline).
+//!
+//! Measures (a) per-iteration wall-clock of the GibbsLooper including the
+//! replenishment re-run, (b) the per-repetition cost of naive MCDB on the
+//! same workload, and (c) the extrapolated cost of collecting l = 100 tail
+//! samples beyond the 0.999-quantile naively (repetitions needed = l / p).
+//! The paper reports ~11 minutes vs ~18 hours at full scale; the shape to
+//! reproduce is the orders-of-magnitude ratio.
+
+use std::time::Instant;
+
+use mcdbr_bench::{appendix_d_config, row, run_tail_sampling};
+use mcdbr_mcdb::McdbEngine;
+use mcdbr_workloads::{TpchConfig, TpchWorkload};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "test".into());
+    let (config, budget) = match scale.as_str() {
+        "paper" => (TpchConfig::paper_scale(), 500),
+        "laptop" => (TpchConfig::laptop_scale(), 500),
+        _ => (TpchConfig::test_scale(), 300),
+    };
+    let w = TpchWorkload::generate(config).expect("workload");
+    let p = 0.25f64.powi(5);
+    let l = 100.0;
+
+    // MCDB-R tail sampling.
+    let start = Instant::now();
+    let cfg = appendix_d_config(budget, 77);
+    let result = run_tail_sampling(&w.total_loss_query(), &w.catalog, cfg).expect("tail run");
+    let mcdbr_secs = start.elapsed().as_secs_f64();
+
+    // Naive MCDB: measure the per-repetition cost with a modest batch.
+    let mut engine = McdbEngine::new();
+    let calib_reps = 200;
+    let start = Instant::now();
+    engine.run_samples(&w.total_loss_query(), &w.catalog, calib_reps, 7).expect("naive batch");
+    let per_rep = start.elapsed().as_secs_f64() / calib_reps as f64;
+    // Repetitions needed to see l tail samples at probability p, plus the
+    // calibration needed to locate the quantile in the first place.
+    let reps_needed = l / p + 1.0 / (p * 0.01f64.powi(2)) * 0.0; // dominant term: l / p
+    let naive_secs = per_rep * reps_needed;
+
+    println!("E3: MCDB-R vs naive MCDB ({} orders, {} lineitems, p = {p:.6}, l = 100)", w.config.num_orders, w.config.num_lineitems);
+    println!("{}", row(&["quantity".into(), "paper (full scale)".into(), "measured".into()]));
+    println!("{}", row(&["MCDB-R total".into(), "~11 minutes".into(), format!("{mcdbr_secs:.2} s")]));
+    println!("{}", row(&["MCDB-R plan executions".into(), "2 (1 + replenish)".into(), result.plan_executions.to_string()]));
+    println!("{}", row(&["MCDB-R replenishments".into(), "1".into(), result.replenishments.to_string()]));
+    println!("{}", row(&["naive cost / repetition".into(), "-".into(), format!("{:.4} s", per_rep)]));
+    println!("{}", row(&["naive repetitions needed".into(), "~3.4e6 (l/p)".into(), format!("{reps_needed:.3e}")]));
+    println!("{}", row(&["naive extrapolated total".into(), "~18 hours".into(), format!("{:.1} s (= {:.1} h)", naive_secs, naive_secs / 3600.0)]));
+    println!("{}", row(&["speedup (naive / MCDB-R)".into(), "~98x".into(), format!("{:.0}x", naive_secs / mcdbr_secs)]));
+    println!(
+        "{}",
+        row(&[
+            "Gibbs acceptance".into(),
+            "-".into(),
+            format!("{:.3}", result.gibbs.acceptance_rate()),
+        ])
+    );
+}

@@ -1,0 +1,266 @@
+//! Algorithm 3 — the Gibbs-cloner tail sampler — in its statistical form.
+//!
+//! [`ScalarCloner`] runs the paper's basic tail-sampling procedure over an
+//! [`IndependentSumModel`] rather than over a database: maintain a set of
+//! particles, and at each bootstrapping step (1) purge all but the top
+//! `100·pᵢ%` "elite" particles, (2) clone the elites back up to the next
+//! stage's size, and (3) perturb every particle with the Gibbs sampler so the
+//! clones drift apart while staying above the running cutoff.
+//!
+//! The database engine (`looper`) follows exactly the same control flow but
+//! replaces the marginal samplers with VG streams and `Q` with the query;
+//! this scalar version is the ground truth the engine is validated against,
+//! and it also powers the parameter-selection and applicability experiments
+//! (E5, E7) which need thousands of independent cloner runs.
+
+use mcdbr_prng::Pcg64;
+
+use crate::gibbs::{GibbsStats, IndependentSumModel};
+use crate::params::StagedParameters;
+
+/// Report of one scalar tail-sampling run.
+#[derive(Debug, Clone)]
+pub struct ScalarClonerReport {
+    /// Estimate of the `(1-p)`-quantile (the final cutoff).
+    pub quantile_estimate: f64,
+    /// Q-values of the final particle set (samples from the tail).
+    pub tail_samples: Vec<f64>,
+    /// The cutoff after each bootstrapping step (the `θ̂ᵢ` sequence).
+    pub cutoffs: Vec<f64>,
+    /// Aggregate Gibbs acceptance statistics.
+    pub gibbs: GibbsStats,
+    /// Total unconditional samples drawn during initialization.
+    pub initial_samples: usize,
+}
+
+/// The scalar Gibbs cloner (paper Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct ScalarCloner {
+    /// The model defining component marginals and the sum query.
+    pub model: IndependentSumModel,
+    /// Number of Gibbs updating steps per perturbation (`k`; the paper uses 1).
+    pub k: usize,
+    /// Candidate budget per component update before the rejection loop gives
+    /// up and keeps the previous value.
+    pub max_candidates: u64,
+}
+
+impl ScalarCloner {
+    /// A cloner with the paper's default `k = 1` and a generous rejection
+    /// budget.
+    pub fn new(model: IndependentSumModel) -> Self {
+        ScalarCloner { model, k: 1, max_candidates: 100_000 }
+    }
+
+    /// Run Algorithm 3 with the given staged parameters and desired number of
+    /// final tail samples `l`.
+    pub fn run(&self, params: &StagedParameters, l: usize, gen: &mut Pcg64) -> ScalarClonerReport {
+        let n = params.n_per_step.max(1);
+        let m = params.m;
+        let p_step = params.p_per_step;
+
+        // Initialization (Algorithm 3, lines 13-16): n i.i.d. databases.
+        let mut particles: Vec<Vec<f64>> = (0..n).map(|_| self.model.sample(gen)).collect();
+        let initial_samples = n;
+
+        let mut cutoffs = Vec::with_capacity(m);
+        let mut gibbs = GibbsStats::default();
+
+        for step in 0..m {
+            // Line 19: the (pᵢ·|S|)-largest element becomes the new cutoff.
+            let mut qs: Vec<f64> = particles.iter().map(|x| self.model.q(x)).collect();
+            qs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let elite_count = ((p_step * particles.len() as f64).round() as usize)
+                .clamp(1, particles.len());
+            let cutoff = qs[elite_count - 1];
+            cutoffs.push(cutoff);
+
+            // Line 20: purge everything below the cutoff.
+            particles.retain(|x| self.model.q(x) >= cutoff);
+
+            // Line 21: CLONE up to the next stage's size (n for intermediate
+            // steps, l for the final one; Algorithm 3 sets n_{m+1} = l).
+            let next_size = if step + 1 == m { l } else { n };
+            particles = clone_particles(&particles, next_size);
+
+            // Lines 22-24: Gibbs-update every particle at the current cutoff.
+            for x in &mut particles {
+                gibbs.merge(self.model.gibbs_update(x, cutoff, self.k, gen, self.max_candidates));
+            }
+        }
+
+        let tail_samples: Vec<f64> = particles.iter().map(|x| self.model.q(x)).collect();
+        ScalarClonerReport {
+            quantile_estimate: *cutoffs.last().unwrap_or(&f64::NAN),
+            tail_samples,
+            cutoffs,
+            gibbs,
+            initial_samples,
+        }
+    }
+}
+
+/// `CLONE(S, n)`: duplicate each particle approximately `n / |S|` times
+/// (paper §3.3), cycling through the elites so the output has exactly `n`
+/// elements.
+fn clone_particles(elites: &[Vec<f64>], n: usize) -> Vec<Vec<f64>> {
+    assert!(!elites.is_empty(), "cannot clone an empty elite set");
+    (0..n).map(|i| elites[i % elites.len()].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::staged_parameters_with_m;
+    use mcdbr_vg::math::std_normal_quantile;
+    use mcdbr_vg::Distribution;
+
+    fn unit_normal_model(r: usize) -> IndependentSumModel {
+        IndependentSumModel::iid(Distribution::Normal { mean: 0.0, sd: 1.0 }, r)
+    }
+
+    #[test]
+    fn clone_cycles_through_elites() {
+        let elites = vec![vec![1.0], vec![2.0]];
+        let cloned = clone_particles(&elites, 5);
+        assert_eq!(cloned.len(), 5);
+        assert_eq!(cloned[0], vec![1.0]);
+        assert_eq!(cloned[1], vec![2.0]);
+        assert_eq!(cloned[4], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot clone an empty elite set")]
+    fn cloning_nothing_panics() {
+        clone_particles(&[], 3);
+    }
+
+    #[test]
+    fn cutoffs_increase_across_bootstrapping_steps() {
+        let model = unit_normal_model(10);
+        let cloner = ScalarCloner::new(model);
+        let params = staged_parameters_with_m(400, 0.01, 3);
+        let mut gen = Pcg64::new(2);
+        let report = cloner.run(&params, 50, &mut gen);
+        assert_eq!(report.cutoffs.len(), 3);
+        for w in report.cutoffs.windows(2) {
+            assert!(w[1] >= w[0], "cutoffs must be non-decreasing: {:?}", report.cutoffs);
+        }
+        assert_eq!(report.tail_samples.len(), 50);
+        assert!(report.tail_samples.iter().all(|&q| q >= report.quantile_estimate - 1e-9));
+        assert_eq!(report.initial_samples, params.n_per_step);
+    }
+
+    #[test]
+    fn quantile_estimate_tracks_the_analytic_quantile() {
+        // Q = sum of 25 unit normals ~ Normal(0, 25); the 0.99-quantile is
+        // 5 * z_{0.99} ≈ 11.63.  Average the estimator over several runs to
+        // smooth Monte Carlo noise.
+        let model = unit_normal_model(25);
+        let cloner = ScalarCloner::new(model);
+        let p = 0.01;
+        let params = staged_parameters_with_m(1200, p, 2);
+        let truth = 5.0 * std_normal_quantile(0.99);
+        let mut gen = Pcg64::new(17);
+        let runs = 12;
+        let mean_estimate: f64 = (0..runs)
+            .map(|_| cloner.run(&params, 40, &mut gen).quantile_estimate)
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (mean_estimate - truth).abs() < 0.35,
+            "estimate {mean_estimate} vs analytic {truth}"
+        );
+    }
+
+    #[test]
+    fn tail_samples_distribute_like_the_conditional_tail() {
+        // The final samples should look like draws of Q conditioned on
+        // exceeding the (1-p)-quantile.  For Q ~ Normal(0, r) the conditional
+        // mean is sd·φ(z_p)/p above zero.
+        let r = 16;
+        let model = unit_normal_model(r);
+        let cloner = ScalarCloner::new(model);
+        let p = 0.02;
+        let params = staged_parameters_with_m(1500, p, 2);
+        let mut gen = Pcg64::new(23);
+        let mut all: Vec<f64> = Vec::new();
+        for _ in 0..10 {
+            all.extend(cloner.run(&params, 60, &mut gen).tail_samples);
+        }
+        let sd = (r as f64).sqrt();
+        let z = std_normal_quantile(1.0 - p);
+        let phi = (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let conditional_mean = sd * phi / p;
+        let emp: f64 = all.iter().sum::<f64>() / all.len() as f64;
+        assert!(
+            (emp - conditional_mean).abs() < 0.12 * conditional_mean,
+            "empirical tail mean {emp} vs analytic {conditional_mean}"
+        );
+    }
+
+    #[test]
+    fn more_budget_reduces_estimator_spread() {
+        // Increasing N should shrink the spread of the quantile estimate —
+        // the empirical counterpart of w(N) being decreasing.
+        let model = unit_normal_model(12);
+        let cloner = ScalarCloner::new(model);
+        let p = 0.01;
+        let spread = |n_total: usize, seed: u64| {
+            let params = staged_parameters_with_m(n_total, p, 3);
+            let mut gen = Pcg64::new(seed);
+            let estimates: Vec<f64> =
+                (0..14).map(|_| cloner.run(&params, 30, &mut gen).quantile_estimate).collect();
+            let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+            (estimates.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / estimates.len() as f64)
+                .sqrt()
+        };
+        let small = spread(150, 31);
+        let large = spread(2400, 37);
+        assert!(
+            large < small,
+            "std err should fall with budget: N=150 -> {small}, N=2400 -> {large}"
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_components_exhaust_the_rejection_budget() {
+        // Appendix B: under a Pareto marginal the rejection loop frequently
+        // fails within a modest candidate budget, unlike the normal case.
+        let p = 0.02;
+        let params = staged_parameters_with_m(300, p, 2);
+        let mut gen = Pcg64::new(41);
+
+        let light = ScalarCloner {
+            model: IndependentSumModel::iid(Distribution::Normal { mean: 1.0, sd: 1.0 }, 15),
+            k: 1,
+            max_candidates: 500,
+        };
+        let heavy = ScalarCloner {
+            model: IndependentSumModel::iid(Distribution::Pareto { scale: 1.0, shape: 1.2 }, 15),
+            k: 1,
+            max_candidates: 500,
+        };
+        let light_report = light.run(&params, 40, &mut gen);
+        let heavy_report = heavy.run(&params, 40, &mut gen);
+        assert!(
+            heavy_report.gibbs.acceptance_rate() < light_report.gibbs.acceptance_rate(),
+            "heavy-tailed acceptance {} should be below light-tailed {}",
+            heavy_report.gibbs.acceptance_rate(),
+            light_report.gibbs.acceptance_rate()
+        );
+        assert!(heavy_report.gibbs.exhausted >= light_report.gibbs.exhausted);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_generator_seed() {
+        let model = unit_normal_model(8);
+        let cloner = ScalarCloner::new(model);
+        let params = staged_parameters_with_m(200, 0.05, 2);
+        let a = cloner.run(&params, 20, &mut Pcg64::new(99));
+        let b = cloner.run(&params, 20, &mut Pcg64::new(99));
+        assert_eq!(a.tail_samples, b.tail_samples);
+        assert_eq!(a.cutoffs, b.cutoffs);
+    }
+}

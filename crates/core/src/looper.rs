@@ -1,0 +1,710 @@
+//! The `GibbsLooper` operator (paper §7 and Appendix A).
+//!
+//! The looper receives the stream of instantiated Gibbs tuples produced by a
+//! query plan, plus the final aggregate, the pulled-up selection predicate,
+//! and the file of TS-seeds, and then runs the bootstrapped tail-sampling
+//! procedure of Algorithm 3 *without ever re-running the query per candidate
+//! value*: DB versions are never materialized; they are "completely
+//! determined by the current state of the Gibbs tuples and the TS-seeds"
+//! (Appendix A.2).
+//!
+//! Two paper design points are reproduced exactly:
+//!
+//! * **Loop order** (§7): the looper iterates *seed-major* — for each TS-seed
+//!   handle in increasing order it updates every DB version before moving on
+//!   — rather than version-major, "thereby amortizing expensive data scans".
+//!   The paper achieves the seed-major grouping with a disk-based priority
+//!   queue of Gibbs tuples keyed by their smallest unprocessed TS-seed
+//!   handle; this implementation achieves the same access pattern with an
+//!   in-memory index from seed to the Gibbs tuples that contain it (the
+//!   workloads this reproduction targets fit in memory; the ablation bench
+//!   `ablation_loop_order` quantifies what the ordering buys).
+//! * **Replenishment** (§9): every stream carries only a finite materialized
+//!   block.  When the rejection sampler needs a position beyond the block,
+//!   the looper discards nothing semantically — it simply re-runs the query
+//!   plan to materialize the next block of every stream (deterministic parts
+//!   of the plan would be cached by a disk-based implementation; here the
+//!   plan re-execution is counted and reported so the Appendix D timing
+//!   experiment can show the same once-per-block cost structure).
+//!
+//! Restrictions (documented, checked, and consistent with the paper):
+//! selection predicates that touch random attributes must be pulled up into
+//! the final predicate (Appendix A, input 3); the aggregate must be SUM or
+//! COUNT (incrementally updatable); grouping is handled by running one
+//! looper per group (Appendix A, footnote 4).
+
+use std::collections::BTreeMap;
+
+use mcdbr_exec::{AggFunc, BundleValue, ExecOptions, Executor, TupleBundle};
+use mcdbr_mcdb::MonteCarloQuery;
+use mcdbr_prng::SeedId;
+use mcdbr_storage::{Catalog, Error, Result, Schema, Value};
+
+use crate::gibbs::GibbsStats;
+use crate::params::{optimal_m, staged_parameters_with_m, StagedParameters};
+use crate::ts_seed::TsSeed;
+
+/// Configuration of a tail-sampling run.
+#[derive(Debug, Clone)]
+pub struct TailSamplingConfig {
+    /// Target upper-tail probability `p` (e.g. 0.001 for the 0.999-quantile).
+    pub p: f64,
+    /// Number of tail samples `l` to return.
+    pub l: usize,
+    /// Total sample budget `N` across all bootstrapping steps.
+    pub total_samples: usize,
+    /// Number of bootstrapping steps `m`; `None` uses the Appendix C optimum.
+    pub m: Option<usize>,
+    /// Gibbs updating steps `k` per perturbation (the paper uses 1).
+    pub k: usize,
+    /// Stream values materialized per plan execution (paper §5: the trade-off
+    /// between carrying data through the plan and re-running the plan).
+    pub block_size: usize,
+    /// Candidate budget per component update before the rejection loop keeps
+    /// the previous value.
+    pub max_candidates: u64,
+    /// Master seed for reproducibility.
+    pub master_seed: u64,
+}
+
+impl TailSamplingConfig {
+    /// A configuration with the paper's defaults (`k = 1`, 1000-value blocks)
+    /// for the given tail probability, sample count, and budget.
+    pub fn new(p: f64, l: usize, total_samples: usize) -> Self {
+        TailSamplingConfig {
+            p,
+            l,
+            total_samples,
+            m: None,
+            k: 1,
+            block_size: 1000,
+            max_candidates: 100_000,
+            master_seed: 0x4D43_4442, // ASCII "MCDB"
+        }
+    }
+
+    /// Override the number of bootstrapping steps.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Override the master seed.
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Override the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Resolve the staged parameters this configuration implies.
+    pub fn staged(&self) -> StagedParameters {
+        let m = self.m.unwrap_or_else(|| optimal_m(self.total_samples, self.p));
+        staged_parameters_with_m(self.total_samples, self.p, m)
+    }
+}
+
+/// The output of a tail-sampling run.
+#[derive(Debug, Clone)]
+pub struct TailSampleResult {
+    /// Estimate of the `(1-p)`-quantile (the final cutoff `θ̂`).
+    pub quantile_estimate: f64,
+    /// The `l` query-result samples from the tail.
+    pub tail_samples: Vec<f64>,
+    /// Cutoff after each bootstrapping step.
+    pub cutoffs: Vec<f64>,
+    /// Gibbs acceptance statistics across the whole run.
+    pub gibbs: GibbsStats,
+    /// Number of query-plan executions (1 initial + replenishments).
+    pub plan_executions: usize,
+    /// Number of replenishment runs triggered by exhausted stream blocks.
+    pub replenishments: usize,
+    /// Total stream positions consumed across all TS-seeds.
+    pub stream_positions_consumed: u64,
+    /// The staged parameters the run used.
+    pub parameters: StagedParameters,
+}
+
+/// The GibbsLooper operator.
+#[derive(Debug)]
+pub struct GibbsLooper {
+    query: MonteCarloQuery,
+    config: TailSamplingConfig,
+}
+
+impl GibbsLooper {
+    /// Create a looper for an (ungrouped) Monte Carlo aggregation query.
+    pub fn new(query: MonteCarloQuery, config: TailSamplingConfig) -> Self {
+        GibbsLooper { query, config }
+    }
+
+    /// Run tail sampling against the catalog.
+    pub fn run(&self, catalog: &Catalog) -> Result<TailSampleResult> {
+        if !self.query.group_by.is_empty() {
+            return Err(Error::InvalidOperation(
+                "GibbsLooper handles GROUP BY as one looper per group (paper App. A fn. 4); \
+                 add the group's selection predicate to the plan and run each group separately"
+                    .into(),
+            ));
+        }
+        match self.query.aggregate.func {
+            AggFunc::Sum | AggFunc::Count => {}
+            other => {
+                return Err(Error::InvalidOperation(format!(
+                    "GibbsLooper requires an incrementally-updatable aggregate (SUM or COUNT), \
+                     got {other:?}"
+                )))
+            }
+        }
+
+        let params = self.config.staged();
+        let n = params.n_per_step;
+        let m = params.m;
+        let p_step = params.p_per_step;
+        let l = self.config.l;
+        // The initial identity mapping needs at least n materialized values.
+        let block = self.config.block_size.max(n);
+
+        // ===== Run the query plan once over Gibbs tuples (paper §5). =====
+        let mut executor = Executor::new();
+        let opts = ExecOptions::gibbs_block(self.config.master_seed, block, 0);
+        let set = executor.execute(&self.query.plan, catalog, &opts)?;
+        let schema = set.schema.clone();
+        let mut bundles = set.bundles;
+        self.validate_bundles(&schema, &bundles)?;
+
+        if bundles.is_empty() {
+            return Err(Error::InvalidOperation(
+                "the query plan produced no tuples; the query-result distribution is degenerate"
+                    .into(),
+            ));
+        }
+
+        // ===== TS-seed table and the seed -> Gibbs-tuple index (§6, §7). =====
+        let mut ts_seeds: BTreeMap<SeedId, TsSeed> = BTreeMap::new();
+        let mut seed_to_bundles: BTreeMap<SeedId, Vec<usize>> = BTreeMap::new();
+        for (idx, bundle) in bundles.iter().enumerate() {
+            for seed in bundle.seeds() {
+                ts_seeds
+                    .entry(seed)
+                    .or_insert_with(|| TsSeed::new(seed, n, block as u64));
+                seed_to_bundles.entry(seed).or_default().push(idx);
+            }
+        }
+        if ts_seeds.is_empty() {
+            return Err(Error::InvalidOperation(
+                "the query references no random attributes; use the plain MCDB engine instead"
+                    .into(),
+            ));
+        }
+
+        // ===== Initial per-version aggregates (App. A.1). =====
+        let mut num_versions = n;
+        let mut version_aggregates: Vec<f64> = (0..num_versions)
+            .map(|v| self.full_aggregate(&schema, &bundles, &ts_seeds, v))
+            .collect::<Result<_>>()?;
+
+        let mut cutoffs = Vec::with_capacity(m);
+        let mut gibbs = GibbsStats::default();
+        let mut replenishments = 0usize;
+
+        // ===== Bootstrapping steps (Algorithm 3). =====
+        for step in 0..m {
+            // The (p·|S|)-largest aggregate becomes the cutoff.
+            let mut sorted: Vec<f64> = version_aggregates.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let elite_count =
+                ((p_step * num_versions as f64).round() as usize).clamp(1, num_versions);
+            let cutoff = sorted[elite_count - 1];
+            cutoffs.push(cutoff);
+
+            // Elite versions (ties broken by version index, taking exactly
+            // elite_count of them).
+            let mut order: Vec<usize> = (0..num_versions).collect();
+            order.sort_by(|&a, &b| {
+                version_aggregates[b].partial_cmp(&version_aggregates[a]).unwrap()
+            });
+            let elites: Vec<usize> = order[..elite_count].to_vec();
+
+            // CLONE up to the next stage's size by copying TS-seed assignment
+            // columns (App. A.2 / Fig. 4(b)).
+            let next_size = if step + 1 == m { l } else { n };
+            let sources: Vec<usize> = (0..next_size).map(|i| elites[i % elites.len()]).collect();
+            for ts in ts_seeds.values_mut() {
+                ts.reassign_from(&sources);
+            }
+            version_aggregates = sources.iter().map(|&s| version_aggregates[s]).collect();
+            num_versions = next_size;
+
+            // Gibbs perturbation, seed-major (§7), k sweeps (k = 1 suffices).
+            for _ in 0..self.config.k {
+                let seeds: Vec<SeedId> = ts_seeds.keys().copied().collect();
+                for seed in seeds {
+                    let affected = seed_to_bundles.get(&seed).cloned().unwrap_or_default();
+                    for v in 0..num_versions {
+                        let old_contribution = self.contribution(
+                            &schema,
+                            &bundles,
+                            &ts_seeds,
+                            &affected,
+                            v,
+                            None,
+                        )?;
+                        let mut accepted = false;
+                        let mut candidates_tried = 0u64;
+                        loop {
+                            if candidates_tried >= self.config.max_candidates {
+                                gibbs.exhausted += 1;
+                                break;
+                            }
+                            let pos = ts_seeds[&seed].next_unused();
+                            // Replenish when the block is exhausted (§9).
+                            if pos >= ts_seeds[&seed].high {
+                                self.replenish(
+                                    catalog,
+                                    &mut executor,
+                                    &mut bundles,
+                                    &mut ts_seeds,
+                                    block,
+                                )?;
+                                replenishments += 1;
+                            }
+                            let new_contribution = self.contribution(
+                                &schema,
+                                &bundles,
+                                &ts_seeds,
+                                &affected,
+                                v,
+                                Some((seed, pos)),
+                            )?;
+                            let new_aggregate =
+                                version_aggregates[v] - old_contribution + new_contribution;
+                            candidates_tried += 1;
+                            if new_aggregate >= cutoff {
+                                let ts = ts_seeds.get_mut(&seed).expect("seed present");
+                                ts.assign(v, pos);
+                                version_aggregates[v] = new_aggregate;
+                                gibbs.accepted += 1;
+                                accepted = true;
+                                break;
+                            } else {
+                                // The candidate is consumed even though it was
+                                // rejected (Fig. 3: the rejected 3.24 / 3.68
+                                // are never revisited).
+                                let ts = ts_seeds.get_mut(&seed).expect("seed present");
+                                ts.max_used = ts.max_used.max(pos);
+                                gibbs.rejected += 1;
+                            }
+                        }
+                        let _ = accepted;
+                    }
+                }
+            }
+        }
+
+        let stream_positions_consumed: u64 =
+            ts_seeds.values().map(|ts| ts.max_used + 1).sum();
+
+        Ok(TailSampleResult {
+            quantile_estimate: *cutoffs.last().unwrap_or(&f64::NAN),
+            tail_samples: version_aggregates,
+            cutoffs,
+            gibbs,
+            plan_executions: executor.plans_executed(),
+            replenishments,
+            stream_positions_consumed,
+            parameters: params,
+        })
+    }
+
+    /// Reject plans whose bundles lost lineage (Computed columns referenced
+    /// by the aggregate/predicate) or pushed random predicates below the
+    /// looper (per-repetition isPres has repetition semantics, not
+    /// DB-version semantics).
+    fn validate_bundles(&self, schema: &Schema, bundles: &[TupleBundle]) -> Result<()> {
+        let mut referenced: Vec<&str> = self.query.aggregate.expr.referenced_columns();
+        if let Some(pred) = &self.query.final_predicate {
+            for c in pred.referenced_columns() {
+                if !referenced.contains(&c) {
+                    referenced.push(c);
+                }
+            }
+        }
+        let indices: Vec<usize> =
+            referenced.iter().map(|c| schema.index_of(c)).collect::<Result<_>>()?;
+        for bundle in bundles {
+            if bundle.is_pres.is_some() {
+                return Err(Error::InvalidOperation(
+                    "plans feeding GibbsLooper must not filter on random attributes below the \
+                     looper; pull such predicates into the final predicate (paper App. A, input 3)"
+                        .into(),
+                ));
+            }
+            for &i in &indices {
+                if matches!(bundle.values[i], BundleValue::Computed(_)) {
+                    return Err(Error::InvalidOperation(format!(
+                        "column {} lost its stream lineage (it was computed by a projection); \
+                         keep arithmetic over random attributes inside the aggregate expression",
+                        schema.field(i).name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the row of `bundle` as seen by DB version `v`, optionally
+    /// overriding one seed's assignment with a candidate position.
+    fn version_row(
+        bundle: &TupleBundle,
+        ts_seeds: &BTreeMap<SeedId, TsSeed>,
+        v: usize,
+        override_pos: Option<(SeedId, u64)>,
+    ) -> Vec<Value> {
+        bundle
+            .values
+            .iter()
+            .map(|bv| match bv {
+                BundleValue::Const(value) => value.clone(),
+                BundleValue::Computed(values) => values[v].clone(),
+                BundleValue::Random { seed, base_pos, values, .. } => {
+                    let assigned = match override_pos {
+                        Some((s, pos)) if s == *seed => pos,
+                        _ => ts_seeds[seed].assigned(v),
+                    };
+                    values[(assigned - base_pos) as usize].clone()
+                }
+            })
+            .collect()
+    }
+
+    /// The contribution of the given bundles to DB version `v`'s aggregate.
+    fn contribution(
+        &self,
+        schema: &Schema,
+        bundles: &[TupleBundle],
+        ts_seeds: &BTreeMap<SeedId, TsSeed>,
+        indices: &[usize],
+        v: usize,
+        override_pos: Option<(SeedId, u64)>,
+    ) -> Result<f64> {
+        let mut total = 0.0;
+        for &idx in indices {
+            let row = Self::version_row(&bundles[idx], ts_seeds, v, override_pos);
+            if let Some(pred) = &self.query.final_predicate {
+                if !pred.eval_bool(schema, &row)? {
+                    continue;
+                }
+            }
+            total += match self.query.aggregate.func {
+                AggFunc::Sum => self.query.aggregate.expr.eval_f64(schema, &row)?,
+                AggFunc::Count => 1.0,
+                _ => unreachable!("validated in run()"),
+            };
+        }
+        Ok(total)
+    }
+
+    /// The full aggregate of DB version `v` (used only for initialization;
+    /// perturbation uses incremental deltas).
+    fn full_aggregate(
+        &self,
+        schema: &Schema,
+        bundles: &[TupleBundle],
+        ts_seeds: &BTreeMap<SeedId, TsSeed>,
+        v: usize,
+    ) -> Result<f64> {
+        let all: Vec<usize> = (0..bundles.len()).collect();
+        self.contribution(schema, bundles, ts_seeds, &all, v, None)
+    }
+
+    /// Re-run the query plan to materialize the next block of every stream
+    /// (paper §9), appending the new values to the existing Gibbs tuples.
+    fn replenish(
+        &self,
+        catalog: &Catalog,
+        executor: &mut Executor,
+        bundles: &mut [TupleBundle],
+        ts_seeds: &mut BTreeMap<SeedId, TsSeed>,
+        block: usize,
+    ) -> Result<()> {
+        // All streams share the same materialized range in this
+        // implementation, so extend from the common high-water mark.
+        let base = ts_seeds.values().next().map(|ts| ts.high).unwrap_or(0);
+        let opts = ExecOptions::gibbs_block(self.config.master_seed, block, base);
+        let fresh = executor.execute(&self.query.plan, catalog, &opts)?;
+        if fresh.bundles.len() != bundles.len() {
+            return Err(Error::InvalidOperation(
+                "replenishment produced a different number of Gibbs tuples; the plan's \
+                 deterministic part must be stable across runs".into(),
+            ));
+        }
+        for (existing, new) in bundles.iter_mut().zip(fresh.bundles) {
+            for (ev, nv) in existing.values.iter_mut().zip(new.values) {
+                if let (
+                    BundleValue::Random { values: evs, seed: es, .. },
+                    BundleValue::Random { values: nvs, seed: ns, .. },
+                ) = (ev, nv)
+                {
+                    debug_assert_eq!(*es, ns, "stream identity must be stable across runs");
+                    evs.extend(nvs);
+                }
+            }
+        }
+        for ts in ts_seeds.values_mut() {
+            ts.extend_materialized(block as u64);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_exec::plan::scalar_random_table;
+    use mcdbr_exec::{AggregateSpec, Expr, PlanNode};
+    use mcdbr_storage::{Field, Schema as StorageSchema, TableBuilder};
+    use mcdbr_vg::math::std_normal_quantile;
+    use mcdbr_vg::NormalVg;
+    use std::sync::Arc;
+
+    /// A catalog with `r` customers whose losses are Normal(mean_i, 1).
+    fn catalog(means: &[f64]) -> Catalog {
+        let mut b = TableBuilder::new(StorageSchema::new(vec![
+            Field::int64("cid"),
+            Field::float64("m"),
+        ]));
+        for (i, &m) in means.iter().enumerate() {
+            b = b.row([Value::Int64(i as i64), Value::Float64(m)]);
+        }
+        let mut catalog = Catalog::new();
+        catalog.register("means", b.build().unwrap()).unwrap();
+        catalog
+    }
+
+    fn losses_query() -> MonteCarloQuery {
+        let plan = PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ));
+        MonteCarloQuery::new(plan, AggregateSpec::sum(Expr::col("val"), "totalLoss"))
+    }
+
+    #[test]
+    fn paper_section_4_2_configuration_runs() {
+        // §4.2: three customers with means 3, 4, 5; p = 1/32, n = 4, m = 5.
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        let config = TailSamplingConfig::new(1.0 / 32.0, 4, 20)
+            .with_m(5)
+            .with_block_size(64)
+            .with_master_seed(7);
+        let looper = GibbsLooper::new(losses_query(), config);
+        let result = looper.run(&catalog).unwrap();
+        assert_eq!(result.tail_samples.len(), 4);
+        assert_eq!(result.cutoffs.len(), 5);
+        // Every final sample lies at or above the final cutoff, and cutoffs
+        // are non-decreasing (the walk out to the tail).
+        for w in result.cutoffs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "cutoffs {:?}", result.cutoffs);
+        }
+        for &s in &result.tail_samples {
+            assert!(s >= result.quantile_estimate - 1e-9);
+        }
+        // p^(1/m) = 0.5 per step.
+        assert!((result.parameters.p_per_step - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_estimate_matches_the_analytic_normal_sum() {
+        // SUM of 30 Normal(i/10, 1) losses is Normal(μ, 30); check the
+        // estimated 0.99-quantile against the closed form, averaged over a
+        // few runs.
+        let means: Vec<f64> = (0..30).map(|i| i as f64 / 10.0).collect();
+        let mu: f64 = means.iter().sum();
+        let sd = 30f64.sqrt();
+        let truth = mu + sd * std_normal_quantile(0.99);
+        let catalog = catalog(&means);
+        let runs = 6;
+        let mut sum_est = 0.0;
+        for run in 0..runs {
+            let config = TailSamplingConfig::new(0.01, 30, 600)
+                .with_m(2)
+                .with_block_size(700)
+                .with_master_seed(1000 + run);
+            let result = GibbsLooper::new(losses_query(), config).run(&catalog).unwrap();
+            sum_est += result.quantile_estimate;
+        }
+        let mean_est = sum_est / runs as f64;
+        assert!(
+            (mean_est - truth).abs() < 0.12 * sd,
+            "estimate {mean_est} vs analytic {truth} (sd {sd})"
+        );
+    }
+
+    #[test]
+    fn tail_samples_exceed_the_true_quantile_most_of_the_time() {
+        let means = vec![1.0; 20];
+        let catalog = catalog(&means);
+        let truth = 20.0 + 20f64.sqrt() * std_normal_quantile(0.95);
+        let config = TailSamplingConfig::new(0.05, 50, 400)
+            .with_m(2)
+            .with_block_size(400)
+            .with_master_seed(3);
+        let result = GibbsLooper::new(losses_query(), config).run(&catalog).unwrap();
+        let above = result.tail_samples.iter().filter(|&&x| x >= truth).count();
+        assert!(
+            above as f64 >= 0.5 * result.tail_samples.len() as f64,
+            "only {above}/{} samples beyond the true quantile {truth}",
+            result.tail_samples.len()
+        );
+    }
+
+    #[test]
+    fn final_predicate_is_respected() {
+        // Only losses above 0 count; with means well above zero this barely
+        // changes the result, but the plumbing must not error and the result
+        // must stay above the cutoff.
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        let query = losses_query().with_final_predicate(Expr::col("val").gt(Expr::lit(0.0)));
+        let config = TailSamplingConfig::new(0.1, 8, 60).with_m(2).with_block_size(64);
+        let result = GibbsLooper::new(query, config).run(&catalog).unwrap();
+        assert_eq!(result.tail_samples.len(), 8);
+        assert!(result.gibbs.accepted > 0);
+    }
+
+    #[test]
+    fn small_blocks_force_replenishment_runs() {
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        // A tiny block relative to the sampling effort guarantees streams run
+        // dry and the plan is re-executed (§9).
+        let config = TailSamplingConfig::new(0.05, 10, 200)
+            .with_m(3)
+            .with_block_size(40)
+            .with_master_seed(11);
+        let result = GibbsLooper::new(losses_query(), config).run(&catalog).unwrap();
+        assert!(result.replenishments > 0, "expected at least one replenishment");
+        assert_eq!(result.plan_executions, 1 + result.replenishments);
+        // Larger blocks need fewer plan executions.
+        let config_big = TailSamplingConfig::new(0.05, 10, 200)
+            .with_m(3)
+            .with_block_size(4000)
+            .with_master_seed(11);
+        let result_big = GibbsLooper::new(losses_query(), config_big).run(&catalog).unwrap();
+        assert!(result_big.plan_executions < result.plan_executions);
+    }
+
+    #[test]
+    fn grouped_queries_and_bad_aggregates_are_rejected() {
+        let catalog = catalog(&[3.0, 4.0]);
+        let grouped = losses_query().with_group_by(vec!["cid".to_string()]);
+        let config = TailSamplingConfig::new(0.1, 4, 40).with_m(2).with_block_size(64);
+        assert!(GibbsLooper::new(grouped, config.clone()).run(&catalog).is_err());
+
+        let mut avg_query = losses_query();
+        avg_query.aggregate = AggregateSpec::avg(Expr::col("val"), "avgLoss");
+        assert!(GibbsLooper::new(avg_query, config).run(&catalog).is_err());
+    }
+
+    #[test]
+    fn plans_that_lose_lineage_are_rejected() {
+        let catalog = catalog(&[3.0, 4.0]);
+        // Projecting val+1 produces a Computed column; aggregating it must fail.
+        let mut query = losses_query();
+        query.plan = query
+            .plan
+            .project(vec![("val", Expr::col("val").add(Expr::lit(1.0))), ("cid", Expr::col("cid"))]);
+        let config = TailSamplingConfig::new(0.1, 4, 40).with_m(2).with_block_size(64);
+        let err = GibbsLooper::new(query, config.clone()).run(&catalog);
+        assert!(err.is_err());
+
+        // Filtering on the random attribute below the looper must fail too.
+        let mut query = losses_query();
+        query.plan = query.plan.filter(Expr::col("val").gt(Expr::lit(2.0)));
+        assert!(GibbsLooper::new(query, config).run(&catalog).is_err());
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_master_seed() {
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        let mk = |seed| {
+            TailSamplingConfig::new(0.1, 6, 60).with_m(2).with_block_size(128).with_master_seed(seed)
+        };
+        let a = GibbsLooper::new(losses_query(), mk(5)).run(&catalog).unwrap();
+        let b = GibbsLooper::new(losses_query(), mk(5)).run(&catalog).unwrap();
+        let c = GibbsLooper::new(losses_query(), mk(6)).run(&catalog).unwrap();
+        assert_eq!(a.tail_samples, b.tail_samples);
+        assert_eq!(a.cutoffs, b.cutoffs);
+        assert_ne!(a.tail_samples, c.tail_samples);
+    }
+
+    #[test]
+    fn multi_table_join_query_with_pulled_up_predicate() {
+        // A small version of the §5 salary-inversion pattern: an uncertain
+        // salary table joined to a deterministic supervision table, with the
+        // sal2 > sal1 predicate pulled up into the looper.
+        let mut catalog = Catalog::new();
+        let emp_params = TableBuilder::new(StorageSchema::new(vec![
+            Field::utf8("eid"),
+            Field::float64("msal"),
+        ]))
+        .row([Value::str("Joe"), Value::Float64(26.0)])
+        .row([Value::str("Sue"), Value::Float64(24.0)])
+        .row([Value::str("Ann"), Value::Float64(43.0)])
+        .row([Value::str("Jim"), Value::Float64(77.0)])
+        .build()
+        .unwrap();
+        let sup = TableBuilder::new(StorageSchema::new(vec![
+            Field::utf8("boss"),
+            Field::utf8("peon"),
+        ]))
+        .row([Value::str("Sue"), Value::str("Joe")])
+        .row([Value::str("Jim"), Value::str("Sue")])
+        .row([Value::str("Jim"), Value::str("Ann")])
+        .build()
+        .unwrap();
+        catalog.register("emp_params", emp_params).unwrap();
+        catalog.register("sup", sup).unwrap();
+
+        let emp = |tag| {
+            PlanNode::random_table(scalar_random_table(
+                "emp",
+                "emp_params",
+                Arc::new(NormalVg),
+                vec![Expr::col("msal"), Expr::lit(4.0)],
+                &["eid"],
+                "sal",
+                tag,
+            ))
+        };
+        // sup ⋈ emp1 (boss) ⋈ emp2 (peon).  Both emp instances share the same
+        // streams (tag 1): a self-join reuses the same uncertain table.  Join
+        // keys name the right input's own columns; the joined schema renames
+        // the second emp's columns to eid_1 / sal_1.
+        let plan = PlanNode::scan("sup")
+            .join(emp(1), vec![("boss", "eid")])
+            .join(emp(1), vec![("peon", "eid")]);
+        let aggregate =
+            AggregateSpec::sum(Expr::col("sal_1").sub(Expr::col("sal")), "inversion");
+        let query = MonteCarloQuery::new(plan, aggregate)
+            .with_final_predicate(Expr::col("sal_1").gt(Expr::col("sal")));
+        let config = TailSamplingConfig::new(0.05, 12, 240)
+            .with_m(2)
+            .with_block_size(300)
+            .with_master_seed(21);
+        let result = GibbsLooper::new(query, config).run(&catalog).unwrap();
+        assert_eq!(result.tail_samples.len(), 12);
+        // Salary inversions are non-negative by construction of the predicate.
+        assert!(result.tail_samples.iter().all(|&x| x >= -1e-9));
+        // The tail of this distribution is clearly positive.
+        assert!(result.quantile_estimate > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Parameter selection for the tail sampler (paper Appendix C).
+//!
+//! Algorithm 3 has free parameters: the number of bootstrapping steps `m`,
+//! the per-step sample counts `n_1..n_m`, and the per-step tail probabilities
+//! `p_1..p_m` (with `∏ p_i = p` and `Σ n_i = N`).  Appendix C shows that the
+//! mean-squared relative error (MSRE) of the final tail probability,
+//! `E[((F̄₀(θ̂ₘ) − p)/p)²]`, equals
+//!
+//! ```text
+//! u(ν, ρ, m) = h₁(ν,ρ,m) · ( h₂(ν,ρ,m)/p² − 2/p ) + 1
+//! hc(ν,ρ,m) = ∏ᵢ (nᵢ pᵢ + c) / (nᵢ + c)
+//! ```
+//!
+//! and that `h_c` is minimized (Theorem 1) by splitting the budget evenly —
+//! `nᵢ = N/m`, `pᵢ = p^{1/m}` — with
+//!
+//! ```text
+//! g_m(N, p, c) = ( ((N/m) p^{1/m} + c) / (N/m + c) )^m
+//! m*_c = min{ m ≥ 1 : g_m(N,p,c) < g_{m+1}(N,p,c) }
+//! ```
+//!
+//! Finally `w(N) = g_{m*}(N,p,1)·(g_{m*}(N,p,2)/p² − 2/p) + 1` is the MSRE of
+//! the optimized sampler as a function of the total budget `N`, and the
+//! budget needed for a target MSRE `ε` is `min{N : w(N) ≤ ε}`.
+
+/// The staged parameters Algorithm 3 actually runs with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedParameters {
+    /// Total number of samples across all bootstrapping steps.
+    pub total_samples: usize,
+    /// Target upper-tail probability `p`.
+    pub p: f64,
+    /// Number of bootstrapping steps `m`.
+    pub m: usize,
+    /// Per-step sample size `n = N/m` (identical for every step).
+    pub n_per_step: usize,
+    /// Per-step tail probability `p^{1/m}` (identical for every step).
+    pub p_per_step: f64,
+    /// Approximate MSRE achieved by these parameters.
+    pub msre: f64,
+}
+
+impl StagedParameters {
+    /// Expanded per-step sample sizes `n_1..n_m`.
+    pub fn step_sizes(&self) -> Vec<usize> {
+        vec![self.n_per_step; self.m]
+    }
+
+    /// Expanded per-step tail probabilities `p_1..p_m`.
+    pub fn step_probabilities(&self) -> Vec<f64> {
+        vec![self.p_per_step; self.m]
+    }
+
+    /// The intermediate quantile levels `1 - p^{i/m}` after each step —
+    /// §3.3's point that with `p = 0.001`, `m = 4` each step only estimates a
+    /// `1 - 0.001^{1/4} ≈ 0.82`-quantile.
+    pub fn intermediate_quantile_levels(&self) -> Vec<f64> {
+        (1..=self.m).map(|i| 1.0 - self.p.powf(i as f64 / self.m as f64)).collect()
+    }
+}
+
+/// `g_m(N, p, c)` from Appendix C.
+pub fn g_m(n_total: f64, p: f64, c: f64, m: usize) -> f64 {
+    let m_f = m as f64;
+    let n_per = n_total / m_f;
+    (((n_per * p.powf(1.0 / m_f)) + c) / (n_per + c)).powi(m as i32)
+}
+
+/// `h_c(ν, ρ, m) = ∏ᵢ (nᵢ pᵢ + c)/(nᵢ + c)` for arbitrary stage vectors.
+pub fn h_c(ns: &[f64], ps: &[f64], c: f64) -> f64 {
+    assert_eq!(ns.len(), ps.len(), "stage vectors must have equal length");
+    ns.iter().zip(ps).map(|(&n, &p)| (n * p + c) / (n + c)).product()
+}
+
+/// The MSRE `u(ν, ρ, m)` of Appendix C for arbitrary stage vectors.
+pub fn msre(ns: &[f64], ps: &[f64], p: f64) -> f64 {
+    let h1 = h_c(ns, ps, 1.0);
+    let h2 = h_c(ns, ps, 2.0);
+    h1 * (h2 / (p * p) - 2.0 / p) + 1.0
+}
+
+/// The MSRE of the *optimal even split* with `m` stages (`nᵢ = N/m`,
+/// `pᵢ = p^{1/m}`).
+pub fn msre_even(n_total: usize, p: f64, m: usize) -> f64 {
+    let g1 = g_m(n_total as f64, p, 1.0, m);
+    let g2 = g_m(n_total as f64, p, 2.0, m);
+    g1 * (g2 / (p * p) - 2.0 / p) + 1.0
+}
+
+/// Theorem 1's `m*_c`: the first `m` at which `g_m` stops decreasing.
+pub fn optimal_m_for_c(n_total: usize, p: f64, c: f64) -> usize {
+    assert!(n_total >= 1, "need at least one sample");
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must lie in (0,1)");
+    let n_f = n_total as f64;
+    let mut m = 1usize;
+    // m can never usefully exceed N (each stage needs at least one sample).
+    while m < n_total && g_m(n_f, p, c, m) >= g_m(n_f, p, c, m + 1) {
+        m += 1;
+    }
+    m
+}
+
+/// Theorem 1 + the summary procedure of Appendix C: compute `m*₁` and `m*₂`,
+/// pick whichever minimizes the MSRE, and return the resulting parameters.
+pub fn optimal_m(n_total: usize, p: f64) -> usize {
+    let m1 = optimal_m_for_c(n_total, p, 1.0);
+    let m2 = optimal_m_for_c(n_total, p, 2.0);
+    if msre_even(n_total, p, m1) <= msre_even(n_total, p, m2) {
+        m1
+    } else {
+        m2
+    }
+}
+
+/// Compute the full staged-parameter set for a budget of `n_total` samples
+/// and target tail probability `p`.
+pub fn staged_parameters(n_total: usize, p: f64) -> StagedParameters {
+    let m = optimal_m(n_total, p);
+    staged_parameters_with_m(n_total, p, m)
+}
+
+/// Staged parameters for an explicitly chosen `m` (used by the ablation that
+/// sweeps `m` around `m*`).
+pub fn staged_parameters_with_m(n_total: usize, p: f64, m: usize) -> StagedParameters {
+    assert!(m >= 1 && m <= n_total, "m must lie in 1..=N");
+    let n_per_step = (n_total / m).max(1);
+    StagedParameters {
+        total_samples: n_total,
+        p,
+        m,
+        n_per_step,
+        p_per_step: p.powf(1.0 / m as f64),
+        msre: msre_even(n_total, p, m),
+    }
+}
+
+/// `w(N)`: the MSRE of the optimized sampler as a function of the budget.
+pub fn w_of_n(n_total: usize, p: f64) -> f64 {
+    msre_even(n_total, p, optimal_m(n_total, p))
+}
+
+/// The smallest budget `N` whose optimized MSRE is at most `target`
+/// (`min{N : w(N) ≤ target}`), located by doubling + binary search.
+pub fn budget_for_msre(p: f64, target: f64) -> usize {
+    assert!(target > 0.0, "target MSRE must be positive");
+    let mut hi = 8usize;
+    while w_of_n(hi, p) > target && hi < (1 << 30) {
+        hi *= 2;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if w_of_n(mid, p) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_satisfies_the_constraints() {
+        let params = staged_parameters(1000, 0.001);
+        // ∏ pᵢ = p and Σ nᵢ ≈ N (up to integer division).
+        let prod: f64 = params.step_probabilities().iter().product();
+        assert!((prod - 0.001).abs() < 1e-12, "prod = {prod}");
+        let total: usize = params.step_sizes().iter().sum();
+        assert!(total <= 1000 && total >= 1000 - params.m);
+        assert_eq!(params.step_sizes().len(), params.m);
+    }
+
+    #[test]
+    fn paper_example_intermediate_quantiles() {
+        // §3.3: p = 0.001, m = 4 ⇒ each stage estimates a ≈0.82-quantile.
+        let params = staged_parameters_with_m(1000, 0.001, 4);
+        let first = params.intermediate_quantile_levels()[0];
+        assert!((first - (1.0 - 0.001f64.powf(0.25))).abs() < 1e-12);
+        assert!((0.80..0.85).contains(&first), "first stage level = {first}");
+        // The last level is the extreme quantile itself.
+        let last = *params.intermediate_quantile_levels().last().unwrap();
+        assert!((last - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn appendix_d_parameterization_is_near_optimal() {
+        // Appendix D runs m = 5, p^{1/m} = 0.25 ⇒ p = 0.25^5 ≈ 0.000977 with
+        // N = 500 or 1000.  The theory's optimal m for those budgets should be
+        // close to 5 and the per-step probability close to 0.25.
+        for &n in &[500usize, 1000] {
+            let params = staged_parameters(n, 0.25f64.powi(5));
+            assert!(
+                (3..=8).contains(&params.m),
+                "N = {n}: optimal m = {} out of expected range",
+                params.m
+            );
+            let with_m5 = staged_parameters_with_m(n, 0.25f64.powi(5), 5);
+            assert!((with_m5.p_per_step - 0.25).abs() < 1e-12);
+            // The paper's choice is within a small factor of the optimum.
+            assert!(with_m5.msre <= 2.0 * params.msre + 1e-9);
+        }
+    }
+
+    #[test]
+    fn g_m_has_an_interior_minimum() {
+        // For extreme p, a single stage is terrible, many stages are wasteful:
+        // g_m should decrease then increase.
+        let n = 1000.0;
+        let p = 0.001;
+        let values: Vec<f64> = (1..12).map(|m| g_m(n, p, 1.0, m)).collect();
+        let m_star = optimal_m_for_c(1000, p, 1.0);
+        assert!(m_star > 1 && m_star < 11, "m* = {m_star}");
+        // g is decreasing up to m*, then the next value is larger.
+        for m in 1..m_star {
+            assert!(values[m - 1] >= values[m], "g not decreasing at m = {m}");
+        }
+        assert!(values[m_star - 1] < values[m_star], "g should increase after m*");
+    }
+
+    #[test]
+    fn h_c_matches_g_m_on_even_splits() {
+        let n_total = 600.0;
+        let p: f64 = 0.01;
+        for m in 1..=6usize {
+            let ns = vec![n_total / m as f64; m];
+            let ps = vec![p.powf(1.0 / m as f64); m];
+            for &c in &[1.0, 2.0] {
+                assert!((h_c(&ns, &ps, c) - g_m(n_total, p, c, m)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_beats_uneven_splits() {
+        // Theorem 1: the even split minimizes h_c subject to the constraints.
+        let p: f64 = 0.01;
+        let n_total = 400.0;
+        let m = 3;
+        let even_ns = vec![n_total / 3.0; 3];
+        let even_ps = vec![p.powf(1.0 / 3.0); 3];
+        let even = msre(&even_ns, &even_ps, p);
+        // A few feasible but uneven alternatives.
+        let alternatives = [
+            (vec![200.0, 100.0, 100.0], vec![p.powf(1.0 / 3.0); 3]),
+            (vec![n_total / 3.0; 3], vec![0.05, 0.2, p / (0.05 * 0.2)]),
+            (vec![300.0, 50.0, 50.0], vec![0.1, 0.5, p / 0.05]),
+        ];
+        for (ns, ps) in alternatives {
+            let prod: f64 = ps.iter().product();
+            assert!((prod - p).abs() < 1e-9, "alternative must stay feasible");
+            assert!(
+                even <= msre(&ns, &ps, p) + 1e-9,
+                "even split {even} should not exceed {}",
+                msre(&ns, &ps, p)
+            );
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn w_of_n_decreases_and_budget_lookup_inverts_it() {
+        let p = 0.001;
+        let w100 = w_of_n(100, p);
+        let w1000 = w_of_n(1000, p);
+        let w10000 = w_of_n(10_000, p);
+        assert!(w100 > w1000 && w1000 > w10000, "w must decrease with N");
+        // budget_for_msre finds a budget whose MSRE meets the target, and the
+        // next smaller power-of-two-ish budget does not massively undershoot.
+        let target = 0.05;
+        let n = budget_for_msre(p, target);
+        assert!(w_of_n(n, p) <= target);
+        assert!(n > 100, "a 5% MSRE at p=0.001 needs a nontrivial budget, got {n}");
+    }
+
+    #[test]
+    fn single_stage_recovers_binomial_relative_variance() {
+        // With m = 1 the estimator is the plain order statistic, whose
+        // relative MSE is roughly (1-p)/(N p) for small p.
+        let p = 0.05;
+        let n = 2000usize;
+        let theory = (1.0 - p) / (n as f64 * p);
+        let computed = msre_even(n, p, 1);
+        assert!(
+            (computed - theory).abs() < 0.35 * theory,
+            "computed {computed} vs binomial approximation {theory}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "m must lie in 1..=N")]
+    fn m_larger_than_n_panics() {
+        staged_parameters_with_m(10, 0.1, 11);
+    }
+}

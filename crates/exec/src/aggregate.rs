@@ -1,0 +1,412 @@
+//! Per-repetition aggregation over a [`BundleSet`].
+//!
+//! An MCDB query result is not a single number but one number per generated
+//! DB instance (paper §1).  This module evaluates an aggregation query over a
+//! bundle set once per Monte Carlo repetition, producing the vector of
+//! query-result samples that the `mcdbr-mcdb` result-distribution machinery
+//! (and, at smaller granularity, the Gibbs Looper) consumes.
+//!
+//! Grouping follows paper Appendix A footnote 4: "Grouping is handled by, in
+//! effect, treating a GROUP BY query over g groups as g separate,
+//! simultaneous queries" — group keys must therefore be deterministic
+//! (constant) attributes.
+
+use mcdbr_storage::{Error, Result, Schema, Value};
+
+use crate::bundle::BundleSet;
+use crate::expr::Expr;
+
+/// Aggregate functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the aggregand (0.0 over an empty group instance).
+    Sum,
+    /// Count of contributing tuples.
+    Count,
+    /// Average of the aggregand (NaN over an empty group instance).
+    Avg,
+    /// Minimum of the aggregand (NaN over an empty group instance).
+    Min,
+    /// Maximum of the aggregand (NaN over an empty group instance).
+    Max,
+}
+
+/// An aggregate to compute: `func(expr) AS alias`.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregand, e.g. `val` or `sal2 - sal1`.
+    pub expr: Expr,
+    /// Output name, e.g. `totalLoss`.
+    pub alias: String,
+}
+
+impl AggregateSpec {
+    /// `SUM(expr) AS alias`
+    pub fn sum(expr: Expr, alias: impl Into<String>) -> Self {
+        AggregateSpec { func: AggFunc::Sum, expr, alias: alias.into() }
+    }
+
+    /// `COUNT(*) AS alias`
+    pub fn count(alias: impl Into<String>) -> Self {
+        AggregateSpec { func: AggFunc::Count, expr: Expr::lit(1i64), alias: alias.into() }
+    }
+
+    /// `AVG(expr) AS alias`
+    pub fn avg(expr: Expr, alias: impl Into<String>) -> Self {
+        AggregateSpec { func: AggFunc::Avg, expr, alias: alias.into() }
+    }
+
+    /// `MIN(expr) AS alias`
+    pub fn min(expr: Expr, alias: impl Into<String>) -> Self {
+        AggregateSpec { func: AggFunc::Min, expr, alias: alias.into() }
+    }
+
+    /// `MAX(expr) AS alias`
+    pub fn max(expr: Expr, alias: impl Into<String>) -> Self {
+        AggregateSpec { func: AggFunc::Max, expr, alias: alias.into() }
+    }
+}
+
+/// Query-result samples: for each group, one aggregate value per repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResultSamples {
+    /// Names of the grouping columns (empty for an ungrouped query).
+    pub group_columns: Vec<String>,
+    /// `(group key, per-repetition aggregate values)` pairs, in first-seen
+    /// group order.  Ungrouped queries have exactly one entry with an empty
+    /// key.
+    pub groups: Vec<(Vec<Value>, Vec<f64>)>,
+}
+
+impl QueryResultSamples {
+    /// The per-repetition samples of an ungrouped query.
+    pub fn single(&self) -> Result<&[f64]> {
+        if self.groups.len() == 1 {
+            Ok(&self.groups[0].1)
+        } else {
+            Err(Error::InvalidOperation(format!(
+                "expected a single group, found {}",
+                self.groups.len()
+            )))
+        }
+    }
+
+    /// The samples for a specific group key.
+    pub fn group(&self, key: &[Value]) -> Option<&[f64]> {
+        self.groups
+            .iter()
+            .find(|(k, _)| k.len() == key.len() && k.iter().zip(key).all(|(a, b)| a.sql_eq(b)))
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+/// Evaluate `agg` over `set`, once per repetition.
+///
+/// `final_predicate` is an optional extra selection applied per repetition
+/// before a tuple contributes to the aggregate — this mirrors the selection
+/// predicate that MCDB-R pulls up into the GibbsLooper (paper Appendix A,
+/// input 3), and lets the naive-MCDB baseline execute exactly the same query
+/// specification.
+pub fn evaluate_aggregate(
+    set: &BundleSet,
+    agg: &AggregateSpec,
+    group_by: &[String],
+    final_predicate: Option<&Expr>,
+) -> Result<QueryResultSamples> {
+    let schema = &set.schema;
+    let group_idx: Vec<usize> =
+        group_by.iter().map(|g| schema.index_of(g)).collect::<Result<_>>()?;
+
+    // Group keys must be deterministic.
+    for bundle in &set.bundles {
+        for &gi in &group_idx {
+            if !bundle.values[gi].is_const() {
+                return Err(Error::InvalidOperation(format!(
+                    "group-by column {} is a random attribute; grouping keys must be \
+                     deterministic (paper App. A, fn. 4)",
+                    schema.field(gi).name
+                )));
+            }
+        }
+    }
+
+    // Discover groups in first-seen order.
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut key_of_bundle: Vec<usize> = Vec::with_capacity(set.bundles.len());
+    for bundle in &set.bundles {
+        let key: Vec<Value> =
+            group_idx.iter().map(|&gi| bundle.values[gi].value_at(0).clone()).collect();
+        let pos = keys.iter().position(|k| {
+            k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.sql_eq(b))
+        });
+        let idx = match pos {
+            Some(i) => i,
+            None => {
+                keys.push(key.clone());
+                keys.len() - 1
+            }
+        };
+        key_of_bundle.push(idx);
+    }
+    if keys.is_empty() {
+        // No bundles at all: an ungrouped query still has one (empty) group.
+        if group_idx.is_empty() {
+            keys.push(Vec::new());
+        }
+    }
+
+    let n = set.num_reps;
+    let mut accums: Vec<Vec<Accum>> = keys.iter().map(|_| vec![Accum::default(); n]).collect();
+
+    for (bundle, &gidx) in set.bundles.iter().zip(&key_of_bundle) {
+        for rep in 0..n {
+            if !bundle.is_present(rep) {
+                continue;
+            }
+            let row = bundle.row_at(rep);
+            if let Some(pred) = final_predicate {
+                if !pred.eval_bool(schema, &row)? {
+                    continue;
+                }
+            }
+            let x = agg.expr.eval_f64(schema, &row)?;
+            accums[gidx][rep].add(x);
+        }
+    }
+
+    let groups = keys
+        .into_iter()
+        .zip(accums)
+        .map(|(key, acc)| (key, acc.into_iter().map(|a| a.finish(agg.func)).collect()))
+        .collect();
+    Ok(QueryResultSamples { group_columns: group_by.to_vec(), groups })
+}
+
+/// Evaluate the aggregate for one repetition over explicit rows — used by the
+/// naive (non-bundled) engine in `mcdbr-mcdb` so that both engines share
+/// exactly the same aggregation semantics.
+pub fn aggregate_rows(
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    agg: &AggregateSpec,
+    final_predicate: Option<&Expr>,
+) -> Result<f64> {
+    let mut acc = Accum::default();
+    for row in rows {
+        if let Some(pred) = final_predicate {
+            if !pred.eval_bool(schema, row)? {
+                continue;
+            }
+        }
+        acc.add(agg.expr.eval_f64(schema, row)?);
+    }
+    Ok(acc.finish(agg.func))
+}
+
+/// Streaming accumulator shared by every aggregate function.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accum {
+    fn add(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    fn finish(self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggFunc::Min => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.min
+                }
+            }
+            AggFunc::Max => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.max
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{BundleValue, TupleBundle};
+    use crate::stream_registry::StreamRegistry;
+    use mcdbr_storage::{Field, Schema};
+
+    /// Build a small bundle set by hand: three "customers" with known
+    /// per-repetition losses and a deterministic region.
+    fn test_set() -> BundleSet {
+        let schema = Schema::new(vec![
+            Field::utf8("region"),
+            Field::float64("loss"),
+        ]);
+        let mk = |region: &str, seed: u64, vals: Vec<f64>| TupleBundle {
+            values: vec![
+                BundleValue::Const(Value::str(region)),
+                BundleValue::Random {
+                    seed,
+                    vg_row: 0,
+                    vg_col: 0,
+                    base_pos: 0,
+                    values: vals.into_iter().map(Value::Float64).collect(),
+                },
+            ],
+            is_pres: None,
+        };
+        BundleSet {
+            schema,
+            bundles: vec![
+                mk("EU", 1, vec![1.0, 2.0, 3.0]),
+                mk("EU", 2, vec![10.0, 20.0, 30.0]),
+                mk("US", 3, vec![100.0, 200.0, 300.0]),
+            ],
+            registry: StreamRegistry::new(),
+            num_reps: 3,
+        }
+    }
+
+    #[test]
+    fn ungrouped_sum_per_repetition() {
+        let set = test_set();
+        let agg = AggregateSpec::sum(Expr::col("loss"), "totalLoss");
+        let res = evaluate_aggregate(&set, &agg, &[], None).unwrap();
+        assert_eq!(res.single().unwrap(), &[111.0, 222.0, 333.0]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let set = test_set();
+        let agg = AggregateSpec::sum(Expr::col("loss"), "totalLoss");
+        let res = evaluate_aggregate(&set, &agg, &["region".to_string()], None).unwrap();
+        assert_eq!(res.groups.len(), 2);
+        assert_eq!(res.group(&[Value::str("EU")]).unwrap(), &[11.0, 22.0, 33.0]);
+        assert_eq!(res.group(&[Value::str("US")]).unwrap(), &[100.0, 200.0, 300.0]);
+        assert!(res.group(&[Value::str("APAC")]).is_none());
+        assert!(res.single().is_err());
+    }
+
+    #[test]
+    fn count_avg_min_max() {
+        let set = test_set();
+        let count = evaluate_aggregate(&set, &AggregateSpec::count("n"), &[], None).unwrap();
+        assert_eq!(count.single().unwrap(), &[3.0, 3.0, 3.0]);
+        let avg =
+            evaluate_aggregate(&set, &AggregateSpec::avg(Expr::col("loss"), "a"), &[], None).unwrap();
+        assert_eq!(avg.single().unwrap(), &[37.0, 74.0, 111.0]);
+        let min =
+            evaluate_aggregate(&set, &AggregateSpec::min(Expr::col("loss"), "m"), &[], None).unwrap();
+        assert_eq!(min.single().unwrap(), &[1.0, 2.0, 3.0]);
+        let max =
+            evaluate_aggregate(&set, &AggregateSpec::max(Expr::col("loss"), "M"), &[], None).unwrap();
+        assert_eq!(max.single().unwrap(), &[100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn final_predicate_restricts_contributions() {
+        let set = test_set();
+        let agg = AggregateSpec::sum(Expr::col("loss"), "totalLoss");
+        let pred = Expr::col("loss").gt_eq(Expr::lit(10.0));
+        let res = evaluate_aggregate(&set, &agg, &[], Some(&pred)).unwrap();
+        assert_eq!(res.single().unwrap(), &[110.0, 220.0, 330.0]);
+    }
+
+    #[test]
+    fn presence_masks_exclude_tuples() {
+        let mut set = test_set();
+        set.bundles[2].restrict_presence(&[true, false, true]);
+        let agg = AggregateSpec::sum(Expr::col("loss"), "totalLoss");
+        let res = evaluate_aggregate(&set, &agg, &[], None).unwrap();
+        assert_eq!(res.single().unwrap(), &[111.0, 22.0, 333.0]);
+    }
+
+    #[test]
+    fn empty_instances_follow_sql_conventions() {
+        let mut set = test_set();
+        for b in &mut set.bundles {
+            b.restrict_presence(&[false, true, true]);
+        }
+        let sum = evaluate_aggregate(&set, &AggregateSpec::sum(Expr::col("loss"), "s"), &[], None)
+            .unwrap();
+        assert_eq!(sum.single().unwrap()[0], 0.0);
+        let avg = evaluate_aggregate(&set, &AggregateSpec::avg(Expr::col("loss"), "a"), &[], None)
+            .unwrap();
+        assert!(avg.single().unwrap()[0].is_nan());
+        let count = evaluate_aggregate(&set, &AggregateSpec::count("n"), &[], None).unwrap();
+        assert_eq!(count.single().unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn grouping_on_random_attribute_is_rejected() {
+        let set = test_set();
+        let agg = AggregateSpec::sum(Expr::col("loss"), "s");
+        assert!(evaluate_aggregate(&set, &agg, &["loss".to_string()], None).is_err());
+        assert!(evaluate_aggregate(&set, &agg, &["missing".to_string()], None).is_err());
+    }
+
+    #[test]
+    fn expression_aggregands() {
+        // SUM(2*loss + 1) — exercised because the salary-inversion query
+        // aggregates an expression over two attributes.
+        let set = test_set();
+        let agg = AggregateSpec::sum(
+            Expr::col("loss").mul(Expr::lit(2.0)).add(Expr::lit(1.0)),
+            "s",
+        );
+        let res = evaluate_aggregate(&set, &agg, &[], None).unwrap();
+        assert_eq!(res.single().unwrap(), &[225.0, 447.0, 669.0]);
+    }
+
+    #[test]
+    fn aggregate_rows_matches_bundle_path() {
+        let set = test_set();
+        let agg = AggregateSpec::sum(Expr::col("loss"), "s");
+        // Repetition 1 materialized as plain rows.
+        let rows: Vec<Vec<Value>> = set.bundles.iter().map(|b| b.row_at(1)).collect();
+        let direct = aggregate_rows(&set.schema, &rows, &agg, None).unwrap();
+        let bundled = evaluate_aggregate(&set, &agg, &[], None).unwrap();
+        assert_eq!(direct, bundled.single().unwrap()[1]);
+    }
+
+    #[test]
+    fn empty_bundle_set_gives_single_empty_group() {
+        let set = BundleSet {
+            schema: Schema::new(vec![Field::float64("x")]),
+            bundles: vec![],
+            registry: StreamRegistry::new(),
+            num_reps: 4,
+        };
+        let res =
+            evaluate_aggregate(&set, &AggregateSpec::sum(Expr::col("x"), "s"), &[], None).unwrap();
+        assert_eq!(res.single().unwrap(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+}

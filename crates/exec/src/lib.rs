@@ -1,0 +1,45 @@
+//! Tuple-bundle query execution for MCDB / MCDB-R.
+//!
+//! MCDB's central trick (paper §1) is that a query plan is executed *once*
+//! over "tuple bundles" rather than once per Monte Carlo repetition: a bundle
+//! encapsulates the instantiations of a tuple over all generated database
+//! instances and carries the PRNG seeds used to produce them.  MCDB-R reuses
+//! the same plan machinery but needs *lineage*: every random value must stay
+//! linked to the stream (seed) it came from so the Gibbs Looper can later
+//! re-assign stream positions to DB versions (paper §5, §6).
+//!
+//! This crate provides:
+//!
+//! * [`expr`] — scalar expressions and predicates over named columns.
+//! * [`bundle`] — [`bundle::TupleBundle`] and [`bundle::BundleValue`]: rows
+//!   whose attributes are either constant across repetitions or random with
+//!   full stream lineage, plus per-repetition presence (`isPres`) arrays.
+//! * [`plan`] — logical plan nodes (`TableScan`, `RandomTable`, `Filter`,
+//!   `Project`, `Join`, `Split`) and the uncertain-table specification that
+//!   mirrors the paper's `CREATE TABLE ... FOR EACH ... WITH ... AS VG(...)`
+//!   statement (§2).
+//! * [`stream_registry`] — the mapping from seed ids to their VG function and
+//!   parameter row, which is what lets any stream position be (re)generated
+//!   on demand — the foundation of both naive-MCDB instantiation and MCDB-R
+//!   replenishment (§9).
+//! * [`executor`] — executes a plan over a catalog, producing a
+//!   [`bundle::BundleSet`]; instantiation ranges are explicit so the same
+//!   code path serves MCDB (positions `0..n` = the n Monte Carlo repetitions)
+//!   and MCDB-R (positions form the per-seed blocks carried by Gibbs tuples).
+//! * [`aggregate`] — per-repetition evaluation of aggregation queries over a
+//!   `BundleSet` (the MCDB baseline path) and the aggregate/predicate
+//!   descriptors shared with the Gibbs Looper.
+
+pub mod aggregate;
+pub mod bundle;
+pub mod executor;
+pub mod expr;
+pub mod plan;
+pub mod stream_registry;
+
+pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
+pub use bundle::{BundleSet, BundleValue, TupleBundle};
+pub use executor::{ExecOptions, Executor};
+pub use expr::{BinaryOp, Expr};
+pub use plan::{JoinType, PlanNode, RandomTableSpec};
+pub use stream_registry::{StreamRegistry, StreamSource};

@@ -1,0 +1,185 @@
+//! The stream registry: from seed id to "how to generate this stream".
+//!
+//! Paper §4.1: every uncertain value (or correlated block of values) in the
+//! database is backed by a stream of random data, identified by the PRNG seed
+//! that produces it.  The registry records, for each seed, the VG function
+//! and the parameter row that turn raw stream positions into data values.
+//! Anything holding a registry can therefore (re)generate the value at *any*
+//! stream position on demand — which is exactly what
+//!
+//! * naive MCDB needs to instantiate repetitions `0..n`,
+//! * the Gibbs rejection sampler needs to "go to the stream whenever it needs
+//!   a loss value" (§4.1), and
+//! * the replenishment pass needs to regenerate already-assigned values and
+//!   extend blocks without re-deriving parameters (§9).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mcdbr_prng::{RandomStream, SeedId};
+use mcdbr_storage::{Error, Result, Tuple, Value};
+use mcdbr_vg::VgFunction;
+
+/// How to generate one stream: a VG function plus its bound parameter row.
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    /// The VG function invoked at every stream position.
+    pub vg: Arc<dyn VgFunction>,
+    /// The parameter row bound from the parameter table (paper §2).
+    pub params: Vec<Value>,
+}
+
+impl StreamSource {
+    /// Generate the full VG output table at stream position `pos`.
+    pub fn generate_at(&self, seed: SeedId, pos: u64) -> Result<Vec<Tuple>> {
+        let mut gen = RandomStream::new(seed).generator_at(pos);
+        self.vg.generate(&self.params, &mut gen)
+    }
+}
+
+/// Registry of all streams referenced by a plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRegistry {
+    sources: BTreeMap<SeedId, StreamSource>,
+}
+
+impl StreamRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        StreamRegistry::default()
+    }
+
+    /// Register a stream.  Registering the same seed twice is fine as long
+    /// as callers keep seeds unique per uncertain tuple (the executor derives
+    /// them with [`mcdbr_prng::seed_for`], which guarantees that).
+    pub fn register(&mut self, seed: SeedId, vg: Arc<dyn VgFunction>, params: Vec<Value>) {
+        self.sources.insert(seed, StreamSource { vg, params });
+    }
+
+    /// Look up a stream source.
+    pub fn source(&self, seed: SeedId) -> Result<&StreamSource> {
+        self.sources
+            .get(&seed)
+            .ok_or_else(|| Error::Invalid(format!("unknown stream seed {seed}")))
+    }
+
+    /// Whether a seed is registered.
+    pub fn contains(&self, seed: SeedId) -> bool {
+        self.sources.contains_key(&seed)
+    }
+
+    /// Generate the full VG output table for `seed` at stream position `pos`.
+    pub fn generate_at(&self, seed: SeedId, pos: u64) -> Result<Vec<Tuple>> {
+        self.source(seed)?.generate_at(seed, pos)
+    }
+
+    /// Generate the scalar value `(vg_row, vg_col)` of the VG output for
+    /// `seed` at stream position `pos`.
+    pub fn value_at(&self, seed: SeedId, pos: u64, vg_row: usize, vg_col: usize) -> Result<Value> {
+        let rows = self.generate_at(seed, pos)?;
+        let row = rows.get(vg_row).ok_or_else(|| {
+            Error::Invalid(format!(
+                "stream {seed}: VG output has {} rows, wanted row {vg_row}",
+                rows.len()
+            ))
+        })?;
+        if vg_col >= row.arity() {
+            return Err(Error::Invalid(format!(
+                "stream {seed}: VG output has {} columns, wanted column {vg_col}",
+                row.arity()
+            )));
+        }
+        Ok(row.value(vg_col).clone())
+    }
+
+    /// Merge another registry into this one (used when a plan has several
+    /// uncertain tables / Seed operators).
+    pub fn merge(&mut self, other: StreamRegistry) {
+        self.sources.extend(other.sources);
+    }
+
+    /// All registered seeds, in increasing order (the order GibbsLooper
+    /// iterates TS-seed handles in; paper §7).
+    pub fn seeds(&self) -> impl Iterator<Item = SeedId> + '_ {
+        self.sources.keys().copied()
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_vg::{MultiNormalVg, NormalVg};
+
+    fn normal_params(mean: f64) -> Vec<Value> {
+        vec![Value::Float64(mean), Value::Float64(1.0)]
+    }
+
+    #[test]
+    fn register_and_generate() {
+        let mut reg = StreamRegistry::new();
+        reg.register(7, Arc::new(NormalVg), normal_params(3.0));
+        assert!(reg.contains(7));
+        assert!(!reg.contains(8));
+        assert_eq!(reg.len(), 1);
+        let v = reg.value_at(7, 0, 0, 0).unwrap();
+        assert!(v.as_f64().unwrap().is_finite());
+        assert!(reg.value_at(8, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_position_addressable() {
+        let mut reg = StreamRegistry::new();
+        reg.register(42, Arc::new(NormalVg), normal_params(5.0));
+        let a = reg.value_at(42, 3, 0, 0).unwrap();
+        let b = reg.value_at(42, 3, 0, 0).unwrap();
+        let c = reg.value_at(42, 4, 0, 0).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn out_of_range_rows_and_cols_error() {
+        let mut reg = StreamRegistry::new();
+        reg.register(1, Arc::new(NormalVg), normal_params(0.0));
+        assert!(reg.value_at(1, 0, 1, 0).is_err());
+        assert!(reg.value_at(1, 0, 0, 5).is_err());
+    }
+
+    #[test]
+    fn multi_row_vg_outputs_are_addressable() {
+        let mut reg = StreamRegistry::new();
+        reg.register(
+            9,
+            Arc::new(MultiNormalVg::new(3, 0.5)),
+            vec![Value::Float64(0.0), Value::Float64(1.0)],
+        );
+        let rows = reg.generate_at(9, 0).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Row index is in column 0; the value in column 1.
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.value(0).as_i64().unwrap(), i as i64);
+            assert_eq!(reg.value_at(9, 0, i, 1).unwrap(), row.value(1).clone());
+        }
+    }
+
+    #[test]
+    fn merge_combines_sources() {
+        let mut a = StreamRegistry::new();
+        a.register(1, Arc::new(NormalVg), normal_params(1.0));
+        let mut b = StreamRegistry::new();
+        b.register(2, Arc::new(NormalVg), normal_params(2.0));
+        a.merge(b);
+        assert_eq!(a.seeds().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The naive-MCDB query engine.
+//!
+//! [`McdbEngine`] runs a [`MonteCarloQuery`] — a plan, an aggregate, an
+//! optional final selection predicate and optional grouping — for `n` Monte
+//! Carlo repetitions using the tuple-bundle executor, and summarizes the
+//! per-repetition results.  It also implements the *naive tail sampling*
+//! strategy that MCDB-R is compared against in Appendix D: keep generating
+//! batches of repetitions until `l` of them fall beyond a target quantile.
+
+use mcdbr_exec::aggregate::evaluate_aggregate;
+use mcdbr_exec::{
+    AggregateSpec, ExecOptions, Executor, Expr, PlanNode, QueryResultSamples,
+};
+use mcdbr_storage::{Catalog, Result, Value};
+
+use crate::result::ResultDistribution;
+
+/// A Monte Carlo aggregation query: the plan-level form of the §2 query
+/// surface (`SELECT agg(...) FROM ... WHERE ... GROUP BY ... WITH
+/// RESULTDISTRIBUTION MONTECARLO(n)`).
+#[derive(Debug, Clone)]
+pub struct MonteCarloQuery {
+    /// The plan producing the tuples to aggregate.
+    pub plan: PlanNode,
+    /// The aggregate to compute.
+    pub aggregate: AggregateSpec,
+    /// Optional final selection predicate (applied per repetition before
+    /// aggregation; this is where predicates over multi-stream random
+    /// attributes live).
+    pub final_predicate: Option<Expr>,
+    /// Grouping columns (must be deterministic).
+    pub group_by: Vec<String>,
+}
+
+impl MonteCarloQuery {
+    /// An ungrouped query with no final predicate.
+    pub fn new(plan: PlanNode, aggregate: AggregateSpec) -> Self {
+        MonteCarloQuery { plan, aggregate, final_predicate: None, group_by: Vec::new() }
+    }
+
+    /// Attach a final selection predicate.
+    pub fn with_final_predicate(mut self, predicate: Expr) -> Self {
+        self.final_predicate = Some(predicate);
+        self
+    }
+
+    /// Attach grouping columns.
+    pub fn with_group_by(mut self, columns: Vec<String>) -> Self {
+        self.group_by = columns;
+        self
+    }
+}
+
+/// Report from a naive tail-sampling run (the MCDB baseline for the
+/// Appendix D comparison).
+#[derive(Debug, Clone)]
+pub struct NaiveTailReport {
+    /// The quantile estimate used to define the tail.
+    pub quantile_estimate: f64,
+    /// Samples that landed in the tail.
+    pub tail_samples: Vec<f64>,
+    /// Total Monte Carlo repetitions generated.
+    pub repetitions: usize,
+    /// Number of plan executions performed (one per batch of repetitions).
+    pub plan_executions: usize,
+}
+
+/// The naive-MCDB engine.
+#[derive(Debug, Default)]
+pub struct McdbEngine {
+    executor: Executor,
+}
+
+impl McdbEngine {
+    /// Create a new engine.
+    pub fn new() -> Self {
+        McdbEngine::default()
+    }
+
+    /// Total plan executions performed through this engine.
+    pub fn plans_executed(&self) -> usize {
+        self.executor.plans_executed()
+    }
+
+    /// Run `query` for `n` Monte Carlo repetitions, returning the raw
+    /// per-group, per-repetition samples.
+    pub fn run_samples(
+        &mut self,
+        query: &MonteCarloQuery,
+        catalog: &Catalog,
+        n: usize,
+        master_seed: u64,
+    ) -> Result<QueryResultSamples> {
+        let set =
+            self.executor.execute(&query.plan, catalog, &ExecOptions::monte_carlo(master_seed, n))?;
+        evaluate_aggregate(&set, &query.aggregate, &query.group_by, query.final_predicate.as_ref())
+    }
+
+    /// Run `query` for `n` repetitions and summarize each group's result
+    /// distribution.
+    pub fn run(
+        &mut self,
+        query: &MonteCarloQuery,
+        catalog: &Catalog,
+        n: usize,
+        master_seed: u64,
+    ) -> Result<Vec<(Vec<Value>, ResultDistribution)>> {
+        let samples = self.run_samples(query, catalog, n, master_seed)?;
+        Ok(samples
+            .groups
+            .into_iter()
+            .map(|(key, xs)| (key, ResultDistribution::from_samples(&xs)))
+            .collect())
+    }
+
+    /// Naive tail sampling (the Appendix D baseline): generate repetitions in
+    /// batches of `batch` until `l` samples exceed the `(1-p)`-quantile.
+    ///
+    /// The quantile itself is estimated from an initial calibration run of
+    /// `calibration_reps` repetitions (naive MCDB has no other way to locate
+    /// the tail), then batches continue until enough tail samples are
+    /// collected.  `max_repetitions` bounds the total work so tests and
+    /// benchmarks terminate; hitting the bound is reported, not an error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn naive_tail_sample(
+        &mut self,
+        query: &MonteCarloQuery,
+        catalog: &Catalog,
+        p: f64,
+        l: usize,
+        calibration_reps: usize,
+        batch: usize,
+        max_repetitions: usize,
+        master_seed: u64,
+    ) -> Result<NaiveTailReport> {
+        // Step 1: estimate the (1-p)-quantile from a calibration run.
+        let calib = self.run_samples(query, catalog, calibration_reps, master_seed)?;
+        let calib_dist = ResultDistribution::from_samples(calib.single()?);
+        let quantile_estimate = calib_dist.quantile(1.0 - p)?;
+
+        // Step 2: keep generating batches until l tail samples are found.
+        let mut tail_samples: Vec<f64> = calib_dist
+            .samples()
+            .iter()
+            .copied()
+            .filter(|&x| x >= quantile_estimate)
+            .collect();
+        let mut repetitions = calibration_reps;
+        let mut plan_executions = 1;
+        let mut round = 1u64;
+        while tail_samples.len() < l && repetitions < max_repetitions {
+            let seed = master_seed.wrapping_add(round.wrapping_mul(0x9e37_79b9));
+            let samples = self.run_samples(query, catalog, batch, seed)?;
+            plan_executions += 1;
+            repetitions += batch;
+            tail_samples
+                .extend(samples.single()?.iter().copied().filter(|&x| x >= quantile_estimate));
+            round += 1;
+        }
+        tail_samples.truncate(l.max(tail_samples.len().min(l)));
+        Ok(NaiveTailReport { quantile_estimate, tail_samples, repetitions, plan_executions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_exec::plan::scalar_random_table;
+    use mcdbr_storage::{Field, Schema, TableBuilder};
+    use mcdbr_vg::NormalVg;
+    use std::sync::Arc;
+
+    /// Catalog with a `means` parameter table of 20 customers, mean loss i.
+    fn catalog(n_customers: usize) -> Catalog {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            Field::int64("cid"),
+            Field::float64("m"),
+        ]));
+        for i in 0..n_customers {
+            b = b.row([Value::Int64(i as i64), Value::Float64(i as f64)]);
+        }
+        let mut catalog = Catalog::new();
+        catalog.register("means", b.build().unwrap()).unwrap();
+        catalog
+    }
+
+    fn losses_query() -> MonteCarloQuery {
+        let plan = PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ));
+        MonteCarloQuery::new(plan, AggregateSpec::sum(Expr::col("val"), "totalLoss"))
+    }
+
+    #[test]
+    fn sum_query_distribution_matches_theory() {
+        // SUM of 20 independent Normal(i, 1) is Normal(190, 20).
+        let catalog = catalog(20);
+        let mut engine = McdbEngine::new();
+        let results = engine.run(&losses_query(), &catalog, 2000, 42).unwrap();
+        assert_eq!(results.len(), 1);
+        let dist = &results[0].1;
+        assert_eq!(dist.len(), 2000);
+        assert!((dist.mean() - 190.0).abs() < 0.5, "mean = {}", dist.mean());
+        assert!((dist.variance() - 20.0).abs() < 2.5, "var = {}", dist.variance());
+    }
+
+    #[test]
+    fn results_are_reproducible_per_seed() {
+        let catalog = catalog(5);
+        let mut engine = McdbEngine::new();
+        let a = engine.run_samples(&losses_query(), &catalog, 50, 7).unwrap();
+        let b = engine.run_samples(&losses_query(), &catalog, 50, 7).unwrap();
+        let c = engine.run_samples(&losses_query(), &catalog, 50, 8).unwrap();
+        assert_eq!(a.single().unwrap(), b.single().unwrap());
+        assert_ne!(a.single().unwrap(), c.single().unwrap());
+        assert_eq!(engine.plans_executed(), 3);
+    }
+
+    #[test]
+    fn where_clause_restricts_the_sum() {
+        // §2 query: WHERE CID < 10010 — here, cid < 3 keeps means 0, 1, 2.
+        let catalog = catalog(20);
+        let mut engine = McdbEngine::new();
+        let mut query = losses_query();
+        query.plan = query.plan.filter(Expr::col("cid").lt(Expr::lit(3i64)));
+        let results = engine.run(&query, &catalog, 1500, 11).unwrap();
+        let dist = &results[0].1;
+        assert!((dist.mean() - 3.0).abs() < 0.2, "mean = {}", dist.mean());
+        assert!((dist.variance() - 3.0).abs() < 0.4, "var = {}", dist.variance());
+    }
+
+    #[test]
+    fn final_predicate_changes_the_aggregand_set() {
+        // Only count losses above 10: with means 0..20 and sd 1, roughly half
+        // of the customers (those with mean > 10) contribute.
+        let catalog = catalog(20);
+        let mut engine = McdbEngine::new();
+        let query = losses_query().with_final_predicate(Expr::col("val").gt(Expr::lit(10.0)));
+        let results = engine.run(&query, &catalog, 500, 3).unwrap();
+        let unrestricted = McdbEngine::new().run(&losses_query(), &catalog, 500, 3).unwrap();
+        assert!(results[0].1.mean() < unrestricted[0].1.mean());
+        assert!(results[0].1.mean() > 100.0, "most of the mass is above 10");
+    }
+
+    #[test]
+    fn grouped_query_produces_one_distribution_per_group() {
+        let mut catalog = catalog(6);
+        // Attach a region table: customers 0-2 EU, 3-5 US.
+        let regions = TableBuilder::new(Schema::new(vec![
+            Field::int64("rcid"),
+            Field::utf8("region"),
+        ]))
+        .row([Value::Int64(0), Value::str("EU")])
+        .row([Value::Int64(1), Value::str("EU")])
+        .row([Value::Int64(2), Value::str("EU")])
+        .row([Value::Int64(3), Value::str("US")])
+        .row([Value::Int64(4), Value::str("US")])
+        .row([Value::Int64(5), Value::str("US")])
+        .build()
+        .unwrap();
+        catalog.register("regions", regions).unwrap();
+        let mut query = losses_query();
+        query.plan = query.plan.join(PlanNode::scan("regions"), vec![("cid", "rcid")]);
+        query.group_by = vec!["region".to_string()];
+        let mut engine = McdbEngine::new();
+        let results = engine.run(&query, &catalog, 1200, 19).unwrap();
+        assert_eq!(results.len(), 2);
+        let eu = results.iter().find(|(k, _)| k[0] == Value::str("EU")).unwrap();
+        let us = results.iter().find(|(k, _)| k[0] == Value::str("US")).unwrap();
+        assert!((eu.1.mean() - 3.0).abs() < 0.3, "EU mean = {}", eu.1.mean());
+        assert!((us.1.mean() - 12.0).abs() < 0.4, "US mean = {}", us.1.mean());
+    }
+
+    #[test]
+    fn naive_tail_sampling_is_expensive() {
+        // With p = 0.05 and a modest workload, naive tail sampling needs on
+        // the order of l / p repetitions beyond calibration.
+        let catalog = catalog(10);
+        let mut engine = McdbEngine::new();
+        let report = engine
+            .naive_tail_sample(&losses_query(), &catalog, 0.05, 25, 400, 200, 20_000, 123)
+            .unwrap();
+        assert!(report.tail_samples.len() >= 25, "found {}", report.tail_samples.len());
+        assert!(report.repetitions >= 25_usize.saturating_mul(10), "reps = {}", report.repetitions);
+        assert!(report.plan_executions > 1);
+        // Every reported tail sample really lies beyond the estimated quantile.
+        assert!(report.tail_samples.iter().all(|&x| x >= report.quantile_estimate));
+    }
+
+    #[test]
+    fn naive_tail_sampling_respects_the_repetition_cap() {
+        let catalog = catalog(10);
+        let mut engine = McdbEngine::new();
+        // Asking for many tail samples under a tiny cap stops at the cap.
+        let report = engine
+            .naive_tail_sample(&losses_query(), &catalog, 0.001, 1_000, 200, 100, 600, 9)
+            .unwrap();
+        assert!(report.repetitions <= 700);
+        assert!(report.tail_samples.len() < 1_000);
+    }
+}

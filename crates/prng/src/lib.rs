@@ -1,0 +1,28 @@
+//! Deterministic pseudorandom number streams.
+//!
+//! Both MCDB and MCDB-R hinge on one idea (paper §1, §4.1): an uncertain data
+//! value is never stored — instead the database stores a *PRNG seed*, and the
+//! value observed in Monte Carlo repetition `i` is the `i`-th element of the
+//! pseudorandom stream that seed produces.  Tuple bundles carry seeds, not
+//! values; the Gibbs Looper "goes to the stream whenever it needs a loss value
+//! for the customer".
+//!
+//! This crate provides:
+//!
+//! * [`Pcg64`] — a small, fast, permuted-congruential generator (PCG-XSL-RR
+//!   128/64) implemented from scratch so that stream semantics are fully
+//!   deterministic and owned by this repository (no dependence on `rand`'s
+//!   internal stream layout, which may change between versions).
+//! * [`RandomStream`] — a position-addressable stream of uniform variates
+//!   derived from a seed.  Positions are the paper's "iteration numbers":
+//!   element `i` of a stream is the value assigned to DB instance `i` in
+//!   naive MCDB, and the Gibbs rejection sampler walks forward through unused
+//!   positions (paper §4.2, §6).
+//! * [`SeedId`] and [`seed_for`] — stable derivation of per-tuple seeds from a
+//!   query-level master seed, so whole experiments are reproducible.
+
+pub mod pcg;
+pub mod stream;
+
+pub use pcg::Pcg64;
+pub use stream::{seed_for, RandomStream, SeedId};

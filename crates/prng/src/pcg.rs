@@ -1,0 +1,233 @@
+//! A from-scratch PCG-XSL-RR 128/64 generator.
+//!
+//! The generator is the same family as `rand_pcg::Pcg64` (O'Neill 2014):
+//! a 128-bit linear congruential state advanced with a fixed multiplier and a
+//! per-instance odd increment, output-permuted with an xor-shift-low and a
+//! random rotation.  We implement it locally because the *exact* stream
+//! layout is part of MCDB-R's on-"disk" state (TS-seeds record positions into
+//! streams), so it must be stable and under this repository's control.
+
+/// Default multiplier from the PCG reference implementation.
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// Default stream increment used when only a 64-bit seed is supplied.
+const PCG_DEFAULT_INCREMENT: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+
+/// PCG-XSL-RR 128/64 pseudorandom number generator.
+///
+/// Produces a deterministic sequence of `u64` values from a seed.  Cloning a
+/// generator clones its position in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+impl Pcg64 {
+    /// Create a generator from a 64-bit seed using the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0)
+    }
+
+    /// Create a generator from a seed and a stream selector.  Different
+    /// streams with the same seed produce statistically independent output.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        // SplitMix-style expansion of the 64-bit inputs into 128-bit state,
+        // mirroring how rand_core's SeedableRng fills wider seeds.
+        let s0 = splitmix64(seed);
+        let s1 = splitmix64(s0 ^ 0x9e37_79b9_7f4a_7c15);
+        let t0 = splitmix64(stream.wrapping_add(0xda94_2042_e4dd_58b5));
+        let t1 = splitmix64(t0 ^ 0xbf58_476d_1ce4_e5b9);
+
+        let init_state = ((s0 as u128) << 64) | s1 as u128;
+        // The increment must be odd.
+        let init_inc = (((t0 as u128) << 64) | t1 as u128) | 1;
+        let increment = if stream == 0 { PCG_DEFAULT_INCREMENT } else { init_inc };
+
+        let mut pcg = Pcg64 { state: 0, increment };
+        // Standard PCG seeding procedure.
+        pcg.step();
+        pcg.state = pcg.state.wrapping_add(init_state);
+        pcg.step();
+        pcg
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(self.increment);
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.step();
+        output_xsl_rr(self.state)
+    }
+
+    /// Next uniform variate in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the top 53 bits so every representable value is equally likely
+    /// and `1.0` can never be returned (important for inverse-CDF sampling).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
+    /// Next uniform variate in the open interval `(0, 1)`.
+    ///
+    /// Never returns 0.0 or 1.0, which keeps `ln(u)` and `Φ⁻¹(u)` finite.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniformly distributed integer in `[0, bound)` using Lemire's
+    /// multiply-shift rejection method (unbiased).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+#[inline]
+fn output_xsl_rr(state: u128) -> u64 {
+    let rot = (state >> 122) as u32;
+    let xored = ((state >> 64) as u64) ^ (state as u64);
+    xored.rotate_right(rot)
+}
+
+/// SplitMix64 — used only for seed expansion.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::new(42);
+        let mut b = Pcg64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Pcg64::with_stream(7, 1);
+        let mut b = Pcg64::with_stream(7, 2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = Pcg64::new(123);
+        for _ in 0..10_000 {
+            let u = g.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn f64_open_never_zero() {
+        let mut g = Pcg64::new(9);
+        for _ in 0..10_000 {
+            let u = g.next_f64_open();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_variance() {
+        let mut g = Pcg64::new(2024);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let u = g.next_f64();
+            sum += u;
+            sumsq += u * u;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var = {var}");
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut g = Pcg64::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let v = g.next_below(10);
+            assert!(v < 10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            // expected 10_000 each; allow generous slack
+            assert!((8_500..11_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Pcg64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = Pcg64::new(77);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn serial_correlation_is_low() {
+        // A weak but useful smoke test of output quality: lag-1 autocorrelation
+        // of uniforms should be close to zero.
+        let mut g = Pcg64::new(31337);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.next_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n - 1 {
+            num += (xs[i] - mean) * (xs[i + 1] - mean);
+        }
+        for x in &xs {
+            den += (x - mean) * (x - mean);
+        }
+        let rho = num / den;
+        assert!(rho.abs() < 0.02, "lag-1 autocorrelation = {rho}");
+    }
+}

@@ -1,0 +1,30 @@
+//! A front-end for the MCDB-R query surface of paper §2.
+//!
+//! The paper's prototype "does not yet have an optimizer or SQL compiler;
+//! instead, we use an MCDB-specific language to specify a query plan
+//! directly" (Appendix D).  This crate goes one step further than the
+//! prototype and provides a small parser for the risk-query dialect the paper
+//! *presents* to users:
+//!
+//! ```sql
+//! SELECT SUM(val) AS totalLoss
+//! FROM Losses
+//! WHERE CID < 10010
+//! WITH RESULTDISTRIBUTION MONTECARLO(100)
+//! DOMAIN totalLoss >= QUANTILE(0.99)
+//! FREQUENCYTABLE totalLoss
+//! ```
+//!
+//! The parser produces a [`RiskQuerySpec`]: which aggregate over which
+//! uncertain table, the deterministic `WHERE` predicate, the number of Monte
+//! Carlo samples, and the `DOMAIN ... QUANTILE(q)` clause that MCDB-R turns
+//! into a tail-sampling run.  Binding the uncertain table name to an actual
+//! `RandomTableSpec` (the `CREATE TABLE ... FOR EACH` statement) remains the
+//! caller's job, mirroring how plans are assembled programmatically in the
+//! rest of this repository; `RiskQuerySpec::into_query` performs that binding.
+
+pub mod parser;
+pub mod spec;
+
+pub use parser::parse_risk_query;
+pub use spec::{DomainClause, RiskQuerySpec};

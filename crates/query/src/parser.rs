@@ -1,0 +1,361 @@
+//! A recursive-descent parser for the §2 risk-query dialect.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT agg '(' ident ')' AS ident
+//!               FROM ident
+//!               [ WHERE condition ( AND condition )* ]
+//!               WITH RESULTDISTRIBUTION MONTECARLO '(' integer ')'
+//!               [ DOMAIN ident '>=' QUANTILE '(' number ')' ]
+//!               [ FREQUENCYTABLE ident ]
+//! agg        := SUM | COUNT | AVG | MIN | MAX
+//! condition  := ident op literal
+//! op         := '<' | '<=' | '>' | '>=' | '=' | '<>'
+//! literal    := number | quoted string
+//! ```
+//!
+//! The `WHERE` clause only admits deterministic comparisons against literals
+//! — predicates over random attributes belong to the engine's final
+//! predicate (paper Appendix A), which is constructed programmatically.
+
+use mcdbr_exec::{AggFunc, BinaryOp, Expr};
+use mcdbr_storage::{Error, Result, Value};
+
+use crate::spec::{DomainClause, RiskQuerySpec};
+
+/// Parse a risk query in the §2 dialect.
+pub fn parse_risk_query(input: &str) -> Result<RiskQuerySpec> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.parse_query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() || c == ',' {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E'))) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text
+                .parse::<f64>()
+                .map_err(|_| Error::Invalid(format!("bad numeric literal: {text}")))?;
+            tokens.push(Token::Number(value));
+        } else if c == '\'' || c == '"' {
+            let quote = c;
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != quote {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(Error::Invalid("unterminated string literal".into()));
+            }
+            tokens.push(Token::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else if "()<>=".contains(c) {
+            // Greedily take two-character operators.
+            if i + 1 < chars.len() {
+                let two: String = chars[i..i + 2].iter().collect();
+                if two == "<=" || two == ">=" || two == "<>" {
+                    tokens.push(Token::Symbol(two));
+                    i += 2;
+                    continue;
+                }
+            }
+            tokens.push(Token::Symbol(c.to_string()));
+            i += 1;
+        } else {
+            return Err(Error::Invalid(format!("unexpected character '{c}' in query")));
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Invalid("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::Invalid(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.next()? {
+            Token::Symbol(s) if s == sym => Ok(()),
+            other => Err(Error::Invalid(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next()? {
+            Token::Number(v) => Ok(v),
+            other => Err(Error::Invalid(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<RiskQuerySpec> {
+        self.expect_keyword("SELECT")?;
+        let agg_name = self.ident()?;
+        let agg_func = match agg_name.to_ascii_uppercase().as_str() {
+            "SUM" => AggFunc::Sum,
+            "COUNT" => AggFunc::Count,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            other => return Err(Error::Invalid(format!("unknown aggregate function {other}"))),
+        };
+        self.expect_symbol("(")?;
+        let agg_column = self.ident()?;
+        self.expect_symbol(")")?;
+        self.expect_keyword("AS")?;
+        let alias = self.ident()?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+
+        let mut predicate = None;
+        if self.keyword_is("WHERE") {
+            self.expect_keyword("WHERE")?;
+            predicate = Some(self.parse_conjunction()?);
+        }
+
+        self.expect_keyword("WITH")?;
+        self.expect_keyword("RESULTDISTRIBUTION")?;
+        self.expect_keyword("MONTECARLO")?;
+        self.expect_symbol("(")?;
+        let samples = self.number()?;
+        self.expect_symbol(")")?;
+        if samples < 1.0 || samples.fract() != 0.0 {
+            return Err(Error::Invalid(format!("MONTECARLO expects a positive integer, got {samples}")));
+        }
+
+        let mut domain = None;
+        if self.keyword_is("DOMAIN") {
+            self.expect_keyword("DOMAIN")?;
+            let domain_alias = self.ident()?;
+            self.expect_symbol(">=")?;
+            self.expect_keyword("QUANTILE")?;
+            self.expect_symbol("(")?;
+            let quantile = self.number()?;
+            self.expect_symbol(")")?;
+            if !(0.0 < quantile && quantile < 1.0) {
+                return Err(Error::Invalid(format!("QUANTILE level {quantile} outside (0,1)")));
+            }
+            if !domain_alias.eq_ignore_ascii_case(&alias) {
+                return Err(Error::Invalid(format!(
+                    "DOMAIN refers to {domain_alias} but the aggregate alias is {alias}"
+                )));
+            }
+            domain = Some(DomainClause { alias: domain_alias, quantile });
+        }
+
+        let mut frequency_table = false;
+        if self.keyword_is("FREQUENCYTABLE") {
+            self.expect_keyword("FREQUENCYTABLE")?;
+            let ft_alias = self.ident()?;
+            if !ft_alias.eq_ignore_ascii_case(&alias) {
+                return Err(Error::Invalid(format!(
+                    "FREQUENCYTABLE refers to {ft_alias} but the aggregate alias is {alias}"
+                )));
+            }
+            frequency_table = true;
+        }
+
+        if self.pos != self.tokens.len() {
+            return Err(Error::Invalid(format!(
+                "trailing tokens after the query: {:?}",
+                &self.tokens[self.pos..]
+            )));
+        }
+
+        Ok(RiskQuerySpec {
+            agg_func,
+            agg_column,
+            alias,
+            table,
+            predicate,
+            monte_carlo_samples: samples as usize,
+            domain,
+            frequency_table,
+        })
+    }
+
+    fn parse_conjunction(&mut self) -> Result<Expr> {
+        let mut expr = self.parse_condition()?;
+        while self.keyword_is("AND") {
+            self.expect_keyword("AND")?;
+            expr = expr.and(self.parse_condition()?);
+        }
+        Ok(expr)
+    }
+
+    fn parse_condition(&mut self) -> Result<Expr> {
+        let column = self.ident()?;
+        let op = match self.next()? {
+            Token::Symbol(s) => match s.as_str() {
+                "<" => BinaryOp::Lt,
+                "<=" => BinaryOp::LtEq,
+                ">" => BinaryOp::Gt,
+                ">=" => BinaryOp::GtEq,
+                "=" => BinaryOp::Eq,
+                "<>" => BinaryOp::NotEq,
+                other => return Err(Error::Invalid(format!("unknown comparison operator {other}"))),
+            },
+            other => return Err(Error::Invalid(format!("expected comparison operator, found {other:?}"))),
+        };
+        let literal = match self.next()? {
+            Token::Number(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    Value::Int64(v as i64)
+                } else {
+                    Value::Float64(v)
+                }
+            }
+            Token::Str(s) => Value::Utf8(s),
+            other => return Err(Error::Invalid(format!("expected literal, found {other:?}"))),
+        };
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(Expr::col(column)),
+            rhs: Box::new(Expr::Literal(literal)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QUERY: &str = "SELECT SUM(val) as totalLoss \
+                               FROM Losses \
+                               WHERE CID < 10010 \
+                               WITH RESULTDISTRIBUTION MONTECARLO(100) \
+                               DOMAIN totalLoss >= QUANTILE(0.99) \
+                               FREQUENCYTABLE totalLoss";
+
+    #[test]
+    fn parses_the_section_2_query() {
+        let spec = parse_risk_query(PAPER_QUERY).unwrap();
+        assert_eq!(spec.agg_func, AggFunc::Sum);
+        assert_eq!(spec.agg_column, "val");
+        assert_eq!(spec.alias, "totalLoss");
+        assert_eq!(spec.table, "Losses");
+        assert_eq!(spec.monte_carlo_samples, 100);
+        assert!(spec.frequency_table);
+        let domain = spec.domain.unwrap();
+        assert_eq!(domain.quantile, 0.99);
+        assert!((domain.tail_probability() - 0.01).abs() < 1e-12);
+        let pred = spec.predicate.unwrap();
+        assert_eq!(pred.to_string(), "(CID < 10010)");
+    }
+
+    #[test]
+    fn parses_without_optional_clauses() {
+        let spec = parse_risk_query(
+            "SELECT AVG(delay) AS meanDelay FROM Shipments WITH RESULTDISTRIBUTION MONTECARLO(500)",
+        )
+        .unwrap();
+        assert_eq!(spec.agg_func, AggFunc::Avg);
+        assert!(spec.predicate.is_none());
+        assert!(spec.domain.is_none());
+        assert!(!spec.frequency_table);
+        assert_eq!(spec.monte_carlo_samples, 500);
+    }
+
+    #[test]
+    fn parses_conjunctive_where_and_string_literals() {
+        let spec = parse_risk_query(
+            "SELECT SUM(val) AS total FROM random_ord \
+             WHERE o_yr = '1994' AND o_tot >= 2.5 \
+             WITH RESULTDISTRIBUTION MONTECARLO(10)",
+        )
+        .unwrap();
+        let pred = spec.predicate.unwrap();
+        assert_eq!(pred.to_string(), "((o_yr = 1994) AND (o_tot >= 2.5))");
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_risk_query("SELECT val FROM t").is_err());
+        assert!(parse_risk_query("SELECT FROB(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10)").is_err());
+        assert!(parse_risk_query(
+            "SELECT SUM(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(0)"
+        )
+        .is_err());
+        assert!(parse_risk_query(
+            "SELECT SUM(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10) DOMAIN y >= QUANTILE(0.9)"
+        )
+        .is_err());
+        assert!(parse_risk_query(
+            "SELECT SUM(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10) DOMAIN x >= QUANTILE(1.5)"
+        )
+        .is_err());
+        assert!(parse_risk_query(
+            "SELECT SUM(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10) extra"
+        )
+        .is_err());
+        assert!(parse_risk_query("SELECT SUM(val) AS x FROM t WHERE name = 'unterminated WITH RESULTDISTRIBUTION MONTECARLO(10)").is_err());
+    }
+
+    #[test]
+    fn tail_probability_of_the_appendix_d_query() {
+        let spec = parse_risk_query(
+            "SELECT SUM(val) AS totalLoss FROM random_ord \
+             WITH RESULTDISTRIBUTION MONTECARLO(100) \
+             DOMAIN totalLoss >= QUANTILE(0.999)",
+        )
+        .unwrap();
+        assert!((spec.domain.unwrap().tail_probability() - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! The parsed form of a risk query.
+
+use mcdbr_exec::plan::RandomTableSpec;
+use mcdbr_exec::{AggFunc, AggregateSpec, Expr, PlanNode};
+use mcdbr_mcdb::MonteCarloQuery;
+use mcdbr_storage::{Error, Result};
+
+/// The `DOMAIN <alias> >= QUANTILE(q)` clause: condition the query-result
+/// distribution on its upper tail beyond the `q`-quantile (paper §2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainClause {
+    /// The aggregate alias the clause refers to (e.g. `totalLoss`).
+    pub alias: String,
+    /// The quantile level `q` (e.g. 0.99); the tail probability is `1 - q`.
+    pub quantile: f64,
+}
+
+impl DomainClause {
+    /// The upper-tail probability `p = 1 - q`.
+    pub fn tail_probability(&self) -> f64 {
+        1.0 - self.quantile
+    }
+}
+
+/// A parsed risk query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskQuerySpec {
+    /// Aggregate function (SUM, COUNT, AVG, MIN, MAX).
+    pub agg_func: AggFunc,
+    /// The aggregand column.
+    pub agg_column: String,
+    /// The aggregate's output alias.
+    pub alias: String,
+    /// The uncertain table named in the `FROM` clause.
+    pub table: String,
+    /// Optional deterministic `WHERE` predicate.
+    pub predicate: Option<Expr>,
+    /// Number of Monte Carlo samples requested by `MONTECARLO(n)`.
+    pub monte_carlo_samples: usize,
+    /// Optional `DOMAIN` clause (presence turns the query into a
+    /// tail-sampling run).
+    pub domain: Option<DomainClause>,
+    /// Whether a `FREQUENCYTABLE` of the aggregate was requested.
+    pub frequency_table: bool,
+}
+
+impl RiskQuerySpec {
+    /// Bind the uncertain table name to its `CREATE TABLE ... FOR EACH`
+    /// specification, producing the executable [`MonteCarloQuery`].
+    pub fn into_query(self, uncertain_table: RandomTableSpec) -> Result<MonteCarloQuery> {
+        if !uncertain_table.name.eq_ignore_ascii_case(&self.table) {
+            return Err(Error::Invalid(format!(
+                "query reads table {} but the supplied uncertain-table definition is for {}",
+                self.table, uncertain_table.name
+            )));
+        }
+        let mut plan = PlanNode::random_table(uncertain_table);
+        if let Some(pred) = &self.predicate {
+            plan = plan.filter(pred.clone());
+        }
+        let aggregate = AggregateSpec {
+            func: self.agg_func,
+            expr: Expr::col(self.agg_column.clone()),
+            alias: self.alias.clone(),
+        };
+        Ok(MonteCarloQuery::new(plan, aggregate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_exec::plan::scalar_random_table;
+    use mcdbr_vg::NormalVg;
+    use std::sync::Arc;
+
+    fn losses_spec() -> RandomTableSpec {
+        scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        )
+    }
+
+    fn base_spec() -> RiskQuerySpec {
+        RiskQuerySpec {
+            agg_func: AggFunc::Sum,
+            agg_column: "val".into(),
+            alias: "totalLoss".into(),
+            table: "Losses".into(),
+            predicate: Some(Expr::col("cid").lt(Expr::lit(10i64))),
+            monte_carlo_samples: 100,
+            domain: Some(DomainClause { alias: "totalLoss".into(), quantile: 0.99 }),
+            frequency_table: true,
+        }
+    }
+
+    #[test]
+    fn domain_clause_tail_probability() {
+        let d = DomainClause { alias: "totalLoss".into(), quantile: 0.999 };
+        assert!((d.tail_probability() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_builds_a_runnable_query() {
+        let query = base_spec().into_query(losses_spec()).unwrap();
+        assert_eq!(query.aggregate.alias, "totalLoss");
+        assert!(query.plan.to_string().contains("Filter"));
+        assert!(query.plan.to_string().contains("RandomTable(Losses"));
+    }
+
+    #[test]
+    fn binding_the_wrong_table_is_rejected() {
+        let mut spec = base_spec();
+        spec.table = "Premiums".into();
+        assert!(spec.into_query(losses_spec()).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Analytic oracles for validating tail samples (paper Appendix D).
+//!
+//! The Appendix D benchmark exploits a closed form: if each order contributes
+//! a `Normal(μ_i, σ_i²)` loss and order `i` joins `g_i` lineitem rows, the
+//! query `SELECT SUM(val) FROM random_ord ⋈ lineitem` has result distribution
+//! `Normal(Σ g_i μ_i, Σ g_i² σ_i²)` — the quantities computed by the paper's
+//! "mean / var" SQL query.  [`NormalSumOracle`] carries that distribution and
+//! provides the true extreme quantile and the true conditional tail CDF (the
+//! thick black lines of Figure 5), and [`TailCdfComparison`] packages the
+//! comparison between an empirical tail CDF and the oracle.
+
+use mcdbr_storage::{Error, Result};
+use mcdbr_vg::math::{normal_cdf, normal_quantile};
+
+use crate::measures::EmpiricalCdf;
+
+/// The analytic query-result distribution of a SUM of independent normals.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalSumOracle {
+    /// Mean of the query result.
+    pub mean: f64,
+    /// Variance of the query result.
+    pub variance: f64,
+}
+
+impl NormalSumOracle {
+    /// Oracle from an explicit mean and variance.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        assert!(variance > 0.0, "variance must be positive");
+        NormalSumOracle { mean, variance }
+    }
+
+    /// Oracle from per-group `(fanout, mean, variance)` triples — the direct
+    /// analogue of the paper's validation query
+    /// `SELECT SUM(grpsize * o_mean), SUM(grpsize * grpsize * o_var) ...`.
+    pub fn from_join_groups(groups: &[(u64, f64, f64)]) -> Result<Self> {
+        let mut mean = 0.0;
+        let mut variance = 0.0;
+        for &(fanout, m, v) in groups {
+            if v < 0.0 {
+                return Err(Error::Invalid(format!("negative per-order variance {v}")));
+            }
+            let g = fanout as f64;
+            mean += g * m;
+            variance += g * g * v;
+        }
+        if variance <= 0.0 {
+            return Err(Error::Invalid("query-result variance must be positive".into()));
+        }
+        Ok(NormalSumOracle { mean, variance })
+    }
+
+    /// Standard deviation of the query result.
+    pub fn sd(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// CDF of the query-result distribution.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf(x, self.mean, self.sd())
+    }
+
+    /// The `q`-quantile of the query-result distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        normal_quantile(q, self.mean, self.sd())
+    }
+
+    /// The conditional CDF of the result given that it exceeds the
+    /// `(1-p)`-quantile — the "true tail CDF" curve of Figure 5.
+    pub fn tail_cdf(&self, p: f64, x: f64) -> f64 {
+        let theta = self.quantile(1.0 - p);
+        if x < theta {
+            return 0.0;
+        }
+        ((self.cdf(x) - (1.0 - p)) / p).clamp(0.0, 1.0)
+    }
+
+    /// Width of the central `1-alpha` probability interval (the paper reports
+    /// the "middle 99%" width ≈ 2503 to put the quantile standard error in
+    /// perspective).
+    pub fn central_interval_width(&self, alpha: f64) -> f64 {
+        self.quantile(1.0 - alpha / 2.0) - self.quantile(alpha / 2.0)
+    }
+}
+
+/// Comparison between an empirical tail CDF (from MCDB-R samples) and the
+/// analytic oracle.
+#[derive(Debug, Clone)]
+pub struct TailCdfComparison {
+    /// Tail probability `p` defining the tail.
+    pub p: f64,
+    /// The analytic `(1-p)`-quantile.
+    pub true_quantile: f64,
+    /// The estimated quantile (minimum tail sample).
+    pub estimated_quantile: f64,
+    /// Kolmogorov–Smirnov distance between the empirical tail CDF and the
+    /// analytic conditional tail CDF.
+    pub ks_distance: f64,
+    /// The empirical CDF itself (for plotting / CSV output).
+    pub empirical: EmpiricalCdf,
+}
+
+impl TailCdfComparison {
+    /// Compare tail samples against the oracle.
+    pub fn new(oracle: &NormalSumOracle, p: f64, tail_samples: &[f64]) -> Result<Self> {
+        if tail_samples.is_empty() {
+            return Err(Error::InvalidOperation("no tail samples to compare".into()));
+        }
+        let empirical = EmpiricalCdf::new(tail_samples)?;
+        let ks = empirical.ks_distance(|x| oracle.tail_cdf(p, x));
+        let estimated_quantile =
+            tail_samples.iter().copied().fold(f64::INFINITY, f64::min);
+        Ok(TailCdfComparison {
+            p,
+            true_quantile: oracle.quantile(1.0 - p),
+            estimated_quantile,
+            ks_distance: ks,
+            empirical,
+        })
+    }
+
+    /// Relative error of the quantile estimate.
+    pub fn quantile_relative_error(&self) -> f64 {
+        (self.estimated_quantile - self.true_quantile).abs() / self.true_quantile.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_prng::Pcg64;
+    use mcdbr_vg::math::std_normal_quantile;
+    use mcdbr_vg::Distribution;
+
+    #[test]
+    fn oracle_from_join_groups_matches_hand_computation() {
+        // Two orders: fanout 3 with N(1, 0.25), fanout 2 with N(2, 1).
+        let oracle =
+            NormalSumOracle::from_join_groups(&[(3, 1.0, 0.25), (2, 2.0, 1.0)]).unwrap();
+        assert_eq!(oracle.mean, 3.0 + 4.0);
+        assert_eq!(oracle.variance, 9.0 * 0.25 + 4.0 * 1.0);
+        assert!(NormalSumOracle::from_join_groups(&[(1, 0.0, -1.0)]).is_err());
+        assert!(NormalSumOracle::from_join_groups(&[(1, 5.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn quantile_and_cdf_are_consistent() {
+        let oracle = NormalSumOracle::new(10.0e6, 1.0e12);
+        let q = oracle.quantile(0.999);
+        assert!((oracle.cdf(q) - 0.999).abs() < 1e-6);
+        assert!((q - (10.0e6 + 1.0e6 * std_normal_quantile(0.999))).abs() < 1.0);
+        // Central 99% width for a normal is 2 * 2.576 * sd.
+        let width = oracle.central_interval_width(0.01);
+        assert!((width - 2.0 * 2.5758 * 1.0e6).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn tail_cdf_is_a_proper_cdf_above_the_quantile() {
+        let oracle = NormalSumOracle::new(0.0, 1.0);
+        let p = 0.01;
+        let theta = oracle.quantile(0.99);
+        assert_eq!(oracle.tail_cdf(p, theta - 1.0), 0.0);
+        assert!(oracle.tail_cdf(p, theta) < 1e-9);
+        let mid = oracle.tail_cdf(p, theta + 0.2);
+        assert!(mid > 0.0 && mid < 1.0);
+        assert!((oracle.tail_cdf(p, 10.0) - 1.0).abs() < 1e-9);
+        // Monotone.
+        assert!(oracle.tail_cdf(p, theta + 0.3) > mid);
+    }
+
+    #[test]
+    fn comparison_against_exact_conditional_samples_is_tight() {
+        // Draw samples directly from the conditional tail by inverse CDF and
+        // check the comparison reports a small KS distance and quantile error.
+        let oracle = NormalSumOracle::new(5.0, 4.0);
+        let p = 0.001;
+        let mut gen = Pcg64::new(8);
+        let samples: Vec<f64> = (0..400)
+            .map(|_| {
+                let u = gen.next_f64_open();
+                oracle.quantile(1.0 - p + p * u)
+            })
+            .collect();
+        let cmp = TailCdfComparison::new(&oracle, p, &samples).unwrap();
+        assert!(cmp.ks_distance < 0.1, "KS = {}", cmp.ks_distance);
+        assert!(cmp.quantile_relative_error() < 0.01);
+        assert!(cmp.estimated_quantile >= cmp.true_quantile * 0.99);
+        assert!(TailCdfComparison::new(&oracle, p, &[]).is_err());
+    }
+
+    #[test]
+    fn comparison_flags_wrong_tails() {
+        // Samples from the unconditional distribution (not the tail) must
+        // show a large KS distance.
+        let oracle = NormalSumOracle::new(0.0, 1.0);
+        let d = Distribution::Normal { mean: 0.0, sd: 1.0 };
+        let mut gen = Pcg64::new(9);
+        let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut gen)).collect();
+        let cmp = TailCdfComparison::new(&oracle, 0.01, &samples).unwrap();
+        assert!(cmp.ks_distance > 0.5, "KS = {}", cmp.ks_distance);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn zero_variance_oracle_panics() {
+        NormalSumOracle::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Risk measures and validation oracles.
+//!
+//! MCDB-R's purpose is risk assessment: "computing interesting properties of
+//! the upper or lower tails of the query-result distribution" (paper §1) —
+//! value at risk (an extreme quantile), expected shortfall (the expected loss
+//! given that the loss exceeds the VaR), and more generally the conditional
+//! distribution of the loss beyond the VaR.  This crate provides those
+//! measures over tail samples, plus the analytic oracle the paper uses to
+//! validate accuracy in Appendix D (the query-result distribution of a SUM of
+//! independent normals through a join is itself normal, so the true tail CDF
+//! and true extreme quantile are available in closed form — the thick black
+//! lines of Figure 5).
+
+pub mod analytic;
+pub mod measures;
+
+pub use analytic::{NormalSumOracle, TailCdfComparison};
+pub use measures::{expected_shortfall, value_at_risk, EmpiricalCdf, TailSummary};

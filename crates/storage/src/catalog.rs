@@ -1,0 +1,119 @@
+//! A named collection of tables.
+//!
+//! The catalog holds the ordinary relations a query plan reads: parameter
+//! tables for VG functions (paper §2: `means`), deterministic base tables
+//! (paper §5: `sup`), and materialized intermediate results cached for
+//! replenishment runs (paper §9).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::table::Table;
+
+/// A named collection of [`Table`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table; errors if a table with the same name already exists.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(Error::TableAlreadyExists(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a table, replacing any existing table of the same name.
+    /// Used for materialized intermediates which are recomputed per run.
+    pub fn register_or_replace(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Fetch a table by name.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| Error::TableNotFound(name.to_string()))
+    }
+
+    /// Whether a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Remove a table, returning it if it existed.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn sample_table() -> Table {
+        TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = Catalog::new();
+        cat.register("means", sample_table()).unwrap();
+        assert!(cat.contains("means"));
+        assert_eq!(cat.get("means").unwrap().len(), 1);
+        assert_eq!(cat.get("missing"), Err(Error::TableNotFound("missing".into())));
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut cat = Catalog::new();
+        cat.register("means", sample_table()).unwrap();
+        assert_eq!(
+            cat.register("means", sample_table()),
+            Err(Error::TableAlreadyExists("means".into()))
+        );
+        // ...but register_or_replace silently overwrites.
+        cat.register_or_replace("means", sample_table());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let mut cat = Catalog::new();
+        cat.register("b", sample_table()).unwrap();
+        cat.register("a", sample_table()).unwrap();
+        assert_eq!(cat.table_names(), vec!["a", "b"]);
+        assert!(cat.remove("a").is_some());
+        assert!(cat.remove("a").is_none());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Relational substrate for the MCDB-R reproduction.
+//!
+//! MCDB-R (Arumugam et al., VLDB 2010) is built on top of an ordinary
+//! relational engine: parameter tables are plain SQL tables, uncertain tables
+//! are *schemas plus a generation recipe*, and query plans consume and
+//! produce streams of tuples (or tuple bundles).  This crate provides the
+//! deterministic building blocks everything else stands on:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically-typed cell values used by the
+//!   engine (64-bit integers, 64-bit floats, booleans, strings, and NULL).
+//! * [`Field`] / [`Schema`] — named, typed columns.
+//! * [`Tuple`] — a row of values.
+//! * [`Table`] — an in-memory relation: a schema plus a vector of tuples,
+//!   with the small amount of relational algebra (filter, project, sort,
+//!   group) that the deterministic parts of an MCDB-R plan need.
+//! * [`Catalog`] — a named collection of tables (parameter tables and
+//!   materialized intermediate results).
+//!
+//! Uncertainty never lives in this crate: random attributes are handled by
+//! the `mcdbr-exec` tuple bundles and the `mcdbr-core` Gibbs tuples.  This
+//! separation mirrors the paper's architecture, where the deterministic parts
+//! of a plan are ordinary relational operators whose results can be
+//! materialized and reused during replenishment runs (paper §9).
+
+pub mod catalog;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{Error, Result};
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

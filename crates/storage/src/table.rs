@@ -1,0 +1,312 @@
+//! In-memory relations: a schema plus rows, with the relational helpers the
+//! deterministic parts of an MCDB-R plan need (filter, project, sort, group).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An in-memory table.
+///
+/// Parameter tables (paper §2: `means(CID, m)`; Appendix D: `orders`,
+/// `lineitem`) are `Table`s, as are materialized deterministic intermediate
+/// results that the replenishment machinery (paper §9) re-reads instead of
+/// recomputing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Create a table from a schema and rows, validating arity.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
+        for row in &rows {
+            if row.arity() != schema.len() {
+                return Err(Error::ArityMismatch { expected: schema.len(), found: row.arity() });
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after checking its arity.
+    pub fn push(&mut self, row: Tuple) -> Result<()> {
+        if row.arity() != self.schema.len() {
+            return Err(Error::ArityMismatch { expected: self.schema.len(), found: row.arity() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Tuple>) -> Result<()> {
+        for row in rows {
+            self.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// The column at `name` as a vector of values.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r.value(idx).clone()).collect())
+    }
+
+    /// The column at `name` as a vector of f64 (errors on non-numeric values).
+    pub fn column_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let idx = self.schema.index_of(name)?;
+        self.rows.iter().map(|r| r.value(idx).as_f64()).collect()
+    }
+
+    /// Keep only the rows for which `pred` returns true.
+    pub fn filter(&self, pred: impl Fn(&Tuple) -> bool) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Project onto the named columns.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let indices: Vec<usize> =
+            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_>>()?;
+        let schema = self.schema.project(names)?;
+        let rows = self.rows.iter().map(|r| r.project(&indices)).collect();
+        Ok(Table { schema, rows })
+    }
+
+    /// Sort rows by the named column, ascending, using the total value order.
+    pub fn sort_by_column(&self, name: &str) -> Result<Table> {
+        let idx = self.schema.index_of(name)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| a.value(idx).cmp_total(b.value(idx)));
+        Ok(Table { schema: self.schema.clone(), rows })
+    }
+
+    /// Group rows by the named key column, returning `(key, rows)` pairs in
+    /// key order.  Keys are compared with the total value order.
+    pub fn group_by(&self, key: &str) -> Result<Vec<(Value, Vec<Tuple>)>> {
+        let idx = self.schema.index_of(key)?;
+        let mut groups: BTreeMap<OrdValue, Vec<Tuple>> = BTreeMap::new();
+        for row in &self.rows {
+            groups.entry(OrdValue(row.value(idx).clone())).or_default().push(row.clone());
+        }
+        Ok(groups.into_iter().map(|(k, v)| (k.0, v)).collect())
+    }
+
+    /// Sum of a numeric column.
+    pub fn sum(&self, name: &str) -> Result<f64> {
+        Ok(self.column_f64(name)?.iter().sum())
+    }
+
+    /// Minimum of a numeric column.  Errors on an empty table.
+    pub fn min(&self, name: &str) -> Result<f64> {
+        let col = self.column_f64(name)?;
+        col.into_iter().fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v)))).ok_or_else(
+            || Error::InvalidOperation(format!("MIN over empty column {name}")),
+        )
+    }
+
+    /// Maximum of a numeric column.  Errors on an empty table.
+    pub fn max(&self, name: &str) -> Result<f64> {
+        let col = self.column_f64(name)?;
+        col.into_iter().fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v)))).ok_or_else(
+            || Error::InvalidOperation(format!("MAX over empty column {name}")),
+        )
+    }
+
+    /// Average of a numeric column.  Errors on an empty table.
+    pub fn avg(&self, name: &str) -> Result<f64> {
+        if self.rows.is_empty() {
+            return Err(Error::InvalidOperation(format!("AVG over empty column {name}")));
+        }
+        Ok(self.sum(name)? / self.rows.len() as f64)
+    }
+}
+
+/// Wrapper giving [`Value`] the `Ord` needed for BTreeMap keys.
+#[derive(Debug, Clone, PartialEq)]
+struct OrdValue(Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp_total(&other.0)
+    }
+}
+
+/// Builder for constructing tables row by row with arity checking deferred
+/// until `build()`.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl TableBuilder {
+    /// Start a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        TableBuilder { schema, rows: Vec::new() }
+    }
+
+    /// Add a row.
+    pub fn row<I, V>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.rows.push(Tuple::from_iter_values(values));
+        self
+    }
+
+    /// Add a pre-built tuple.
+    pub fn tuple(mut self, tuple: Tuple) -> Self {
+        self.rows.push(tuple);
+        self
+    }
+
+    /// Finish, validating every row's arity against the schema.
+    pub fn build(self) -> Result<Table> {
+        Table::new(self.schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn means_table() -> Table {
+        // The §4.2 example: three customers with mean losses 3.0, 4.0, 5.0.
+        TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .row([Value::Int64(2), Value::Float64(4.0)])
+            .row([Value::Int64(3), Value::Float64(5.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_len() {
+        let t = means_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().names(), vec!["cid", "m"]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let schema = Schema::new(vec![Field::int64("a")]);
+        let err = Table::new(schema.clone(), vec![Tuple::from_iter_values([1i64, 2i64])]);
+        assert!(matches!(err, Err(Error::ArityMismatch { expected: 1, found: 2 })));
+        let mut t = Table::empty(schema);
+        assert!(t.push(Tuple::from_iter_values([1i64])).is_ok());
+        assert!(t.push(Tuple::from_iter_values([1i64, 2i64])).is_err());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = means_table();
+        assert_eq!(t.column_f64("m").unwrap(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(t.column("cid").unwrap().len(), 3);
+        assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let t = means_table();
+        let schema = t.schema().clone();
+        let filtered = t.filter(|row| row.get(&schema, "m").unwrap().as_f64().unwrap() > 3.5);
+        assert_eq!(filtered.len(), 2);
+        let projected = filtered.project(&["m"]).unwrap();
+        assert_eq!(projected.schema().names(), vec!["m"]);
+        assert_eq!(projected.column_f64("m").unwrap(), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = means_table();
+        assert_eq!(t.sum("m").unwrap(), 12.0);
+        assert_eq!(t.min("m").unwrap(), 3.0);
+        assert_eq!(t.max("m").unwrap(), 5.0);
+        assert_eq!(t.avg("m").unwrap(), 4.0);
+        let empty = Table::empty(Schema::new(vec![Field::float64("x")]));
+        assert!(empty.min("x").is_err());
+        assert!(empty.avg("x").is_err());
+        assert_eq!(empty.sum("x").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sorting() {
+        let t = TableBuilder::new(Schema::new(vec![Field::float64("v")]))
+            .row([Value::Float64(5.0)])
+            .row([Value::Float64(1.0)])
+            .row([Value::Float64(3.0)])
+            .build()
+            .unwrap();
+        let sorted = t.sort_by_column("v").unwrap();
+        assert_eq!(sorted.column_f64("v").unwrap(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn group_by_key_order() {
+        let t = TableBuilder::new(Schema::new(vec![Field::utf8("grp"), Field::int64("v")]))
+            .row([Value::str("b"), Value::Int64(1)])
+            .row([Value::str("a"), Value::Int64(2)])
+            .row([Value::str("b"), Value::Int64(3)])
+            .build()
+            .unwrap();
+        let groups = t.group_by("grp").unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, Value::str("a"));
+        assert_eq!(groups[0].1.len(), 1);
+        assert_eq!(groups[1].0, Value::str("b"));
+        assert_eq!(groups[1].1.len(), 2);
+    }
+
+    #[test]
+    fn extend_rows() {
+        let mut t = Table::empty(Schema::new(vec![Field::int64("x")]));
+        t.extend((0..5).map(|i| Tuple::from_iter_values([i as i64]))).unwrap();
+        assert_eq!(t.len(), 5);
+    }
+}

@@ -1,0 +1,521 @@
+//! The VG-function interface and the built-in VG functions.
+//!
+//! Paper §1: "a VG function takes as input one or more parameter tables
+//! (ordinary relations) that control the function's behavior, and produces as
+//! output a table containing one or more correlated data values."  §2 shows
+//! the built-in `Normal` VG function parameterized by a per-customer mean.
+//!
+//! A [`VgFunction`] here receives the *parameter row* (the values the schema
+//! statement binds in its `VALUES(...)` clause) plus a deterministic
+//! sub-generator for the current stream position, and returns the rows of
+//! its output table.  Determinism contract: the same parameters and the same
+//! generator state always produce the same output — this is what allows
+//! MCDB-R to re-create any previously generated value during replenishment
+//! runs (paper §9) and to treat stream positions as the unit of Gibbs
+//! perturbation (paper §4.2, §6).
+
+use std::fmt;
+
+use mcdbr_prng::Pcg64;
+use mcdbr_storage::{Error, Field, Result, Tuple, Value};
+
+use crate::dist::Distribution;
+use crate::math::std_normal_quantile;
+
+/// A variable-generation function.
+///
+/// Implementations must be deterministic given `(params, gen)` and must not
+/// retain state between calls: MCDB-R may invoke them out of order, once per
+/// stream position, and from multiple bootstrapping iterations.
+pub trait VgFunction: fmt::Debug + Send + Sync {
+    /// Human-readable name used in plans and error messages.
+    fn name(&self) -> &str;
+
+    /// The schema of the (small) table one invocation produces.
+    fn output_fields(&self) -> Vec<Field>;
+
+    /// Produce one instantiation of the uncertain value(s).
+    ///
+    /// `params` is the parameter row bound by the uncertain-table definition
+    /// (e.g. `[m, 1.0]` for the `Normal(VALUES(m, 1.0))` of paper §2), and
+    /// `gen` is the deterministic sub-generator for the current stream
+    /// position.
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>>;
+}
+
+fn param_f64(params: &[Value], idx: usize, name: &str, fn_name: &str) -> Result<f64> {
+    params
+        .get(idx)
+        .ok_or_else(|| {
+            Error::Invalid(format!("{fn_name}: missing parameter {idx} ({name})"))
+        })?
+        .as_f64()
+}
+
+/// The built-in `Normal` VG function of paper §2.
+///
+/// Parameters: `[mean, variance]`.  Produces a single row with a single
+/// `value` column.  Sampling is inverse-CDF, so one stream uniform maps
+/// monotonically to one loss value — exactly the "stream of realized loss
+/// values" of §4.1.
+#[derive(Debug, Clone, Default)]
+pub struct NormalVg;
+
+impl VgFunction for NormalVg {
+    fn name(&self) -> &str {
+        "Normal"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let mean = param_f64(params, 0, "mean", "Normal")?;
+        let variance = param_f64(params, 1, "variance", "Normal")?;
+        if variance < 0.0 {
+            return Err(Error::Invalid(format!("Normal: negative variance {variance}")));
+        }
+        let value = Distribution::Normal { mean, sd: variance.sqrt() }.sample(gen);
+        Ok(vec![Tuple::from_iter_values([value])])
+    }
+}
+
+/// Uniform VG function.  Parameters: `[lo, hi]`.
+#[derive(Debug, Clone, Default)]
+pub struct UniformVg;
+
+impl VgFunction for UniformVg {
+    fn name(&self) -> &str {
+        "Uniform"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let lo = param_f64(params, 0, "lo", "Uniform")?;
+        let hi = param_f64(params, 1, "hi", "Uniform")?;
+        if hi < lo {
+            return Err(Error::Invalid(format!("Uniform: hi {hi} < lo {lo}")));
+        }
+        let value = Distribution::Uniform { lo, hi }.sample(gen);
+        Ok(vec![Tuple::from_iter_values([value])])
+    }
+}
+
+/// Poisson VG function (e.g. order quantities).  Parameters: `[lambda]`.
+#[derive(Debug, Clone, Default)]
+pub struct PoissonVg;
+
+impl VgFunction for PoissonVg {
+    fn name(&self) -> &str {
+        "Poisson"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let lambda = param_f64(params, 0, "lambda", "Poisson")?;
+        if lambda < 0.0 {
+            return Err(Error::Invalid(format!("Poisson: negative mean {lambda}")));
+        }
+        let value = Distribution::Poisson { lambda }.sample(gen);
+        Ok(vec![Tuple::from_iter_values([value])])
+    }
+}
+
+/// A VG function that samples one of a fixed set of categories.
+///
+/// Parameters: one weight per category (non-negative, not all zero).  The
+/// output row contains the chosen category value.  This is the MCDB analogue
+/// of the explicit tuple-alternative probabilities of classical probabilistic
+/// databases (paper §1 related work).
+#[derive(Debug, Clone)]
+pub struct DiscreteVg {
+    categories: Vec<Value>,
+}
+
+impl DiscreteVg {
+    /// Create a discrete VG function over the given category values.
+    pub fn new(categories: Vec<Value>) -> Self {
+        DiscreteVg { categories }
+    }
+}
+
+impl VgFunction for DiscreteVg {
+    fn name(&self) -> &str {
+        "Discrete"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        let dt = self
+            .categories
+            .first()
+            .map(|v| v.data_type())
+            .unwrap_or(mcdbr_storage::DataType::Null);
+        vec![Field::new("value", dt)]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        if params.len() != self.categories.len() {
+            return Err(Error::Invalid(format!(
+                "Discrete: expected {} weights, got {}",
+                self.categories.len(),
+                params.len()
+            )));
+        }
+        let weights: Vec<f64> = params
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Result<Vec<_>>>()?;
+        if weights.iter().any(|&w| w < 0.0) {
+            return Err(Error::Invalid("Discrete: negative weight".into()));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::Invalid("Discrete: weights sum to zero".into()));
+        }
+        let mut u = gen.next_f64() * total;
+        for (cat, w) in self.categories.iter().zip(&weights) {
+            if u < *w {
+                return Ok(vec![Tuple::new(vec![cat.clone()])]);
+            }
+            u -= w;
+        }
+        // Floating-point edge: fall back to the last category.
+        Ok(vec![Tuple::new(vec![self.categories.last().unwrap().clone()])])
+    }
+}
+
+/// A correlated multivariate-normal VG function with equicorrelation `rho`.
+///
+/// One invocation produces `dim` rows `(component, value)` — the "table
+/// containing one or more correlated data values" of paper §1.  Parameters:
+/// `[mean, sd]` shared by every component.  The correlation is induced by a
+/// one-factor model: `X_i = mean + sd (√rho · Z₀ + √(1-rho) · Z_i)`.
+#[derive(Debug, Clone)]
+pub struct MultiNormalVg {
+    dim: usize,
+    rho: f64,
+}
+
+impl MultiNormalVg {
+    /// Create a `dim`-dimensional equicorrelated normal VG function.
+    pub fn new(dim: usize, rho: f64) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+        MultiNormalVg { dim, rho }
+    }
+}
+
+impl VgFunction for MultiNormalVg {
+    fn name(&self) -> &str {
+        "MultiNormal"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::int64("component"), Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let mean = param_f64(params, 0, "mean", "MultiNormal")?;
+        let sd = param_f64(params, 1, "sd", "MultiNormal")?;
+        if sd < 0.0 {
+            return Err(Error::Invalid(format!("MultiNormal: negative sd {sd}")));
+        }
+        let z0 = std_normal_quantile(gen.next_f64_open());
+        let mut rows = Vec::with_capacity(self.dim);
+        for i in 0..self.dim {
+            let zi = std_normal_quantile(gen.next_f64_open());
+            let x = mean + sd * (self.rho.sqrt() * z0 + (1.0 - self.rho).sqrt() * zi);
+            rows.push(Tuple::from_iter_values([Value::Int64(i as i64), Value::Float64(x)]));
+        }
+        Ok(rows)
+    }
+}
+
+/// A Bayesian demand model: demand under a hypothetical price change.
+///
+/// The intro of the paper motivates "customer order quantities under
+/// hypothetical price changes ... specified via Bayesian demand models".
+/// Here the latent demand rate has a `Gamma(shape, scale)` prior, the price
+/// change scales it through a constant-elasticity term, and observed demand
+/// is Poisson around the scaled rate:
+///
+/// ```text
+/// rate   ~ Gamma(shape, scale)
+/// demand ~ Poisson(rate · exp(-elasticity · price_change))
+/// ```
+///
+/// Parameters: `[shape, scale, elasticity, price_change]`.  Output: one row
+/// with a `demand` column.
+#[derive(Debug, Clone, Default)]
+pub struct BayesianDemandVg;
+
+impl VgFunction for BayesianDemandVg {
+    fn name(&self) -> &str {
+        "BayesianDemand"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("demand")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let shape = param_f64(params, 0, "shape", "BayesianDemand")?;
+        let scale = param_f64(params, 1, "scale", "BayesianDemand")?;
+        let elasticity = param_f64(params, 2, "elasticity", "BayesianDemand")?;
+        let price_change = param_f64(params, 3, "price_change", "BayesianDemand")?;
+        if shape <= 0.0 || scale <= 0.0 {
+            return Err(Error::Invalid(
+                "BayesianDemand: shape and scale must be positive".into(),
+            ));
+        }
+        let rate = Distribution::Gamma { shape, scale }.sample(gen);
+        let scaled = rate * (-elasticity * price_change).exp();
+        let demand = Distribution::Poisson { lambda: scaled }.sample(gen);
+        Ok(vec![Tuple::from_iter_values([demand])])
+    }
+}
+
+/// Terminal value of a geometric Brownian motion via Euler discretization.
+///
+/// The intro motivates "future values of financial assets ... specified
+/// using Euler approximations to stochastic differential equations".  The
+/// asset follows `dS = μ S dt + σ S dW`; one invocation simulates `steps`
+/// Euler steps over `horizon` years and reports the terminal value.
+///
+/// Parameters: `[s0, mu, sigma, horizon]`.  Output: one row with a `value`
+/// column.  The number of Euler steps is fixed at construction.
+#[derive(Debug, Clone)]
+pub struct GbmTerminalVg {
+    steps: usize,
+}
+
+impl GbmTerminalVg {
+    /// Create a GBM terminal-value VG function using `steps` Euler steps.
+    pub fn new(steps: usize) -> Self {
+        assert!(steps >= 1, "need at least one Euler step");
+        GbmTerminalVg { steps }
+    }
+}
+
+impl Default for GbmTerminalVg {
+    fn default() -> Self {
+        GbmTerminalVg::new(32)
+    }
+}
+
+impl VgFunction for GbmTerminalVg {
+    fn name(&self) -> &str {
+        "GbmTerminal"
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let s0 = param_f64(params, 0, "s0", "GbmTerminal")?;
+        let mu = param_f64(params, 1, "mu", "GbmTerminal")?;
+        let sigma = param_f64(params, 2, "sigma", "GbmTerminal")?;
+        let horizon = param_f64(params, 3, "horizon", "GbmTerminal")?;
+        if s0 <= 0.0 || sigma < 0.0 || horizon <= 0.0 {
+            return Err(Error::Invalid(
+                "GbmTerminal: require s0 > 0, sigma >= 0, horizon > 0".into(),
+            ));
+        }
+        let dt = horizon / self.steps as f64;
+        let sqrt_dt = dt.sqrt();
+        let mut s = s0;
+        for _ in 0..self.steps {
+            let z = std_normal_quantile(gen.next_f64_open());
+            // Euler–Maruyama step; clamp at a tiny positive value so a large
+            // negative shock cannot push the discretized price below zero.
+            s += mu * s * dt + sigma * s * sqrt_dt * z;
+            s = s.max(1e-12);
+        }
+        Ok(vec![Tuple::from_iter_values([s])])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_prng::RandomStream;
+
+    fn run_scalar(vg: &dyn VgFunction, params: &[Value], seed: u64, n: usize) -> Vec<f64> {
+        let stream = RandomStream::new(seed);
+        (0..n)
+            .map(|pos| {
+                let mut gen = stream.generator_at(pos as u64);
+                vg.generate(params, &mut gen).unwrap()[0].value(0).as_f64().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normal_vg_matches_paper_parameterization() {
+        // §2: Normal(VALUES(m, 1.0)) — mean m, variance 1.
+        let vg = NormalVg;
+        let samples = run_scalar(&vg, &[Value::Float64(4.0), Value::Float64(1.0)], 11, 50_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 4.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+        assert_eq!(vg.output_fields()[0].name, "value");
+    }
+
+    #[test]
+    fn normal_vg_rejects_bad_params() {
+        let mut gen = Pcg64::new(1);
+        assert!(NormalVg.generate(&[Value::Float64(1.0)], &mut gen).is_err());
+        assert!(NormalVg
+            .generate(&[Value::Float64(1.0), Value::Float64(-2.0)], &mut gen)
+            .is_err());
+        assert!(NormalVg
+            .generate(&[Value::str("x"), Value::Float64(1.0)], &mut gen)
+            .is_err());
+    }
+
+    #[test]
+    fn vg_calls_are_deterministic_per_position() {
+        let stream = RandomStream::new(77);
+        let params = [Value::Float64(3.0), Value::Float64(1.0)];
+        let a = NormalVg.generate(&params, &mut stream.generator_at(5)).unwrap();
+        let b = NormalVg.generate(&params, &mut stream.generator_at(5)).unwrap();
+        assert_eq!(a, b);
+        let c = NormalVg.generate(&params, &mut stream.generator_at(6)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_and_poisson_vg() {
+        let u = run_scalar(&UniformVg, &[Value::Float64(2.0), Value::Float64(4.0)], 3, 20_000);
+        assert!(u.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let mean = u.iter().sum::<f64>() / u.len() as f64;
+        assert!((mean - 3.0).abs() < 0.02);
+
+        let p = run_scalar(&PoissonVg, &[Value::Float64(6.0)], 4, 20_000);
+        let mean = p.iter().sum::<f64>() / p.len() as f64;
+        assert!((mean - 6.0).abs() < 0.1);
+        assert!(p.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+
+        let mut gen = Pcg64::new(1);
+        assert!(UniformVg
+            .generate(&[Value::Float64(4.0), Value::Float64(2.0)], &mut gen)
+            .is_err());
+        assert!(PoissonVg.generate(&[Value::Float64(-1.0)], &mut gen).is_err());
+    }
+
+    #[test]
+    fn discrete_vg_respects_weights() {
+        let vg = DiscreteVg::new(vec![Value::str("ship"), Value::str("truck"), Value::str("air")]);
+        let params = [Value::Float64(0.5), Value::Float64(0.3), Value::Float64(0.2)];
+        let stream = RandomStream::new(21);
+        let mut counts = std::collections::BTreeMap::new();
+        let n = 30_000;
+        for pos in 0..n {
+            let mut gen = stream.generator_at(pos);
+            let rows = vg.generate(&params, &mut gen).unwrap();
+            *counts.entry(rows[0].value(0).to_string()).or_insert(0usize) += 1;
+        }
+        let frac = |k: &str| counts[k] as f64 / n as f64;
+        assert!((frac("ship") - 0.5).abs() < 0.02);
+        assert!((frac("truck") - 0.3).abs() < 0.02);
+        assert!((frac("air") - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn discrete_vg_validates_weights() {
+        let vg = DiscreteVg::new(vec![Value::Int64(1), Value::Int64(2)]);
+        let mut gen = Pcg64::new(1);
+        assert!(vg.generate(&[Value::Float64(1.0)], &mut gen).is_err());
+        assert!(vg
+            .generate(&[Value::Float64(-1.0), Value::Float64(2.0)], &mut gen)
+            .is_err());
+        assert!(vg
+            .generate(&[Value::Float64(0.0), Value::Float64(0.0)], &mut gen)
+            .is_err());
+    }
+
+    #[test]
+    fn multi_normal_produces_correlated_block() {
+        let vg = MultiNormalVg::new(2, 0.8);
+        let stream = RandomStream::new(5);
+        let params = [Value::Float64(0.0), Value::Float64(1.0)];
+        let n = 40_000;
+        let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for pos in 0..n {
+            let mut gen = stream.generator_at(pos);
+            let rows = vg.generate(&params, &mut gen).unwrap();
+            assert_eq!(rows.len(), 2);
+            let x = rows[0].value(1).as_f64().unwrap();
+            let y = rows[1].value(1).as_f64().unwrap();
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+        let nf = n as f64;
+        let (mx, my) = (sx / nf, sy / nf);
+        let cov = sxy / nf - mx * my;
+        let vx = sxx / nf - mx * mx;
+        let vy = syy / nf - my * my;
+        let corr = cov / (vx * vy).sqrt();
+        assert!((corr - 0.8).abs() < 0.03, "corr = {corr}");
+    }
+
+    #[test]
+    fn bayesian_demand_mean_matches_theory() {
+        // E[demand] = E[rate] * exp(-e * dp) = shape*scale * exp(-1.5*0.1)
+        let vg = BayesianDemandVg;
+        let params = [
+            Value::Float64(4.0),
+            Value::Float64(2.5),
+            Value::Float64(1.5),
+            Value::Float64(0.1),
+        ];
+        let d = run_scalar(&vg, &params, 9, 40_000);
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        let expected = 4.0 * 2.5 * (-1.5f64 * 0.1).exp();
+        assert!((mean - expected).abs() < 0.15, "mean = {mean}, expected = {expected}");
+        let mut gen = Pcg64::new(1);
+        assert!(vg
+            .generate(
+                &[Value::Float64(-1.0), Value::Float64(1.0), Value::Float64(0.0), Value::Float64(0.0)],
+                &mut gen
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn gbm_terminal_mean_matches_theory() {
+        // E[S_T] = S0 * exp(mu * T) for GBM (Euler bias is small for many steps).
+        let vg = GbmTerminalVg::new(64);
+        let params = [
+            Value::Float64(100.0),
+            Value::Float64(0.05),
+            Value::Float64(0.2),
+            Value::Float64(1.0),
+        ];
+        let s = run_scalar(&vg, &params, 13, 40_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let expected = 100.0 * (0.05f64).exp();
+        assert!((mean - expected).abs() < 1.0, "mean = {mean}, expected = {expected}");
+        assert!(s.iter().all(|&x| x > 0.0));
+        let mut gen = Pcg64::new(1);
+        assert!(vg
+            .generate(
+                &[Value::Float64(-5.0), Value::Float64(0.0), Value::Float64(0.1), Value::Float64(1.0)],
+                &mut gen
+            )
+            .is_err());
+    }
+}

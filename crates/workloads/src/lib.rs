@@ -1,0 +1,20 @@
+//! Synthetic workload generators for the MCDB-R experiments.
+//!
+//! The paper evaluates on (a) the simple customer-loss schema of §2, (b) the
+//! salary-inversion self-join of §5, and (c) a TPC-H-like `orders ⋈ lineitem`
+//! workload with inverse-gamma hyper-priors and a skewed join fanout
+//! (Appendix D).  The intro also motivates financial-portfolio and logistics
+//! scenarios.  This crate generates all of them at configurable scale so the
+//! experiments run on a laptop while preserving the statistical structure the
+//! paper relies on.
+
+pub mod losses;
+pub mod portfolio;
+pub mod tpch;
+
+pub use losses::{
+    customer_losses_catalog, customer_losses_query, salary_inversion_catalog,
+    salary_inversion_query,
+};
+pub use portfolio::{portfolio_catalog, portfolio_loss_query};
+pub use tpch::{TpchConfig, TpchWorkload};

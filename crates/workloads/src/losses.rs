@@ -1,0 +1,161 @@
+//! The customer-loss workload of paper §2 and the salary-inversion workload
+//! of paper §5.
+
+use std::sync::Arc;
+
+use mcdbr_exec::plan::scalar_random_table;
+use mcdbr_exec::{AggregateSpec, Expr, PlanNode};
+use mcdbr_mcdb::MonteCarloQuery;
+use mcdbr_prng::Pcg64;
+use mcdbr_storage::{Catalog, Field, Result, Schema, TableBuilder, Value};
+use mcdbr_vg::{Distribution, NormalVg};
+
+/// Build the §2 catalog: a `means(cid, m)` parameter table for `n_customers`
+/// customers whose mean losses are drawn uniformly from `mean_range`.
+pub fn customer_losses_catalog(
+    n_customers: usize,
+    mean_range: (f64, f64),
+    seed: u64,
+) -> Result<Catalog> {
+    let mut gen = Pcg64::new(seed);
+    let dist = Distribution::Uniform { lo: mean_range.0, hi: mean_range.1 };
+    let mut builder =
+        TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]));
+    for cid in 0..n_customers {
+        builder = builder.row([Value::Int64(cid as i64), Value::Float64(dist.sample(&mut gen))]);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register("means", builder.build()?)?;
+    Ok(catalog)
+}
+
+/// The §2 query: `SELECT SUM(val) AS totalLoss FROM Losses WHERE cid < cid_limit`,
+/// where `Losses` is defined by the `Normal(VALUES(m, 1.0))` VG function over
+/// the `means` table.
+pub fn customer_losses_query(cid_limit: Option<i64>) -> MonteCarloQuery {
+    let mut plan = PlanNode::random_table(scalar_random_table(
+        "Losses",
+        "means",
+        Arc::new(NormalVg),
+        vec![Expr::col("m"), Expr::lit(1.0)],
+        &["cid"],
+        "val",
+        1,
+    ));
+    if let Some(limit) = cid_limit {
+        plan = plan.filter(Expr::col("cid").lt(Expr::lit(limit)));
+    }
+    MonteCarloQuery::new(plan, AggregateSpec::sum(Expr::col("val"), "totalLoss"))
+}
+
+/// Build the §5 salary-inversion catalog: an `emp_params(eid, msal)` table of
+/// mean salaries and a `sup(boss, peon)` supervision table where each
+/// non-root employee reports to a random earlier employee.
+pub fn salary_inversion_catalog(n_employees: usize, seed: u64) -> Result<Catalog> {
+    assert!(n_employees >= 2, "need at least a boss and a peon");
+    let mut gen = Pcg64::new(seed);
+    let sal_dist = Distribution::Uniform { lo: 30.0, hi: 120.0 };
+    let mut emp =
+        TableBuilder::new(Schema::new(vec![Field::utf8("eid"), Field::float64("msal")]));
+    for i in 0..n_employees {
+        emp = emp.row([Value::str(format!("e{i}")), Value::Float64(sal_dist.sample(&mut gen))]);
+    }
+    let mut sup = TableBuilder::new(Schema::new(vec![Field::utf8("boss"), Field::utf8("peon")]));
+    for i in 1..n_employees {
+        let boss = gen.next_below(i as u64);
+        sup = sup.row([Value::str(format!("e{boss}")), Value::str(format!("e{i}"))]);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register("emp_params", emp.build()?)?;
+    catalog.register("sup", sup.build()?)?;
+    Ok(catalog)
+}
+
+/// The §5 salary-inversion query over [`salary_inversion_catalog`]:
+/// `SELECT SUM(emp2.sal - emp1.sal) FROM emp emp1, emp emp2, sup WHERE
+/// sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal AND
+/// emp1.sal < boss_cap AND emp2.sal > peon_floor`, with the random-attribute
+/// predicates pulled up into the final predicate as MCDB-R requires.
+pub fn salary_inversion_query(boss_cap: f64, peon_floor: f64, sal_variance: f64) -> MonteCarloQuery {
+    let emp = || {
+        PlanNode::random_table(scalar_random_table(
+            "emp",
+            "emp_params",
+            Arc::new(NormalVg),
+            vec![Expr::col("msal"), Expr::lit(sal_variance)],
+            &["eid"],
+            "sal",
+            1,
+        ))
+    };
+    // Joined schema: boss, peon, eid, sal, eid_1, sal_1 — emp1 is the boss
+    // side (sal), emp2 the peon side (sal_1).
+    let plan = PlanNode::scan("sup")
+        .join(emp(), vec![("boss", "eid")])
+        .join(emp(), vec![("peon", "eid")]);
+    let aggregate = AggregateSpec::sum(Expr::col("sal_1").sub(Expr::col("sal")), "inversion");
+    let predicate = Expr::col("sal_1")
+        .gt(Expr::col("sal"))
+        .and(Expr::col("sal").lt(Expr::lit(boss_cap)))
+        .and(Expr::col("sal_1").gt(Expr::lit(peon_floor)));
+    MonteCarloQuery::new(plan, aggregate).with_final_predicate(predicate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_mcdb::McdbEngine;
+
+    #[test]
+    fn losses_catalog_and_query_run_end_to_end() {
+        let catalog = customer_losses_catalog(50, (1.0, 5.0), 7).unwrap();
+        assert_eq!(catalog.get("means").unwrap().len(), 50);
+        let mut engine = McdbEngine::new();
+        let results = engine.run(&customer_losses_query(None), &catalog, 300, 3).unwrap();
+        let dist = &results[0].1;
+        // The expected total is 50 * E[mean] = 50 * 3 = 150, give or take the
+        // uniform draw of the means themselves.
+        assert!((dist.mean() - 150.0).abs() < 25.0, "mean = {}", dist.mean());
+        // Filtering on cid reduces the sum.
+        let filtered = engine.run(&customer_losses_query(Some(10)), &catalog, 300, 3).unwrap();
+        assert!(filtered[0].1.mean() < dist.mean());
+    }
+
+    #[test]
+    fn catalog_generation_is_reproducible() {
+        let a = customer_losses_catalog(20, (0.0, 1.0), 5).unwrap();
+        let b = customer_losses_catalog(20, (0.0, 1.0), 5).unwrap();
+        let c = customer_losses_catalog(20, (0.0, 1.0), 6).unwrap();
+        assert_eq!(a.get("means").unwrap(), b.get("means").unwrap());
+        assert_ne!(a.get("means").unwrap(), c.get("means").unwrap());
+    }
+
+    #[test]
+    fn salary_inversion_catalog_is_well_formed() {
+        let catalog = salary_inversion_catalog(30, 11).unwrap();
+        let emp = catalog.get("emp_params").unwrap();
+        let sup = catalog.get("sup").unwrap();
+        assert_eq!(emp.len(), 30);
+        assert_eq!(sup.len(), 29);
+        // Every boss and peon is a real employee id.
+        let ids: Vec<String> =
+            emp.column("eid").unwrap().iter().map(|v| v.to_string()).collect();
+        for row in sup.rows() {
+            assert!(ids.contains(&row.value(0).to_string()));
+            assert!(ids.contains(&row.value(1).to_string()));
+        }
+    }
+
+    #[test]
+    fn salary_inversion_query_runs_on_the_mcdb_engine() {
+        let catalog = salary_inversion_catalog(15, 13).unwrap();
+        let query = salary_inversion_query(90.0, 25.0, 16.0);
+        let mut engine = McdbEngine::new();
+        let results = engine.run(&query, &catalog, 200, 21).unwrap();
+        let dist = &results[0].1;
+        // The inversion total is non-negative because only positive
+        // differences pass the predicate.
+        assert!(dist.min() >= 0.0);
+        assert_eq!(dist.len(), 200);
+    }
+}

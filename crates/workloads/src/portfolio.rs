@@ -1,0 +1,109 @@
+//! A financial-portfolio workload: future asset values via Euler-discretized
+//! geometric Brownian motion (the "future values of financial assets ...
+//! Euler approximations to stochastic differential equations" scenario of the
+//! paper's introduction).
+
+use std::sync::Arc;
+
+use mcdbr_exec::plan::{OutputColumn, RandomTableSpec};
+use mcdbr_exec::{AggregateSpec, Expr, PlanNode};
+use mcdbr_mcdb::MonteCarloQuery;
+use mcdbr_prng::Pcg64;
+use mcdbr_storage::{Catalog, Field, Result, Schema, TableBuilder, Value};
+use mcdbr_vg::{Distribution, GbmTerminalVg};
+
+/// Build a portfolio catalog: `positions(aid, s0, mu, sigma, horizon, qty)`
+/// describing `n_assets` holdings with heterogeneous volatilities.
+pub fn portfolio_catalog(n_assets: usize, horizon_years: f64, seed: u64) -> Result<Catalog> {
+    let mut gen = Pcg64::new(seed);
+    let price = Distribution::Uniform { lo: 20.0, hi: 200.0 };
+    let drift = Distribution::Uniform { lo: -0.02, hi: 0.08 };
+    let vol = Distribution::Uniform { lo: 0.1, hi: 0.45 };
+    let qty = Distribution::Uniform { lo: 10.0, hi: 100.0 };
+    let mut builder = TableBuilder::new(Schema::new(vec![
+        Field::int64("aid"),
+        Field::float64("s0"),
+        Field::float64("mu"),
+        Field::float64("sigma"),
+        Field::float64("horizon"),
+        Field::float64("qty"),
+    ]));
+    for aid in 0..n_assets {
+        builder = builder.row([
+            Value::Int64(aid as i64),
+            Value::Float64(price.sample(&mut gen)),
+            Value::Float64(drift.sample(&mut gen)),
+            Value::Float64(vol.sample(&mut gen)),
+            Value::Float64(horizon_years),
+            Value::Float64(qty.sample(&mut gen).round()),
+        ]);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register("positions", builder.build()?)?;
+    Ok(catalog)
+}
+
+/// The portfolio-loss query: the uncertain table `future(aid, s0, qty, value)`
+/// holds the simulated future price of each asset, and the query aggregates
+/// `SUM(qty * (s0 - value))` — the total mark-to-market loss over the
+/// horizon.  Its upper tail is the portfolio's loss distribution tail, the
+/// natural target for `DOMAIN totalLoss >= QUANTILE(1-p)`.
+pub fn portfolio_loss_query(euler_steps: usize) -> MonteCarloQuery {
+    let spec = RandomTableSpec {
+        name: "future".into(),
+        param_table: "positions".into(),
+        vg: Arc::new(GbmTerminalVg::new(euler_steps)),
+        vg_params: vec![
+            Expr::col("s0"),
+            Expr::col("mu"),
+            Expr::col("sigma"),
+            Expr::col("horizon"),
+        ],
+        columns: vec![
+            OutputColumn::Param { source: "aid".into(), as_name: "aid".into() },
+            OutputColumn::Param { source: "s0".into(), as_name: "s0".into() },
+            OutputColumn::Param { source: "qty".into(), as_name: "qty".into() },
+            OutputColumn::Vg { vg_col: 0, as_name: "value".into() },
+        ],
+        table_tag: 20,
+    };
+    let plan = PlanNode::random_table(spec);
+    let loss = Expr::col("qty").mul(Expr::col("s0").sub(Expr::col("value")));
+    MonteCarloQuery::new(plan, AggregateSpec::sum(loss, "totalLoss"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_mcdb::McdbEngine;
+
+    #[test]
+    fn catalog_has_the_requested_positions() {
+        let catalog = portfolio_catalog(25, 1.0, 3).unwrap();
+        let positions = catalog.get("positions").unwrap();
+        assert_eq!(positions.len(), 25);
+        assert!(positions.column_f64("sigma").unwrap().iter().all(|&s| s > 0.0));
+        assert!(positions.column_f64("s0").unwrap().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn loss_distribution_is_centered_below_zero_for_positive_drift() {
+        // With mostly positive drift the expected loss is negative (a gain),
+        // but the upper tail (large losses) still exists because of volatility.
+        let catalog = portfolio_catalog(15, 1.0, 9).unwrap();
+        let query = portfolio_loss_query(16);
+        let mut engine = McdbEngine::new();
+        let results = engine.run(&query, &catalog, 400, 17).unwrap();
+        let dist = &results[0].1;
+        assert_eq!(dist.len(), 400);
+        assert!(dist.mean() < 0.0, "mean loss = {}", dist.mean());
+        assert!(dist.max() > 0.0, "the loss tail should reach positive territory");
+    }
+
+    #[test]
+    fn portfolio_generation_is_reproducible() {
+        let a = portfolio_catalog(10, 0.5, 1).unwrap();
+        let b = portfolio_catalog(10, 0.5, 1).unwrap();
+        assert_eq!(a.get("positions").unwrap(), b.get("positions").unwrap());
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration test for experiment E9: the §4.2 / Figure 1 worked example
+//! (three customers, p = 1/32, n = 4, m = 5) plus the structural invariants
+//! of the trace: non-decreasing cutoffs, per-step target quantiles, and final
+//! samples that all lie in the estimated tail.
+
+use mcdbr::core::{GibbsLooper, TailSamplingConfig};
+use mcdbr::storage::{Catalog, Field, Schema, TableBuilder, Value};
+use mcdbr::vg::math::std_normal_quantile;
+use mcdbr::workloads::customer_losses_query;
+
+fn figure1_catalog() -> Catalog {
+    let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+        .row([Value::Int64(1), Value::Float64(3.0)])
+        .row([Value::Int64(2), Value::Float64(4.0)])
+        .row([Value::Int64(3), Value::Float64(5.0)])
+        .build()
+        .unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register("means", means).unwrap();
+    catalog
+}
+
+#[test]
+fn figure1_trace_structure() {
+    let catalog = figure1_catalog();
+    let config = TailSamplingConfig::new(1.0 / 32.0, 4, 20)
+        .with_m(5)
+        .with_block_size(64)
+        .with_master_seed(2);
+    let result = GibbsLooper::new(customer_losses_query(None), config).run(&catalog).unwrap();
+
+    // m = 5 iterations, each halving the surviving probability (p^(1/m) = 1/2).
+    assert_eq!(result.cutoffs.len(), 5);
+    assert!((result.parameters.p_per_step - 0.5).abs() < 1e-12);
+    for w in result.cutoffs.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "cutoffs must walk outward: {:?}", result.cutoffs);
+    }
+    // Four final DB versions, all at or above the final cutoff.
+    assert_eq!(result.tail_samples.len(), 4);
+    for &s in &result.tail_samples {
+        assert!(s >= result.quantile_estimate - 1e-9);
+    }
+    // The estimate should be in the right ballpark of the analytic
+    // 1 - 1/32 quantile of Normal(12, 3) — wide tolerance, tiny n.
+    let analytic = 12.0 + 3f64.sqrt() * std_normal_quantile(1.0 - 1.0 / 32.0);
+    assert!((result.quantile_estimate - analytic).abs() < 2.5,
+        "estimate {} vs analytic {analytic}", result.quantile_estimate);
+}
+
+#[test]
+fn averaged_figure1_estimates_converge_to_the_analytic_quantile() {
+    let catalog = figure1_catalog();
+    let analytic = 12.0 + 3f64.sqrt() * std_normal_quantile(1.0 - 1.0 / 32.0);
+    let runs = 30;
+    let mut sum = 0.0;
+    for run in 0..runs {
+        let config = TailSamplingConfig::new(1.0 / 32.0, 4, 80)
+            .with_m(5)
+            .with_block_size(256)
+            .with_master_seed(100 + run);
+        let result = GibbsLooper::new(customer_losses_query(None), config).run(&catalog).unwrap();
+        sum += result.quantile_estimate;
+    }
+    let mean = sum / runs as f64;
+    assert!((mean - analytic).abs() < 0.6, "mean estimate {mean} vs analytic {analytic}");
+}

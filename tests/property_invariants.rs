@@ -1,0 +1,100 @@
+//! Property-based tests (proptest) over the core invariants of the system:
+//! quantile/order-statistic conventions, frequency tables, parameter theory
+//! identities, TS-seed bookkeeping, and the purge/clone/perturb loop.
+
+use mcdbr::core::params::{h_c, staged_parameters_with_m};
+use mcdbr::core::{IndependentSumModel, ScalarCloner, TsSeed};
+use mcdbr::mcdb::ResultDistribution;
+use mcdbr::prng::Pcg64;
+use mcdbr::risk::value_at_risk;
+use mcdbr::vg::Distribution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The empirical quantile is monotone in the level and bracketed by the
+    /// sample extremes.
+    #[test]
+    fn quantiles_are_monotone(mut samples in proptest::collection::vec(-1e6f64..1e6, 2..200),
+                              q1 in 0.01f64..0.99, q2 in 0.01f64..0.99) {
+        let dist = ResultDistribution::from_samples(&samples);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = dist.quantile(lo).unwrap();
+        let b = dist.quantile(hi).unwrap();
+        prop_assert!(a <= b);
+        samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(a >= samples[0] && b <= *samples.last().unwrap());
+    }
+
+    /// Frequency tables are proper probability vectors.
+    #[test]
+    fn frequency_tables_sum_to_one(samples in proptest::collection::vec(-100i64..100, 1..300)) {
+        let floats: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        let dist = ResultDistribution::from_samples(&floats);
+        let ft = dist.frequency_table(0.0);
+        let total: f64 = ft.iter().map(|(_, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(ft.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// VaR never exceeds expected shortfall computed at the VaR threshold.
+    #[test]
+    fn var_below_expected_shortfall(samples in proptest::collection::vec(-1e3f64..1e3, 10..300),
+                                    p in 0.01f64..0.5) {
+        let var = value_at_risk(&samples, p).unwrap();
+        let tail: Vec<f64> = samples.iter().copied().filter(|&x| x >= var).collect();
+        let es = tail.iter().sum::<f64>() / tail.len() as f64;
+        prop_assert!(es >= var - 1e-9);
+    }
+
+    /// Appendix C identities: the even split satisfies Σ nᵢ ≈ N, ∏ pᵢ = p and
+    /// h_c stays within [p, 1].
+    #[test]
+    fn staged_parameter_identities(n_total in 20usize..5000, p in 0.0005f64..0.2, m in 1usize..8) {
+        let m = m.min(n_total);
+        let params = staged_parameters_with_m(n_total, p, m);
+        let prod: f64 = params.step_probabilities().iter().product();
+        prop_assert!((prod - p).abs() < 1e-9);
+        let ns: Vec<f64> = params.step_sizes().iter().map(|&n| n as f64).collect();
+        let ps = params.step_probabilities();
+        for c in [1.0, 2.0] {
+            let h = h_c(&ns, &ps, c);
+            prop_assert!(h >= p - 1e-9 && h <= 1.0 + 1e-9, "h_c = {h}");
+        }
+    }
+
+    /// TS-seed bookkeeping: assignments never reference unmaterialized
+    /// positions after an extend, and cloning copies columns exactly.
+    #[test]
+    fn ts_seed_bookkeeping(num_versions in 1usize..16, ops in proptest::collection::vec((0usize..16, 0u64..500), 0..50)) {
+        let mut ts = TsSeed::new(7, num_versions, 1_000);
+        for (v, pos) in ops {
+            let v = v % num_versions;
+            ts.assign(v, pos);
+            prop_assert!(ts.max_used >= pos);
+            prop_assert!(ts.assigned(v) == pos);
+        }
+        let src = 0;
+        for dst in 0..num_versions {
+            ts.clone_version(dst, src);
+        }
+        prop_assert!((0..num_versions).all(|v| ts.assigned(v) == ts.assigned(src)));
+    }
+
+    /// The scalar Gibbs cloner's invariants hold for arbitrary light-tailed
+    /// configurations: the requested number of tail samples comes back, every
+    /// sample clears the final cutoff, and cutoffs are non-decreasing.
+    #[test]
+    fn cloner_invariants(r in 2usize..12, n_total in 40usize..200, m in 1usize..4,
+                         l in 5usize..40, seed in 0u64..1000) {
+        let model = IndependentSumModel::iid(Distribution::Normal { mean: 1.0, sd: 1.0 }, r);
+        let cloner = ScalarCloner::new(model);
+        let params = staged_parameters_with_m(n_total, 0.05, m);
+        let report = cloner.run(&params, l, &mut Pcg64::new(seed));
+        prop_assert_eq!(report.tail_samples.len(), l);
+        prop_assert!(report.cutoffs.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        let cutoff = report.quantile_estimate;
+        prop_assert!(report.tail_samples.iter().all(|&q| q >= cutoff - 1e-9));
+    }
+}
