@@ -7,7 +7,9 @@ use mcdbr_core::params::{budget_for_msre, optimal_m, w_of_n};
 
 fn bench_params(c: &mut Criterion) {
     let mut group = c.benchmark_group("params_selection");
-    group.bench_function("optimal_m_n1000_p001", |b| b.iter(|| optimal_m(1000, 0.001)));
+    group.bench_function("optimal_m_n1000_p001", |b| {
+        b.iter(|| optimal_m(1000, 0.001))
+    });
     group.bench_function("w_of_n_sweep", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -17,7 +19,9 @@ fn bench_params(c: &mut Criterion) {
             acc
         })
     });
-    group.bench_function("budget_for_msre_5pct", |b| b.iter(|| budget_for_msre(0.001, 0.05)));
+    group.bench_function("budget_for_msre_5pct", |b| {
+        b.iter(|| budget_for_msre(0.001, 0.05))
+    });
     group.finish();
 }
 

@@ -8,9 +8,9 @@
 
 use mcdbr_bench::row;
 use mcdbr_core::{GibbsLooper, TailSamplingConfig};
+use mcdbr_storage::{Field, Schema, TableBuilder, Value};
 use mcdbr_vg::math::std_normal_quantile;
 use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
-use mcdbr_storage::{Field, Schema, TableBuilder, Value};
 
 fn main() {
     // The exact §4.2 parameter table (means 3, 4, 5).
@@ -27,13 +27,29 @@ fn main() {
         .with_m(5)
         .with_block_size(64)
         .with_master_seed(42);
-    let result = GibbsLooper::new(customer_losses_query(None), config).run(&catalog).unwrap();
+    let result = GibbsLooper::new(customer_losses_query(None), config)
+        .run(&catalog)
+        .unwrap();
 
     println!("E9: Figure 1 walkthrough (3 customers, p = 1/32, n = 4, m = 5)");
-    println!("{}", row(&["iteration".into(), "cutoff".into(), "target quantile".into()]));
+    println!(
+        "{}",
+        row(&[
+            "iteration".into(),
+            "cutoff".into(),
+            "target quantile".into()
+        ])
+    );
     for (i, c) in result.cutoffs.iter().enumerate() {
         let level = 1.0 - (1.0f64 / 32.0).powf((i + 1) as f64 / 5.0);
-        println!("{}", row(&[(i + 1).to_string(), format!("{c:.3}"), format!("{level:.4}")]));
+        println!(
+            "{}",
+            row(&[
+                (i + 1).to_string(),
+                format!("{c:.3}"),
+                format!("{level:.4}")
+            ])
+        );
     }
     println!("final tail samples: {:?}", result.tail_samples);
     let analytic = 12.0 + 3f64.sqrt() * std_normal_quantile(1.0 - 1.0 / 32.0);

@@ -22,8 +22,15 @@ fn main() {
     let w = TpchWorkload::generate(config).expect("workload");
     let p = 0.25f64.powi(5);
     let true_q = w.oracle.quantile(1.0 - p);
-    println!("# E1 / Figure 5: {} orders, {} lineitems, p = {p:.6}", w.config.num_orders, w.config.num_lineitems);
-    println!("# analytic result distribution: mean {:.4e}, sd {:.4e}", w.oracle.mean, w.oracle.sd());
+    println!(
+        "# E1 / Figure 5: {} orders, {} lineitems, p = {p:.6}",
+        w.config.num_orders, w.config.num_lineitems
+    );
+    println!(
+        "# analytic result distribution: mean {:.4e}, sd {:.4e}",
+        w.oracle.mean,
+        w.oracle.sd()
+    );
     println!("# analytic (1-p)-quantile: {true_q:.6e}");
     println!("run,estimated_quantile,ks_distance,rel_error");
     let mut estimates = Vec::new();
@@ -34,7 +41,9 @@ fn main() {
         let cmp = TailCdfComparison::new(&w.oracle, p, &result.tail_samples).expect("compare");
         println!(
             "{run},{:.6e},{:.4},{:.5}",
-            cmp.estimated_quantile, cmp.ks_distance, cmp.quantile_relative_error()
+            cmp.estimated_quantile,
+            cmp.ks_distance,
+            cmp.quantile_relative_error()
         );
         estimates.push(cmp.estimated_quantile);
         for (x, f) in cmp.empirical.points() {
@@ -42,13 +51,19 @@ fn main() {
         }
     }
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-    let std_err = (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+    let std_err = (estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
         / estimates.len() as f64)
         .sqrt();
     println!("# mean quantile estimate: {mean:.6e} (paper: 5.0728e5 at paper scale)");
     println!("# true quantile:          {true_q:.6e} (paper: 5.0738e5 at paper scale)");
     println!("# empirical std err:      {std_err:.3e} (paper: 265 at paper scale)");
-    println!("# middle-99% width:       {:.3e} (paper: ~2503 at paper scale)", w.oracle.central_interval_width(0.01));
+    println!(
+        "# middle-99% width:       {:.3e} (paper: ~2503 at paper scale)",
+        w.oracle.central_interval_width(0.01)
+    );
     println!("# tail CDF curves (run,x,F) follow:");
     print!("{csv_curves}");
 }

@@ -17,16 +17,35 @@ fn main() {
     let r = 50;
     let p = 0.01;
     let params = staged_parameters_with_m(800, p, 3);
-    println!("E7: Gibbs acceptance vs marginal tail weight (SUM of {r} i.i.d. attributes, p = {p})");
+    println!(
+        "E7: Gibbs acceptance vs marginal tail weight (SUM of {r} i.i.d. attributes, p = {p})"
+    );
     println!(
         "{}",
-        row(&["marginal".into(), "acceptance".into(), "rejections/update".into(), "exhausted".into()])
+        row(&[
+            "marginal".into(),
+            "acceptance".into(),
+            "rejections/update".into(),
+            "exhausted".into()
+        ])
     );
     let cases: Vec<(&str, Distribution)> = vec![
         ("Normal(1,1)", Distribution::Normal { mean: 1.0, sd: 1.0 }),
         ("Uniform(0,2)", Distribution::Uniform { lo: 0.0, hi: 2.0 }),
-        ("Lognormal(0,1)", Distribution::Lognormal { mu: 0.0, sigma: 1.0 }),
-        ("Pareto(1,1.3)", Distribution::Pareto { scale: 1.0, shape: 1.3 }),
+        (
+            "Lognormal(0,1)",
+            Distribution::Lognormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        ),
+        (
+            "Pareto(1,1.3)",
+            Distribution::Pareto {
+                scale: 1.0,
+                shape: 1.3,
+            },
+        ),
     ];
     let mut gen = Pcg64::new(2026);
     for (name, marginal) in cases {

@@ -3,15 +3,22 @@
 //! Prints, for the paper's Normal(10M, (1M)²) total-loss example, the
 //! expected repetitions per tail hit at 15M, the repetitions needed to
 //! estimate the tail area to ±1% at 95% confidence, and the repetitions
-//! needed to locate the 0.999-quantile to a 1% relative standard error.
+//! needed to locate the 0.999-quantile to a 1% relative standard error —
+//! then runs a measured naive tail hunt and reports the execution session's
+//! own counters, so the once-per-query / once-per-block cost structure is
+//! observed rather than recomputed.
 
 use mcdbr_bench::row;
-use mcdbr_mcdb::NaiveCostModel;
+use mcdbr_mcdb::{McdbEngine, NaiveCostModel};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
 
 fn main() {
     let model = NaiveCostModel::paper_example();
     println!("E4: cost of naive Monte Carlo in the tail (paper §1)");
-    println!("{}", row(&["quantity".into(), "paper".into(), "computed".into()]));
+    println!(
+        "{}",
+        row(&["quantity".into(), "paper".into(), "computed".into()])
+    );
     println!(
         "{}",
         row(&[
@@ -25,7 +32,10 @@ fn main() {
         row(&[
             "reps for area +/-1%".into(),
             "130 billion".into(),
-            format!("{:.3e}", model.reps_for_tail_probability(15.0e6, 0.01, 0.95)),
+            format!(
+                "{:.3e}",
+                model.reps_for_tail_probability(15.0e6, 0.01, 0.95)
+            ),
         ])
     );
     println!(
@@ -42,6 +52,41 @@ fn main() {
             "0.999 quantile".into(),
             "(13.09M)".into(),
             format!("{:.4e}", model.quantile(0.001)),
+        ])
+    );
+
+    // Measured cost structure of a naive tail hunt: the hunt generates many
+    // repetition blocks, but the execution session runs deterministic plan
+    // work exactly once.  These are the session's own counters.
+    let catalog = customer_losses_catalog(50, (1.0, 5.0), 4).expect("catalog");
+    let query = customer_losses_query(None);
+    let mut engine = McdbEngine::new();
+    let report = engine
+        .naive_tail_sample(&query, &catalog, 0.02, 40, 500, 250, 50_000, 77)
+        .expect("naive tail hunt");
+    println!("\nmeasured naive hunt (p = 0.02, l = 40, 50 customers):");
+    println!(
+        "{}",
+        row(&[
+            "repetitions generated".into(),
+            "~l/p".into(),
+            report.repetitions.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "blocks materialized".into(),
+            "1 + batches".into(),
+            report.blocks_materialized.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "plan executions".into(),
+            "1 (session)".into(),
+            report.plan_executions.to_string()
         ])
     );
 }

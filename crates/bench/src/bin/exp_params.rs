@@ -5,9 +5,7 @@
 //! N (the w(N) curve), and (c) an ablation sweep of m around m* at fixed N.
 
 use mcdbr_bench::row;
-use mcdbr_core::params::{
-    budget_for_msre, msre_even, optimal_m, staged_parameters_with_m, w_of_n,
-};
+use mcdbr_core::params::{budget_for_msre, msre_even, optimal_m, staged_parameters_with_m, w_of_n};
 
 fn main() {
     let p = 0.001;
@@ -18,17 +16,33 @@ fn main() {
     }
 
     println!("\nE6a: w(N) — MSRE of the optimized sampler vs budget N (p = {p})");
-    println!("{}", row(&["N".into(), "m*".into(), "w(N) (MSRE)".into(), "rel. std err".into()]));
+    println!(
+        "{}",
+        row(&[
+            "N".into(),
+            "m*".into(),
+            "w(N) (MSRE)".into(),
+            "rel. std err".into()
+        ])
+    );
     for &n in &[100usize, 250, 500, 1000, 2500, 5000, 10_000] {
         let m = optimal_m(n, p);
         let w = w_of_n(n, p);
         println!(
             "{}",
-            row(&[n.to_string(), m.to_string(), format!("{w:.4}"), format!("{:.3}", w.sqrt())])
+            row(&[
+                n.to_string(),
+                m.to_string(),
+                format!("{w:.4}"),
+                format!("{:.3}", w.sqrt())
+            ])
         );
     }
     let target = 0.05;
-    println!("  budget for MSRE <= {target}: N = {}", budget_for_msre(p, target));
+    println!(
+        "  budget for MSRE <= {target}: N = {}",
+        budget_for_msre(p, target)
+    );
 
     println!("\nE6b: ablation — MSRE vs m at fixed N = 1000 (paper Theorem 1 optimum marked *)");
     println!("{}", row(&["m".into(), "p^(1/m)".into(), "MSRE".into()]));
@@ -44,5 +58,8 @@ fn main() {
             ])
         );
     }
-    println!("\nAppendix D uses m = 5, p^(1/m) = 0.25, i.e. p = {:.6}", 0.25f64.powi(5));
+    println!(
+        "\nAppendix D uses m = 5, p^(1/m) = 0.25, i.e. p = {:.6}",
+        0.25f64.powi(5)
+    );
 }

@@ -24,14 +24,45 @@ fn main() {
         estimates.push(result.quantile_estimate);
     }
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-    let std_err = (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+    let std_err = (estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
         / estimates.len() as f64)
         .sqrt();
     println!("E2: quantile accuracy over {runs} runs (N = {budget}, p = {p:.6})");
-    println!("{}", row(&["quantity".into(), "paper (full scale)".into(), "measured".into()]));
-    println!("{}", row(&["mean estimate".into(), "5.0728e5".into(), format!("{mean:.5e}")]));
-    println!("{}", row(&["true quantile".into(), "5.0738e5".into(), format!("{true_q:.5e}")]));
-    println!("{}", row(&["empirical std err".into(), "265".into(), format!("{std_err:.3e}")]));
+    println!(
+        "{}",
+        row(&[
+            "quantity".into(),
+            "paper (full scale)".into(),
+            "measured".into()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "mean estimate".into(),
+            "5.0728e5".into(),
+            format!("{mean:.5e}")
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "true quantile".into(),
+            "5.0738e5".into(),
+            format!("{true_q:.5e}")
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "empirical std err".into(),
+            "265".into(),
+            format!("{std_err:.3e}")
+        ])
+    );
     println!(
         "{}",
         row(&[
@@ -45,7 +76,10 @@ fn main() {
         row(&[
             "std err / width".into(),
             "~10%".into(),
-            format!("{:.1}%", 100.0 * std_err / w.oracle.central_interval_width(0.01)),
+            format!(
+                "{:.1}%",
+                100.0 * std_err / w.oracle.central_interval_width(0.01)
+            ),
         ])
     );
 }

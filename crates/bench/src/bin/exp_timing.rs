@@ -34,22 +34,109 @@ fn main() {
     let mut engine = McdbEngine::new();
     let calib_reps = 200;
     let start = Instant::now();
-    engine.run_samples(&w.total_loss_query(), &w.catalog, calib_reps, 7).expect("naive batch");
+    engine
+        .run_samples(&w.total_loss_query(), &w.catalog, calib_reps, 7)
+        .expect("naive batch");
     let per_rep = start.elapsed().as_secs_f64() / calib_reps as f64;
+    let naive_plan_execs = engine.plans_executed();
+    let naive_blocks = engine.blocks_materialized();
     // Repetitions needed to see l tail samples at probability p, plus the
     // calibration needed to locate the quantile in the first place.
     let reps_needed = l / p + 1.0 / (p * 0.01f64.powi(2)) * 0.0; // dominant term: l / p
     let naive_secs = per_rep * reps_needed;
 
-    println!("E3: MCDB-R vs naive MCDB ({} orders, {} lineitems, p = {p:.6}, l = 100)", w.config.num_orders, w.config.num_lineitems);
-    println!("{}", row(&["quantity".into(), "paper (full scale)".into(), "measured".into()]));
-    println!("{}", row(&["MCDB-R total".into(), "~11 minutes".into(), format!("{mcdbr_secs:.2} s")]));
-    println!("{}", row(&["MCDB-R plan executions".into(), "2 (1 + replenish)".into(), result.plan_executions.to_string()]));
-    println!("{}", row(&["MCDB-R replenishments".into(), "1".into(), result.replenishments.to_string()]));
-    println!("{}", row(&["naive cost / repetition".into(), "-".into(), format!("{:.4} s", per_rep)]));
-    println!("{}", row(&["naive repetitions needed".into(), "~3.4e6 (l/p)".into(), format!("{reps_needed:.3e}")]));
-    println!("{}", row(&["naive extrapolated total".into(), "~18 hours".into(), format!("{:.1} s (= {:.1} h)", naive_secs, naive_secs / 3600.0)]));
-    println!("{}", row(&["speedup (naive / MCDB-R)".into(), "~98x".into(), format!("{:.0}x", naive_secs / mcdbr_secs)]));
+    println!(
+        "E3: MCDB-R vs naive MCDB ({} orders, {} lineitems, p = {p:.6}, l = 100)",
+        w.config.num_orders, w.config.num_lineitems
+    );
+    println!(
+        "{}",
+        row(&[
+            "quantity".into(),
+            "paper (full scale)".into(),
+            "measured".into()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R total".into(),
+            "~11 minutes".into(),
+            format!("{mcdbr_secs:.2} s")
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R plan executions".into(),
+            "1 (skeleton once)".into(),
+            result.plan_executions.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R blocks materialized".into(),
+            "2 (1 + replenish)".into(),
+            result.blocks_materialized.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R replenishments".into(),
+            "1".into(),
+            result.replenishments.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive plan executions".into(),
+            "1".into(),
+            naive_plan_execs.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive blocks materialized".into(),
+            "1".into(),
+            naive_blocks.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive cost / repetition".into(),
+            "-".into(),
+            format!("{:.4} s", per_rep)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive repetitions needed".into(),
+            "~3.4e6 (l/p)".into(),
+            format!("{reps_needed:.3e}")
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive extrapolated total".into(),
+            "~18 hours".into(),
+            format!("{:.1} s (= {:.1} h)", naive_secs, naive_secs / 3600.0)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "speedup (naive / MCDB-R)".into(),
+            "~98x".into(),
+            format!("{:.0}x", naive_secs / mcdbr_secs)
+        ])
+    );
     println!(
         "{}",
         row(&[

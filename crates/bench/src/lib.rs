@@ -44,7 +44,11 @@ pub fn test_tpch() -> TpchWorkload {
 /// Format a table row of `columns` with a fixed width, for the experiment
 /// binaries' stdout reports.
 pub fn row(columns: &[String]) -> String {
-    columns.iter().map(|c| format!("{c:>18}")).collect::<Vec<_>>().join("  ")
+    columns
+        .iter()
+        .map(|c| format!("{c:>18}"))
+        .collect::<Vec<_>>()
+        .join("  ")
 }
 
 #[cfg(test)]

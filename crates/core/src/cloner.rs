@@ -49,7 +49,11 @@ impl ScalarCloner {
     /// A cloner with the paper's default `k = 1` and a generous rejection
     /// budget.
     pub fn new(model: IndependentSumModel) -> Self {
-        ScalarCloner { model, k: 1, max_candidates: 100_000 }
+        ScalarCloner {
+            model,
+            k: 1,
+            max_candidates: 100_000,
+        }
     }
 
     /// Run Algorithm 3 with the given staged parameters and desired number of
@@ -70,8 +74,8 @@ impl ScalarCloner {
             // Line 19: the (pᵢ·|S|)-largest element becomes the new cutoff.
             let mut qs: Vec<f64> = particles.iter().map(|x| self.model.q(x)).collect();
             qs.sort_by(|a, b| b.partial_cmp(a).unwrap());
-            let elite_count = ((p_step * particles.len() as f64).round() as usize)
-                .clamp(1, particles.len());
+            let elite_count =
+                ((p_step * particles.len() as f64).round() as usize).clamp(1, particles.len());
             let cutoff = qs[elite_count - 1];
             cutoffs.push(cutoff);
 
@@ -85,7 +89,10 @@ impl ScalarCloner {
 
             // Lines 22-24: Gibbs-update every particle at the current cutoff.
             for x in &mut particles {
-                gibbs.merge(self.model.gibbs_update(x, cutoff, self.k, gen, self.max_candidates));
+                gibbs.merge(
+                    self.model
+                        .gibbs_update(x, cutoff, self.k, gen, self.max_candidates),
+                );
             }
         }
 
@@ -144,10 +151,17 @@ mod tests {
         let report = cloner.run(&params, 50, &mut gen);
         assert_eq!(report.cutoffs.len(), 3);
         for w in report.cutoffs.windows(2) {
-            assert!(w[1] >= w[0], "cutoffs must be non-decreasing: {:?}", report.cutoffs);
+            assert!(
+                w[1] >= w[0],
+                "cutoffs must be non-decreasing: {:?}",
+                report.cutoffs
+            );
         }
         assert_eq!(report.tail_samples.len(), 50);
-        assert!(report.tail_samples.iter().all(|&q| q >= report.quantile_estimate - 1e-9));
+        assert!(report
+            .tail_samples
+            .iter()
+            .all(|&q| q >= report.quantile_estimate - 1e-9));
         assert_eq!(report.initial_samples, params.n_per_step);
     }
 
@@ -209,10 +223,14 @@ mod tests {
         let spread = |n_total: usize, seed: u64| {
             let params = staged_parameters_with_m(n_total, p, 3);
             let mut gen = Pcg64::new(seed);
-            let estimates: Vec<f64> =
-                (0..14).map(|_| cloner.run(&params, 30, &mut gen).quantile_estimate).collect();
+            let estimates: Vec<f64> = (0..14)
+                .map(|_| cloner.run(&params, 30, &mut gen).quantile_estimate)
+                .collect();
             let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-            (estimates.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            (estimates
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
                 / estimates.len() as f64)
                 .sqrt()
         };
@@ -238,7 +256,13 @@ mod tests {
             max_candidates: 500,
         };
         let heavy = ScalarCloner {
-            model: IndependentSumModel::iid(Distribution::Pareto { scale: 1.0, shape: 1.2 }, 15),
+            model: IndependentSumModel::iid(
+                Distribution::Pareto {
+                    scale: 1.0,
+                    shape: 1.2,
+                },
+                15,
+            ),
             k: 1,
             max_candidates: 500,
         };

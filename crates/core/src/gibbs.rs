@@ -267,12 +267,19 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (ma, mb) = (mean(&q_a), mean(&q_b));
-        let cov: f64 =
-            q_a.iter().zip(&q_b).map(|(a, b)| (a - ma) * (b - mb)).sum::<f64>() / n as f64;
+        let cov: f64 = q_a
+            .iter()
+            .zip(&q_b)
+            .map(|(a, b)| (a - ma) * (b - mb))
+            .sum::<f64>()
+            / n as f64;
         let var_a: f64 = q_a.iter().map(|a| (a - ma) * (a - ma)).sum::<f64>() / n as f64;
         let var_b: f64 = q_b.iter().map(|b| (b - mb) * (b - mb)).sum::<f64>() / n as f64;
         let corr = cov / (var_a * var_b).sqrt();
-        assert!(corr.abs() < 0.25, "chains should decorrelate, corr = {corr}");
+        assert!(
+            corr.abs() < 0.25,
+            "chains should decorrelate, corr = {corr}"
+        );
     }
 
     #[test]
@@ -306,7 +313,14 @@ mod tests {
         };
 
         let normal_rate = run(Distribution::Normal { mean: 1.0, sd: 1.0 }, 0.02, &mut gen);
-        let pareto_rate = run(Distribution::Pareto { scale: 1.0, shape: 1.3 }, 0.02, &mut gen);
+        let pareto_rate = run(
+            Distribution::Pareto {
+                scale: 1.0,
+                shape: 1.3,
+            },
+            0.02,
+            &mut gen,
+        );
         assert!(normal_rate > 0.25, "normal acceptance rate = {normal_rate}");
         assert!(
             pareto_rate < normal_rate,
@@ -331,8 +345,16 @@ mod tests {
 
     #[test]
     fn stats_merge_and_rates() {
-        let mut a = GibbsStats { accepted: 3, rejected: 1, exhausted: 0 };
-        a.merge(GibbsStats { accepted: 1, rejected: 3, exhausted: 2 });
+        let mut a = GibbsStats {
+            accepted: 3,
+            rejected: 1,
+            exhausted: 0,
+        };
+        a.merge(GibbsStats {
+            accepted: 1,
+            rejected: 3,
+            exhausted: 2,
+        });
         assert_eq!(a.accepted, 4);
         assert_eq!(a.rejected, 4);
         assert_eq!(a.exhausted, 2);

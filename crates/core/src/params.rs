@@ -55,7 +55,9 @@ impl StagedParameters {
     /// §3.3's point that with `p = 0.001`, `m = 4` each step only estimates a
     /// `1 - 0.001^{1/4} ≈ 0.82`-quantile.
     pub fn intermediate_quantile_levels(&self) -> Vec<f64> {
-        (1..=self.m).map(|i| 1.0 - self.p.powf(i as f64 / self.m as f64)).collect()
+        (1..=self.m)
+            .map(|i| 1.0 - self.p.powf(i as f64 / self.m as f64))
+            .collect()
     }
 }
 
@@ -69,7 +71,10 @@ pub fn g_m(n_total: f64, p: f64, c: f64, m: usize) -> f64 {
 /// `h_c(ν, ρ, m) = ∏ᵢ (nᵢ pᵢ + c)/(nᵢ + c)` for arbitrary stage vectors.
 pub fn h_c(ns: &[f64], ps: &[f64], c: f64) -> f64 {
     assert_eq!(ns.len(), ps.len(), "stage vectors must have equal length");
-    ns.iter().zip(ps).map(|(&n, &p)| (n * p + c) / (n + c)).product()
+    ns.iter()
+        .zip(ps)
+        .map(|(&n, &p)| (n * p + c) / (n + c))
+        .product()
 }
 
 /// The MSRE `u(ν, ρ, m)` of Appendix C for arbitrary stage vectors.
@@ -218,7 +223,10 @@ mod tests {
         for m in 1..m_star {
             assert!(values[m - 1] >= values[m], "g not decreasing at m = {m}");
         }
-        assert!(values[m_star - 1] < values[m_star], "g should increase after m*");
+        assert!(
+            values[m_star - 1] < values[m_star],
+            "g should increase after m*"
+        );
     }
 
     #[test]
@@ -273,7 +281,10 @@ mod tests {
         let target = 0.05;
         let n = budget_for_msre(p, target);
         assert!(w_of_n(n, p) <= target);
-        assert!(n > 100, "a 5% MSRE at p=0.001 needs a nontrivial budget, got {n}");
+        assert!(
+            n > 100,
+            "a 5% MSRE at p=0.001 needs a nontrivial budget, got {n}"
+        );
     }
 
     #[test]

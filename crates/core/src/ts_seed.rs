@@ -155,7 +155,10 @@ mod tests {
     fn replenishment_detection_and_extension() {
         let mut ts = TsSeed::new(9, 2, 5);
         ts.assign(0, 4);
-        assert!(ts.needs_replenish(), "next unused (5) is beyond the materialized range");
+        assert!(
+            ts.needs_replenish(),
+            "next unused (5) is beyond the materialized range"
+        );
         ts.extend_materialized(5);
         assert!(!ts.needs_replenish());
         assert_eq!(ts.high, 10);

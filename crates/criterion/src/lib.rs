@@ -1,0 +1,306 @@
+//! An offline stand-in for the parts of the [criterion](https://crates.io/crates/criterion)
+//! 0.5 API that the `mcdbr-bench` benches use.
+//!
+//! The build environment for this repository cannot reach a crates registry,
+//! so the real criterion crate cannot be fetched.  This crate keeps the bench
+//! sources identical to what they would be with the real dependency — swap
+//! the workspace `criterion` entry for `criterion = "0.5"` and everything
+//! recompiles unchanged — while providing a serviceable measurement loop:
+//! per-benchmark warm-up, a configurable number of timed samples, and a
+//! mean / min / max wall-clock report on stdout.
+//!
+//! Behavioural notes:
+//!
+//! * `cargo bench` runs the full sample loop.
+//! * `cargo test` (which builds `harness = false` bench targets in test mode
+//!   and passes `--test`) runs each benchmark exactly once, so the tier-1
+//!   test suite stays fast.
+//! * Unknown CLI flags and filters are accepted and ignored, matching how
+//!   cargo invokes bench binaries.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `block_size/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone (criterion prefixes the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    num_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches the first sample would otherwise pay for).
+        black_box(routine());
+        for _ in 0..self.num_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, None, &id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            self.criterion,
+            Some(&self.name),
+            &id.to_string(),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            self.criterion,
+            Some(&self.name),
+            &id.to_string(),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (report separator; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let num_samples = if criterion.test_mode { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        num_samples,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("test {full_id} ... ok");
+        return;
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{full_id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{full_id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            num_samples: 3,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(b.samples.len(), 3);
+        // Warm-up plus three samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).contains(" s"));
+    }
+}

@@ -15,6 +15,7 @@ use mcdbr_storage::{Error, Result, Schema, Value};
 
 use crate::bundle::BundleSet;
 use crate::expr::Expr;
+use crate::par;
 
 /// Aggregate functions supported by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,27 +46,47 @@ pub struct AggregateSpec {
 impl AggregateSpec {
     /// `SUM(expr) AS alias`
     pub fn sum(expr: Expr, alias: impl Into<String>) -> Self {
-        AggregateSpec { func: AggFunc::Sum, expr, alias: alias.into() }
+        AggregateSpec {
+            func: AggFunc::Sum,
+            expr,
+            alias: alias.into(),
+        }
     }
 
     /// `COUNT(*) AS alias`
     pub fn count(alias: impl Into<String>) -> Self {
-        AggregateSpec { func: AggFunc::Count, expr: Expr::lit(1i64), alias: alias.into() }
+        AggregateSpec {
+            func: AggFunc::Count,
+            expr: Expr::lit(1i64),
+            alias: alias.into(),
+        }
     }
 
     /// `AVG(expr) AS alias`
     pub fn avg(expr: Expr, alias: impl Into<String>) -> Self {
-        AggregateSpec { func: AggFunc::Avg, expr, alias: alias.into() }
+        AggregateSpec {
+            func: AggFunc::Avg,
+            expr,
+            alias: alias.into(),
+        }
     }
 
     /// `MIN(expr) AS alias`
     pub fn min(expr: Expr, alias: impl Into<String>) -> Self {
-        AggregateSpec { func: AggFunc::Min, expr, alias: alias.into() }
+        AggregateSpec {
+            func: AggFunc::Min,
+            expr,
+            alias: alias.into(),
+        }
     }
 
     /// `MAX(expr) AS alias`
     pub fn max(expr: Expr, alias: impl Into<String>) -> Self {
-        AggregateSpec { func: AggFunc::Max, expr, alias: alias.into() }
+        AggregateSpec {
+            func: AggFunc::Max,
+            expr,
+            alias: alias.into(),
+        }
     }
 }
 
@@ -115,9 +136,24 @@ pub fn evaluate_aggregate(
     group_by: &[String],
     final_predicate: Option<&Expr>,
 ) -> Result<QueryResultSamples> {
+    evaluate_aggregate_threads(set, agg, group_by, final_predicate, par::default_threads())
+}
+
+/// [`evaluate_aggregate`] with an explicit worker-thread count.  Repetitions
+/// are independent, and bundle order within a repetition is preserved, so
+/// the result is bit-identical for every thread count.
+pub fn evaluate_aggregate_threads(
+    set: &BundleSet,
+    agg: &AggregateSpec,
+    group_by: &[String],
+    final_predicate: Option<&Expr>,
+    threads: usize,
+) -> Result<QueryResultSamples> {
     let schema = &set.schema;
-    let group_idx: Vec<usize> =
-        group_by.iter().map(|g| schema.index_of(g)).collect::<Result<_>>()?;
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| schema.index_of(g))
+        .collect::<Result<_>>()?;
 
     // Group keys must be deterministic.
     for bundle in &set.bundles {
@@ -136,11 +172,13 @@ pub fn evaluate_aggregate(
     let mut keys: Vec<Vec<Value>> = Vec::new();
     let mut key_of_bundle: Vec<usize> = Vec::with_capacity(set.bundles.len());
     for bundle in &set.bundles {
-        let key: Vec<Value> =
-            group_idx.iter().map(|&gi| bundle.values[gi].value_at(0).clone()).collect();
-        let pos = keys.iter().position(|k| {
-            k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.sql_eq(b))
-        });
+        let key: Vec<Value> = group_idx
+            .iter()
+            .map(|&gi| bundle.values[gi].value_at(0).clone())
+            .collect();
+        let pos = keys
+            .iter()
+            .position(|k| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.sql_eq(b)));
         let idx = match pos {
             Some(i) => i,
             None => {
@@ -157,31 +195,47 @@ pub fn evaluate_aggregate(
         }
     }
 
+    // One independent accumulation per repetition, fanned out across
+    // repetitions; within a repetition bundles are visited in set order, so
+    // floating-point accumulation order (and hence every bit of the result)
+    // is independent of the thread count.
     let n = set.num_reps;
-    let mut accums: Vec<Vec<Accum>> = keys.iter().map(|_| vec![Accum::default(); n]).collect();
-
-    for (bundle, &gidx) in set.bundles.iter().zip(&key_of_bundle) {
-        for rep in 0..n {
-            if !bundle.is_present(rep) {
-                continue;
-            }
-            let row = bundle.row_at(rep);
-            if let Some(pred) = final_predicate {
-                if !pred.eval_bool(schema, &row)? {
+    let reps: Vec<usize> = (0..n).collect();
+    let per_rep: Vec<Vec<Accum>> =
+        par::try_par_map_threads(&reps, threads, |&rep| -> Result<Vec<Accum>> {
+            let mut accs = vec![Accum::default(); keys.len()];
+            for (bundle, &gidx) in set.bundles.iter().zip(&key_of_bundle) {
+                if !bundle.is_present(rep) {
                     continue;
                 }
+                let row = bundle.row_at(rep);
+                if let Some(pred) = final_predicate {
+                    if !pred.eval_bool(schema, &row)? {
+                        continue;
+                    }
+                }
+                accs[gidx].add(agg.expr.eval_f64(schema, &row)?);
             }
-            let x = agg.expr.eval_f64(schema, &row)?;
-            accums[gidx][rep].add(x);
-        }
-    }
+            Ok(accs)
+        })?;
 
     let groups = keys
         .into_iter()
-        .zip(accums)
-        .map(|(key, acc)| (key, acc.into_iter().map(|a| a.finish(agg.func)).collect()))
+        .enumerate()
+        .map(|(gidx, key)| {
+            (
+                key,
+                per_rep
+                    .iter()
+                    .map(|accs| accs[gidx].finish(agg.func))
+                    .collect(),
+            )
+        })
         .collect();
-    Ok(QueryResultSamples { group_columns: group_by.to_vec(), groups })
+    Ok(QueryResultSamples {
+        group_columns: group_by.to_vec(),
+        groups,
+    })
 }
 
 /// Evaluate the aggregate for one repetition over explicit rows — used by the
@@ -266,10 +320,7 @@ mod tests {
     /// Build a small bundle set by hand: three "customers" with known
     /// per-repetition losses and a deterministic region.
     fn test_set() -> BundleSet {
-        let schema = Schema::new(vec![
-            Field::utf8("region"),
-            Field::float64("loss"),
-        ]);
+        let schema = Schema::new(vec![Field::utf8("region"), Field::float64("loss")]);
         let mk = |region: &str, seed: u64, vals: Vec<f64>| TupleBundle {
             values: vec![
                 BundleValue::Const(Value::str(region)),
@@ -310,7 +361,10 @@ mod tests {
         let res = evaluate_aggregate(&set, &agg, &["region".to_string()], None).unwrap();
         assert_eq!(res.groups.len(), 2);
         assert_eq!(res.group(&[Value::str("EU")]).unwrap(), &[11.0, 22.0, 33.0]);
-        assert_eq!(res.group(&[Value::str("US")]).unwrap(), &[100.0, 200.0, 300.0]);
+        assert_eq!(
+            res.group(&[Value::str("US")]).unwrap(),
+            &[100.0, 200.0, 300.0]
+        );
         assert!(res.group(&[Value::str("APAC")]).is_none());
         assert!(res.single().is_err());
     }
@@ -320,14 +374,14 @@ mod tests {
         let set = test_set();
         let count = evaluate_aggregate(&set, &AggregateSpec::count("n"), &[], None).unwrap();
         assert_eq!(count.single().unwrap(), &[3.0, 3.0, 3.0]);
-        let avg =
-            evaluate_aggregate(&set, &AggregateSpec::avg(Expr::col("loss"), "a"), &[], None).unwrap();
+        let avg = evaluate_aggregate(&set, &AggregateSpec::avg(Expr::col("loss"), "a"), &[], None)
+            .unwrap();
         assert_eq!(avg.single().unwrap(), &[37.0, 74.0, 111.0]);
-        let min =
-            evaluate_aggregate(&set, &AggregateSpec::min(Expr::col("loss"), "m"), &[], None).unwrap();
+        let min = evaluate_aggregate(&set, &AggregateSpec::min(Expr::col("loss"), "m"), &[], None)
+            .unwrap();
         assert_eq!(min.single().unwrap(), &[1.0, 2.0, 3.0]);
-        let max =
-            evaluate_aggregate(&set, &AggregateSpec::max(Expr::col("loss"), "M"), &[], None).unwrap();
+        let max = evaluate_aggregate(&set, &AggregateSpec::max(Expr::col("loss"), "M"), &[], None)
+            .unwrap();
         assert_eq!(max.single().unwrap(), &[100.0, 200.0, 300.0]);
     }
 

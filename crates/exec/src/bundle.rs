@@ -99,7 +99,10 @@ pub struct TupleBundle {
 impl TupleBundle {
     /// A bundle whose attributes are all constants (a deterministic tuple).
     pub fn constant(values: Vec<Value>) -> Self {
-        TupleBundle { values: values.into_iter().map(BundleValue::Const).collect(), is_pres: None }
+        TupleBundle {
+            values: values.into_iter().map(BundleValue::Const).collect(),
+            is_pres: None,
+        }
     }
 
     /// Number of attributes.
@@ -154,7 +157,10 @@ impl TupleBundle {
     /// Materialize the row of this bundle for repetition `rep` (ignoring
     /// presence; callers check [`TupleBundle::is_present`] first).
     pub fn row_at(&self, rep: usize) -> Vec<Value> {
-        self.values.iter().map(|v| v.value_at(rep).clone()).collect()
+        self.values
+            .iter()
+            .map(|v| v.value_at(rep).clone())
+            .collect()
     }
 
     /// Concatenate two bundles (used by join operators).  Presence vectors
@@ -166,9 +172,7 @@ impl TupleBundle {
             (None, None) => None,
             (Some(a), None) => Some(a.clone()),
             (None, Some(b)) => Some(b.clone()),
-            (Some(a), Some(b)) => {
-                Some(a.iter().zip(b.iter()).map(|(x, y)| *x && *y).collect())
-            }
+            (Some(a), Some(b)) => Some(a.iter().zip(b.iter()).map(|(x, y)| *x && *y).collect()),
         };
         TupleBundle { values, is_pres }
     }
@@ -296,8 +300,14 @@ mod tests {
         let set = BundleSet {
             schema: Schema::empty(),
             bundles: vec![
-                TupleBundle { values: vec![random_attr(5, vec![1.0])], is_pres: None },
-                TupleBundle { values: vec![random_attr(2, vec![1.0])], is_pres: None },
+                TupleBundle {
+                    values: vec![random_attr(5, vec![1.0])],
+                    is_pres: None,
+                },
+                TupleBundle {
+                    values: vec![random_attr(2, vec![1.0])],
+                    is_pres: None,
+                },
             ],
             registry: StreamRegistry::new(),
             num_reps: 1,

@@ -42,13 +42,21 @@ pub struct ExecOptions {
 impl ExecOptions {
     /// Options for an MCDB run with `n` Monte Carlo repetitions.
     pub fn monte_carlo(master_seed: u64, n: usize) -> Self {
-        ExecOptions { master_seed, num_values: n, base_pos: 0 }
+        ExecOptions {
+            master_seed,
+            num_values: n,
+            base_pos: 0,
+        }
     }
 
     /// Options for an MCDB-R (Gibbs) run materializing a block of
     /// `block_size` values per stream starting at `base_pos`.
     pub fn gibbs_block(master_seed: u64, block_size: usize, base_pos: u64) -> Self {
-        ExecOptions { master_seed, num_values: block_size, base_pos }
+        ExecOptions {
+            master_seed,
+            num_values: block_size,
+            base_pos,
+        }
     }
 }
 
@@ -85,7 +93,12 @@ impl Executor {
         self.plans_executed += 1;
         let mut registry = StreamRegistry::new();
         let (schema, bundles) = exec_node(plan, catalog, opts, &mut registry)?;
-        Ok(BundleSet { schema, bundles, registry, num_reps: opts.num_values })
+        Ok(BundleSet {
+            schema,
+            bundles,
+            registry,
+            num_reps: opts.num_values,
+        })
     }
 }
 
@@ -117,7 +130,9 @@ fn exec_node(
             let projected = apply_project(&in_schema, bundles, exprs, opts.num_values)?;
             Ok((out_schema, projected))
         }
-        PlanNode::Join { left, right, on, .. } => {
+        PlanNode::Join {
+            left, right, on, ..
+        } => {
             let (ls, lb) = exec_node(left, catalog, opts, registry)?;
             let (rs, rb) = exec_node(right, catalog, opts, registry)?;
             let out_schema = ls.join(&rs);
@@ -195,7 +210,10 @@ fn exec_random_table(
                     }
                 }
             }
-            bundles.push(TupleBundle { values, is_pres: None });
+            bundles.push(TupleBundle {
+                values,
+                is_pres: None,
+            });
         }
     }
     Ok((out_schema, bundles))
@@ -210,8 +228,10 @@ fn apply_filter(
     num_reps: usize,
 ) -> Result<Vec<TupleBundle>> {
     let referenced = predicate.referenced_columns();
-    let ref_indices: Vec<usize> =
-        referenced.iter().map(|c| schema.index_of(c)).collect::<Result<_>>()?;
+    let ref_indices: Vec<usize> = referenced
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
 
     let mut out = Vec::with_capacity(bundles.len());
     for mut bundle in bundles {
@@ -279,14 +299,19 @@ fn apply_project(
                 values.push(BundleValue::Computed(computed));
             }
         }
-        out.push(TupleBundle { values, is_pres: bundle.is_pres.clone() });
+        out.push(TupleBundle {
+            values,
+            is_pres: bundle.is_pres.clone(),
+        });
     }
     Ok(out)
 }
 
-/// A hashable key over constant join values.
+/// A hashable key over constant join values.  Shared with the two-phase
+/// [`crate::session::ExecSession`], whose symbolic join must order its output
+/// exactly like this executor's.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum JoinKey {
+pub(crate) enum JoinKey {
     Null,
     Int(i64),
     Bits(u64),
@@ -294,7 +319,7 @@ enum JoinKey {
     Str(String),
 }
 
-fn join_key(v: &Value) -> JoinKey {
+pub(crate) fn join_key(v: &Value) -> JoinKey {
     match v {
         Value::Null => JoinKey::Null,
         Value::Int64(i) => JoinKey::Int(*i),
@@ -319,10 +344,14 @@ fn apply_hash_join(
     if on.is_empty() {
         return Err(Error::Invalid("join requires at least one key pair".into()));
     }
-    let left_keys: Vec<usize> =
-        on.iter().map(|(l, _)| left_schema.index_of(l)).collect::<Result<_>>()?;
-    let right_keys: Vec<usize> =
-        on.iter().map(|(_, r)| right_schema.index_of(r)).collect::<Result<_>>()?;
+    let left_keys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left_schema.index_of(l))
+        .collect::<Result<_>>()?;
+    let right_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right_schema.index_of(r))
+        .collect::<Result<_>>()?;
 
     // Build side: the right input.
     let mut table: HashMap<Vec<JoinKey>, Vec<usize>> = HashMap::with_capacity(right.len());
@@ -387,8 +416,9 @@ fn apply_split(
             }
         }
         for v in distinct {
-            let mask: Vec<bool> =
-                (0..num_reps).map(|rep| bundle.values[idx].value_at(rep).sql_eq(&v)).collect();
+            let mask: Vec<bool> = (0..num_reps)
+                .map(|rep| bundle.values[idx].value_at(rep).sql_eq(&v))
+                .collect();
             let mut split = bundle.clone();
             split.values[idx] = BundleValue::Const(v);
             split.restrict_presence(&mask);
@@ -415,13 +445,15 @@ mod tests {
             .row([Value::Int64(3), Value::Float64(5.0)])
             .build()
             .unwrap();
-        let regions =
-            TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::utf8("region")]))
-                .row([Value::Int64(1), Value::str("EU")])
-                .row([Value::Int64(2), Value::str("US")])
-                .row([Value::Int64(2), Value::str("APAC")])
-                .build()
-                .unwrap();
+        let regions = TableBuilder::new(Schema::new(vec![
+            Field::int64("cid"),
+            Field::utf8("region"),
+        ]))
+        .row([Value::Int64(1), Value::str("EU")])
+        .row([Value::Int64(2), Value::str("US")])
+        .row([Value::Int64(2), Value::str("APAC")])
+        .build()
+        .unwrap();
         let mut catalog = Catalog::new();
         catalog.register("means", means).unwrap();
         catalog.register("regions", regions).unwrap();
@@ -445,7 +477,11 @@ mod tests {
         let catalog = catalog();
         let mut exec = Executor::new();
         let set = exec
-            .execute(&PlanNode::scan("means"), &catalog, &ExecOptions::monte_carlo(7, 4))
+            .execute(
+                &PlanNode::scan("means"),
+                &catalog,
+                &ExecOptions::monte_carlo(7, 4),
+            )
             .unwrap();
         assert_eq!(set.len(), 3);
         assert!(set.bundles.iter().all(|b| b.is_fully_const()));
@@ -456,14 +492,18 @@ mod tests {
     fn random_table_materializes_blocks_with_lineage() {
         let catalog = catalog();
         let mut exec = Executor::new();
-        let set = exec.execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(7, 5)).unwrap();
+        let set = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(7, 5))
+            .unwrap();
         assert_eq!(set.len(), 3);
         assert_eq!(set.schema.names(), vec!["cid", "val"]);
         assert_eq!(set.seeds().len(), 3);
         for bundle in &set.bundles {
             assert!(bundle.values[0].is_const());
             match &bundle.values[1] {
-                BundleValue::Random { values, base_pos, .. } => {
+                BundleValue::Random {
+                    values, base_pos, ..
+                } => {
                     assert_eq!(values.len(), 5);
                     assert_eq!(*base_pos, 0);
                 }
@@ -472,9 +512,19 @@ mod tests {
         }
         // The registry can regenerate exactly the materialized values.
         let b = &set.bundles[0];
-        if let BundleValue::Random { seed, vg_row, vg_col, values, .. } = &b.values[1] {
+        if let BundleValue::Random {
+            seed,
+            vg_row,
+            vg_col,
+            values,
+            ..
+        } = &b.values[1]
+        {
             for (i, v) in values.iter().enumerate() {
-                let regen = set.registry.value_at(*seed, i as u64, *vg_row, *vg_col).unwrap();
+                let regen = set
+                    .registry
+                    .value_at(*seed, i as u64, *vg_row, *vg_col)
+                    .unwrap();
                 assert_eq!(&regen, v);
             }
         }
@@ -484,9 +534,15 @@ mod tests {
     fn executions_are_reproducible_for_a_master_seed() {
         let catalog = catalog();
         let mut exec = Executor::new();
-        let a = exec.execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(42, 3)).unwrap();
-        let b = exec.execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(42, 3)).unwrap();
-        let c = exec.execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(43, 3)).unwrap();
+        let a = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(42, 3))
+            .unwrap();
+        let b = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(42, 3))
+            .unwrap();
+        let c = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(43, 3))
+            .unwrap();
         assert_eq!(a.bundles, b.bundles);
         assert_ne!(a.bundles, c.bundles);
         assert_eq!(exec.plans_executed(), 3);
@@ -499,14 +555,21 @@ mod tests {
         // "new or currently assigned" values, never different ones.
         let catalog = catalog();
         let mut exec = Executor::new();
-        let long = exec.execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(7, 10)).unwrap();
-        let block =
-            exec.execute(&losses_plan(), &catalog, &ExecOptions::gibbs_block(7, 5, 5)).unwrap();
+        let long = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::monte_carlo(7, 10))
+            .unwrap();
+        let block = exec
+            .execute(&losses_plan(), &catalog, &ExecOptions::gibbs_block(7, 5, 5))
+            .unwrap();
         for (lb, bb) in long.bundles.iter().zip(block.bundles.iter()) {
             let (long_vals, block_vals) = match (&lb.values[1], &bb.values[1]) {
                 (
                     BundleValue::Random { values: a, .. },
-                    BundleValue::Random { values: b, base_pos, .. },
+                    BundleValue::Random {
+                        values: b,
+                        base_pos,
+                        ..
+                    },
                 ) => {
                     assert_eq!(*base_pos, 5);
                     (a, b)
@@ -522,7 +585,9 @@ mod tests {
         let catalog = catalog();
         let mut exec = Executor::new();
         let plan = losses_plan().filter(Expr::col("cid").lt(Expr::lit(3i64)));
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 4)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 4))
+            .unwrap();
         assert_eq!(set.len(), 2);
         assert!(set.bundles.iter().all(|b| b.is_pres.is_none()));
     }
@@ -533,17 +598,25 @@ mod tests {
         let mut exec = Executor::new();
         // Loss > mean: true roughly half the time per repetition.
         let plan = losses_plan().filter(Expr::col("val").gt(Expr::lit(4.0)));
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 64)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 64))
+            .unwrap();
         // Bundles that survive carry per-repetition presence masks.
         assert!(!set.is_empty());
         for b in &set.bundles {
-            let pres = b.is_pres.as_ref().expect("random filter must create isPres");
+            let pres = b
+                .is_pres
+                .as_ref()
+                .expect("random filter must create isPres");
             assert_eq!(pres.len(), 64);
-            assert!(pres.iter().any(|&p| p), "never-present bundles must be dropped");
+            assert!(
+                pres.iter().any(|&p| p),
+                "never-present bundles must be dropped"
+            );
             // Presence must agree with the predicate on the materialized values.
-            for rep in 0..64 {
+            for (rep, &present) in pres.iter().enumerate() {
                 let val = b.values[1].value_at(rep).as_f64().unwrap();
-                assert_eq!(pres[rep], val > 4.0);
+                assert_eq!(present, val > 4.0);
             }
         }
     }
@@ -558,11 +631,19 @@ mod tests {
             ("shifted", Expr::col("val").add(Expr::lit(10.0))),
             ("const_tag", Expr::lit(1i64)),
         ]);
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 3)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 3))
+            .unwrap();
         let b = &set.bundles[0];
-        assert!(matches!(b.values[0], BundleValue::Random { .. }), "lineage preserved");
+        assert!(
+            matches!(b.values[0], BundleValue::Random { .. }),
+            "lineage preserved"
+        );
         assert!(b.values[1].is_const());
-        assert!(matches!(b.values[2], BundleValue::Computed(_)), "derived loses lineage");
+        assert!(
+            matches!(b.values[2], BundleValue::Computed(_)),
+            "derived loses lineage"
+        );
         assert!(b.values[3].is_const());
         // The computed column equals the random column plus ten, per repetition.
         for rep in 0..3 {
@@ -577,7 +658,9 @@ mod tests {
         let catalog = catalog();
         let mut exec = Executor::new();
         let plan = losses_plan().join(PlanNode::scan("regions"), vec![("cid", "cid")]);
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 2)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 2))
+            .unwrap();
         // cid 1 joins once, cid 2 joins twice, cid 3 never joins => 3 bundles.
         assert_eq!(set.len(), 3);
         assert_eq!(set.schema.names(), vec!["cid", "val", "cid_1", "region"]);
@@ -617,18 +700,30 @@ mod tests {
             vg: Arc::new(DiscreteVg::new(vec![Value::Int64(20), Value::Int64(21)])),
             vg_params: vec![Expr::col("w_young"), Expr::col("w_old")],
             columns: vec![
-                OutputColumn::Param { source: "id".into(), as_name: "id".into() },
-                OutputColumn::Vg { vg_col: 0, as_name: "age".into() },
+                OutputColumn::Param {
+                    source: "id".into(),
+                    as_name: "id".into(),
+                },
+                OutputColumn::Vg {
+                    vg_col: 0,
+                    as_name: "age".into(),
+                },
             ],
             table_tag: 3,
         };
         let mut exec = Executor::new();
         let n = 32;
         let plan = PlanNode::random_table(spec).split("age");
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(11, n)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(11, n))
+            .unwrap();
         assert_eq!(set.len(), 2, "both ages should appear in 32 repetitions");
         // Presence masks partition the repetitions.
-        let pres: Vec<&Vec<bool>> = set.bundles.iter().map(|b| b.is_pres.as_ref().unwrap()).collect();
+        let pres: Vec<&Vec<bool>> = set
+            .bundles
+            .iter()
+            .map(|b| b.is_pres.as_ref().unwrap())
+            .collect();
         for rep in 0..n {
             let count = pres.iter().filter(|m| m[rep]).count();
             assert_eq!(count, 1, "exactly one age per repetition");
@@ -642,7 +737,9 @@ mod tests {
         let catalog = catalog();
         let mut exec = Executor::new();
         let plan = losses_plan().split("cid");
-        let set = exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 4)).unwrap();
+        let set = exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 4))
+            .unwrap();
         assert_eq!(set.len(), 3);
     }
 
@@ -651,11 +748,20 @@ mod tests {
         let catalog = catalog();
         let mut exec = Executor::new();
         assert!(exec
-            .execute(&PlanNode::scan("nope"), &catalog, &ExecOptions::monte_carlo(1, 1))
+            .execute(
+                &PlanNode::scan("nope"),
+                &catalog,
+                &ExecOptions::monte_carlo(1, 1)
+            )
             .is_err());
         let plan = losses_plan().filter(Expr::col("nonexistent").gt(Expr::lit(0.0)));
-        assert!(exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(1, 1)).is_err());
-        let plan = PlanNode::scan("means").join(PlanNode::scan("regions"), Vec::<(&str, &str)>::new());
-        assert!(exec.execute(&plan, &catalog, &ExecOptions::monte_carlo(1, 1)).is_err());
+        assert!(exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(1, 1))
+            .is_err());
+        let plan =
+            PlanNode::scan("means").join(PlanNode::scan("regions"), Vec::<(&str, &str)>::new());
+        assert!(exec
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(1, 1))
+            .is_err());
     }
 }

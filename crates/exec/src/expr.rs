@@ -92,25 +92,33 @@ impl Expr {
     }
 
     fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::binary(BinaryOp::Add, self, rhs)
     }
 
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::binary(BinaryOp::Sub, self, rhs)
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::binary(BinaryOp::Mul, self, rhs)
     }
 
     /// `self / rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::binary(BinaryOp::Div, self, rhs)
     }
@@ -302,15 +310,25 @@ mod tests {
     }
 
     fn emp_row() -> Vec<Value> {
-        vec![Value::Float64(24_000.0), Value::str("Sue"), Value::Float64(28_000.0)]
+        vec![
+            Value::Float64(24_000.0),
+            Value::str("Sue"),
+            Value::Float64(28_000.0),
+        ]
     }
 
     #[test]
     fn column_and_literal() {
         let schema = emp_schema();
         let row = emp_row();
-        assert_eq!(Expr::col("eid").eval(&schema, &row).unwrap(), Value::str("Sue"));
-        assert_eq!(Expr::lit(5i64).eval(&schema, &row).unwrap(), Value::Int64(5));
+        assert_eq!(
+            Expr::col("eid").eval(&schema, &row).unwrap(),
+            Value::str("Sue")
+        );
+        assert_eq!(
+            Expr::lit(5i64).eval(&schema, &row).unwrap(),
+            Value::Int64(5)
+        );
         assert!(Expr::col("bonus").eval(&schema, &row).is_err());
     }
 
@@ -331,32 +349,66 @@ mod tests {
     fn comparisons() {
         let schema = emp_schema();
         let row = emp_row();
-        assert!(Expr::col("sal2").gt(Expr::col("sal")).eval_bool(&schema, &row).unwrap());
-        assert!(Expr::col("sal").lt(Expr::lit(90_000.0)).eval_bool(&schema, &row).unwrap());
-        assert!(!Expr::col("sal").gt_eq(Expr::lit(90_000.0)).eval_bool(&schema, &row).unwrap());
-        assert!(Expr::col("eid").eq(Expr::lit("Sue")).eval_bool(&schema, &row).unwrap());
-        assert!(Expr::col("eid").not_eq(Expr::lit("Joe")).eval_bool(&schema, &row).unwrap());
-        assert!(Expr::col("sal").lt_eq(Expr::lit(24_000.0)).eval_bool(&schema, &row).unwrap());
+        assert!(Expr::col("sal2")
+            .gt(Expr::col("sal"))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(Expr::col("sal")
+            .lt(Expr::lit(90_000.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(!Expr::col("sal")
+            .gt_eq(Expr::lit(90_000.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(Expr::col("eid")
+            .eq(Expr::lit("Sue"))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(Expr::col("eid")
+            .not_eq(Expr::lit("Joe"))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(Expr::col("sal")
+            .lt_eq(Expr::lit(24_000.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
         // Comparing a string with a number is a type error.
-        assert!(Expr::col("eid").lt(Expr::lit(1i64)).eval(&schema, &row).is_err());
+        assert!(Expr::col("eid")
+            .lt(Expr::lit(1i64))
+            .eval(&schema, &row)
+            .is_err());
     }
 
     #[test]
     fn null_comparisons_are_false() {
         let schema = Schema::new(vec![Field::float64("x")]);
         let row = vec![Value::Null];
-        assert!(!Expr::col("x").gt(Expr::lit(0.0)).eval_bool(&schema, &row).unwrap());
-        assert!(!Expr::col("x").eq(Expr::lit(0.0)).eval_bool(&schema, &row).unwrap());
-        assert!(!Expr::col("x").not_eq(Expr::lit(0.0)).eval_bool(&schema, &row).unwrap());
+        assert!(!Expr::col("x")
+            .gt(Expr::lit(0.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(!Expr::col("x")
+            .eq(Expr::lit(0.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
+        assert!(!Expr::col("x")
+            .not_eq(Expr::lit(0.0))
+            .eval_bool(&schema, &row)
+            .unwrap());
     }
 
     #[test]
     fn logic_and_short_circuit() {
         let schema = emp_schema();
         let row = emp_row();
-        let p = Expr::col("sal").lt(Expr::lit(90_000.0)).and(Expr::col("sal2").gt(Expr::lit(25_000.0)));
+        let p = Expr::col("sal")
+            .lt(Expr::lit(90_000.0))
+            .and(Expr::col("sal2").gt(Expr::lit(25_000.0)));
         assert!(p.eval_bool(&schema, &row).unwrap());
-        let q = Expr::col("sal").gt(Expr::lit(90_000.0)).or(Expr::col("sal2").gt(Expr::lit(25_000.0)));
+        let q = Expr::col("sal")
+            .gt(Expr::lit(90_000.0))
+            .or(Expr::col("sal2").gt(Expr::lit(25_000.0)));
         assert!(q.eval_bool(&schema, &row).unwrap());
         assert!(!p.clone().not().eval_bool(&schema, &row).unwrap());
         // Short-circuit: the right side would error (column missing) but the
@@ -369,14 +421,18 @@ mod tests {
 
     #[test]
     fn referenced_columns_dedup_in_order() {
-        let e = Expr::col("b").add(Expr::col("a")).mul(Expr::col("b").sub(Expr::lit(1.0)));
+        let e = Expr::col("b")
+            .add(Expr::col("a"))
+            .mul(Expr::col("b").sub(Expr::lit(1.0)));
         assert_eq!(e.referenced_columns(), vec!["b", "a"]);
         assert!(Expr::lit(3i64).referenced_columns().is_empty());
     }
 
     #[test]
     fn display_round_trip_readability() {
-        let e = Expr::col("sal2").gt(Expr::col("sal")).and(Expr::col("sal").lt(Expr::lit(90_000.0)));
+        let e = Expr::col("sal2")
+            .gt(Expr::col("sal"))
+            .and(Expr::col("sal").lt(Expr::lit(90_000.0)));
         assert_eq!(e.to_string(), "((sal2 > sal) AND (sal < 90000))");
     }
 }

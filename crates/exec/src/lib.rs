@@ -29,12 +29,23 @@
 //! * [`aggregate`] — per-repetition evaluation of aggregation queries over a
 //!   `BundleSet` (the MCDB baseline path) and the aggregate/predicate
 //!   descriptors shared with the Gibbs Looper.
+//! * [`session`] — two-phase execution: [`session::ExecSession::prepare`]
+//!   runs the deterministic skeleton of a plan exactly once into a cached
+//!   [`session::DeterministicPrefix`], and
+//!   [`session::ExecSession::instantiate_block`] materializes only stream
+//!   values per block.  This is how replenishment (paper §9) avoids re-paying
+//!   for scans and joins, and the seam the engines build on.
+//! * [`par`] — the deterministic parallel fan-out used by phase-2
+//!   instantiation and per-repetition aggregation (bit-identical results for
+//!   every thread count).
 
 pub mod aggregate;
 pub mod bundle;
 pub mod executor;
 pub mod expr;
+pub mod par;
 pub mod plan;
+pub mod session;
 pub mod stream_registry;
 
 pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
@@ -42,4 +53,5 @@ pub use bundle::{BundleSet, BundleValue, TupleBundle};
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
 pub use plan::{JoinType, PlanNode, RandomTableSpec};
+pub use session::{DeterministicPrefix, ExecSession};
 pub use stream_registry::{StreamRegistry, StreamSource};

@@ -76,10 +76,16 @@ impl RandomTableSpec {
             match col {
                 OutputColumn::Param { source, as_name } => {
                     let idx = param_schema.index_of(source)?;
-                    fields.push(Field::new(as_name.clone(), param_schema.field(idx).data_type));
+                    fields.push(Field::new(
+                        as_name.clone(),
+                        param_schema.field(idx).data_type,
+                    ));
                 }
                 OutputColumn::Vg { vg_col, as_name } => {
-                    let dt = vg_fields.get(*vg_col).map(|f| f.data_type).unwrap_or(DataType::Float64);
+                    let dt = vg_fields
+                        .get(*vg_col)
+                        .map(|f| f.data_type)
+                        .unwrap_or(DataType::Float64);
                     fields.push(Field::new(as_name.clone(), dt));
                 }
             }
@@ -148,7 +154,9 @@ pub enum PlanNode {
 impl PlanNode {
     /// Scan a deterministic table.
     pub fn scan(table: impl Into<String>) -> PlanNode {
-        PlanNode::TableScan { table: table.into() }
+        PlanNode::TableScan {
+            table: table.into(),
+        }
     }
 
     /// Generate an uncertain table.
@@ -158,7 +166,10 @@ impl PlanNode {
 
     /// Filter this plan's output.
     pub fn filter(self, predicate: Expr) -> PlanNode {
-        PlanNode::Filter { input: Box::new(self), predicate }
+        PlanNode::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Project this plan's output.
@@ -170,7 +181,11 @@ impl PlanNode {
     }
 
     /// Inner equi-join with another plan.
-    pub fn join(self, right: PlanNode, on: Vec<(impl Into<String>, impl Into<String>)>) -> PlanNode {
+    pub fn join(
+        self,
+        right: PlanNode,
+        on: Vec<(impl Into<String>, impl Into<String>)>,
+    ) -> PlanNode {
         PlanNode::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -181,7 +196,10 @@ impl PlanNode {
 
     /// Split a random column into deterministic alternatives.
     pub fn split(self, column: impl Into<String>) -> PlanNode {
-        PlanNode::Split { input: Box::new(self), column: column.into() }
+        PlanNode::Split {
+            input: Box::new(self),
+            column: column.into(),
+        }
     }
 
     /// Compute the output schema of this plan against a catalog.
@@ -218,9 +236,9 @@ impl PlanNode {
         match self {
             PlanNode::TableScan { .. } => {}
             PlanNode::RandomTable(spec) => out.push(spec),
-            PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } | PlanNode::Split { input, .. } => {
-                input.collect_random_tables(out)
-            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Split { input, .. } => input.collect_random_tables(out),
             PlanNode::Join { left, right, .. } => {
                 left.collect_random_tables(out);
                 right.collect_random_tables(out);
@@ -280,7 +298,9 @@ impl fmt::Display for PlanNode {
                     writeln!(f, "{pad}Project({})", list.join(", "))?;
                     indent(f, input, depth + 1)
                 }
-                PlanNode::Join { left, right, on, .. } => {
+                PlanNode::Join {
+                    left, right, on, ..
+                } => {
                     let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                     writeln!(f, "{pad}Join({})", keys.join(" AND "))?;
                     indent(f, left, depth + 1)?;
@@ -310,9 +330,15 @@ pub fn scalar_random_table(
 ) -> RandomTableSpec {
     let mut columns: Vec<OutputColumn> = keep_params
         .iter()
-        .map(|p| OutputColumn::Param { source: p.to_string(), as_name: p.to_string() })
+        .map(|p| OutputColumn::Param {
+            source: p.to_string(),
+            as_name: p.to_string(),
+        })
         .collect();
-    columns.push(OutputColumn::Vg { vg_col: 0, as_name: value_name.into() });
+    columns.push(OutputColumn::Vg {
+        vg_col: 0,
+        as_name: value_name.into(),
+    });
     RandomTableSpec {
         name: name.into(),
         param_table: param_table.into(),
@@ -366,7 +392,10 @@ mod tests {
         let catalog = catalog_with_means();
         let plan = PlanNode::random_table(losses_spec())
             .filter(Expr::col("cid").lt(Expr::lit(10i64)))
-            .project(vec![("loss", Expr::col("val")), ("double_loss", Expr::col("val").mul(Expr::lit(2.0)))]);
+            .project(vec![
+                ("loss", Expr::col("val")),
+                ("double_loss", Expr::col("val").mul(Expr::lit(2.0))),
+            ]);
         let schema = plan.schema(&catalog).unwrap();
         assert_eq!(schema.names(), vec!["loss", "double_loss"]);
         assert_eq!(schema.field(1).data_type, DataType::Float64);
@@ -375,10 +404,13 @@ mod tests {
     #[test]
     fn join_schema_renames_duplicates() {
         let mut catalog = catalog_with_means();
-        let sup = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::utf8("region")]))
-            .row([Value::Int64(1), Value::str("EU")])
-            .build()
-            .unwrap();
+        let sup = TableBuilder::new(Schema::new(vec![
+            Field::int64("cid"),
+            Field::utf8("region"),
+        ]))
+        .row([Value::Int64(1), Value::str("EU")])
+        .build()
+        .unwrap();
         catalog.register("sup", sup).unwrap();
         let plan = PlanNode::scan("means").join(PlanNode::scan("sup"), vec![("cid", "cid")]);
         let schema = plan.schema(&catalog).unwrap();
@@ -401,8 +433,8 @@ mod tests {
 
     #[test]
     fn random_tables_are_collected() {
-        let plan = PlanNode::random_table(losses_spec())
-            .filter(Expr::col("cid").lt(Expr::lit(10i64)));
+        let plan =
+            PlanNode::random_table(losses_spec()).filter(Expr::col("cid").lt(Expr::lit(10i64)));
         assert_eq!(plan.random_tables().len(), 1);
         assert_eq!(plan.random_tables()[0].name, "Losses");
         assert!(PlanNode::scan("means").random_tables().is_empty());
@@ -418,8 +450,8 @@ mod tests {
 
     #[test]
     fn display_shows_tree() {
-        let plan = PlanNode::random_table(losses_spec())
-            .filter(Expr::col("cid").lt(Expr::lit(10i64)));
+        let plan =
+            PlanNode::random_table(losses_spec()).filter(Expr::col("cid").lt(Expr::lit(10i64)));
         let text = plan.to_string();
         assert!(text.contains("Filter"));
         assert!(text.contains("RandomTable(Losses FOR EACH means WITH Normal)"));
@@ -431,7 +463,10 @@ mod tests {
         let mut spec = losses_spec();
         spec.columns.insert(
             0,
-            OutputColumn::Param { source: "nonexistent".into(), as_name: "x".into() },
+            OutputColumn::Param {
+                source: "nonexistent".into(),
+                as_name: "x".into(),
+            },
         );
         assert!(spec.schema(&catalog).is_err());
         // And a plain missing table propagates too.

@@ -1,0 +1,994 @@
+//! Two-phase execution sessions: run deterministic plan work once,
+//! re-instantiate streams per block.
+//!
+//! MCDB-R's central performance claim (paper §1, §9) is that deterministic
+//! query work — scans, joins on deterministic attributes, constant-only
+//! predicates — happens *exactly once*, no matter how many Monte Carlo
+//! repetitions or Gibbs replenishment blocks are run.  [`Executor`] keeps
+//! that promise within a single execution but not across executions: a
+//! replenishing caller that re-runs the plan per block pays for the scans and
+//! joins every time.  [`ExecSession`] closes the gap by splitting execution
+//! into two phases:
+//!
+//! * **Phase 1 — [`ExecSession::prepare`]** runs the *deterministic skeleton*
+//!   of a plan over the catalog exactly once, producing a cached
+//!   [`DeterministicPrefix`]: the output schema, the stream registry (every
+//!   seed with its VG function and bound parameter row), and one *symbolic
+//!   bundle* per output tuple.  A symbolic bundle is a [`TupleBundle`] whose
+//!   random attributes are lineage-only — `(seed, vg_row, vg_col)` with no
+//!   materialized values — and whose value-dependent residue (predicates over
+//!   random attributes, computed projections) is recorded as small expression
+//!   closures to replay per block.
+//! * **Phase 2 — [`ExecSession::instantiate_block`]** materializes the stream
+//!   values for positions `base_pos .. base_pos + num_values` against the
+//!   cached prefix: per-seed VG blocks are generated (in parallel — the
+//!   position-addressable streams of `mcdbr-prng` make any split of the work
+//!   bit-identical), the symbolic residue is evaluated, and a full
+//!   [`BundleSet`] comes back.  No scan, join, or deterministic predicate is
+//!   ever re-evaluated.
+//!
+//! The output of `instantiate_block(catalog, b, n)` is bit-identical to
+//! `Executor::execute` with `ExecOptions { base_pos: b, num_values: n, .. }`
+//! — the determinism suite in `tests/session_determinism.rs` asserts this
+//! bundle-for-bundle, including across replenishment boundaries and thread
+//! counts.
+//!
+//! **Cacheability.** One plan shape makes bundle *structure* depend on stream
+//! *values*: `Split` applied to a column that is random in some bundle
+//! (paper §8) — the number of output bundles equals the number of distinct
+//! values in the block.  Such plans have no block-invariant deterministic
+//! prefix; `prepare` detects this and the session falls back to re-running
+//! the full plan per block through an inner [`Executor`], reporting the cost
+//! honestly via [`ExecSession::plan_executions`].  Everything else — scans,
+//! random tables, filters (deterministic or random), projections, joins,
+//! `Split` over already-deterministic columns — is prefix-cacheable.
+
+use std::collections::BTreeMap;
+
+use mcdbr_prng::SeedId;
+use mcdbr_storage::{Catalog, Error, Result, Schema, Tuple, Value};
+
+use crate::bundle::{BundleSet, BundleValue, TupleBundle};
+use crate::executor::{join_key, ExecOptions, Executor, JoinKey};
+use crate::expr::Expr;
+use crate::par;
+use crate::plan::{OutputColumn, PlanNode};
+use crate::stream_registry::StreamRegistry;
+
+/// A symbolic attribute value: what phase 1 knows about an output column
+/// before any stream values exist.
+#[derive(Debug, Clone)]
+enum SymValue {
+    /// Deterministic: the same value in every DB instance.
+    Const(Value),
+    /// A random attribute with lineage only; phase 2 reads the block.
+    Stream {
+        seed: SeedId,
+        vg_row: usize,
+        vg_col: usize,
+    },
+    /// A projected expression over (possibly random) inputs; phase 2
+    /// evaluates it once per block offset.
+    Expr(Box<SymExpr>),
+}
+
+/// A deferred expression: the operator's input schema, one symbolic value per
+/// input column, and the expression itself.
+#[derive(Debug, Clone)]
+struct SymExpr {
+    schema: Schema,
+    inputs: Vec<SymValue>,
+    expr: Expr,
+}
+
+/// A deferred presence predicate (a `Filter` over random attributes,
+/// paper §5): evaluated per block offset into an `isPres` mask.
+#[derive(Debug, Clone)]
+struct SymPred {
+    schema: Schema,
+    inputs: Vec<SymValue>,
+    predicate: Expr,
+}
+
+/// One output tuple of the deterministic skeleton.
+#[derive(Debug, Clone)]
+struct SymBundle {
+    values: Vec<SymValue>,
+    preds: Vec<SymPred>,
+}
+
+impl SymBundle {
+    fn constant(values: Vec<Value>) -> Self {
+        SymBundle {
+            values: values.into_iter().map(SymValue::Const).collect(),
+            preds: Vec::new(),
+        }
+    }
+
+    fn concat(&self, other: &SymBundle) -> SymBundle {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        let mut preds = self.preds.clone();
+        preds.extend(other.preds.iter().cloned());
+        SymBundle { values, preds }
+    }
+}
+
+/// The cached result of phase 1: everything about a plan execution that does
+/// not depend on which stream positions are materialized.
+#[derive(Debug, Clone)]
+pub struct DeterministicPrefix {
+    schema: Schema,
+    registry: StreamRegistry,
+    bundles: Vec<SymBundle>,
+    /// Rows produced by each stream's VG function per invocation (probed once
+    /// during phase 1, validated against every materialized block).
+    vg_rows: BTreeMap<SeedId, usize>,
+    /// Streams actually referenced by surviving bundles.  Deterministic
+    /// filters (paper §2's `WHERE CID < 10010`) drop bundles during phase 1;
+    /// phase 2 never generates values for the dropped streams — a structural
+    /// saving the one-shot executor (which instantiates before filtering)
+    /// cannot make.
+    active_seeds: Vec<SeedId>,
+}
+
+impl DeterministicPrefix {
+    /// The output schema of the plan.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The stream registry: every seed with its VG function and parameters.
+    pub fn registry(&self) -> &StreamRegistry {
+        &self.registry
+    }
+
+    /// Number of symbolic bundles in the skeleton.
+    pub fn num_bundles(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Number of registered random streams.
+    pub fn num_streams(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Number of streams referenced by surviving bundles — the streams a
+    /// block materialization actually generates values for.
+    pub fn num_active_streams(&self) -> usize {
+        self.active_seeds.len()
+    }
+}
+
+/// Collect every stream seed reachable from a symbolic bundle: its direct
+/// attributes, plus streams referenced inside deferred expressions and
+/// presence predicates.
+fn collect_seeds(bundle: &SymBundle, out: &mut std::collections::BTreeSet<SeedId>) {
+    fn walk(value: &SymValue, out: &mut std::collections::BTreeSet<SeedId>) {
+        match value {
+            SymValue::Const(_) => {}
+            SymValue::Stream { seed, .. } => {
+                out.insert(*seed);
+            }
+            SymValue::Expr(e) => {
+                for input in &e.inputs {
+                    walk(input, out);
+                }
+            }
+        }
+    }
+    for value in &bundle.values {
+        walk(value, out);
+    }
+    for pred in &bundle.preds {
+        for input in &pred.inputs {
+            walk(input, out);
+        }
+    }
+}
+
+/// Why phase 1 ran the plan through the fallback path instead of caching.
+#[derive(Debug)]
+enum Mode {
+    /// The deterministic prefix is cached; blocks only materialize streams.
+    Cached(Box<DeterministicPrefix>),
+    /// The plan's bundle structure depends on stream values; every block
+    /// re-runs the full plan through an inner executor.
+    Fallback { executor: Executor, reason: String },
+}
+
+/// A two-phase execution session over one `(plan, catalog, master_seed)`.
+///
+/// ```text
+/// let mut session = ExecSession::prepare(&plan, &catalog, seed)?;   // phase 1: once
+/// let b0 = session.instantiate_block(&catalog, 0, 1000)?;           // phase 2: per block
+/// let b1 = session.instantiate_block(&catalog, 1000, 1000)?;        // ... no plan re-run
+/// ```
+#[derive(Debug)]
+pub struct ExecSession {
+    plan: PlanNode,
+    master_seed: u64,
+    threads: usize,
+    mode: Mode,
+    plan_executions: usize,
+    blocks_materialized: usize,
+    values_materialized: u64,
+}
+
+impl ExecSession {
+    /// Phase 1: run the deterministic skeleton of `plan` once, caching the
+    /// [`DeterministicPrefix`].  Plans whose bundle structure depends on
+    /// stream values (a `Split` over a random column) fall back to
+    /// per-block full execution; see the module docs.
+    pub fn prepare(plan: &PlanNode, catalog: &Catalog, master_seed: u64) -> Result<Self> {
+        let mut registry = StreamRegistry::new();
+        let mut vg_rows = BTreeMap::new();
+        match exec_sym(plan, catalog, master_seed, &mut registry, &mut vg_rows) {
+            Ok((schema, bundles)) => {
+                let mut active = std::collections::BTreeSet::new();
+                for bundle in &bundles {
+                    collect_seeds(bundle, &mut active);
+                }
+                Ok(ExecSession {
+                    plan: plan.clone(),
+                    master_seed,
+                    threads: par::default_threads(),
+                    mode: Mode::Cached(Box::new(DeterministicPrefix {
+                        schema,
+                        registry,
+                        bundles,
+                        vg_rows,
+                        active_seeds: active.into_iter().collect(),
+                    })),
+                    // The deterministic skeleton ran exactly once, here.
+                    plan_executions: 1,
+                    blocks_materialized: 0,
+                    values_materialized: 0,
+                })
+            }
+            Err(PrepError::Uncacheable(reason)) => Ok(ExecSession {
+                plan: plan.clone(),
+                master_seed,
+                threads: par::default_threads(),
+                mode: Mode::Fallback {
+                    executor: Executor::new(),
+                    reason,
+                },
+                plan_executions: 0,
+                blocks_materialized: 0,
+                values_materialized: 0,
+            }),
+            Err(PrepError::Fail(e)) => Err(e),
+        }
+    }
+
+    /// Override the worker-thread count used by phase 2 (defaults to
+    /// `MCDBR_THREADS` / available parallelism).  Results are bit-identical
+    /// for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether the deterministic prefix is cached (`false` means every block
+    /// re-runs the full plan; see the module docs on cacheability).
+    pub fn is_cached(&self) -> bool {
+        matches!(self.mode, Mode::Cached(_))
+    }
+
+    /// The cached prefix, when the plan is cacheable.
+    pub fn prefix(&self) -> Option<&DeterministicPrefix> {
+        match &self.mode {
+            Mode::Cached(prefix) => Some(prefix),
+            Mode::Fallback { .. } => None,
+        }
+    }
+
+    /// Why the session fell back to per-block full execution, if it did.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        match &self.mode {
+            Mode::Cached(_) => None,
+            Mode::Fallback { reason, .. } => Some(reason),
+        }
+    }
+
+    /// The master seed every stream seed is derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// How many times deterministic plan work has run: 1 for a cached
+    /// session (phase 1), or one per materialized block in fallback mode.
+    /// This is the counter the Appendix D plan-execution experiments report.
+    pub fn plan_executions(&self) -> usize {
+        self.plan_executions
+    }
+
+    /// Number of blocks materialized through phase 2.
+    pub fn blocks_materialized(&self) -> usize {
+        self.blocks_materialized
+    }
+
+    /// Total stream values materialized across all blocks (streams × block
+    /// positions).
+    pub fn values_materialized(&self) -> u64 {
+        self.values_materialized
+    }
+
+    /// Phase 2: materialize stream positions `base_pos .. base_pos +
+    /// num_values` against the cached prefix, returning a full [`BundleSet`]
+    /// bit-identical to `Executor::execute` at the same options.
+    ///
+    /// `catalog` is only consulted in fallback mode (the cached prefix has
+    /// already absorbed all catalog reads).
+    pub fn instantiate_block(
+        &mut self,
+        catalog: &Catalog,
+        base_pos: u64,
+        num_values: usize,
+    ) -> Result<BundleSet> {
+        self.blocks_materialized += 1;
+        match &mut self.mode {
+            Mode::Fallback { executor, .. } => {
+                self.plan_executions += 1;
+                let opts = ExecOptions {
+                    master_seed: self.master_seed,
+                    num_values,
+                    base_pos,
+                };
+                let set = executor.execute(&self.plan, catalog, &opts)?;
+                self.values_materialized += (set.registry.len() * num_values) as u64;
+                Ok(set)
+            }
+            Mode::Cached(prefix) => {
+                self.values_materialized += (prefix.active_seeds.len() * num_values) as u64;
+                instantiate_cached(prefix, self.threads, base_pos, num_values)
+            }
+        }
+    }
+}
+
+// ===== Phase 2: block materialization against a cached prefix =====
+
+/// Per-seed materialized VG outputs for one block: `blocks[seed][offset]` is
+/// the VG output table at stream position `base_pos + offset`.
+type BlockData = BTreeMap<SeedId, Vec<Vec<Tuple>>>;
+
+fn instantiate_cached(
+    prefix: &DeterministicPrefix,
+    threads: usize,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<BundleSet> {
+    // Generate the block of every stream still referenced by a surviving
+    // bundle (deterministically-filtered streams cost nothing), fanned out
+    // across seeds.  Each `(seed, position)` value is independent of all
+    // others, so the split is bit-deterministic (see `crate::par`).
+    let seeds = &prefix.active_seeds;
+    let generated: Vec<Vec<Vec<Tuple>>> =
+        par::try_par_map_threads(seeds, threads, |&seed| -> Result<Vec<Vec<Tuple>>> {
+            let source = prefix.registry.source(seed)?;
+            let expected = prefix.vg_rows.get(&seed).copied();
+            let mut per_pos = Vec::with_capacity(num_values);
+            for i in 0..num_values {
+                let rows = source.generate_at(seed, base_pos + i as u64)?;
+                if let Some(expected) = expected {
+                    if rows.len() != expected {
+                        return Err(Error::Invalid(format!(
+                            "VG function {} produced {} output rows at stream position {} \
+                             but {} during session prepare; the bundle executor requires a \
+                             fixed row count",
+                            source.vg.name(),
+                            rows.len(),
+                            base_pos + i as u64,
+                            expected
+                        )));
+                    }
+                }
+                per_pos.push(rows);
+            }
+            Ok(per_pos)
+        })?;
+    let blocks: BlockData = seeds.iter().copied().zip(generated).collect();
+
+    // Replay the symbolic residue of every bundle over the block, fanned out
+    // across bundles.  Dropping never-present bundles afterwards preserves
+    // the relative order `Executor::execute` produces.
+    let converted: Vec<Option<TupleBundle>> =
+        par::try_par_map_threads(&prefix.bundles, threads, |bundle| {
+            materialize_bundle(bundle, &blocks, base_pos, num_values)
+        })?;
+    let bundles: Vec<TupleBundle> = converted.into_iter().flatten().collect();
+
+    Ok(BundleSet {
+        schema: prefix.schema.clone(),
+        bundles,
+        registry: prefix.registry.clone(),
+        num_reps: num_values,
+    })
+}
+
+/// Materialize one symbolic bundle for a block; `None` when its presence
+/// mask is false everywhere (the executor drops such bundles at the filter
+/// that produced them — dropping here, after the fact, yields the same
+/// output sequence).
+fn materialize_bundle(
+    bundle: &SymBundle,
+    blocks: &BlockData,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<Option<TupleBundle>> {
+    let mut values = Vec::with_capacity(bundle.values.len());
+    for sym in &bundle.values {
+        values.push(materialize_value(sym, blocks, base_pos, num_values)?);
+    }
+    let is_pres = match bundle.preds.as_slice() {
+        [] => None,
+        preds => {
+            let mut mask = Vec::with_capacity(num_values);
+            for offset in 0..num_values {
+                let mut present = true;
+                for pred in preds {
+                    let row = eval_row(&pred.inputs, blocks, offset)?;
+                    if !pred.predicate.eval_bool(&pred.schema, &row)? {
+                        present = false;
+                        break;
+                    }
+                }
+                mask.push(present);
+            }
+            if mask.iter().all(|&p| !p) {
+                return Ok(None);
+            }
+            Some(mask)
+        }
+    };
+    Ok(Some(TupleBundle { values, is_pres }))
+}
+
+fn materialize_value(
+    sym: &SymValue,
+    blocks: &BlockData,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<BundleValue> {
+    match sym {
+        SymValue::Const(v) => Ok(BundleValue::Const(v.clone())),
+        SymValue::Stream {
+            seed,
+            vg_row,
+            vg_col,
+        } => {
+            let per_pos = block_for(blocks, *seed)?;
+            let values: Vec<Value> = per_pos
+                .iter()
+                .map(|rows| rows[*vg_row].value(*vg_col).clone())
+                .collect();
+            Ok(BundleValue::Random {
+                seed: *seed,
+                vg_row: *vg_row,
+                vg_col: *vg_col,
+                base_pos,
+                values,
+            })
+        }
+        SymValue::Expr(e) => {
+            let mut computed = Vec::with_capacity(num_values);
+            for offset in 0..num_values {
+                let row = eval_row(&e.inputs, blocks, offset)?;
+                computed.push(e.expr.eval(&e.schema, &row)?);
+            }
+            Ok(BundleValue::Computed(computed))
+        }
+    }
+}
+
+/// Evaluate one symbolic value at a single block offset.
+fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> {
+    match sym {
+        SymValue::Const(v) => Ok(v.clone()),
+        SymValue::Stream {
+            seed,
+            vg_row,
+            vg_col,
+        } => Ok(block_for(blocks, *seed)?[offset][*vg_row]
+            .value(*vg_col)
+            .clone()),
+        SymValue::Expr(e) => {
+            let row = eval_row(&e.inputs, blocks, offset)?;
+            e.expr.eval(&e.schema, &row)
+        }
+    }
+}
+
+fn eval_row(inputs: &[SymValue], blocks: &BlockData, offset: usize) -> Result<Vec<Value>> {
+    inputs
+        .iter()
+        .map(|sym| eval_sym(sym, blocks, offset))
+        .collect()
+}
+
+fn block_for(blocks: &BlockData, seed: SeedId) -> Result<&Vec<Vec<Tuple>>> {
+    blocks
+        .get(&seed)
+        .ok_or_else(|| Error::Invalid(format!("stream {seed} missing from materialized block")))
+}
+
+// ===== Phase 1: the symbolic (deterministic-skeleton) plan pass =====
+
+enum PrepError {
+    /// The plan's bundle structure depends on stream values.
+    Uncacheable(String),
+    /// An ordinary execution error (missing table/column, illegal join, ...).
+    Fail(Error),
+}
+
+impl From<Error> for PrepError {
+    fn from(e: Error) -> Self {
+        PrepError::Fail(e)
+    }
+}
+
+type SymResult = std::result::Result<(Schema, Vec<SymBundle>), PrepError>;
+
+/// The symbolic mirror of `executor::exec_node`: identical traversal order,
+/// identical per-bundle decisions, but random attributes stay lineage-only.
+fn exec_sym(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    master_seed: u64,
+    registry: &mut StreamRegistry,
+    vg_rows: &mut BTreeMap<SeedId, usize>,
+) -> SymResult {
+    match plan {
+        PlanNode::TableScan { table } => {
+            let t = catalog.get(table)?;
+            let bundles = t
+                .rows()
+                .iter()
+                .map(|row| SymBundle::constant(row.values().to_vec()))
+                .collect();
+            Ok((t.schema().clone(), bundles))
+        }
+        PlanNode::RandomTable(spec) => {
+            let param_table = catalog.get(&spec.param_table)?;
+            let param_schema = param_table.schema();
+            let out_schema = spec.schema(catalog)?;
+
+            let mut bundles = Vec::new();
+            for (row_idx, param_row) in param_table.rows().iter().enumerate() {
+                // Seed operator: derive and register this tuple's stream.
+                let seed = mcdbr_prng::seed_for(master_seed, spec.table_tag, row_idx as u64);
+                let params: Vec<Value> = spec
+                    .vg_params
+                    .iter()
+                    .map(|e| e.eval(param_schema, param_row.values()))
+                    .collect::<Result<_>>()?;
+                registry.register(seed, spec.vg.clone(), params);
+
+                // Probe one VG invocation to learn the output-row count; the
+                // probe is deterministic and every block validates against it.
+                // A zero-row VG output emits no bundles, exactly like the
+                // one-shot executor's `0..vg_rows` loop.
+                let probe = registry.source(seed)?.generate_at(seed, 0)?;
+                let num_rows = probe.len();
+                vg_rows.insert(seed, num_rows);
+
+                for vg_row in 0..num_rows {
+                    let mut values = Vec::with_capacity(spec.columns.len());
+                    for col in &spec.columns {
+                        match col {
+                            OutputColumn::Param { source, .. } => {
+                                let idx = param_schema.index_of(source)?;
+                                values.push(SymValue::Const(param_row.value(idx).clone()));
+                            }
+                            OutputColumn::Vg { vg_col, .. } => {
+                                values.push(SymValue::Stream {
+                                    seed,
+                                    vg_row,
+                                    vg_col: *vg_col,
+                                });
+                            }
+                        }
+                    }
+                    bundles.push(SymBundle {
+                        values,
+                        preds: Vec::new(),
+                    });
+                }
+            }
+            Ok((out_schema, bundles))
+        }
+        PlanNode::Filter { input, predicate } => {
+            let (schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let referenced = predicate.referenced_columns();
+            let ref_indices: Vec<usize> = referenced
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_>>()?;
+
+            let mut out = Vec::with_capacity(bundles.len());
+            for mut bundle in bundles {
+                let touches_random = ref_indices
+                    .iter()
+                    .any(|&i| !matches!(bundle.values[i], SymValue::Const(_)));
+                if !touches_random {
+                    // Deterministic for this bundle: decide once, now.
+                    let row = const_row(&bundle.values);
+                    if predicate.eval_bool(&schema, &row)? {
+                        out.push(bundle);
+                    }
+                } else {
+                    // Random: defer into a per-block presence predicate.
+                    // Only referenced columns are captured; the rest become
+                    // `Null` placeholders so phase 2 never evaluates them.
+                    let inputs = pruned_inputs(&bundle.values, &ref_indices);
+                    bundle.preds.push(SymPred {
+                        schema: schema.clone(),
+                        inputs,
+                        predicate: predicate.clone(),
+                    });
+                    out.push(bundle);
+                }
+            }
+            Ok((schema, out))
+        }
+        PlanNode::Project { input, exprs } => {
+            let (in_schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let out_schema = plan.schema(catalog)?;
+            let mut out = Vec::with_capacity(bundles.len());
+            for bundle in bundles {
+                let mut values = Vec::with_capacity(exprs.len());
+                for (_, expr) in exprs {
+                    if let Expr::Column(name) = expr {
+                        let idx = in_schema.index_of(name)?;
+                        values.push(bundle.values[idx].clone());
+                        continue;
+                    }
+                    let referenced = expr.referenced_columns();
+                    let ref_indices: Vec<usize> = referenced
+                        .iter()
+                        .map(|c| in_schema.index_of(c))
+                        .collect::<Result<Vec<_>>>()?;
+                    let all_const = ref_indices
+                        .iter()
+                        .all(|&i| matches!(bundle.values[i], SymValue::Const(_)));
+                    if all_const {
+                        let row = const_row(&bundle.values);
+                        values.push(SymValue::Const(expr.eval(&in_schema, &row)?));
+                    } else {
+                        values.push(SymValue::Expr(Box::new(SymExpr {
+                            schema: in_schema.clone(),
+                            inputs: pruned_inputs(&bundle.values, &ref_indices),
+                            expr: expr.clone(),
+                        })));
+                    }
+                }
+                out.push(SymBundle {
+                    values,
+                    preds: bundle.preds,
+                });
+            }
+            Ok((out_schema, out))
+        }
+        PlanNode::Join {
+            left, right, on, ..
+        } => {
+            let (ls, lb) = exec_sym(left, catalog, master_seed, registry, vg_rows)?;
+            let (rs, rb) = exec_sym(right, catalog, master_seed, registry, vg_rows)?;
+            let out_schema = ls.join(&rs);
+            if on.is_empty() {
+                return Err(Error::Invalid("join requires at least one key pair".into()).into());
+            }
+            let left_keys: Vec<usize> = on
+                .iter()
+                .map(|(l, _)| ls.index_of(l))
+                .collect::<Result<_>>()?;
+            let right_keys: Vec<usize> = on
+                .iter()
+                .map(|(_, r)| rs.index_of(r))
+                .collect::<Result<_>>()?;
+
+            // Identical algorithm (and therefore output order) to the
+            // executor's hash join: build on the right, probe in left order,
+            // emit matches in right-insertion order.
+            let mut table: std::collections::HashMap<Vec<JoinKey>, Vec<usize>> =
+                std::collections::HashMap::with_capacity(rb.len());
+            for (idx, bundle) in rb.iter().enumerate() {
+                let key = sym_key(bundle, &right_keys, "right")?;
+                if key.iter().any(|k| matches!(k, JoinKey::Null)) {
+                    continue;
+                }
+                table.entry(key).or_default().push(idx);
+            }
+            let mut out = Vec::new();
+            for bundle in &lb {
+                let key = sym_key(bundle, &left_keys, "left")?;
+                if key.iter().any(|k| matches!(k, JoinKey::Null)) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for &ridx in matches {
+                        out.push(bundle.concat(&rb[ridx]));
+                    }
+                }
+            }
+            Ok((out_schema, out))
+        }
+        PlanNode::Split { input, column } => {
+            let (schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let idx = schema.index_of(column)?;
+            if bundles
+                .iter()
+                .any(|b| !matches!(b.values[idx], SymValue::Const(_)))
+            {
+                // The number of post-Split bundles equals the number of
+                // distinct values in the block — structure depends on values.
+                return Err(PrepError::Uncacheable(format!(
+                    "Split({column}) over a random attribute enumerates block values; \
+                     the plan has no block-invariant deterministic prefix (paper §8)"
+                )));
+            }
+            // Split over an already-deterministic column is the executor's
+            // passthrough case.
+            Ok((schema, bundles))
+        }
+    }
+}
+
+/// Capture only the columns a deferred expression references; every other
+/// input becomes a `Null` placeholder that phase 2 clones trivially instead
+/// of re-evaluating (expressions only read their referenced columns).
+fn pruned_inputs(values: &[SymValue], ref_indices: &[usize]) -> Vec<SymValue> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if ref_indices.contains(&i) {
+                v.clone()
+            } else {
+                SymValue::Const(Value::Null)
+            }
+        })
+        .collect()
+}
+
+/// The row a deterministic predicate/projection sees: constants in place,
+/// `Null` elsewhere (the expression never reads the non-constant columns —
+/// callers have already checked its referenced columns).
+fn const_row(values: &[SymValue]) -> Vec<Value> {
+    values
+        .iter()
+        .map(|v| match v {
+            SymValue::Const(value) => value.clone(),
+            _ => Value::Null,
+        })
+        .collect()
+}
+
+fn sym_key(
+    bundle: &SymBundle,
+    key_cols: &[usize],
+    side: &str,
+) -> std::result::Result<Vec<JoinKey>, PrepError> {
+    key_cols
+        .iter()
+        .map(|&i| match &bundle.values[i] {
+            SymValue::Const(v) => Ok(join_key(v)),
+            _ => Err(PrepError::Fail(Error::InvalidOperation(format!(
+                "{side} join key column {i} is a random attribute; apply Split before joining \
+                 on a random attribute (paper §8)"
+            )))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::scalar_random_table;
+    use mcdbr_storage::{Field, TableBuilder};
+    use mcdbr_vg::{DiscreteVg, NormalVg};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .row([Value::Int64(2), Value::Float64(4.0)])
+            .row([Value::Int64(3), Value::Float64(5.0)])
+            .build()
+            .unwrap();
+        let regions = TableBuilder::new(Schema::new(vec![
+            Field::int64("cid"),
+            Field::utf8("region"),
+        ]))
+        .row([Value::Int64(1), Value::str("EU")])
+        .row([Value::Int64(2), Value::str("US")])
+        .row([Value::Int64(2), Value::str("APAC")])
+        .build()
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("means", means).unwrap();
+        catalog.register("regions", regions).unwrap();
+        catalog
+    }
+
+    fn losses_plan() -> PlanNode {
+        PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ))
+    }
+
+    fn assert_sets_identical(a: &BundleSet, b: &BundleSet) {
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.num_reps, b.num_reps);
+        assert_eq!(a.bundles, b.bundles);
+    }
+
+    #[test]
+    fn prepare_caches_and_counts_once() {
+        let catalog = catalog();
+        let mut session = ExecSession::prepare(&losses_plan(), &catalog, 7).unwrap();
+        assert!(session.is_cached());
+        assert_eq!(session.plan_executions(), 1);
+        assert_eq!(session.prefix().unwrap().num_streams(), 3);
+        assert_eq!(session.prefix().unwrap().num_bundles(), 3);
+        let _ = session.instantiate_block(&catalog, 0, 5).unwrap();
+        let _ = session.instantiate_block(&catalog, 5, 5).unwrap();
+        assert_eq!(
+            session.plan_executions(),
+            1,
+            "blocks must not re-run the plan"
+        );
+        assert_eq!(session.blocks_materialized(), 2);
+        assert_eq!(session.values_materialized(), 30);
+    }
+
+    #[test]
+    fn block_matches_executor_bit_for_bit() {
+        let catalog = catalog();
+        let plan = losses_plan()
+            .filter(Expr::col("cid").lt(Expr::lit(3i64)))
+            .join(PlanNode::scan("regions"), vec![("cid", "cid")])
+            .filter(Expr::col("val").gt(Expr::lit(3.5)))
+            .project(vec![
+                ("cid", Expr::col("cid")),
+                ("loss", Expr::col("val")),
+                ("double", Expr::col("val").mul(Expr::lit(2.0))),
+                ("region", Expr::col("region")),
+            ]);
+        let mut session = ExecSession::prepare(&plan, &catalog, 11).unwrap();
+        assert!(session.is_cached());
+        for (base, n) in [(0u64, 16usize), (16, 8), (1000, 4)] {
+            let block = session.instantiate_block(&catalog, base, n).unwrap();
+            let from_scratch = Executor::new()
+                .execute(
+                    &plan,
+                    &catalog,
+                    &ExecOptions {
+                        master_seed: 11,
+                        num_values: n,
+                        base_pos: base,
+                    },
+                )
+                .unwrap();
+            assert_sets_identical(&block, &from_scratch);
+        }
+        assert_eq!(session.plan_executions(), 1);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let catalog = catalog();
+        let plan = losses_plan().filter(Expr::col("val").gt(Expr::lit(4.0)));
+        let mut seq = ExecSession::prepare(&plan, &catalog, 3)
+            .unwrap()
+            .with_threads(1);
+        let mut par = ExecSession::prepare(&plan, &catalog, 3)
+            .unwrap()
+            .with_threads(8);
+        let a = seq.instantiate_block(&catalog, 0, 64).unwrap();
+        let b = par.instantiate_block(&catalog, 0, 64).unwrap();
+        assert_sets_identical(&a, &b);
+    }
+
+    #[test]
+    fn random_split_falls_back_to_full_execution() {
+        let mut catalog = Catalog::new();
+        let param = TableBuilder::new(Schema::new(vec![
+            Field::int64("id"),
+            Field::float64("w_young"),
+            Field::float64("w_old"),
+        ]))
+        .row([Value::Int64(1), Value::Float64(0.5), Value::Float64(0.5)])
+        .build()
+        .unwrap();
+        catalog.register("people", param).unwrap();
+        let spec = crate::plan::RandomTableSpec {
+            name: "ages".into(),
+            param_table: "people".into(),
+            vg: Arc::new(DiscreteVg::new(vec![Value::Int64(20), Value::Int64(21)])),
+            vg_params: vec![Expr::col("w_young"), Expr::col("w_old")],
+            columns: vec![
+                OutputColumn::Param {
+                    source: "id".into(),
+                    as_name: "id".into(),
+                },
+                OutputColumn::Vg {
+                    vg_col: 0,
+                    as_name: "age".into(),
+                },
+            ],
+            table_tag: 3,
+        };
+        let plan = PlanNode::random_table(spec).split("age");
+        let mut session = ExecSession::prepare(&plan, &catalog, 11).unwrap();
+        assert!(!session.is_cached());
+        assert!(session.fallback_reason().unwrap().contains("Split"));
+        assert_eq!(session.plan_executions(), 0);
+        let block = session.instantiate_block(&catalog, 0, 32).unwrap();
+        let from_scratch = Executor::new()
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(11, 32))
+            .unwrap();
+        assert_sets_identical(&block, &from_scratch);
+        assert_eq!(session.plan_executions(), 1, "fallback mode pays per block");
+        let _ = session.instantiate_block(&catalog, 32, 32).unwrap();
+        assert_eq!(session.plan_executions(), 2);
+    }
+
+    #[test]
+    fn deterministic_filters_deactivate_dropped_streams() {
+        // §2's `WHERE CID < 10010` pattern: the filter drops two of three
+        // uncertain tuples during phase 1, so phase 2 generates values for
+        // one stream only — while the one-shot executor generates all three
+        // before filtering.  Results are still identical.
+        let catalog = catalog();
+        let plan = losses_plan().filter(Expr::col("cid").lt(Expr::lit(2i64)));
+        let mut session = ExecSession::prepare(&plan, &catalog, 7).unwrap();
+        let prefix = session.prefix().unwrap();
+        assert_eq!(prefix.num_streams(), 3, "registry keeps every stream");
+        assert_eq!(
+            prefix.num_active_streams(),
+            1,
+            "only the survivor is generated"
+        );
+        let block = session.instantiate_block(&catalog, 0, 10).unwrap();
+        assert_eq!(session.values_materialized(), 10);
+        let from_scratch = Executor::new()
+            .execute(&plan, &catalog, &ExecOptions::monte_carlo(7, 10))
+            .unwrap();
+        assert_sets_identical(&block, &from_scratch);
+    }
+
+    #[test]
+    fn split_on_deterministic_column_stays_cacheable() {
+        let catalog = catalog();
+        let plan = losses_plan().split("cid");
+        let session = ExecSession::prepare(&plan, &catalog, 7).unwrap();
+        assert!(session.is_cached());
+    }
+
+    #[test]
+    fn errors_still_surface_during_prepare() {
+        let catalog = catalog();
+        assert!(ExecSession::prepare(&PlanNode::scan("nope"), &catalog, 1).is_err());
+        let join_random = losses_plan().join(PlanNode::scan("regions"), vec![("val", "cid")]);
+        assert!(ExecSession::prepare(&join_random, &catalog, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_only_plans_have_empty_registries() {
+        let catalog = catalog();
+        let mut session = ExecSession::prepare(&PlanNode::scan("means"), &catalog, 9).unwrap();
+        let block = session.instantiate_block(&catalog, 0, 4).unwrap();
+        assert_eq!(block.len(), 3);
+        assert!(block.registry.is_empty());
+        assert!(block.bundles.iter().all(|b| b.is_fully_const()));
+    }
+}

@@ -25,7 +25,10 @@ impl ResultDistribution {
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
         let dropped_nan = samples.len() - sorted.len();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ResultDistribution { sorted, dropped_nan }
+        ResultDistribution {
+            sorted,
+            dropped_nan,
+        }
     }
 
     /// Number of (finite) samples.
@@ -63,7 +66,11 @@ impl ResultDistribution {
             return f64::NAN;
         }
         let mean = self.mean();
-        self.sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        self.sorted
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64
     }
 
     /// Sample standard deviation.
@@ -86,10 +93,14 @@ impl ResultDistribution {
     /// it keeps the "(p·|S|)-largest element".
     pub fn quantile(&self, q: f64) -> Result<f64> {
         if self.sorted.is_empty() {
-            return Err(Error::InvalidOperation("quantile of an empty sample set".into()));
+            return Err(Error::InvalidOperation(
+                "quantile of an empty sample set".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&q) {
-            return Err(Error::InvalidOperation(format!("quantile level {q} outside [0,1]")));
+            return Err(Error::InvalidOperation(format!(
+                "quantile level {q} outside [0,1]"
+            )));
         }
         let n = self.sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
@@ -105,7 +116,9 @@ impl ResultDistribution {
             ));
         }
         if !(0.0..1.0).contains(&confidence) {
-            return Err(Error::InvalidOperation(format!("confidence {confidence} outside (0,1)")));
+            return Err(Error::InvalidOperation(format!(
+                "confidence {confidence} outside (0,1)"
+            )));
         }
         let z = mcdbr_vg::math::std_normal_quantile(0.5 + confidence / 2.0);
         let half = z * self.std_dev() / (self.sorted.len() as f64).sqrt();
@@ -125,7 +138,9 @@ impl ResultDistribution {
             ));
         }
         if !(0.0..1.0).contains(&q) || !(0.0..1.0).contains(&confidence) {
-            return Err(Error::InvalidOperation("q and confidence must lie in (0,1)".into()));
+            return Err(Error::InvalidOperation(
+                "q and confidence must lie in (0,1)".into(),
+            ));
         }
         let z = mcdbr_vg::math::std_normal_quantile(0.5 + confidence / 2.0);
         let nf = n as f64;
@@ -242,7 +257,10 @@ mod tests {
         // Samples from a known normal; the CI should cover the mean for this
         // fixed seed and have the right width scale.
         let mut gen = mcdbr_prng::Pcg64::new(5);
-        let d = mcdbr_vg::Distribution::Normal { mean: 10.0, sd: 2.0 };
+        let d = mcdbr_vg::Distribution::Normal {
+            mean: 10.0,
+            sd: 2.0,
+        };
         let samples: Vec<f64> = (0..10_000).map(|_| d.sample(&mut gen)).collect();
         let rd = dist(&samples);
         let (lo, hi) = rd.mean_confidence_interval(0.95).unwrap();
@@ -266,7 +284,9 @@ mod tests {
         // The true 0.99 quantile of N(0,1) is about 2.326; the bracket should
         // cover it at this sample size.
         assert!(lo < 2.326 && 2.326 < hi, "bracket ({lo}, {hi})");
-        assert!(dist(&[1.0]).quantile_confidence_interval(0.5, 0.95).is_err());
+        assert!(dist(&[1.0])
+            .quantile_confidence_interval(0.5, 0.95)
+            .is_err());
     }
 
     #[test]

@@ -42,9 +42,16 @@ impl Pcg64 {
         let init_state = ((s0 as u128) << 64) | s1 as u128;
         // The increment must be odd.
         let init_inc = (((t0 as u128) << 64) | t1 as u128) | 1;
-        let increment = if stream == 0 { PCG_DEFAULT_INCREMENT } else { init_inc };
+        let increment = if stream == 0 {
+            PCG_DEFAULT_INCREMENT
+        } else {
+            init_inc
+        };
 
-        let mut pcg = Pcg64 { state: 0, increment };
+        let mut pcg = Pcg64 {
+            state: 0,
+            increment,
+        };
         // Standard PCG seeding procedure.
         pcg.step();
         pcg.state = pcg.state.wrapping_add(init_state);
@@ -54,7 +61,10 @@ impl Pcg64 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(self.increment);
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULTIPLIER)
+            .wrapping_add(self.increment);
     }
 
     /// Next raw 64-bit output.

@@ -48,13 +48,23 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             i += 1;
         } else if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
                 i += 1;
             }
             tokens.push(Token::Ident(chars[start..i].iter().collect()));
-        } else if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
+        } else if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
             let start = i;
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E'))) {
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E')))
+            {
                 i += 1;
             }
             let text: String = chars[start..i].iter().collect();
@@ -87,7 +97,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             tokens.push(Token::Symbol(c.to_string()));
             i += 1;
         } else {
-            return Err(Error::Invalid(format!("unexpected character '{c}' in query")));
+            return Err(Error::Invalid(format!(
+                "unexpected character '{c}' in query"
+            )));
         }
     }
     Ok(tokens)
@@ -116,7 +128,9 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(Error::Invalid(format!("expected keyword {kw}, found {other:?}"))),
+            other => Err(Error::Invalid(format!(
+                "expected keyword {kw}, found {other:?}"
+            ))),
         }
     }
 
@@ -134,7 +148,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Invalid(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -154,7 +170,11 @@ impl Parser {
             "AVG" => AggFunc::Avg,
             "MIN" => AggFunc::Min,
             "MAX" => AggFunc::Max,
-            other => return Err(Error::Invalid(format!("unknown aggregate function {other}"))),
+            other => {
+                return Err(Error::Invalid(format!(
+                    "unknown aggregate function {other}"
+                )))
+            }
         };
         self.expect_symbol("(")?;
         let agg_column = self.ident()?;
@@ -177,7 +197,9 @@ impl Parser {
         let samples = self.number()?;
         self.expect_symbol(")")?;
         if samples < 1.0 || samples.fract() != 0.0 {
-            return Err(Error::Invalid(format!("MONTECARLO expects a positive integer, got {samples}")));
+            return Err(Error::Invalid(format!(
+                "MONTECARLO expects a positive integer, got {samples}"
+            )));
         }
 
         let mut domain = None;
@@ -190,14 +212,19 @@ impl Parser {
             let quantile = self.number()?;
             self.expect_symbol(")")?;
             if !(0.0 < quantile && quantile < 1.0) {
-                return Err(Error::Invalid(format!("QUANTILE level {quantile} outside (0,1)")));
+                return Err(Error::Invalid(format!(
+                    "QUANTILE level {quantile} outside (0,1)"
+                )));
             }
             if !domain_alias.eq_ignore_ascii_case(&alias) {
                 return Err(Error::Invalid(format!(
                     "DOMAIN refers to {domain_alias} but the aggregate alias is {alias}"
                 )));
             }
-            domain = Some(DomainClause { alias: domain_alias, quantile });
+            domain = Some(DomainClause {
+                alias: domain_alias,
+                quantile,
+            });
         }
 
         let mut frequency_table = false;
@@ -250,9 +277,17 @@ impl Parser {
                 ">=" => BinaryOp::GtEq,
                 "=" => BinaryOp::Eq,
                 "<>" => BinaryOp::NotEq,
-                other => return Err(Error::Invalid(format!("unknown comparison operator {other}"))),
+                other => {
+                    return Err(Error::Invalid(format!(
+                        "unknown comparison operator {other}"
+                    )))
+                }
             },
-            other => return Err(Error::Invalid(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(Error::Invalid(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
         };
         let literal = match self.next()? {
             Token::Number(v) => {
@@ -328,7 +363,10 @@ mod tests {
     #[test]
     fn rejects_malformed_queries() {
         assert!(parse_risk_query("SELECT val FROM t").is_err());
-        assert!(parse_risk_query("SELECT FROB(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10)").is_err());
+        assert!(parse_risk_query(
+            "SELECT FROB(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(10)"
+        )
+        .is_err());
         assert!(parse_risk_query(
             "SELECT SUM(val) AS x FROM t WITH RESULTDISTRIBUTION MONTECARLO(0)"
         )

@@ -94,14 +94,20 @@ mod tests {
             table: "Losses".into(),
             predicate: Some(Expr::col("cid").lt(Expr::lit(10i64))),
             monte_carlo_samples: 100,
-            domain: Some(DomainClause { alias: "totalLoss".into(), quantile: 0.99 }),
+            domain: Some(DomainClause {
+                alias: "totalLoss".into(),
+                quantile: 0.99,
+            }),
             frequency_table: true,
         }
     }
 
     #[test]
     fn domain_clause_tail_probability() {
-        let d = DomainClause { alias: "totalLoss".into(), quantile: 0.999 };
+        let d = DomainClause {
+            alias: "totalLoss".into(),
+            quantile: 0.999,
+        };
         assert!((d.tail_probability() - 0.001).abs() < 1e-12);
     }
 

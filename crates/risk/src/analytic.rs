@@ -45,7 +45,9 @@ impl NormalSumOracle {
             variance += g * g * v;
         }
         if variance <= 0.0 {
-            return Err(Error::Invalid("query-result variance must be positive".into()));
+            return Err(Error::Invalid(
+                "query-result variance must be positive".into(),
+            ));
         }
         Ok(NormalSumOracle { mean, variance })
     }
@@ -108,8 +110,7 @@ impl TailCdfComparison {
         }
         let empirical = EmpiricalCdf::new(tail_samples)?;
         let ks = empirical.ks_distance(|x| oracle.tail_cdf(p, x));
-        let estimated_quantile =
-            tail_samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let estimated_quantile = tail_samples.iter().copied().fold(f64::INFINITY, f64::min);
         Ok(TailCdfComparison {
             p,
             true_quantile: oracle.quantile(1.0 - p),
@@ -135,8 +136,7 @@ mod tests {
     #[test]
     fn oracle_from_join_groups_matches_hand_computation() {
         // Two orders: fanout 3 with N(1, 0.25), fanout 2 with N(2, 1).
-        let oracle =
-            NormalSumOracle::from_join_groups(&[(3, 1.0, 0.25), (2, 2.0, 1.0)]).unwrap();
+        let oracle = NormalSumOracle::from_join_groups(&[(3, 1.0, 0.25), (2, 2.0, 1.0)]).unwrap();
         assert_eq!(oracle.mean, 3.0 + 4.0);
         assert_eq!(oracle.variance, 9.0 * 0.25 + 4.0 * 1.0);
         assert!(NormalSumOracle::from_join_groups(&[(1, 0.0, -1.0)]).is_err());

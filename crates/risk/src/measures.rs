@@ -10,7 +10,9 @@ pub fn value_at_risk(samples: &[f64], p: f64) -> Result<f64> {
         return Err(Error::InvalidOperation("VaR of an empty sample set".into()));
     }
     if !(0.0 < p && p < 1.0) {
-        return Err(Error::InvalidOperation(format!("tail probability {p} outside (0,1)")));
+        return Err(Error::InvalidOperation(format!(
+            "tail probability {p} outside (0,1)"
+        )));
     }
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -24,7 +26,11 @@ pub fn value_at_risk(samples: &[f64], p: f64) -> Result<f64> {
 /// exceeds θ", computed in §2 as `SUM(totalLoss * FRAC)` over the tail
 /// frequency table).
 pub fn expected_shortfall(samples: &[f64], threshold: f64) -> Result<f64> {
-    let tail: Vec<f64> = samples.iter().copied().filter(|&x| x >= threshold).collect();
+    let tail: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|&x| x >= threshold)
+        .collect();
     if tail.is_empty() {
         return Err(Error::InvalidOperation(format!(
             "no samples at or above the threshold {threshold}"
@@ -43,7 +49,9 @@ impl EmpiricalCdf {
     /// Build from samples (NaNs are rejected).
     pub fn new(samples: &[f64]) -> Result<Self> {
         if samples.iter().any(|x| x.is_nan()) {
-            return Err(Error::InvalidOperation("empirical CDF over NaN samples".into()));
+            return Err(Error::InvalidOperation(
+                "empirical CDF over NaN samples".into(),
+            ));
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -72,7 +80,11 @@ impl EmpiricalCdf {
     /// the series plotted in Figure 5.
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len() as f64;
-        self.sorted.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n)).collect()
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
     }
 
     /// Kolmogorov–Smirnov distance to a reference CDF.
@@ -167,7 +179,7 @@ mod tests {
         let d = mcdbr_vg::Distribution::Normal { mean: 0.0, sd: 1.0 };
         let samples: Vec<f64> = (0..5000).map(|_| d.sample(&mut gen)).collect();
         let cdf = EmpiricalCdf::new(&samples).unwrap();
-        let ks = cdf.ks_distance(|x| mcdbr_vg::math::std_normal_cdf(x));
+        let ks = cdf.ks_distance(mcdbr_vg::math::std_normal_cdf);
         // The 1% critical value for n = 5000 is about 1.63/sqrt(n) ≈ 0.023.
         assert!(ks < 0.023, "KS distance {ks} too large");
         // Against a shifted reference the distance must be much larger.

@@ -40,7 +40,9 @@ impl Catalog {
 
     /// Fetch a table by name.
     pub fn get(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| Error::TableNotFound(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_string()))
     }
 
     /// Whether a table with this name exists.
@@ -89,7 +91,10 @@ mod tests {
         cat.register("means", sample_table()).unwrap();
         assert!(cat.contains("means"));
         assert_eq!(cat.get("means").unwrap().len(), 1);
-        assert_eq!(cat.get("missing"), Err(Error::TableNotFound("missing".into())));
+        assert_eq!(
+            cat.get("missing"),
+            Err(Error::TableNotFound("missing".into()))
+        );
     }
 
     #[test]

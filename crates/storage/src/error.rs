@@ -48,7 +48,10 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             Error::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: schema has {expected} fields, tuple has {found}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} fields, tuple has {found}"
+                )
             }
             Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
@@ -70,19 +73,31 @@ mod tests {
 
     #[test]
     fn display_type_mismatch() {
-        let e = Error::TypeMismatch { expected: "Float64".into(), found: "Utf8".into() };
+        let e = Error::TypeMismatch {
+            expected: "Float64".into(),
+            found: "Utf8".into(),
+        };
         assert_eq!(e.to_string(), "type mismatch: expected Float64, found Utf8");
     }
 
     #[test]
     fn display_arity_mismatch() {
-        let e = Error::ArityMismatch { expected: 3, found: 2 };
+        let e = Error::ArityMismatch {
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("schema has 3 fields"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(Error::TableNotFound("t".into()), Error::TableNotFound("t".into()));
-        assert_ne!(Error::TableNotFound("t".into()), Error::TableNotFound("u".into()));
+        assert_eq!(
+            Error::TableNotFound("t".into()),
+            Error::TableNotFound("t".into())
+        );
+        assert_ne!(
+            Error::TableNotFound("t".into()),
+            Error::TableNotFound("u".into())
+        );
     }
 }

@@ -17,7 +17,10 @@ pub struct Field {
 impl Field {
     /// Create a new field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// Shorthand for a 64-bit integer field.
@@ -162,7 +165,10 @@ mod tests {
         let s = losses_schema();
         assert_eq!(s.index_of("cid").unwrap(), 0);
         assert_eq!(s.index_of("val").unwrap(), 1);
-        assert_eq!(s.index_of("missing"), Err(Error::ColumnNotFound("missing".into())));
+        assert_eq!(
+            s.index_of("missing"),
+            Err(Error::ColumnNotFound("missing".into()))
+        );
     }
 
     #[test]
@@ -191,7 +197,10 @@ mod tests {
         assert_eq!(joined.names(), vec!["sal", "eid", "sal_1", "eid_1"]);
         // Joining a third copy keeps generating fresh names.
         let triple = joined.join(&emp);
-        assert_eq!(triple.names(), vec!["sal", "eid", "sal_1", "eid_1", "sal_2", "eid_2"]);
+        assert_eq!(
+            triple.names(),
+            vec!["sal", "eid", "sal_1", "eid_1", "sal_2", "eid_2"]
+        );
     }
 
     #[test]

@@ -23,14 +23,20 @@ pub struct Table {
 impl Table {
     /// Create an empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Create a table from a schema and rows, validating arity.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
         for row in &rows {
             if row.arity() != schema.len() {
-                return Err(Error::ArityMismatch { expected: schema.len(), found: row.arity() });
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.arity(),
+                });
             }
         }
         Ok(Table { schema, rows })
@@ -59,7 +65,10 @@ impl Table {
     /// Append a row after checking its arity.
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         if row.arity() != self.schema.len() {
-            return Err(Error::ArityMismatch { expected: self.schema.len(), found: row.arity() });
+            return Err(Error::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.arity(),
+            });
         }
         self.rows.push(row);
         Ok(())
@@ -100,8 +109,10 @@ impl Table {
 
     /// Project onto the named columns.
     pub fn project(&self, names: &[&str]) -> Result<Table> {
-        let indices: Vec<usize> =
-            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_>>()?;
+        let indices: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_>>()?;
         let schema = self.schema.project(names)?;
         let rows = self.rows.iter().map(|r| r.project(&indices)).collect();
         Ok(Table { schema, rows })
@@ -112,7 +123,10 @@ impl Table {
         let idx = self.schema.index_of(name)?;
         let mut rows = self.rows.clone();
         rows.sort_by(|a, b| a.value(idx).cmp_total(b.value(idx)));
-        Ok(Table { schema: self.schema.clone(), rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Group rows by the named key column, returning `(key, rows)` pairs in
@@ -121,7 +135,10 @@ impl Table {
         let idx = self.schema.index_of(key)?;
         let mut groups: BTreeMap<OrdValue, Vec<Tuple>> = BTreeMap::new();
         for row in &self.rows {
-            groups.entry(OrdValue(row.value(idx).clone())).or_default().push(row.clone());
+            groups
+                .entry(OrdValue(row.value(idx).clone()))
+                .or_default()
+                .push(row.clone());
         }
         Ok(groups.into_iter().map(|(k, v)| (k.0, v)).collect())
     }
@@ -134,23 +151,29 @@ impl Table {
     /// Minimum of a numeric column.  Errors on an empty table.
     pub fn min(&self, name: &str) -> Result<f64> {
         let col = self.column_f64(name)?;
-        col.into_iter().fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v)))).ok_or_else(
-            || Error::InvalidOperation(format!("MIN over empty column {name}")),
-        )
+        col.into_iter()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or_else(|| Error::InvalidOperation(format!("MIN over empty column {name}")))
     }
 
     /// Maximum of a numeric column.  Errors on an empty table.
     pub fn max(&self, name: &str) -> Result<f64> {
         let col = self.column_f64(name)?;
-        col.into_iter().fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v)))).ok_or_else(
-            || Error::InvalidOperation(format!("MAX over empty column {name}")),
-        )
+        col.into_iter()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or_else(|| Error::InvalidOperation(format!("MAX over empty column {name}")))
     }
 
     /// Average of a numeric column.  Errors on an empty table.
     pub fn avg(&self, name: &str) -> Result<f64> {
         if self.rows.is_empty() {
-            return Err(Error::InvalidOperation(format!("AVG over empty column {name}")));
+            return Err(Error::InvalidOperation(format!(
+                "AVG over empty column {name}"
+            )));
         }
         Ok(self.sum(name)? / self.rows.len() as f64)
     }
@@ -185,7 +208,10 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a builder for the given schema.
     pub fn new(schema: Schema) -> Self {
-        TableBuilder { schema, rows: Vec::new() }
+        TableBuilder {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Add a row.
@@ -237,7 +263,13 @@ mod tests {
     fn arity_is_checked() {
         let schema = Schema::new(vec![Field::int64("a")]);
         let err = Table::new(schema.clone(), vec![Tuple::from_iter_values([1i64, 2i64])]);
-        assert!(matches!(err, Err(Error::ArityMismatch { expected: 1, found: 2 })));
+        assert!(matches!(
+            err,
+            Err(Error::ArityMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
         let mut t = Table::empty(schema);
         assert!(t.push(Tuple::from_iter_values([1i64])).is_ok());
         assert!(t.push(Tuple::from_iter_values([1i64, 2i64])).is_err());
@@ -306,7 +338,8 @@ mod tests {
     #[test]
     fn extend_rows() {
         let mut t = Table::empty(Schema::new(vec![Field::int64("x")]));
-        t.extend((0..5).map(|i| Tuple::from_iter_values([i as i64]))).unwrap();
+        t.extend((0..5).map(|i| Tuple::from_iter_values([i as i64])))
+            .unwrap();
         assert_eq!(t.len(), 5);
     }
 }

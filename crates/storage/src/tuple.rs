@@ -26,7 +26,9 @@ impl Tuple {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Tuple { values: values.into_iter().map(Into::into).collect() }
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of values in the tuple.
@@ -79,7 +81,9 @@ impl Tuple {
 
     /// Project onto the given column indices, in order.
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        Tuple { values: indices.iter().map(|&i| self.values[i].clone()).collect() }
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
     /// Consume the tuple and return its values.
@@ -125,7 +129,8 @@ mod tests {
 
     #[test]
     fn construction_and_access() {
-        let t = Tuple::from_iter_values([Value::Int64(1), Value::str("Sue"), Value::Float64(24_000.0)]);
+        let t =
+            Tuple::from_iter_values([Value::Int64(1), Value::str("Sue"), Value::Float64(24_000.0)]);
         assert_eq!(t.arity(), 3);
         assert_eq!(t.value(1), &Value::str("Sue"));
         assert!(!t.is_empty());
@@ -145,7 +150,10 @@ mod tests {
         t.set(0, Value::Int64(5));
         *t.value_mut(1) = Value::Int64(7);
         t.push(Value::Int64(9));
-        assert_eq!(t.values(), &[Value::Int64(5), Value::Int64(7), Value::Int64(9)]);
+        assert_eq!(
+            t.values(),
+            &[Value::Int64(5), Value::Int64(7), Value::Int64(9)]
+        );
     }
 
     #[test]

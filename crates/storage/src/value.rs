@@ -238,9 +238,9 @@ fn numeric_binop(
     fi: impl Fn(i64, i64) -> Option<i64>,
 ) -> Result<Value> {
     match (lhs, rhs) {
-        (Value::Int64(a), Value::Int64(b)) => fi(*a, *b).map(Value::Int64).ok_or_else(|| {
-            Error::InvalidOperation(format!("integer overflow in {a} {op} {b}"))
-        }),
+        (Value::Int64(a), Value::Int64(b)) => fi(*a, *b)
+            .map(Value::Int64)
+            .ok_or_else(|| Error::InvalidOperation(format!("integer overflow in {a} {op} {b}"))),
         (a, b) if a.is_numeric() && b.is_numeric() => {
             Ok(Value::Float64(ff(a.as_f64()?, b.as_f64()?)))
         }
@@ -338,14 +338,17 @@ mod tests {
 
     #[test]
     fn subtraction_and_negation() {
-        assert_eq!(Value::Int64(10).sub(&Value::Int64(4)).unwrap(), Value::Int64(6));
+        assert_eq!(
+            Value::Int64(10).sub(&Value::Int64(4)).unwrap(),
+            Value::Int64(6)
+        );
         assert_eq!(Value::Float64(2.5).neg().unwrap(), Value::Float64(-2.5));
         assert_eq!(Value::Int64(3).neg().unwrap(), Value::Int64(-3));
     }
 
     #[test]
     fn total_ordering_ranks_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("abc"),
             Value::Float64(1.5),
             Value::Null,
@@ -362,10 +365,19 @@ mod tests {
 
     #[test]
     fn mixed_numeric_ordering() {
-        assert_eq!(Value::Int64(2).cmp_total(&Value::Float64(2.5)), Ordering::Less);
-        assert_eq!(Value::Float64(3.0).cmp_total(&Value::Int64(3)), Ordering::Equal);
+        assert_eq!(
+            Value::Int64(2).cmp_total(&Value::Float64(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float64(3.0).cmp_total(&Value::Int64(3)),
+            Ordering::Equal
+        );
         // NaN sorts after ordinary numbers
-        assert_eq!(Value::Float64(f64::NAN).cmp_total(&Value::Float64(1e300)), Ordering::Greater);
+        assert_eq!(
+            Value::Float64(f64::NAN).cmp_total(&Value::Float64(1e300)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -50,15 +50,15 @@ impl Distribution {
     pub fn sample(&self, gen: &mut Pcg64) -> f64 {
         match *self {
             Distribution::Constant { value } => value,
-            Distribution::Normal { mean, sd } => mean + sd * std_normal_quantile(gen.next_f64_open()),
+            Distribution::Normal { mean, sd } => {
+                mean + sd * std_normal_quantile(gen.next_f64_open())
+            }
             Distribution::Uniform { lo, hi } => lo + (hi - lo) * gen.next_f64(),
             Distribution::Exponential { rate } => -gen.next_f64_open().ln() / rate,
             Distribution::Lognormal { mu, sigma } => {
                 (mu + sigma * std_normal_quantile(gen.next_f64_open())).exp()
             }
-            Distribution::Pareto { scale, shape } => {
-                scale * gen.next_f64_open().powf(-1.0 / shape)
-            }
+            Distribution::Pareto { scale, shape } => scale * gen.next_f64_open().powf(-1.0 / shape),
             Distribution::Gamma { shape, scale } => sample_gamma(gen, shape) * scale,
             Distribution::InverseGamma { shape, scale } => scale / sample_gamma(gen, shape),
             Distribution::Poisson { lambda } => sample_poisson(gen, lambda) as f64,
@@ -104,9 +104,8 @@ impl Distribution {
                 let s2 = sigma * sigma;
                 Some((s2.exp() - 1.0) * (2.0 * mu + s2).exp())
             }
-            Distribution::Pareto { scale, shape } => (shape > 2.0).then(|| {
-                scale * scale * shape / ((shape - 1.0) * (shape - 1.0) * (shape - 2.0))
-            }),
+            Distribution::Pareto { scale, shape } => (shape > 2.0)
+                .then(|| scale * scale * shape / ((shape - 1.0) * (shape - 1.0) * (shape - 2.0))),
             Distribution::Gamma { shape, scale } => Some(shape * scale * scale),
             Distribution::InverseGamma { shape, scale } => (shape > 2.0)
                 .then(|| scale * scale / ((shape - 1.0) * (shape - 1.0) * (shape - 2.0))),
@@ -120,18 +119,22 @@ impl Distribution {
         match *self {
             Distribution::Constant { value } => Some(if x >= value { 1.0 } else { 0.0 }),
             Distribution::Normal { mean, sd } => Some(normal_cdf(x, mean, sd)),
-            Distribution::Uniform { lo, hi } => {
-                Some(((x - lo) / (hi - lo)).clamp(0.0, 1.0))
-            }
-            Distribution::Exponential { rate } => {
-                Some(if x <= 0.0 { 0.0 } else { 1.0 - (-rate * x).exp() })
-            }
-            Distribution::Lognormal { mu, sigma } => {
-                Some(if x <= 0.0 { 0.0 } else { normal_cdf(x.ln(), mu, sigma) })
-            }
-            Distribution::Pareto { scale, shape } => {
-                Some(if x < scale { 0.0 } else { 1.0 - (scale / x).powf(shape) })
-            }
+            Distribution::Uniform { lo, hi } => Some(((x - lo) / (hi - lo)).clamp(0.0, 1.0)),
+            Distribution::Exponential { rate } => Some(if x <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-rate * x).exp()
+            }),
+            Distribution::Lognormal { mu, sigma } => Some(if x <= 0.0 {
+                0.0
+            } else {
+                normal_cdf(x.ln(), mu, sigma)
+            }),
+            Distribution::Pareto { scale, shape } => Some(if x < scale {
+                0.0
+            } else {
+                1.0 - (scale / x).powf(shape)
+            }),
             Distribution::Gamma { shape, scale } => Some(gamma_cdf(x, shape, scale)),
             Distribution::InverseGamma { shape, scale } => Some(inverse_gamma_cdf(x, shape, scale)),
             Distribution::Poisson { .. } | Distribution::Bernoulli { .. } => None,
@@ -142,7 +145,10 @@ impl Distribution {
     /// sense of paper Appendix B — the regime where the Gibbs rejection
     /// sampler is expected to behave badly.
     pub fn is_heavy_tailed(&self) -> bool {
-        matches!(self, Distribution::Lognormal { .. } | Distribution::Pareto { .. })
+        matches!(
+            self,
+            Distribution::Lognormal { .. } | Distribution::Pareto { .. }
+        )
     }
 }
 
@@ -179,7 +185,10 @@ fn sample_gamma(gen: &mut Pcg64, shape: f64) -> f64 {
 /// and a Gamma–Poisson decomposition for large `lambda` that reduces the
 /// problem to a small residual mean (exact, unlike a normal approximation).
 fn sample_poisson(gen: &mut Pcg64, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0, "poisson mean must be non-negative, got {lambda}");
+    assert!(
+        lambda >= 0.0,
+        "poisson mean must be non-negative, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -276,11 +285,17 @@ mod tests {
     fn inverse_gamma_matches_appendix_d_hyper_prior() {
         // Appendix D: means are InverseGamma(shape 3, scale 1) => mean 0.5,
         // variance 0.25; variances use InverseGamma(3, 0.5) => mean 0.25.
-        let d = Distribution::InverseGamma { shape: 3.0, scale: 1.0 };
+        let d = Distribution::InverseGamma {
+            shape: 3.0,
+            scale: 1.0,
+        };
         let (mean, _) = sample_stats(&d, 200_000, 5);
         assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
         assert_eq!(d.mean(), Some(0.5));
-        let d2 = Distribution::InverseGamma { shape: 3.0, scale: 0.5 };
+        let d2 = Distribution::InverseGamma {
+            shape: 3.0,
+            scale: 0.5,
+        };
         assert_eq!(d2.mean(), Some(0.25));
     }
 
@@ -289,8 +304,14 @@ mod tests {
         for &lambda in &[0.5, 4.0, 30.0, 120.0] {
             let d = Distribution::Poisson { lambda };
             let (mean, var) = sample_stats(&d, 60_000, 6);
-            assert!((mean - lambda).abs() < 0.05 * lambda + 0.05, "λ={lambda}, mean={mean}");
-            assert!((var - lambda).abs() < 0.12 * lambda + 0.2, "λ={lambda}, var={var}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda + 0.05,
+                "λ={lambda}, mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.12 * lambda + 0.2,
+                "λ={lambda}, var={var}"
+            );
         }
         let mut gen = Pcg64::new(1);
         assert_eq!(Distribution::Poisson { lambda: 0.0 }.sample(&mut gen), 0.0);
@@ -309,19 +330,42 @@ mod tests {
 
     #[test]
     fn lognormal_and_pareto_are_heavy_tailed() {
-        let ln = Distribution::Lognormal { mu: 0.0, sigma: 1.0 };
-        let pa = Distribution::Pareto { scale: 1.0, shape: 2.5 };
+        let ln = Distribution::Lognormal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
+        let pa = Distribution::Pareto {
+            scale: 1.0,
+            shape: 2.5,
+        };
         assert!(ln.is_heavy_tailed());
         assert!(pa.is_heavy_tailed());
         assert!(!Distribution::Normal { mean: 0.0, sd: 1.0 }.is_heavy_tailed());
 
         let (mean, _) = sample_stats(&ln, 200_000, 8);
-        assert!((mean - (0.5f64).exp()).abs() < 0.05, "lognormal mean = {mean}");
+        assert!(
+            (mean - (0.5f64).exp()).abs() < 0.05,
+            "lognormal mean = {mean}"
+        );
         let (mean, _) = sample_stats(&pa, 200_000, 9);
         assert!((mean - 2.5 / 1.5).abs() < 0.05, "pareto mean = {mean}");
         // Undefined moments are None.
-        assert_eq!(Distribution::Pareto { scale: 1.0, shape: 0.5 }.mean(), None);
-        assert_eq!(Distribution::Pareto { scale: 1.0, shape: 1.5 }.variance(), None);
+        assert_eq!(
+            Distribution::Pareto {
+                scale: 1.0,
+                shape: 0.5
+            }
+            .mean(),
+            None
+        );
+        assert_eq!(
+            Distribution::Pareto {
+                scale: 1.0,
+                shape: 1.5
+            }
+            .variance(),
+            None
+        );
     }
 
     #[test]
@@ -329,25 +373,54 @@ mod tests {
         let cases = vec![
             (Distribution::Normal { mean: 1.0, sd: 2.0 }, 2.0),
             (Distribution::Exponential { rate: 1.5 }, 0.7),
-            (Distribution::Gamma { shape: 3.0, scale: 0.5 }, 1.2),
-            (Distribution::InverseGamma { shape: 3.0, scale: 1.0 }, 0.6),
-            (Distribution::Lognormal { mu: 0.0, sigma: 0.5 }, 1.3),
-            (Distribution::Pareto { scale: 1.0, shape: 3.0 }, 1.8),
+            (
+                Distribution::Gamma {
+                    shape: 3.0,
+                    scale: 0.5,
+                },
+                1.2,
+            ),
+            (
+                Distribution::InverseGamma {
+                    shape: 3.0,
+                    scale: 1.0,
+                },
+                0.6,
+            ),
+            (
+                Distribution::Lognormal {
+                    mu: 0.0,
+                    sigma: 0.5,
+                },
+                1.3,
+            ),
+            (
+                Distribution::Pareto {
+                    scale: 1.0,
+                    shape: 3.0,
+                },
+                1.8,
+            ),
             (Distribution::Uniform { lo: 0.0, hi: 4.0 }, 2.5),
         ];
         for (dist, x) in cases {
             let mut gen = Pcg64::new(10);
             let n = 60_000;
-            let frac =
-                (0..n).filter(|_| dist.sample(&mut gen) <= x).count() as f64 / n as f64;
+            let frac = (0..n).filter(|_| dist.sample(&mut gen) <= x).count() as f64 / n as f64;
             let cdf = dist.cdf(x).unwrap();
-            assert!((frac - cdf).abs() < 0.02, "{dist:?} at {x}: empirical {frac}, cdf {cdf}");
+            assert!(
+                (frac - cdf).abs() < 0.02,
+                "{dist:?} at {x}: empirical {frac}, cdf {cdf}"
+            );
         }
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let d = Distribution::Gamma { shape: 2.0, scale: 1.0 };
+        let d = Distribution::Gamma {
+            shape: 2.0,
+            scale: 1.0,
+        };
         let mut a = Pcg64::new(99);
         let mut b = Pcg64::new(99);
         for _ in 0..50 {

@@ -46,9 +46,7 @@ pub trait VgFunction: fmt::Debug + Send + Sync {
 fn param_f64(params: &[Value], idx: usize, name: &str, fn_name: &str) -> Result<f64> {
     params
         .get(idx)
-        .ok_or_else(|| {
-            Error::Invalid(format!("{fn_name}: missing parameter {idx} ({name})"))
-        })?
+        .ok_or_else(|| Error::Invalid(format!("{fn_name}: missing parameter {idx} ({name})")))?
         .as_f64()
 }
 
@@ -74,9 +72,15 @@ impl VgFunction for NormalVg {
         let mean = param_f64(params, 0, "mean", "Normal")?;
         let variance = param_f64(params, 1, "variance", "Normal")?;
         if variance < 0.0 {
-            return Err(Error::Invalid(format!("Normal: negative variance {variance}")));
+            return Err(Error::Invalid(format!(
+                "Normal: negative variance {variance}"
+            )));
         }
-        let value = Distribution::Normal { mean, sd: variance.sqrt() }.sample(gen);
+        let value = Distribution::Normal {
+            mean,
+            sd: variance.sqrt(),
+        }
+        .sample(gen);
         Ok(vec![Tuple::from_iter_values([value])])
     }
 }
@@ -187,7 +191,11 @@ impl VgFunction for DiscreteVg {
             u -= w;
         }
         // Floating-point edge: fall back to the last category.
-        Ok(vec![Tuple::new(vec![self.categories.last().unwrap().clone()])])
+        Ok(vec![Tuple::new(vec![self
+            .categories
+            .last()
+            .unwrap()
+            .clone()])])
     }
 }
 
@@ -232,7 +240,10 @@ impl VgFunction for MultiNormalVg {
         for i in 0..self.dim {
             let zi = std_normal_quantile(gen.next_f64_open());
             let x = mean + sd * (self.rho.sqrt() * z0 + (1.0 - self.rho).sqrt() * zi);
-            rows.push(Tuple::from_iter_values([Value::Int64(i as i64), Value::Float64(x)]));
+            rows.push(Tuple::from_iter_values([
+                Value::Int64(i as i64),
+                Value::Float64(x),
+            ]));
         }
         Ok(rows)
     }
@@ -353,7 +364,10 @@ mod tests {
         (0..n)
             .map(|pos| {
                 let mut gen = stream.generator_at(pos as u64);
-                vg.generate(params, &mut gen).unwrap()[0].value(0).as_f64().unwrap()
+                vg.generate(params, &mut gen).unwrap()[0]
+                    .value(0)
+                    .as_f64()
+                    .unwrap()
             })
             .collect()
     }
@@ -364,8 +378,8 @@ mod tests {
         let vg = NormalVg;
         let samples = run_scalar(&vg, &[Value::Float64(4.0), Value::Float64(1.0)], 11, 50_000);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 4.0).abs() < 0.02, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.03, "var = {var}");
         assert_eq!(vg.output_fields()[0].name, "value");
@@ -387,16 +401,27 @@ mod tests {
     fn vg_calls_are_deterministic_per_position() {
         let stream = RandomStream::new(77);
         let params = [Value::Float64(3.0), Value::Float64(1.0)];
-        let a = NormalVg.generate(&params, &mut stream.generator_at(5)).unwrap();
-        let b = NormalVg.generate(&params, &mut stream.generator_at(5)).unwrap();
+        let a = NormalVg
+            .generate(&params, &mut stream.generator_at(5))
+            .unwrap();
+        let b = NormalVg
+            .generate(&params, &mut stream.generator_at(5))
+            .unwrap();
         assert_eq!(a, b);
-        let c = NormalVg.generate(&params, &mut stream.generator_at(6)).unwrap();
+        let c = NormalVg
+            .generate(&params, &mut stream.generator_at(6))
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn uniform_and_poisson_vg() {
-        let u = run_scalar(&UniformVg, &[Value::Float64(2.0), Value::Float64(4.0)], 3, 20_000);
+        let u = run_scalar(
+            &UniformVg,
+            &[Value::Float64(2.0), Value::Float64(4.0)],
+            3,
+            20_000,
+        );
         assert!(u.iter().all(|&x| (2.0..4.0).contains(&x)));
         let mean = u.iter().sum::<f64>() / u.len() as f64;
         assert!((mean - 3.0).abs() < 0.02);
@@ -410,13 +435,23 @@ mod tests {
         assert!(UniformVg
             .generate(&[Value::Float64(4.0), Value::Float64(2.0)], &mut gen)
             .is_err());
-        assert!(PoissonVg.generate(&[Value::Float64(-1.0)], &mut gen).is_err());
+        assert!(PoissonVg
+            .generate(&[Value::Float64(-1.0)], &mut gen)
+            .is_err());
     }
 
     #[test]
     fn discrete_vg_respects_weights() {
-        let vg = DiscreteVg::new(vec![Value::str("ship"), Value::str("truck"), Value::str("air")]);
-        let params = [Value::Float64(0.5), Value::Float64(0.3), Value::Float64(0.2)];
+        let vg = DiscreteVg::new(vec![
+            Value::str("ship"),
+            Value::str("truck"),
+            Value::str("air"),
+        ]);
+        let params = [
+            Value::Float64(0.5),
+            Value::Float64(0.3),
+            Value::Float64(0.2),
+        ];
         let stream = RandomStream::new(21);
         let mut counts = std::collections::BTreeMap::new();
         let n = 30_000;
@@ -485,11 +520,19 @@ mod tests {
         let d = run_scalar(&vg, &params, 9, 40_000);
         let mean = d.iter().sum::<f64>() / d.len() as f64;
         let expected = 4.0 * 2.5 * (-1.5f64 * 0.1).exp();
-        assert!((mean - expected).abs() < 0.15, "mean = {mean}, expected = {expected}");
+        assert!(
+            (mean - expected).abs() < 0.15,
+            "mean = {mean}, expected = {expected}"
+        );
         let mut gen = Pcg64::new(1);
         assert!(vg
             .generate(
-                &[Value::Float64(-1.0), Value::Float64(1.0), Value::Float64(0.0), Value::Float64(0.0)],
+                &[
+                    Value::Float64(-1.0),
+                    Value::Float64(1.0),
+                    Value::Float64(0.0),
+                    Value::Float64(0.0)
+                ],
                 &mut gen
             )
             .is_err());
@@ -508,12 +551,20 @@ mod tests {
         let s = run_scalar(&vg, &params, 13, 40_000);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         let expected = 100.0 * (0.05f64).exp();
-        assert!((mean - expected).abs() < 1.0, "mean = {mean}, expected = {expected}");
+        assert!(
+            (mean - expected).abs() < 1.0,
+            "mean = {mean}, expected = {expected}"
+        );
         assert!(s.iter().all(|&x| x > 0.0));
         let mut gen = Pcg64::new(1);
         assert!(vg
             .generate(
-                &[Value::Float64(-5.0), Value::Float64(0.0), Value::Float64(0.1), Value::Float64(1.0)],
+                &[
+                    Value::Float64(-5.0),
+                    Value::Float64(0.0),
+                    Value::Float64(0.1),
+                    Value::Float64(1.0)
+                ],
                 &mut gen
             )
             .is_err());

@@ -6,6 +6,8 @@
 //! the MCDB-R analytic validation (paper Appendix D, Fig. 5) controls its own
 //! precision.
 
+// Tabulated coefficients (Lanczos, Acklam) are kept at published precision.
+#![allow(clippy::excessive_precision)]
 /// The error function `erf(x)`, accurate to roughly 1.2e-7 (A&S 7.1.26-style
 /// rational approximation with an exponential correction, as popularized in
 /// Numerical Recipes).
@@ -22,9 +24,8 @@ pub fn erf(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     sign * (1.0 - tau)
 }
 
@@ -153,7 +154,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Gamma / Inverse-Gamma CDFs used when validating the Appendix D hyper-prior
 /// generator.
 pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "invalid arguments to regularized_gamma_p: a={a}, x={x}");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "invalid arguments to regularized_gamma_p: a={a}, x={x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -245,7 +249,11 @@ mod tests {
         assert_close(std_normal_cdf(1.0), 0.8413447460685429, 1e-6);
         assert_close(std_normal_cdf(-1.96), 0.024997895148220435, 1e-6);
         assert_close(std_normal_cdf(3.09), 0.9989991613579242, 1e-6);
-        assert_close(normal_cdf(15.0e6, 10.0e6, 1.0e6), std_normal_cdf(5.0), 1e-12);
+        assert_close(
+            normal_cdf(15.0e6, 10.0e6, 1.0e6),
+            std_normal_cdf(5.0),
+            1e-12,
+        );
     }
 
     #[test]
@@ -279,7 +287,7 @@ mod tests {
     fn regularized_gamma_known_values() {
         // P(1, x) = 1 - exp(-x)
         for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
-            assert_close(regularized_gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-10);
+            assert_close(regularized_gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-10);
         }
         // P(a, a) tends to ~0.5-ish for moderate a; check a tabulated value.
         assert_close(regularized_gamma_p(3.0, 3.0), 0.5768099188731564, 1e-9);

@@ -18,11 +18,17 @@ pub fn customer_losses_catalog(
     seed: u64,
 ) -> Result<Catalog> {
     let mut gen = Pcg64::new(seed);
-    let dist = Distribution::Uniform { lo: mean_range.0, hi: mean_range.1 };
+    let dist = Distribution::Uniform {
+        lo: mean_range.0,
+        hi: mean_range.1,
+    };
     let mut builder =
         TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]));
     for cid in 0..n_customers {
-        builder = builder.row([Value::Int64(cid as i64), Value::Float64(dist.sample(&mut gen))]);
+        builder = builder.row([
+            Value::Int64(cid as i64),
+            Value::Float64(dist.sample(&mut gen)),
+        ]);
     }
     let mut catalog = Catalog::new();
     catalog.register("means", builder.build()?)?;
@@ -54,11 +60,19 @@ pub fn customer_losses_query(cid_limit: Option<i64>) -> MonteCarloQuery {
 pub fn salary_inversion_catalog(n_employees: usize, seed: u64) -> Result<Catalog> {
     assert!(n_employees >= 2, "need at least a boss and a peon");
     let mut gen = Pcg64::new(seed);
-    let sal_dist = Distribution::Uniform { lo: 30.0, hi: 120.0 };
-    let mut emp =
-        TableBuilder::new(Schema::new(vec![Field::utf8("eid"), Field::float64("msal")]));
+    let sal_dist = Distribution::Uniform {
+        lo: 30.0,
+        hi: 120.0,
+    };
+    let mut emp = TableBuilder::new(Schema::new(vec![
+        Field::utf8("eid"),
+        Field::float64("msal"),
+    ]));
     for i in 0..n_employees {
-        emp = emp.row([Value::str(format!("e{i}")), Value::Float64(sal_dist.sample(&mut gen))]);
+        emp = emp.row([
+            Value::str(format!("e{i}")),
+            Value::Float64(sal_dist.sample(&mut gen)),
+        ]);
     }
     let mut sup = TableBuilder::new(Schema::new(vec![Field::utf8("boss"), Field::utf8("peon")]));
     for i in 1..n_employees {
@@ -76,7 +90,11 @@ pub fn salary_inversion_catalog(n_employees: usize, seed: u64) -> Result<Catalog
 /// sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal AND
 /// emp1.sal < boss_cap AND emp2.sal > peon_floor`, with the random-attribute
 /// predicates pulled up into the final predicate as MCDB-R requires.
-pub fn salary_inversion_query(boss_cap: f64, peon_floor: f64, sal_variance: f64) -> MonteCarloQuery {
+pub fn salary_inversion_query(
+    boss_cap: f64,
+    peon_floor: f64,
+    sal_variance: f64,
+) -> MonteCarloQuery {
     let emp = || {
         PlanNode::random_table(scalar_random_table(
             "emp",
@@ -111,13 +129,17 @@ mod tests {
         let catalog = customer_losses_catalog(50, (1.0, 5.0), 7).unwrap();
         assert_eq!(catalog.get("means").unwrap().len(), 50);
         let mut engine = McdbEngine::new();
-        let results = engine.run(&customer_losses_query(None), &catalog, 300, 3).unwrap();
+        let results = engine
+            .run(&customer_losses_query(None), &catalog, 300, 3)
+            .unwrap();
         let dist = &results[0].1;
         // The expected total is 50 * E[mean] = 50 * 3 = 150, give or take the
         // uniform draw of the means themselves.
         assert!((dist.mean() - 150.0).abs() < 25.0, "mean = {}", dist.mean());
         // Filtering on cid reduces the sum.
-        let filtered = engine.run(&customer_losses_query(Some(10)), &catalog, 300, 3).unwrap();
+        let filtered = engine
+            .run(&customer_losses_query(Some(10)), &catalog, 300, 3)
+            .unwrap();
         assert!(filtered[0].1.mean() < dist.mean());
     }
 
@@ -138,8 +160,12 @@ mod tests {
         assert_eq!(emp.len(), 30);
         assert_eq!(sup.len(), 29);
         // Every boss and peon is a real employee id.
-        let ids: Vec<String> =
-            emp.column("eid").unwrap().iter().map(|v| v.to_string()).collect();
+        let ids: Vec<String> = emp
+            .column("eid")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         for row in sup.rows() {
             assert!(ids.contains(&row.value(0).to_string()));
             assert!(ids.contains(&row.value(1).to_string()));

@@ -16,10 +16,19 @@ use mcdbr_vg::{Distribution, GbmTerminalVg};
 /// describing `n_assets` holdings with heterogeneous volatilities.
 pub fn portfolio_catalog(n_assets: usize, horizon_years: f64, seed: u64) -> Result<Catalog> {
     let mut gen = Pcg64::new(seed);
-    let price = Distribution::Uniform { lo: 20.0, hi: 200.0 };
-    let drift = Distribution::Uniform { lo: -0.02, hi: 0.08 };
+    let price = Distribution::Uniform {
+        lo: 20.0,
+        hi: 200.0,
+    };
+    let drift = Distribution::Uniform {
+        lo: -0.02,
+        hi: 0.08,
+    };
     let vol = Distribution::Uniform { lo: 0.1, hi: 0.45 };
-    let qty = Distribution::Uniform { lo: 10.0, hi: 100.0 };
+    let qty = Distribution::Uniform {
+        lo: 10.0,
+        hi: 100.0,
+    };
     let mut builder = TableBuilder::new(Schema::new(vec![
         Field::int64("aid"),
         Field::float64("s0"),
@@ -60,10 +69,22 @@ pub fn portfolio_loss_query(euler_steps: usize) -> MonteCarloQuery {
             Expr::col("horizon"),
         ],
         columns: vec![
-            OutputColumn::Param { source: "aid".into(), as_name: "aid".into() },
-            OutputColumn::Param { source: "s0".into(), as_name: "s0".into() },
-            OutputColumn::Param { source: "qty".into(), as_name: "qty".into() },
-            OutputColumn::Vg { vg_col: 0, as_name: "value".into() },
+            OutputColumn::Param {
+                source: "aid".into(),
+                as_name: "aid".into(),
+            },
+            OutputColumn::Param {
+                source: "s0".into(),
+                as_name: "s0".into(),
+            },
+            OutputColumn::Param {
+                source: "qty".into(),
+                as_name: "qty".into(),
+            },
+            OutputColumn::Vg {
+                vg_col: 0,
+                as_name: "value".into(),
+            },
         ],
         table_tag: 20,
     };
@@ -82,7 +103,11 @@ mod tests {
         let catalog = portfolio_catalog(25, 1.0, 3).unwrap();
         let positions = catalog.get("positions").unwrap();
         assert_eq!(positions.len(), 25);
-        assert!(positions.column_f64("sigma").unwrap().iter().all(|&s| s > 0.0));
+        assert!(positions
+            .column_f64("sigma")
+            .unwrap()
+            .iter()
+            .all(|&s| s > 0.0));
         assert!(positions.column_f64("s0").unwrap().iter().all(|&s| s > 0.0));
     }
 
@@ -97,7 +122,10 @@ mod tests {
         let dist = &results[0].1;
         assert_eq!(dist.len(), 400);
         assert!(dist.mean() < 0.0, "mean loss = {}", dist.mean());
-        assert!(dist.max() > 0.0, "the loss tail should reach positive territory");
+        assert!(
+            dist.max() > 0.0,
+            "the loss tail should reach positive territory"
+        );
     }
 
     #[test]

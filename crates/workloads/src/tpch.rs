@@ -107,8 +107,10 @@ impl TpchWorkload {
             shape: config.mean_prior.0,
             scale: config.mean_prior.1,
         };
-        let var_prior =
-            Distribution::InverseGamma { shape: config.var_prior.0, scale: config.var_prior.1 };
+        let var_prior = Distribution::InverseGamma {
+            shape: config.var_prior.0,
+            scale: config.var_prior.1,
+        };
 
         // orders(o_orderkey, o_mean, o_var): hyper-priors on the per-order
         // normal parameters.
@@ -146,7 +148,9 @@ impl TpchWorkload {
         let mut lineitem = TableBuilder::new(Schema::new(vec![Field::int64("l_orderkey")]));
         for _ in 0..config.num_lineitems {
             let u = gen.next_f64();
-            let key = cumulative.partition_point(|&c| c < u).min(config.num_orders - 1);
+            let key = cumulative
+                .partition_point(|&c| c < u)
+                .min(config.num_orders - 1);
             fanouts[key] += 1;
             lineitem = lineitem.row([Value::Int64(key as i64)]);
         }
@@ -164,7 +168,12 @@ impl TpchWorkload {
         let mut catalog = Catalog::new();
         catalog.register("orders", orders.build()?)?;
         catalog.register("lineitem", lineitem.build()?)?;
-        Ok(TpchWorkload { catalog, fanouts, oracle, config })
+        Ok(TpchWorkload {
+            catalog,
+            fanouts,
+            oracle,
+            config,
+        })
     }
 
     /// The uncertain-table specification for `random_ord`: one
@@ -176,8 +185,14 @@ impl TpchWorkload {
             vg: Arc::new(NormalVg),
             vg_params: vec![Expr::col("o_mean"), Expr::col("o_var")],
             columns: vec![
-                OutputColumn::Param { source: "o_orderkey".into(), as_name: "o_orderkey".into() },
-                OutputColumn::Vg { vg_col: 0, as_name: "val".into() },
+                OutputColumn::Param {
+                    source: "o_orderkey".into(),
+                    as_name: "o_orderkey".into(),
+                },
+                OutputColumn::Vg {
+                    vg_col: 0,
+                    as_name: "val".into(),
+                },
             ],
             table_tag: 10,
         }
@@ -186,8 +201,10 @@ impl TpchWorkload {
     /// The Appendix D benchmark query:
     /// `SELECT SUM(val) FROM random_ord ⋈ lineitem ON o_orderkey = l_orderkey`.
     pub fn total_loss_query(&self) -> MonteCarloQuery {
-        let plan = PlanNode::random_table(self.random_ord_spec())
-            .join(PlanNode::scan("lineitem"), vec![("o_orderkey", "l_orderkey")]);
+        let plan = PlanNode::random_table(self.random_ord_spec()).join(
+            PlanNode::scan("lineitem"),
+            vec![("o_orderkey", "l_orderkey")],
+        );
         MonteCarloQuery::new(plan, AggregateSpec::sum(Expr::col("val"), "totalLoss"))
     }
 
@@ -233,8 +250,18 @@ mod tests {
         config.num_orders = 4_000;
         config.num_lineitems = 4_000;
         let w = TpchWorkload::generate(config).unwrap();
-        let means = w.catalog.get("orders").unwrap().column_f64("o_mean").unwrap();
-        let vars = w.catalog.get("orders").unwrap().column_f64("o_var").unwrap();
+        let means = w
+            .catalog
+            .get("orders")
+            .unwrap()
+            .column_f64("o_mean")
+            .unwrap();
+        let vars = w
+            .catalog
+            .get("orders")
+            .unwrap()
+            .column_f64("o_var")
+            .unwrap();
         let avg_mean: f64 = means.iter().sum::<f64>() / means.len() as f64;
         let avg_var: f64 = vars.iter().sum::<f64>() / vars.len() as f64;
         // InverseGamma(3,1) has mean 0.5; InverseGamma(3,0.5) has mean 0.25.
@@ -248,7 +275,9 @@ mod tests {
     fn oracle_matches_monte_carlo_on_a_small_instance() {
         let w = TpchWorkload::generate(TpchConfig::test_scale()).unwrap();
         let mut engine = McdbEngine::new();
-        let results = engine.run(&w.total_loss_query(), &w.catalog, 400, 5).unwrap();
+        let results = engine
+            .run(&w.total_loss_query(), &w.catalog, 400, 5)
+            .unwrap();
         let dist = &results[0].1;
         // The Monte Carlo mean and sd must agree with the analytic oracle.
         assert!(

@@ -18,15 +18,27 @@ fn main() {
     let samples = results[0].1.samples().to_vec();
     let var95 = value_at_risk(&samples, 0.05).expect("VaR");
     println!("Monte Carlo over the full distribution (800 repetitions):");
-    println!("  expected P&L (negative = gain): {:.0}", results[0].1.mean());
+    println!(
+        "  expected P&L (negative = gain): {:.0}",
+        results[0].1.mean()
+    );
     println!("  95% VaR:                        {var95:.0}");
-    println!("  95% expected shortfall:         {:.0}", expected_shortfall(&samples, var95).unwrap());
+    println!(
+        "  95% expected shortfall:         {:.0}",
+        expected_shortfall(&samples, var95).unwrap()
+    );
 
     // MCDB-R for the deep tail: the 0.999-quantile needs tail sampling.
     let config = TailSamplingConfig::new(0.001, 100, 1000).with_master_seed(11);
     let tail = GibbsLooper::new(query, config).run(&catalog).expect("tail");
     println!("\nMCDB-R tail sampling at p = 0.001:");
     println!("  99.9% VaR estimate:     {:.0}", tail.quantile_estimate);
-    println!("  99.9% expected shortfall: {:.0}", tail.tail_samples.iter().sum::<f64>() / tail.tail_samples.len() as f64);
-    println!("  bootstrapping cutoffs:  {:?}", tail.cutoffs.iter().map(|c| c.round()).collect::<Vec<_>>());
+    println!(
+        "  99.9% expected shortfall: {:.0}",
+        tail.tail_samples.iter().sum::<f64>() / tail.tail_samples.len() as f64
+    );
+    println!(
+        "  bootstrapping cutoffs:  {:?}",
+        tail.cutoffs.iter().map(|c| c.round()).collect::<Vec<_>>()
+    );
 }

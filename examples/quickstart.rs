@@ -27,25 +27,44 @@ fn main() {
          FREQUENCYTABLE totalLoss",
     )
     .expect("parse");
-    let p = spec.domain.as_ref().expect("domain clause").tail_probability();
+    let p = spec
+        .domain
+        .as_ref()
+        .expect("domain clause")
+        .tail_probability();
 
     // Plain MCDB: the full result distribution from 1000 Monte Carlo reps.
     let mut engine = McdbEngine::new();
     let results = engine.run(&query, &catalog, 1000, 7).expect("mcdb run");
     let dist = &results[0].1;
     println!("MCDB estimate of the total-loss distribution:");
-    println!("  mean = {:.1}, std dev = {:.1}", dist.mean(), dist.std_dev());
+    println!(
+        "  mean = {:.1}, std dev = {:.1}",
+        dist.mean(),
+        dist.std_dev()
+    );
     let (lo, hi) = dist.mean_confidence_interval(0.95).expect("ci");
     println!("  95% CI for the mean: ({lo:.1}, {hi:.1})");
 
     // MCDB-R: sample the tail beyond the 0.99-quantile directly.
     let config = TailSamplingConfig::new(p, spec.monte_carlo_samples, 600).with_master_seed(7);
-    let tail = GibbsLooper::new(query, config).run(&catalog).expect("tail sampling");
+    let tail = GibbsLooper::new(query, config)
+        .run(&catalog)
+        .expect("tail sampling");
     let summary = TailSummary::from_tail_samples(&tail.tail_samples).expect("summary");
     println!("\nMCDB-R tail sampling (p = {p}):");
-    println!("  estimated 0.99-quantile (VaR): {:.1}", tail.quantile_estimate);
-    println!("  expected shortfall:            {:.1}", summary.expected_shortfall);
+    println!(
+        "  estimated 0.99-quantile (VaR): {:.1}",
+        tail.quantile_estimate
+    );
+    println!(
+        "  expected shortfall:            {:.1}",
+        summary.expected_shortfall
+    );
     println!("  tail samples collected:        {}", summary.samples);
     println!("  plan executions:               {}", tail.plan_executions);
-    println!("  Gibbs acceptance rate:         {:.3}", tail.gibbs.acceptance_rate());
+    println!(
+        "  Gibbs acceptance rate:         {:.3}",
+        tail.gibbs.acceptance_rate()
+    );
 }

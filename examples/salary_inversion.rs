@@ -16,12 +16,23 @@ fn main() {
     let results = engine.run(&query, &catalog, 500, 5).expect("mcdb");
     let dist = &results[0].1;
     println!("Salary inversion distribution (500 Monte Carlo repetitions):");
-    println!("  mean = {:.1}, sd = {:.1}, max = {:.1}", dist.mean(), dist.std_dev(), dist.max());
+    println!(
+        "  mean = {:.1}, sd = {:.1}, max = {:.1}",
+        dist.mean(),
+        dist.std_dev(),
+        dist.max()
+    );
 
     let config = TailSamplingConfig::new(0.01, 50, 500).with_master_seed(5);
     let tail = GibbsLooper::new(query, config).run(&catalog).expect("tail");
     println!("\nMCDB-R: the worst 1% of salary-inversion scenarios");
     println!("  0.99-quantile estimate: {:.1}", tail.quantile_estimate);
-    println!("  mean tail inversion:    {:.1}", tail.tail_samples.iter().sum::<f64>() / tail.tail_samples.len() as f64);
-    println!("  Gibbs acceptance rate:  {:.3}", tail.gibbs.acceptance_rate());
+    println!(
+        "  mean tail inversion:    {:.1}",
+        tail.tail_samples.iter().sum::<f64>() / tail.tail_samples.len() as f64
+    );
+    println!(
+        "  Gibbs acceptance rate:  {:.3}",
+        tail.gibbs.acceptance_rate()
+    );
 }

@@ -18,20 +18,34 @@ fn main() {
     let p = 0.25f64.powi(5);
     println!(
         "Workload: {} orders, {} joining lineitems; analytic result ~ Normal({:.4e}, {:.4e}^2)",
-        w.config.num_orders, w.config.num_lineitems, w.oracle.mean, w.oracle.sd()
+        w.config.num_orders,
+        w.config.num_lineitems,
+        w.oracle.mean,
+        w.oracle.sd()
     );
 
     let cfg = TailSamplingConfig::new(p, 100, 500)
         .with_m(5)
         .with_block_size(1000)
         .with_master_seed(17);
-    let result = GibbsLooper::new(w.total_loss_query(), cfg).run(&w.catalog).expect("tail");
+    let result = GibbsLooper::new(w.total_loss_query(), cfg)
+        .run(&w.catalog)
+        .expect("tail");
     let cmp = TailCdfComparison::new(&w.oracle, p, &result.tail_samples).expect("compare");
     println!("MCDB-R (m = 5, p^(1/m) = 0.25, N = 500, l = 100):");
     println!("  estimated 0.999-quantile: {:.6e}", cmp.estimated_quantile);
     println!("  analytic  0.999-quantile: {:.6e}", cmp.true_quantile);
-    println!("  relative error:           {:.4}%", 100.0 * cmp.quantile_relative_error());
+    println!(
+        "  relative error:           {:.4}%",
+        100.0 * cmp.quantile_relative_error()
+    );
     println!("  KS distance to the true tail CDF: {:.4}", cmp.ks_distance);
-    println!("  per-iteration cutoffs: {:?}", result.cutoffs.iter().map(|c| c.round()).collect::<Vec<_>>());
-    println!("  plan executions: {} (replenishments: {})", result.plan_executions, result.replenishments);
+    println!(
+        "  per-iteration cutoffs: {:?}",
+        result.cutoffs.iter().map(|c| c.round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  plan executions: {} (replenishments: {})",
+        result.plan_executions, result.replenishments
+    );
 }

@@ -27,13 +27,19 @@ fn figure1_trace_structure() {
         .with_m(5)
         .with_block_size(64)
         .with_master_seed(2);
-    let result = GibbsLooper::new(customer_losses_query(None), config).run(&catalog).unwrap();
+    let result = GibbsLooper::new(customer_losses_query(None), config)
+        .run(&catalog)
+        .unwrap();
 
     // m = 5 iterations, each halving the surviving probability (p^(1/m) = 1/2).
     assert_eq!(result.cutoffs.len(), 5);
     assert!((result.parameters.p_per_step - 0.5).abs() < 1e-12);
     for w in result.cutoffs.windows(2) {
-        assert!(w[1] >= w[0] - 1e-9, "cutoffs must walk outward: {:?}", result.cutoffs);
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "cutoffs must walk outward: {:?}",
+            result.cutoffs
+        );
     }
     // Four final DB versions, all at or above the final cutoff.
     assert_eq!(result.tail_samples.len(), 4);
@@ -43,8 +49,11 @@ fn figure1_trace_structure() {
     // The estimate should be in the right ballpark of the analytic
     // 1 - 1/32 quantile of Normal(12, 3) — wide tolerance, tiny n.
     let analytic = 12.0 + 3f64.sqrt() * std_normal_quantile(1.0 - 1.0 / 32.0);
-    assert!((result.quantile_estimate - analytic).abs() < 2.5,
-        "estimate {} vs analytic {analytic}", result.quantile_estimate);
+    assert!(
+        (result.quantile_estimate - analytic).abs() < 2.5,
+        "estimate {} vs analytic {analytic}",
+        result.quantile_estimate
+    );
 }
 
 #[test]
@@ -58,9 +67,14 @@ fn averaged_figure1_estimates_converge_to_the_analytic_quantile() {
             .with_m(5)
             .with_block_size(256)
             .with_master_seed(100 + run);
-        let result = GibbsLooper::new(customer_losses_query(None), config).run(&catalog).unwrap();
+        let result = GibbsLooper::new(customer_losses_query(None), config)
+            .run(&catalog)
+            .unwrap();
         sum += result.quantile_estimate;
     }
     let mean = sum / runs as f64;
-    assert!((mean - analytic).abs() < 0.6, "mean estimate {mean} vs analytic {analytic}");
+    assert!(
+        (mean - analytic).abs() < 0.6,
+        "mean estimate {mean} vs analytic {analytic}"
+    );
 }

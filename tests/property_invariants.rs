@@ -1,6 +1,12 @@
-//! Property-based tests (proptest) over the core invariants of the system:
-//! quantile/order-statistic conventions, frequency tables, parameter theory
-//! identities, TS-seed bookkeeping, and the purge/clone/perturb loop.
+//! Property-style tests over the core invariants of the system: quantile /
+//! order-statistic conventions, frequency tables, parameter theory identities,
+//! TS-seed bookkeeping, and the purge/clone/perturb loop.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these use a small seeded case generator over the repository's own
+//! [`Pcg64`]: each property is checked for 64 pseudorandom configurations,
+//! and every failure message carries the case seed so a case can be replayed
+//! exactly.
 
 use mcdbr::core::params::{h_c, staged_parameters_with_m};
 use mcdbr::core::{IndependentSumModel, ScalarCloner, TsSeed};
@@ -8,93 +14,174 @@ use mcdbr::mcdb::ResultDistribution;
 use mcdbr::prng::Pcg64;
 use mcdbr::risk::value_at_risk;
 use mcdbr::vg::Distribution;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The empirical quantile is monotone in the level and bracketed by the
-    /// sample extremes.
-    #[test]
-    fn quantiles_are_monotone(mut samples in proptest::collection::vec(-1e6f64..1e6, 2..200),
-                              q1 in 0.01f64..0.99, q2 in 0.01f64..0.99) {
+/// Deterministic case generator: uniform helpers over ranges.
+struct Gen {
+    rng: Pcg64,
+}
+
+impl Gen {
+    fn new(case: u64) -> Self {
+        Gen {
+            rng: Pcg64::new(0x70726f70 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.rng.next_u64() % (hi - lo)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64_open() * (hi - lo)
+    }
+
+    fn vec_f64(&mut self, len_lo: usize, len_hi: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}
+
+/// The empirical quantile is monotone in the level and bracketed by the
+/// sample extremes.
+#[test]
+fn quantiles_are_monotone() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let mut samples = g.vec_f64(2, 200, -1e6, 1e6);
+        let (q1, q2) = (g.f64_in(0.01, 0.99), g.f64_in(0.01, 0.99));
         let dist = ResultDistribution::from_samples(&samples);
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let a = dist.quantile(lo).unwrap();
         let b = dist.quantile(hi).unwrap();
-        prop_assert!(a <= b);
+        assert!(
+            a <= b,
+            "case {case}: quantile({lo}) = {a} > quantile({hi}) = {b}"
+        );
         samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        prop_assert!(a >= samples[0] && b <= *samples.last().unwrap());
+        assert!(
+            a >= samples[0] && b <= *samples.last().unwrap(),
+            "case {case}: quantiles escape the sample range"
+        );
     }
+}
 
-    /// Frequency tables are proper probability vectors.
-    #[test]
-    fn frequency_tables_sum_to_one(samples in proptest::collection::vec(-100i64..100, 1..300)) {
-        let floats: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+/// Frequency tables are proper probability vectors with sorted support.
+#[test]
+fn frequency_tables_sum_to_one() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let len = g.usize_in(1, 300);
+        let floats: Vec<f64> = (0..len)
+            .map(|_| g.usize_in(0, 200) as f64 - 100.0)
+            .collect();
         let dist = ResultDistribution::from_samples(&floats);
         let ft = dist.frequency_table(0.0);
         let total: f64 = ft.iter().map(|(_, f)| f).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(ft.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total = {total}");
+        assert!(
+            ft.windows(2).all(|w| w[0].0 < w[1].0),
+            "case {case}: frequency table support not sorted"
+        );
     }
+}
 
-    /// VaR never exceeds expected shortfall computed at the VaR threshold.
-    #[test]
-    fn var_below_expected_shortfall(samples in proptest::collection::vec(-1e3f64..1e3, 10..300),
-                                    p in 0.01f64..0.5) {
+/// VaR never exceeds expected shortfall computed at the VaR threshold.
+#[test]
+fn var_below_expected_shortfall() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let samples = g.vec_f64(10, 300, -1e3, 1e3);
+        let p = g.f64_in(0.01, 0.5);
         let var = value_at_risk(&samples, p).unwrap();
         let tail: Vec<f64> = samples.iter().copied().filter(|&x| x >= var).collect();
         let es = tail.iter().sum::<f64>() / tail.len() as f64;
-        prop_assert!(es >= var - 1e-9);
+        assert!(es >= var - 1e-9, "case {case}: ES {es} < VaR {var}");
     }
+}
 
-    /// Appendix C identities: the even split satisfies Σ nᵢ ≈ N, ∏ pᵢ = p and
-    /// h_c stays within [p, 1].
-    #[test]
-    fn staged_parameter_identities(n_total in 20usize..5000, p in 0.0005f64..0.2, m in 1usize..8) {
-        let m = m.min(n_total);
+/// Appendix C identities: the even split satisfies ∏ pᵢ = p and h_c stays
+/// within [p, 1].
+#[test]
+fn staged_parameter_identities() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let n_total = g.usize_in(20, 5000);
+        let p = g.f64_in(0.0005, 0.2);
+        let m = g.usize_in(1, 8).min(n_total);
         let params = staged_parameters_with_m(n_total, p, m);
         let prod: f64 = params.step_probabilities().iter().product();
-        prop_assert!((prod - p).abs() < 1e-9);
+        assert!(
+            (prod - p).abs() < 1e-9,
+            "case {case}: ∏ pᵢ = {prod} vs p = {p}"
+        );
         let ns: Vec<f64> = params.step_sizes().iter().map(|&n| n as f64).collect();
         let ps = params.step_probabilities();
         for c in [1.0, 2.0] {
             let h = h_c(&ns, &ps, c);
-            prop_assert!(h >= p - 1e-9 && h <= 1.0 + 1e-9, "h_c = {h}");
+            assert!(h >= p - 1e-9 && h <= 1.0 + 1e-9, "case {case}: h_c = {h}");
         }
     }
+}
 
-    /// TS-seed bookkeeping: assignments never reference unmaterialized
-    /// positions after an extend, and cloning copies columns exactly.
-    #[test]
-    fn ts_seed_bookkeeping(num_versions in 1usize..16, ops in proptest::collection::vec((0usize..16, 0u64..500), 0..50)) {
+/// TS-seed bookkeeping: `max_used` tracks every assignment and cloning copies
+/// columns exactly.
+#[test]
+fn ts_seed_bookkeeping() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let num_versions = g.usize_in(1, 16);
         let mut ts = TsSeed::new(7, num_versions, 1_000);
-        for (v, pos) in ops {
-            let v = v % num_versions;
+        let num_ops = g.usize_in(0, 50);
+        for _ in 0..num_ops {
+            let v = g.usize_in(0, 16) % num_versions;
+            let pos = g.u64_in(0, 500);
             ts.assign(v, pos);
-            prop_assert!(ts.max_used >= pos);
-            prop_assert!(ts.assigned(v) == pos);
+            assert!(ts.max_used >= pos, "case {case}: max_used fell behind");
+            assert_eq!(ts.assigned(v), pos, "case {case}: assignment lost");
         }
         let src = 0;
         for dst in 0..num_versions {
             ts.clone_version(dst, src);
         }
-        prop_assert!((0..num_versions).all(|v| ts.assigned(v) == ts.assigned(src)));
+        assert!(
+            (0..num_versions).all(|v| ts.assigned(v) == ts.assigned(src)),
+            "case {case}: clone_version did not copy the column"
+        );
     }
+}
 
-    /// The scalar Gibbs cloner's invariants hold for arbitrary light-tailed
-    /// configurations: the requested number of tail samples comes back, every
-    /// sample clears the final cutoff, and cutoffs are non-decreasing.
-    #[test]
-    fn cloner_invariants(r in 2usize..12, n_total in 40usize..200, m in 1usize..4,
-                         l in 5usize..40, seed in 0u64..1000) {
+/// The scalar Gibbs cloner's invariants hold for arbitrary light-tailed
+/// configurations: the requested number of tail samples comes back, every
+/// sample clears the final cutoff, and cutoffs are non-decreasing.
+#[test]
+fn cloner_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let r = g.usize_in(2, 12);
+        let n_total = g.usize_in(40, 200);
+        let m = g.usize_in(1, 4);
+        let l = g.usize_in(5, 40);
+        let seed = g.u64_in(0, 1000);
         let model = IndependentSumModel::iid(Distribution::Normal { mean: 1.0, sd: 1.0 }, r);
         let cloner = ScalarCloner::new(model);
         let params = staged_parameters_with_m(n_total, 0.05, m);
         let report = cloner.run(&params, l, &mut Pcg64::new(seed));
-        prop_assert_eq!(report.tail_samples.len(), l);
-        prop_assert!(report.cutoffs.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        assert_eq!(report.tail_samples.len(), l, "case {case}");
+        assert!(
+            report.cutoffs.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "case {case}: cutoffs decreased: {:?}",
+            report.cutoffs
+        );
         let cutoff = report.quantile_estimate;
-        prop_assert!(report.tail_samples.iter().all(|&q| q >= cutoff - 1e-9));
+        assert!(
+            report.tail_samples.iter().all(|&q| q >= cutoff - 1e-9),
+            "case {case}: tail sample below the final cutoff"
+        );
     }
 }
