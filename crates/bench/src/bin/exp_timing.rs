@@ -92,9 +92,25 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "MCDB-R skeleton hits/misses".into(),
+            "0 / 1 (cold cache)".into(),
+            format!("{} / {}", result.skeleton_hits, result.skeleton_misses)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive plan executions".into(),
             "1".into(),
             naive_plan_execs.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive skeleton hits/misses".into(),
+            "0 / 1 (cold cache)".into(),
+            format!("{} / {}", engine.skeleton_hits(), engine.skeleton_misses())
         ])
     );
     println!(

@@ -27,6 +27,8 @@
 //!   block is exhausted (§9), and finally emitting `l` samples from the tail
 //!   together with the extreme-quantile estimate.
 
+#![warn(missing_docs)]
+
 pub mod cloner;
 pub mod gibbs;
 pub mod looper;

@@ -41,8 +41,9 @@
 //! looper per group (Appendix A, footnote 4).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mcdbr_exec::{AggFunc, BundleValue, ExecSession, TupleBundle};
+use mcdbr_exec::{AggFunc, BundleValue, ExecSession, SessionCache, TupleBundle};
 use mcdbr_mcdb::MonteCarloQuery;
 use mcdbr_prng::SeedId;
 use mcdbr_storage::{Catalog, Error, Result, Schema, Value};
@@ -129,11 +130,24 @@ pub struct TailSampleResult {
     /// Gibbs acceptance statistics across the whole run.
     pub gibbs: GibbsStats,
     /// Number of times deterministic plan work ran.  With a cacheable plan
-    /// this is exactly 1 — the `ExecSession::prepare` skeleton pass — no
-    /// matter how many replenishments follow.
+    /// this is at most 1 — the skeleton pass — no matter how many
+    /// replenishments follow, and exactly 0 when the looper's
+    /// [`SessionCache`] already held the plan's skeleton (e.g. a repeated
+    /// run, or a shared cache warmed by another looper under any master
+    /// seed).
     pub plan_executions: usize,
     /// Number of stream blocks materialized (1 initial + replenishments).
     pub blocks_materialized: usize,
+    /// 1 when this run's session came out of the session cache, else 0
+    /// (summable across runs, mirroring the engine-level counters).  For
+    /// cacheable plans a hit means phase 1 was skipped entirely; for
+    /// uncacheable plans (`Split` over a random column) a hit only skips
+    /// re-detection — `plan_executions` still counts one full run per block,
+    /// exactly as the fallback contract demands.
+    pub skeleton_hits: usize,
+    /// 1 when this run's session had to run the deterministic skeleton
+    /// pass (or the uncacheability detection), else 0.
+    pub skeleton_misses: usize,
     /// Number of replenishment blocks triggered by exhausted streams.
     pub replenishments: usize,
     /// Total stream positions consumed across all TS-seeds.
@@ -147,12 +161,28 @@ pub struct TailSampleResult {
 pub struct GibbsLooper {
     query: MonteCarloQuery,
     config: TailSamplingConfig,
+    cache: Arc<SessionCache>,
 }
 
 impl GibbsLooper {
-    /// Create a looper for an (ungrouped) Monte Carlo aggregation query.
+    /// Create a looper for an (ungrouped) Monte Carlo aggregation query,
+    /// with a private [`SessionCache`] (repeated [`GibbsLooper::run`] calls
+    /// still share skeletons; use [`GibbsLooper::with_cache`] to share
+    /// across loopers).
     pub fn new(query: MonteCarloQuery, config: TailSamplingConfig) -> Self {
-        GibbsLooper { query, config }
+        GibbsLooper {
+            query,
+            config,
+            cache: Arc::new(SessionCache::new()),
+        }
+    }
+
+    /// Use a shared session cache: loopers over the same `(plan, catalog)`
+    /// pair — regardless of master seed — then pay the deterministic
+    /// skeleton pass once between them.
+    pub fn with_cache(mut self, cache: Arc<SessionCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Run tail sampling against the catalog.
@@ -182,11 +212,15 @@ impl GibbsLooper {
         // The initial identity mapping needs at least n materialized values.
         let block = self.config.block_size.max(n);
 
-        // ===== Run the deterministic plan skeleton exactly once (paper §5),
-        // then materialize the initial stream block against the cached
+        // ===== Run the deterministic plan skeleton at most once (paper §5)
+        // — the plan-keyed session cache skips it entirely when a previous
+        // run already built this plan's skeleton, under any master seed —
+        // then materialize the initial stream block against the bound
         // prefix.  Replenishments reuse the same session and never re-run
         // scans, joins, or constant predicates.
-        let mut session = ExecSession::prepare(&self.query.plan, catalog, self.config.master_seed)?;
+        let mut session = self
+            .cache
+            .session(&self.query.plan, catalog, self.config.master_seed)?;
         let set = session.instantiate_block(catalog, 0, block)?;
         let schema = set.schema.clone();
         let mut bundles = set.bundles;
@@ -328,6 +362,8 @@ impl GibbsLooper {
             gibbs,
             plan_executions: session.plan_executions(),
             blocks_materialized: session.blocks_materialized(),
+            skeleton_hits: usize::from(session.skeleton_hit()),
+            skeleton_misses: usize::from(!session.skeleton_hit()),
             replenishments,
             stream_positions_consumed,
             parameters: params,
@@ -711,6 +747,50 @@ mod tests {
         let mut query = losses_query();
         query.plan = query.plan.filter(Expr::col("val").gt(Expr::lit(2.0)));
         assert!(GibbsLooper::new(query, config).run(&catalog).is_err());
+    }
+
+    #[test]
+    fn session_cache_skips_the_skeleton_on_repeated_runs() {
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        let config = TailSamplingConfig::new(0.1, 6, 60)
+            .with_m(2)
+            .with_block_size(128)
+            .with_master_seed(5);
+        let looper = GibbsLooper::new(losses_query(), config.clone());
+        let first = looper.run(&catalog).unwrap();
+        assert_eq!((first.skeleton_hits, first.skeleton_misses), (0, 1));
+        assert_eq!(first.plan_executions, 1);
+        // A second run of the same looper reuses the cached skeleton —
+        // phase 1 never runs — and is bit-identical.
+        let second = looper.run(&catalog).unwrap();
+        assert_eq!((second.skeleton_hits, second.skeleton_misses), (1, 0));
+        assert_eq!(second.plan_executions, 0);
+        assert_eq!(first.tail_samples, second.tail_samples);
+        assert_eq!(first.cutoffs, second.cutoffs);
+
+        // A shared cache serves a different looper under a *fresh master
+        // seed*: only stream seeds are re-derived, and the result matches a
+        // cold run at that seed exactly.
+        let shared = Arc::new(SessionCache::new());
+        let warm = GibbsLooper::new(losses_query(), config.clone().with_master_seed(7))
+            .with_cache(Arc::clone(&shared));
+        let _ = warm.run(&catalog).unwrap();
+        let reused = GibbsLooper::new(losses_query(), config.with_master_seed(9))
+            .with_cache(Arc::clone(&shared))
+            .run(&catalog)
+            .unwrap();
+        assert_eq!((reused.skeleton_hits, reused.skeleton_misses), (1, 0));
+        let cold = GibbsLooper::new(
+            losses_query(),
+            TailSamplingConfig::new(0.1, 6, 60)
+                .with_m(2)
+                .with_block_size(128)
+                .with_master_seed(9),
+        )
+        .run(&catalog)
+        .unwrap();
+        assert_eq!(reused.tail_samples, cold.tail_samples);
+        assert_eq!(reused.cutoffs, cold.cutoffs);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! The plan-keyed session cache: pay phase 1 once per `(plan, catalog)`,
+//! not once per `(plan, catalog, master_seed)`.
+//!
+//! A [`PlanSkeleton`] depends only on the plan's
+//! structure and the catalog's contents — never on the master seed (lineage
+//! is recorded by `(table_tag, row)` [`mcdbr_prng::StreamKey`]s and concrete
+//! seeds are derived at binding time).  [`SessionCache`] exploits this by
+//! storing skeletons under a key of
+//!
+//! * the plan's structural fingerprint ([`PlanNode::fingerprint`]), and
+//! * the catalog's content epoch ([`mcdbr_storage::Catalog::epoch`]).
+//!
+//! A repeated query — same plan shape, same catalog, *any* master seed —
+//! hits the cache and skips the deterministic skeleton pass (scans, joins,
+//! constant predicates, VG probes) entirely; the only per-session work is
+//! one [`mcdbr_prng::seed_for`] derivation per stream.  Mutating the catalog
+//! bumps its epoch to a globally fresh value, so stale entries can never be
+//! served: the contract is *equal key ⇒ identical skeleton*, with
+//! invalidation by key change rather than by eviction.
+//!
+//! Uncacheable plans (`Split` over a random column, paper §8) are remembered
+//! too: a hit skips the detection pass and goes straight to the honest
+//! per-block fallback executor.
+//!
+//! The cache is internally synchronized (`&self` methods, atomic counters),
+//! so one cache can be shared — e.g. behind an [`std::sync::Arc`] — between
+//! an engine, several Gibbs loopers, and worker threads.  Capacity is
+//! bounded (FIFO eviction, default [`SessionCache::DEFAULT_CAPACITY`]): a
+//! long-lived engine that keeps mutating its catalog — orphaning entries
+//! keyed on dead epochs — cannot grow the cache without bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mcdbr_storage::{Catalog, Result};
+
+use crate::plan::PlanNode;
+use crate::session::{build_skeleton, ExecSession, PlanSkeleton, PrepError};
+
+/// What the cache remembers about one `(plan fingerprint, catalog epoch)`.
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    /// The plan is prefix-cacheable; its seed-independent skeleton.
+    Skeleton(Arc<PlanSkeleton>),
+    /// The plan has no block-invariant deterministic prefix; the recorded
+    /// reason (sessions go straight to fallback mode without re-detection).
+    Uncacheable(String),
+}
+
+/// A cache of [`PlanSkeleton`]s keyed by
+/// `(plan fingerprint, catalog epoch)`.
+///
+/// See the [module docs](self) for the key/invalidation contract.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use mcdbr_exec::plan::scalar_random_table;
+/// use mcdbr_exec::{Expr, PlanNode, SessionCache};
+/// use mcdbr_storage::{Catalog, Field, Schema, TableBuilder, Value};
+/// use mcdbr_vg::NormalVg;
+///
+/// # fn main() -> mcdbr_storage::Result<()> {
+/// let mut catalog = Catalog::new();
+/// let means =
+///     TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+///         .row([Value::Int64(1), Value::Float64(3.0)])
+///         .build()?;
+/// catalog.register("means", means)?;
+/// let plan = PlanNode::random_table(scalar_random_table(
+///     "Losses",
+///     "means",
+///     Arc::new(NormalVg),
+///     vec![Expr::col("m"), Expr::lit(1.0)],
+///     &["cid"],
+///     "val",
+///     1,
+/// ));
+///
+/// let cache = SessionCache::new();
+///
+/// // First session pays phase 1 (a miss)...
+/// let mut first = cache.session(&plan, &catalog, 7)?;
+/// assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (0, 1));
+/// assert_eq!(first.plan_executions(), 1);
+///
+/// // ...a repeat under a *fresh master seed* skips phase 1 entirely.
+/// let mut second = cache.session(&plan, &catalog, 999)?;
+/// assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (1, 1));
+/// assert!(second.skeleton_hit());
+/// assert_eq!(second.plan_executions(), 0);
+///
+/// // Both sessions materialize blocks as usual — and mutating the catalog
+/// // would change its epoch, turning the next lookup into a miss.
+/// let a = first.instantiate_block(&catalog, 0, 10)?;
+/// let b = second.instantiate_block(&catalog, 0, 10)?;
+/// assert_eq!(a.len(), b.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionCache {
+    entries: Mutex<Entries>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// The guarded map plus its FIFO insertion order (for bounded eviction).
+#[derive(Debug, Default)]
+struct Entries {
+    map: HashMap<(u64, u64), CacheEntry>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl Default for SessionCache {
+    fn default() -> Self {
+        SessionCache::with_capacity(SessionCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl SessionCache {
+    /// Default maximum number of cached `(plan, catalog epoch)` entries.
+    ///
+    /// Catalog mutations mint fresh epochs, permanently orphaning entries
+    /// keyed on the old epoch; the bound keeps a mutate-then-query loop from
+    /// accumulating unreachable skeletons forever.  Eviction is FIFO —
+    /// oldest insertion first — which is exact for the orphaned-epoch case
+    /// (older entries are the dead ones) and merely costs a rebuild for a
+    /// still-live entry.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Create an empty cache with [`SessionCache::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        SessionCache::default()
+    }
+
+    /// Create an empty cache holding at most `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SessionCache {
+            entries: Mutex::new(Entries::default()),
+            capacity: capacity.max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hand out an [`ExecSession`] for `(plan, catalog, master_seed)`.
+    ///
+    /// On a hit — a structurally identical plan was prepared against a
+    /// catalog with this epoch before — phase 1 is skipped: the cached
+    /// skeleton is bound to `master_seed` (one seed derivation per stream)
+    /// and the session reports `plan_executions() == 0` /
+    /// `skeleton_hit() == true`.  On a miss the skeleton is built here, the
+    /// session reports `plan_executions() == 1`, and the skeleton is stored
+    /// for future sessions.
+    ///
+    /// Ordinary plan errors (missing tables, illegal joins) are returned and
+    /// never cached.
+    pub fn session(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        master_seed: u64,
+    ) -> Result<ExecSession> {
+        let key = (plan.fingerprint(), catalog.epoch());
+        if let Some(entry) = self.entries.lock().expect("cache poisoned").map.get(&key) {
+            let entry = entry.clone();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(match entry {
+                CacheEntry::Skeleton(skeleton) => {
+                    ExecSession::from_skeleton(plan, skeleton, master_seed, true)
+                }
+                CacheEntry::Uncacheable(reason) => {
+                    ExecSession::fallback(plan, master_seed, reason, true)
+                }
+            });
+        }
+
+        // Build outside the lock: concurrent misses on the same key build
+        // identical skeletons (the pass is deterministic), so the last insert
+        // winning is harmless and slow builds never block unrelated lookups.
+        let (entry, session) = match build_skeleton(plan, catalog) {
+            Ok(skeleton) => {
+                let skeleton = Arc::new(skeleton);
+                let session =
+                    ExecSession::from_skeleton(plan, Arc::clone(&skeleton), master_seed, false);
+                (CacheEntry::Skeleton(skeleton), session)
+            }
+            Err(PrepError::Uncacheable(reason)) => (
+                CacheEntry::Uncacheable(reason.clone()),
+                ExecSession::fallback(plan, master_seed, reason, false),
+            ),
+            Err(PrepError::Fail(e)) => return Err(e),
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        if entries.map.insert(key, entry).is_none() {
+            entries.order.push_back(key);
+            // FIFO-evict beyond capacity: with a mutating catalog the oldest
+            // entries are exactly the orphaned-epoch ones.
+            while entries.map.len() > self.capacity {
+                let oldest = entries.order.pop_front().expect("order tracks map");
+                entries.map.remove(&oldest);
+            }
+        }
+        Ok(session)
+    }
+
+    /// Number of lookups that skipped phase 1 (the skeleton — or the
+    /// uncacheability verdict — was already cached).
+    pub fn skeleton_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to run the deterministic skeleton pass.
+    pub fn skeleton_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached `(plan, catalog epoch)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries before FIFO eviction kicks in.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop every cached entry (counters are kept).  Entries for stale
+    /// catalog epochs are unreachable anyway — their keys can no longer be
+    /// constructed — so this (like the capacity bound) is about memory, not
+    /// correctness.
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        entries.map.clear();
+        entries.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::scalar_random_table;
+    use mcdbr_storage::{Field, Schema, TableBuilder, Value};
+    use mcdbr_vg::NormalVg;
+
+    fn catalog() -> Catalog {
+        let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .row([Value::Int64(2), Value::Float64(4.0)])
+            .build()
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("means", means).unwrap();
+        catalog
+    }
+
+    fn losses_plan() -> PlanNode {
+        PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ))
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_per_key() {
+        let catalog = catalog();
+        let cache = SessionCache::new();
+        assert!(cache.is_empty());
+
+        let s1 = cache.session(&losses_plan(), &catalog, 1).unwrap();
+        assert!(!s1.skeleton_hit());
+        assert_eq!(s1.plan_executions(), 1);
+        assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (0, 1));
+        assert_eq!(cache.len(), 1);
+
+        // Same plan, different seeds: hits, phase 1 skipped.
+        for seed in [1u64, 2, 3] {
+            let s = cache.session(&losses_plan(), &catalog, seed).unwrap();
+            assert!(s.skeleton_hit());
+            assert_eq!(s.plan_executions(), 0);
+        }
+        assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (3, 1));
+
+        // A structurally different plan misses.
+        let filtered = losses_plan().filter(Expr::col("cid").lt(Expr::lit(2i64)));
+        let s2 = cache.session(&filtered, &catalog, 1).unwrap();
+        assert!(!s2.skeleton_hit());
+        assert_eq!(cache.skeleton_misses(), 2);
+        assert_eq!(cache.len(), 2);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        // Cleared entries rebuild on demand.
+        let s3 = cache.session(&losses_plan(), &catalog, 1).unwrap();
+        assert!(!s3.skeleton_hit());
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_by_epoch() {
+        let mut catalog = catalog();
+        let cache = SessionCache::new();
+        let _ = cache.session(&losses_plan(), &catalog, 1).unwrap();
+        assert_eq!(cache.skeleton_misses(), 1);
+
+        // Replacing the parameter table changes the epoch: the next lookup
+        // rebuilds the skeleton against the new contents.
+        let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(9), Value::Float64(100.0)])
+            .build()
+            .unwrap();
+        catalog.register_or_replace("means", means);
+        let fresh = cache.session(&losses_plan(), &catalog, 1).unwrap();
+        assert!(!fresh.skeleton_hit());
+        assert_eq!(cache.skeleton_misses(), 2);
+        assert_eq!(fresh.prefix().unwrap().num_streams(), 1);
+    }
+
+    #[test]
+    fn uncacheable_plans_are_remembered() {
+        let mut catalog = Catalog::new();
+        let param = TableBuilder::new(Schema::new(vec![
+            Field::int64("id"),
+            Field::float64("w_a"),
+            Field::float64("w_b"),
+        ]))
+        .row([Value::Int64(1), Value::Float64(0.5), Value::Float64(0.5)])
+        .build()
+        .unwrap();
+        catalog.register("people", param).unwrap();
+        let plan = PlanNode::random_table(scalar_random_table(
+            "ages",
+            "people",
+            Arc::new(mcdbr_vg::DiscreteVg::new(vec![
+                Value::Int64(20),
+                Value::Int64(21),
+            ])),
+            vec![Expr::col("w_a"), Expr::col("w_b")],
+            &["id"],
+            "age",
+            3,
+        ))
+        .split("age");
+
+        let cache = SessionCache::new();
+        let s1 = cache.session(&plan, &catalog, 1).unwrap();
+        assert!(!s1.is_cached());
+        assert!(!s1.skeleton_hit());
+        let s2 = cache.session(&plan, &catalog, 2).unwrap();
+        assert!(!s2.is_cached());
+        assert!(s2.skeleton_hit(), "the verdict itself is cached");
+        assert!(s2.fallback_reason().unwrap().contains("Split"));
+        assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_fifo_eviction() {
+        let mut catalog = catalog();
+        let cache = SessionCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+
+        // Three epochs of the same plan: each catalog mutation orphans the
+        // previous entry; the bound keeps only the 2 newest.
+        for i in 0..3i64 {
+            let extra = TableBuilder::new(Schema::new(vec![Field::int64("x")]))
+                .row([Value::Int64(i)])
+                .build()
+                .unwrap();
+            catalog.register(format!("extra_{i}"), extra).unwrap();
+            let _ = cache.session(&losses_plan(), &catalog, 1).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.skeleton_misses(), 3);
+        // The newest entry is still cached.
+        let s = cache.session(&losses_plan(), &catalog, 2).unwrap();
+        assert!(s.skeleton_hit());
+        // An evicted (oldest) entry would rebuild — but its epoch is dead, so
+        // the observable effect is just bounded memory; re-querying the live
+        // catalog keeps hitting.
+        assert_eq!(cache.skeleton_hits(), 1);
+    }
+
+    #[test]
+    fn plan_errors_are_returned_not_cached() {
+        let catalog = catalog();
+        let cache = SessionCache::new();
+        assert!(cache.session(&PlanNode::scan("nope"), &catalog, 1).is_err());
+        assert!(cache.is_empty());
+        assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (0, 0));
+    }
+}

@@ -30,17 +30,24 @@
 //!   `BundleSet` (the MCDB baseline path) and the aggregate/predicate
 //!   descriptors shared with the Gibbs Looper.
 //! * [`session`] — two-phase execution: [`session::ExecSession::prepare`]
-//!   runs the deterministic skeleton of a plan exactly once into a cached
-//!   [`session::DeterministicPrefix`], and
+//!   runs the deterministic skeleton of a plan exactly once into a
+//!   seed-independent [`session::PlanSkeleton`], binds it to the master seed
+//!   (a [`session::DeterministicPrefix`]), and
 //!   [`session::ExecSession::instantiate_block`] materializes only stream
 //!   values per block.  This is how replenishment (paper §9) avoids re-paying
 //!   for scans and joins, and the seam the engines build on.
+//! * [`cache`] — [`cache::SessionCache`]: skeletons keyed by
+//!   `(plan fingerprint, catalog epoch)`, so a repeated query — under *any*
+//!   master seed — skips phase 1 entirely.
 //! * [`par`] — the deterministic parallel fan-out used by phase-2
 //!   instantiation and per-repetition aggregation (bit-identical results for
 //!   every thread count).
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod bundle;
+pub mod cache;
 pub mod executor;
 pub mod expr;
 pub mod par;
@@ -50,8 +57,9 @@ pub mod stream_registry;
 
 pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
 pub use bundle::{BundleSet, BundleValue, TupleBundle};
+pub use cache::SessionCache;
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
 pub use plan::{JoinType, PlanNode, RandomTableSpec};
-pub use session::{DeterministicPrefix, ExecSession};
-pub use stream_registry::{StreamRegistry, StreamSource};
+pub use session::{DeterministicPrefix, ExecSession, PlanSkeleton};
+pub use stream_registry::{SkeletonRegistry, StreamRegistry, StreamSource};

@@ -223,6 +223,27 @@ impl PlanNode {
         }
     }
 
+    /// A stable structural fingerprint of this plan, used (together with the
+    /// catalog epoch) as the key of [`crate::SessionCache`].
+    ///
+    /// Two plans share a fingerprint exactly when they are structurally
+    /// identical in every execution-relevant way: operator tree shape, table
+    /// names, predicates and projections (including literal *types*, since
+    /// `1i64` and `1.0f64` arithmetic differ), join keys, and — for uncertain
+    /// tables — the parameter table, the VG function's
+    /// [`mcdbr_vg::VgFunction::cache_token`], the VG parameter expressions,
+    /// the output-column layout, and the `table_tag` mixed into seed
+    /// derivation.  The diagnostic `RandomTableSpec::name` is deliberately
+    /// excluded: it never affects execution.
+    ///
+    /// The hash is FNV-1a over a tagged pre-order serialization, so it is
+    /// stable across processes and runs (unlike `std`'s `DefaultHasher`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.plan(self);
+        fp.finish()
+    }
+
     /// All uncertain-table specifications reachable from this plan, in
     /// left-to-right order.  Useful for diagnostics and for the query
     /// front-end.
@@ -242,6 +263,156 @@ impl PlanNode {
             PlanNode::Join { left, right, .. } => {
                 left.collect_random_tables(out);
                 right.collect_random_tables(out);
+            }
+        }
+    }
+}
+
+/// FNV-1a accumulator behind [`PlanNode::fingerprint`]: everything is fed as
+/// `(tag, payload)` pairs with length-prefixed strings, so distinct
+/// structures cannot collide by concatenation.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.bytes(&[t]);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &mcdbr_storage::Value) {
+        use mcdbr_storage::Value;
+        match v {
+            Value::Null => self.tag(0),
+            Value::Int64(i) => {
+                self.tag(1);
+                self.u64(*i as u64);
+            }
+            Value::Float64(x) => {
+                self.tag(2);
+                self.u64(x.to_bits());
+            }
+            Value::Bool(b) => {
+                self.tag(3);
+                self.bytes(&[u8::from(*b)]);
+            }
+            Value::Utf8(s) => {
+                self.tag(4);
+                self.str(s);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Column(name) => {
+                self.tag(1);
+                self.str(name);
+            }
+            Expr::Literal(v) => {
+                self.tag(2);
+                self.value(v);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.tag(3);
+                self.tag(*op as u8);
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Not(inner) => {
+                self.tag(4);
+                self.expr(inner);
+            }
+        }
+    }
+
+    fn plan(&mut self, node: &PlanNode) {
+        match node {
+            PlanNode::TableScan { table } => {
+                self.tag(1);
+                self.str(table);
+            }
+            PlanNode::RandomTable(spec) => {
+                self.tag(2);
+                self.str(&spec.param_table);
+                self.str(&spec.vg.cache_token());
+                self.u64(spec.table_tag);
+                self.u64(spec.vg_params.len() as u64);
+                for e in &spec.vg_params {
+                    self.expr(e);
+                }
+                self.u64(spec.columns.len() as u64);
+                for col in &spec.columns {
+                    match col {
+                        OutputColumn::Param { source, as_name } => {
+                            self.tag(1);
+                            self.str(source);
+                            self.str(as_name);
+                        }
+                        OutputColumn::Vg { vg_col, as_name } => {
+                            self.tag(2);
+                            self.u64(*vg_col as u64);
+                            self.str(as_name);
+                        }
+                    }
+                }
+            }
+            PlanNode::Filter { input, predicate } => {
+                self.tag(3);
+                self.expr(predicate);
+                self.plan(input);
+            }
+            PlanNode::Project { input, exprs } => {
+                self.tag(4);
+                self.u64(exprs.len() as u64);
+                for (name, e) in exprs {
+                    self.str(name);
+                    self.expr(e);
+                }
+                self.plan(input);
+            }
+            PlanNode::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                self.tag(5);
+                self.tag(*join_type as u8);
+                self.u64(on.len() as u64);
+                for (l, r) in on {
+                    self.str(l);
+                    self.str(r);
+                }
+                self.plan(left);
+                self.plan(right);
+            }
+            PlanNode::Split { input, column } => {
+                self.tag(6);
+                self.str(column);
+                self.plan(input);
             }
         }
     }
@@ -455,6 +626,55 @@ mod tests {
         let text = plan.to_string();
         assert!(text.contains("Filter"));
         assert!(text.contains("RandomTable(Losses FOR EACH means WITH Normal)"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_structural() {
+        let a = PlanNode::random_table(losses_spec()).filter(Expr::col("cid").lt(Expr::lit(3i64)));
+        let b = PlanNode::random_table(losses_spec()).filter(Expr::col("cid").lt(Expr::lit(3i64)));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same structure, same fp");
+
+        // Literal *types* matter (Int64 vs Float64 arithmetic differ).
+        let float_lit =
+            PlanNode::random_table(losses_spec()).filter(Expr::col("cid").lt(Expr::lit(3.0)));
+        assert_ne!(a.fingerprint(), float_lit.fingerprint());
+
+        // Operator structure, table tags, and VG configuration all matter.
+        assert_ne!(
+            a.fingerprint(),
+            PlanNode::random_table(losses_spec()).fingerprint()
+        );
+        let mut retagged = losses_spec();
+        retagged.table_tag = 2;
+        assert_ne!(
+            PlanNode::random_table(losses_spec()).fingerprint(),
+            PlanNode::random_table(retagged).fingerprint()
+        );
+        let mut multi = losses_spec();
+        multi.vg = Arc::new(mcdbr_vg::MultiNormalVg::new(3, 0.5));
+        let mut multi2 = losses_spec();
+        multi2.vg = Arc::new(mcdbr_vg::MultiNormalVg::new(4, 0.5));
+        assert_ne!(
+            PlanNode::random_table(multi).fingerprint(),
+            PlanNode::random_table(multi2).fingerprint()
+        );
+
+        // The diagnostic table name is execution-irrelevant and excluded.
+        let mut renamed = losses_spec();
+        renamed.name = "Gains".into();
+        assert_eq!(
+            PlanNode::random_table(losses_spec()).fingerprint(),
+            PlanNode::random_table(renamed).fingerprint()
+        );
+
+        // Join keys and split columns discriminate.
+        let j1 = PlanNode::scan("means").join(PlanNode::scan("sup"), vec![("cid", "cid")]);
+        let j2 = PlanNode::scan("means").join(PlanNode::scan("sup"), vec![("m", "cid")]);
+        assert_ne!(j1.fingerprint(), j2.fingerprint());
+        assert_ne!(
+            PlanNode::scan("means").split("cid").fingerprint(),
+            PlanNode::scan("means").split("m").fingerprint()
+        );
     }
 
     #[test]

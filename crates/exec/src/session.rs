@@ -1,51 +1,68 @@
 //! Two-phase execution sessions: run deterministic plan work once,
-//! re-instantiate streams per block.
+//! re-instantiate streams per block — and share the deterministic part
+//! across master seeds.
 //!
 //! MCDB-R's central performance claim (paper §1, §9) is that deterministic
 //! query work — scans, joins on deterministic attributes, constant-only
 //! predicates — happens *exactly once*, no matter how many Monte Carlo
 //! repetitions or Gibbs replenishment blocks are run.  [`Executor`] keeps
-//! that promise within a single execution but not across executions: a
-//! replenishing caller that re-runs the plan per block pays for the scans and
-//! joins every time.  [`ExecSession`] closes the gap by splitting execution
-//! into two phases:
+//! that promise within a single execution but not across executions; this
+//! module closes the gap with a three-layer split:
 //!
-//! * **Phase 1 — [`ExecSession::prepare`]** runs the *deterministic skeleton*
-//!   of a plan over the catalog exactly once, producing a cached
-//!   [`DeterministicPrefix`]: the output schema, the stream registry (every
-//!   seed with its VG function and bound parameter row), and one *symbolic
-//!   bundle* per output tuple.  A symbolic bundle is a [`TupleBundle`] whose
-//!   random attributes are lineage-only — `(seed, vg_row, vg_col)` with no
-//!   materialized values — and whose value-dependent residue (predicates over
-//!   random attributes, computed projections) is recorded as small expression
-//!   closures to replay per block.
-//! * **Phase 2 — [`ExecSession::instantiate_block`]** materializes the stream
+//! * **[`PlanSkeleton`]** — the *seed-independent* result of running the
+//!   deterministic skeleton of a plan over a catalog: the output schema, a
+//!   [`SkeletonRegistry`] (every stream keyed by its `(table_tag, row)`
+//!   [`StreamKey`] with its VG function and bound parameter row), and one
+//!   *symbolic bundle* per output tuple.  A symbolic bundle's random
+//!   attributes are lineage-only — `(stream key, vg_row, vg_col)` with no
+//!   materialized values — and its value-dependent residue (predicates over
+//!   random attributes, computed projections) is recorded as small
+//!   expression closures to replay per block.  Nothing in the skeleton
+//!   mentions a concrete PRNG seed, so one skeleton serves every master
+//!   seed; [`crate::SessionCache`] exploits exactly this.
+//! * **[`DeterministicPrefix`]** — a skeleton *bound* to one master seed:
+//!   every stream key is mapped to its concrete [`mcdbr_prng::SeedId`] via
+//!   [`mcdbr_prng::seed_for`].  Binding costs one hash mix per stream — no
+//!   catalog reads, no VG probes, no plan traversal.
+//! * **[`ExecSession`]** — the two-phase driver.  **Phase 1**
+//!   ([`ExecSession::prepare`]) builds the skeleton and binds it.  **Phase
+//!   2** ([`ExecSession::instantiate_block`]) materializes the stream
 //!   values for positions `base_pos .. base_pos + num_values` against the
-//!   cached prefix: per-seed VG blocks are generated (in parallel — the
-//!   position-addressable streams of `mcdbr-prng` make any split of the work
-//!   bit-identical), the symbolic residue is evaluated, and a full
-//!   [`BundleSet`] comes back.  No scan, join, or deterministic predicate is
-//!   ever re-evaluated.
+//!   prefix: per-stream VG blocks are generated (in parallel — the
+//!   position-addressable streams of `mcdbr-prng` make any split of the
+//!   work bit-identical), the symbolic residue is evaluated, and a full
+//!   [`BundleSet`] comes back.  No scan, join, or deterministic predicate
+//!   is ever re-evaluated.
 //!
 //! The output of `instantiate_block(catalog, b, n)` is bit-identical to
 //! `Executor::execute` with `ExecOptions { base_pos: b, num_values: n, .. }`
 //! — the determinism suite in `tests/session_determinism.rs` asserts this
-//! bundle-for-bundle, including across replenishment boundaries and thread
-//! counts.
+//! bundle-for-bundle, including across replenishment boundaries, thread
+//! counts, and skeleton re-binding to fresh master seeds.
 //!
 //! **Cacheability.** One plan shape makes bundle *structure* depend on stream
 //! *values*: `Split` applied to a column that is random in some bundle
 //! (paper §8) — the number of output bundles equals the number of distinct
 //! values in the block.  Such plans have no block-invariant deterministic
-//! prefix; `prepare` detects this and the session falls back to re-running
-//! the full plan per block through an inner [`Executor`], reporting the cost
-//! honestly via [`ExecSession::plan_executions`].  Everything else — scans,
-//! random tables, filters (deterministic or random), projections, joins,
-//! `Split` over already-deterministic columns — is prefix-cacheable.
+//! prefix; skeleton construction detects this and the session falls back to
+//! re-running the full plan per block through an inner [`Executor`],
+//! reporting the cost honestly via [`ExecSession::plan_executions`].
+//! Everything else — scans, random tables, filters (deterministic or
+//! random), projections, joins, `Split` over already-deterministic columns —
+//! is prefix-cacheable.
+//!
+//! **Seed-independence contract.** The skeleton probes each VG function once
+//! (under a fixed probe seed) to learn its output-row count, because that
+//! count shapes the bundle structure.  The executor contract — enforced at
+//! every block materialization — is that a VG function's output-row count
+//! depends only on its parameters and construction-time configuration, never
+//! on the random draw; all built-in VG functions satisfy this, and a
+//! violation surfaces as an explicit error, never as silently wrong data.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mcdbr_prng::SeedId;
+use mcdbr_prng::{SeedId, StreamKey};
 use mcdbr_storage::{Catalog, Error, Result, Schema, Tuple, Value};
 
 use crate::bundle::{BundleSet, BundleValue, TupleBundle};
@@ -53,17 +70,23 @@ use crate::executor::{join_key, ExecOptions, Executor, JoinKey};
 use crate::expr::Expr;
 use crate::par;
 use crate::plan::{OutputColumn, PlanNode};
-use crate::stream_registry::StreamRegistry;
+use crate::stream_registry::{SkeletonRegistry, StreamRegistry};
 
-/// A symbolic attribute value: what phase 1 knows about an output column
-/// before any stream values exist.
+/// The master seed used only to probe VG output-row counts during skeleton
+/// construction (the probed values are discarded; only the row count is
+/// kept, and it must be seed-independent — see the module docs).
+const PROBE_MASTER_SEED: u64 = 0;
+
+/// A symbolic attribute value: what the skeleton pass knows about an output
+/// column before any stream values exist.
 #[derive(Debug, Clone)]
 enum SymValue {
     /// Deterministic: the same value in every DB instance.
     Const(Value),
-    /// A random attribute with lineage only; phase 2 reads the block.
+    /// A random attribute with seed-independent lineage only; phase 2 reads
+    /// the materialized block of the bound stream.
     Stream {
-        seed: SeedId,
+        key: StreamKey,
         vg_row: usize,
         vg_col: usize,
     },
@@ -114,32 +137,39 @@ impl SymBundle {
     }
 }
 
-/// The cached result of phase 1: everything about a plan execution that does
-/// not depend on which stream positions are materialized.
+/// The seed-independent result of the deterministic skeleton pass: everything
+/// about a plan execution that depends only on the plan and the catalog —
+/// never on the master seed or on which stream positions are materialized.
+///
+/// A skeleton is the unit [`crate::SessionCache`] stores: binding it to a
+/// master seed ([`DeterministicPrefix`]) costs one seed derivation per
+/// stream, so a cache hit skips scans, joins, constant predicates, and VG
+/// probes entirely.
 #[derive(Debug, Clone)]
-pub struct DeterministicPrefix {
+pub struct PlanSkeleton {
     schema: Schema,
-    registry: StreamRegistry,
+    registry: SkeletonRegistry,
     bundles: Vec<SymBundle>,
     /// Rows produced by each stream's VG function per invocation (probed once
-    /// during phase 1, validated against every materialized block).
-    vg_rows: BTreeMap<SeedId, usize>,
+    /// during the skeleton pass, validated against every materialized block).
+    vg_rows: BTreeMap<StreamKey, usize>,
     /// Streams actually referenced by surviving bundles.  Deterministic
-    /// filters (paper §2's `WHERE CID < 10010`) drop bundles during phase 1;
-    /// phase 2 never generates values for the dropped streams — a structural
-    /// saving the one-shot executor (which instantiates before filtering)
-    /// cannot make.
-    active_seeds: Vec<SeedId>,
+    /// filters (paper §2's `WHERE CID < 10010`) drop bundles during the
+    /// skeleton pass; phase 2 never generates values for the dropped streams
+    /// — a structural saving the one-shot executor (which instantiates before
+    /// filtering) cannot make.
+    active_keys: Vec<StreamKey>,
 }
 
-impl DeterministicPrefix {
+impl PlanSkeleton {
     /// The output schema of the plan.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
-    /// The stream registry: every seed with its VG function and parameters.
-    pub fn registry(&self) -> &StreamRegistry {
+    /// The seed-independent stream registry: every `(table_tag, row)` key
+    /// with its VG function and bound parameter row.
+    pub fn registry(&self) -> &SkeletonRegistry {
         &self.registry
     }
 
@@ -156,19 +186,89 @@ impl DeterministicPrefix {
     /// Number of streams referenced by surviving bundles — the streams a
     /// block materialization actually generates values for.
     pub fn num_active_streams(&self) -> usize {
-        self.active_seeds.len()
+        self.active_keys.len()
+    }
+
+    /// Bind this skeleton to a master seed, deriving every stream's concrete
+    /// [`SeedId`] via [`mcdbr_prng::seed_for`].  This is the whole per-seed
+    /// cost of reusing a skeleton: no catalog reads, no VG probes, no plan
+    /// traversal.
+    pub fn bind(self: &Arc<Self>, master_seed: u64) -> DeterministicPrefix {
+        DeterministicPrefix {
+            skeleton: Arc::clone(self),
+            master_seed,
+            registry: self.registry.bind(master_seed),
+        }
     }
 }
 
-/// Collect every stream seed reachable from a symbolic bundle: its direct
+/// A [`PlanSkeleton`] bound to one master seed: the cached result of phase 1
+/// that phase 2 materializes blocks against.
+///
+/// The prefix holds the concrete seed of every stream (the skeleton's keys
+/// mapped through [`mcdbr_prng::seed_for`]) and the seed-addressed
+/// [`StreamRegistry`] carried by every emitted [`BundleSet`].
+#[derive(Debug, Clone)]
+pub struct DeterministicPrefix {
+    skeleton: Arc<PlanSkeleton>,
+    master_seed: u64,
+    registry: StreamRegistry,
+}
+
+impl DeterministicPrefix {
+    /// The output schema of the plan.
+    pub fn schema(&self) -> &Schema {
+        self.skeleton.schema()
+    }
+
+    /// The bound stream registry: every concrete seed with its VG function
+    /// and parameters.
+    pub fn registry(&self) -> &StreamRegistry {
+        &self.registry
+    }
+
+    /// The seed-independent skeleton this prefix binds.
+    pub fn skeleton(&self) -> &Arc<PlanSkeleton> {
+        &self.skeleton
+    }
+
+    /// The master seed the skeleton is bound to.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Number of symbolic bundles in the skeleton.
+    pub fn num_bundles(&self) -> usize {
+        self.skeleton.num_bundles()
+    }
+
+    /// Number of registered random streams.
+    pub fn num_streams(&self) -> usize {
+        self.skeleton.num_streams()
+    }
+
+    /// Number of streams referenced by surviving bundles — the streams a
+    /// block materialization actually generates values for.
+    pub fn num_active_streams(&self) -> usize {
+        self.skeleton.num_active_streams()
+    }
+
+    /// The concrete seed `key`'s stream is bound to — a pure function of
+    /// `(master_seed, key)`, so no per-binding map is needed.
+    fn seed_of(&self, key: StreamKey) -> SeedId {
+        key.bind(self.master_seed)
+    }
+}
+
+/// Collect every stream key reachable from a symbolic bundle: its direct
 /// attributes, plus streams referenced inside deferred expressions and
 /// presence predicates.
-fn collect_seeds(bundle: &SymBundle, out: &mut std::collections::BTreeSet<SeedId>) {
-    fn walk(value: &SymValue, out: &mut std::collections::BTreeSet<SeedId>) {
+fn collect_keys(bundle: &SymBundle, out: &mut std::collections::BTreeSet<StreamKey>) {
+    fn walk(value: &SymValue, out: &mut std::collections::BTreeSet<StreamKey>) {
         match value {
             SymValue::Const(_) => {}
-            SymValue::Stream { seed, .. } => {
-                out.insert(*seed);
+            SymValue::Stream { key, .. } => {
+                out.insert(*key);
             }
             SymValue::Expr(e) => {
                 for input in &e.inputs {
@@ -204,61 +304,128 @@ enum Mode {
 /// let b0 = session.instantiate_block(&catalog, 0, 1000)?;           // phase 2: per block
 /// let b1 = session.instantiate_block(&catalog, 1000, 1000)?;        // ... no plan re-run
 /// ```
+///
+/// Sessions are usually obtained from a [`crate::SessionCache`], which skips
+/// phase 1 entirely when a structurally identical `(plan, catalog)` pair was
+/// prepared before — even under a different master seed.
 #[derive(Debug)]
 pub struct ExecSession {
     plan: PlanNode,
     master_seed: u64,
     threads: usize,
     mode: Mode,
+    skeleton_hit: bool,
     plan_executions: usize,
     blocks_materialized: usize,
     values_materialized: u64,
 }
 
 impl ExecSession {
-    /// Phase 1: run the deterministic skeleton of `plan` once, caching the
-    /// [`DeterministicPrefix`].  Plans whose bundle structure depends on
-    /// stream values (a `Split` over a random column) fall back to
-    /// per-block full execution; see the module docs.
+    /// Phase 1: run the deterministic skeleton of `plan` once and bind it to
+    /// `master_seed`, caching the resulting [`DeterministicPrefix`] inside
+    /// the session.  Plans whose bundle structure depends on stream values
+    /// (a `Split` over a random column) fall back to per-block full
+    /// execution; see the module docs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use mcdbr_exec::plan::scalar_random_table;
+    /// use mcdbr_exec::{ExecSession, Expr, PlanNode};
+    /// use mcdbr_storage::{Catalog, Field, Schema, TableBuilder, Value};
+    /// use mcdbr_vg::NormalVg;
+    ///
+    /// # fn main() -> mcdbr_storage::Result<()> {
+    /// let mut catalog = Catalog::new();
+    /// let means =
+    ///     TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+    ///         .row([Value::Int64(1), Value::Float64(3.0)])
+    ///         .row([Value::Int64(2), Value::Float64(4.0)])
+    ///         .build()?;
+    /// catalog.register("means", means)?;
+    /// // SELECT cid, val FROM Losses — val ~ Normal(m, 1) per customer.
+    /// let plan = PlanNode::random_table(scalar_random_table(
+    ///     "Losses",
+    ///     "means",
+    ///     Arc::new(NormalVg),
+    ///     vec![Expr::col("m"), Expr::lit(1.0)],
+    ///     &["cid"],
+    ///     "val",
+    ///     1,
+    /// ));
+    ///
+    /// // Phase 1 runs the deterministic plan work exactly once...
+    /// let mut session = ExecSession::prepare(&plan, &catalog, 42)?;
+    /// // ...and every phase-2 block materializes stream values only.
+    /// let block = session.instantiate_block(&catalog, 0, 100)?;
+    /// assert_eq!(block.len(), 2);
+    /// let _next = session.instantiate_block(&catalog, 100, 100)?;
+    /// assert_eq!(session.plan_executions(), 1);
+    /// assert_eq!(session.blocks_materialized(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn prepare(plan: &PlanNode, catalog: &Catalog, master_seed: u64) -> Result<Self> {
-        let mut registry = StreamRegistry::new();
-        let mut vg_rows = BTreeMap::new();
-        match exec_sym(plan, catalog, master_seed, &mut registry, &mut vg_rows) {
-            Ok((schema, bundles)) => {
-                let mut active = std::collections::BTreeSet::new();
-                for bundle in &bundles {
-                    collect_seeds(bundle, &mut active);
-                }
-                Ok(ExecSession {
-                    plan: plan.clone(),
-                    master_seed,
-                    threads: par::default_threads(),
-                    mode: Mode::Cached(Box::new(DeterministicPrefix {
-                        schema,
-                        registry,
-                        bundles,
-                        vg_rows,
-                        active_seeds: active.into_iter().collect(),
-                    })),
-                    // The deterministic skeleton ran exactly once, here.
-                    plan_executions: 1,
-                    blocks_materialized: 0,
-                    values_materialized: 0,
-                })
-            }
-            Err(PrepError::Uncacheable(reason)) => Ok(ExecSession {
-                plan: plan.clone(),
+        match build_skeleton(plan, catalog) {
+            Ok(skeleton) => Ok(Self::from_skeleton(
+                plan,
+                Arc::new(skeleton),
                 master_seed,
-                threads: par::default_threads(),
-                mode: Mode::Fallback {
-                    executor: Executor::new(),
-                    reason,
-                },
-                plan_executions: 0,
-                blocks_materialized: 0,
-                values_materialized: 0,
-            }),
+                false,
+            )),
+            Err(PrepError::Uncacheable(reason)) => {
+                Ok(Self::fallback(plan, master_seed, reason, false))
+            }
             Err(PrepError::Fail(e)) => Err(e),
+        }
+    }
+
+    /// Build a session from an already-constructed skeleton.  `cache_hit`
+    /// records whether the skeleton came out of a [`crate::SessionCache`]
+    /// (in which case no deterministic plan work ran for this session).
+    pub(crate) fn from_skeleton(
+        plan: &PlanNode,
+        skeleton: Arc<PlanSkeleton>,
+        master_seed: u64,
+        cache_hit: bool,
+    ) -> Self {
+        let prefix = skeleton.bind(master_seed);
+        ExecSession {
+            plan: plan.clone(),
+            master_seed,
+            threads: par::default_threads(),
+            mode: Mode::Cached(Box::new(prefix)),
+            skeleton_hit: cache_hit,
+            // The deterministic skeleton ran exactly once — during this
+            // session's prepare, or not at all on a cache hit.
+            plan_executions: usize::from(!cache_hit),
+            blocks_materialized: 0,
+            values_materialized: 0,
+        }
+    }
+
+    /// Build a fallback session for an uncacheable plan.  `cache_hit`
+    /// records whether the (cached) uncacheability verdict spared this
+    /// session the detection pass.
+    pub(crate) fn fallback(
+        plan: &PlanNode,
+        master_seed: u64,
+        reason: String,
+        cache_hit: bool,
+    ) -> Self {
+        ExecSession {
+            plan: plan.clone(),
+            master_seed,
+            threads: par::default_threads(),
+            mode: Mode::Fallback {
+                executor: Executor::new(),
+                reason,
+            },
+            skeleton_hit: cache_hit,
+            plan_executions: 0,
+            blocks_materialized: 0,
+            values_materialized: 0,
         }
     }
 
@@ -274,6 +441,13 @@ impl ExecSession {
     /// re-runs the full plan; see the module docs on cacheability).
     pub fn is_cached(&self) -> bool {
         matches!(self.mode, Mode::Cached(_))
+    }
+
+    /// Whether this session skipped phase 1 because a [`crate::SessionCache`]
+    /// already held the plan's skeleton (possibly built under a different
+    /// master seed).
+    pub fn skeleton_hit(&self) -> bool {
+        self.skeleton_hit
     }
 
     /// The cached prefix, when the plan is cacheable.
@@ -297,9 +471,10 @@ impl ExecSession {
         self.master_seed
     }
 
-    /// How many times deterministic plan work has run: 1 for a cached
-    /// session (phase 1), or one per materialized block in fallback mode.
-    /// This is the counter the Appendix D plan-execution experiments report.
+    /// How many times deterministic plan work has run *in this session*: 1
+    /// when phase 1 ran here, 0 when a cache hit skipped it, or one per
+    /// materialized block in fallback mode.  This is the counter the
+    /// Appendix D plan-execution experiments report.
     pub fn plan_executions(&self) -> usize {
         self.plan_executions
     }
@@ -341,7 +516,7 @@ impl ExecSession {
                 Ok(set)
             }
             Mode::Cached(prefix) => {
-                self.values_materialized += (prefix.active_seeds.len() * num_values) as u64;
+                self.values_materialized += (prefix.num_active_streams() * num_values) as u64;
                 instantiate_cached(prefix, self.threads, base_pos, num_values)
             }
         }
@@ -350,9 +525,9 @@ impl ExecSession {
 
 // ===== Phase 2: block materialization against a cached prefix =====
 
-/// Per-seed materialized VG outputs for one block: `blocks[seed][offset]` is
+/// Per-stream materialized VG outputs for one block: `blocks[key][offset]` is
 /// the VG output table at stream position `base_pos + offset`.
-type BlockData = BTreeMap<SeedId, Vec<Vec<Tuple>>>;
+type BlockData = BTreeMap<StreamKey, Vec<Vec<Tuple>>>;
 
 fn instantiate_cached(
     prefix: &DeterministicPrefix,
@@ -362,13 +537,15 @@ fn instantiate_cached(
 ) -> Result<BundleSet> {
     // Generate the block of every stream still referenced by a surviving
     // bundle (deterministically-filtered streams cost nothing), fanned out
-    // across seeds.  Each `(seed, position)` value is independent of all
+    // across streams.  Each `(seed, position)` value is independent of all
     // others, so the split is bit-deterministic (see `crate::par`).
-    let seeds = &prefix.active_seeds;
+    let skeleton = prefix.skeleton();
+    let keys = &skeleton.active_keys;
     let generated: Vec<Vec<Vec<Tuple>>> =
-        par::try_par_map_threads(seeds, threads, |&seed| -> Result<Vec<Vec<Tuple>>> {
-            let source = prefix.registry.source(seed)?;
-            let expected = prefix.vg_rows.get(&seed).copied();
+        par::try_par_map_threads(keys, threads, |&key| -> Result<Vec<Vec<Tuple>>> {
+            let seed = prefix.seed_of(key);
+            let source = skeleton.registry.source(key)?;
+            let expected = skeleton.vg_rows.get(&key).copied();
             let mut per_pos = Vec::with_capacity(num_values);
             for i in 0..num_values {
                 let rows = source.generate_at(seed, base_pos + i as u64)?;
@@ -376,8 +553,8 @@ fn instantiate_cached(
                     if rows.len() != expected {
                         return Err(Error::Invalid(format!(
                             "VG function {} produced {} output rows at stream position {} \
-                             but {} during session prepare; the bundle executor requires a \
-                             fixed row count",
+                             but {} during the skeleton probe; the bundle executor requires \
+                             a seed-independent, fixed row count per parameter row",
                             source.vg.name(),
                             rows.len(),
                             base_pos + i as u64,
@@ -389,19 +566,19 @@ fn instantiate_cached(
             }
             Ok(per_pos)
         })?;
-    let blocks: BlockData = seeds.iter().copied().zip(generated).collect();
+    let blocks: BlockData = keys.iter().copied().zip(generated).collect();
 
     // Replay the symbolic residue of every bundle over the block, fanned out
     // across bundles.  Dropping never-present bundles afterwards preserves
     // the relative order `Executor::execute` produces.
     let converted: Vec<Option<TupleBundle>> =
-        par::try_par_map_threads(&prefix.bundles, threads, |bundle| {
-            materialize_bundle(bundle, &blocks, base_pos, num_values)
+        par::try_par_map_threads(&skeleton.bundles, threads, |bundle| {
+            materialize_bundle(bundle, prefix, &blocks, base_pos, num_values)
         })?;
     let bundles: Vec<TupleBundle> = converted.into_iter().flatten().collect();
 
     Ok(BundleSet {
-        schema: prefix.schema.clone(),
+        schema: skeleton.schema.clone(),
         bundles,
         registry: prefix.registry.clone(),
         num_reps: num_values,
@@ -414,13 +591,16 @@ fn instantiate_cached(
 /// output sequence).
 fn materialize_bundle(
     bundle: &SymBundle,
+    prefix: &DeterministicPrefix,
     blocks: &BlockData,
     base_pos: u64,
     num_values: usize,
 ) -> Result<Option<TupleBundle>> {
     let mut values = Vec::with_capacity(bundle.values.len());
     for sym in &bundle.values {
-        values.push(materialize_value(sym, blocks, base_pos, num_values)?);
+        values.push(materialize_value(
+            sym, prefix, blocks, base_pos, num_values,
+        )?);
     }
     let is_pres = match bundle.preds.as_slice() {
         [] => None,
@@ -448,6 +628,7 @@ fn materialize_bundle(
 
 fn materialize_value(
     sym: &SymValue,
+    prefix: &DeterministicPrefix,
     blocks: &BlockData,
     base_pos: u64,
     num_values: usize,
@@ -455,17 +636,17 @@ fn materialize_value(
     match sym {
         SymValue::Const(v) => Ok(BundleValue::Const(v.clone())),
         SymValue::Stream {
-            seed,
+            key,
             vg_row,
             vg_col,
         } => {
-            let per_pos = block_for(blocks, *seed)?;
+            let per_pos = block_for(blocks, *key)?;
             let values: Vec<Value> = per_pos
                 .iter()
                 .map(|rows| rows[*vg_row].value(*vg_col).clone())
                 .collect();
             Ok(BundleValue::Random {
-                seed: *seed,
+                seed: prefix.seed_of(*key),
                 vg_row: *vg_row,
                 vg_col: *vg_col,
                 base_pos,
@@ -488,10 +669,10 @@ fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> 
     match sym {
         SymValue::Const(v) => Ok(v.clone()),
         SymValue::Stream {
-            seed,
+            key,
             vg_row,
             vg_col,
-        } => Ok(block_for(blocks, *seed)?[offset][*vg_row]
+        } => Ok(block_for(blocks, *key)?[offset][*vg_row]
             .value(*vg_col)
             .clone()),
         SymValue::Expr(e) => {
@@ -508,15 +689,15 @@ fn eval_row(inputs: &[SymValue], blocks: &BlockData, offset: usize) -> Result<Ve
         .collect()
 }
 
-fn block_for(blocks: &BlockData, seed: SeedId) -> Result<&Vec<Vec<Tuple>>> {
+fn block_for(blocks: &BlockData, key: StreamKey) -> Result<&Vec<Vec<Tuple>>> {
     blocks
-        .get(&seed)
-        .ok_or_else(|| Error::Invalid(format!("stream {seed} missing from materialized block")))
+        .get(&key)
+        .ok_or_else(|| Error::Invalid(format!("stream {key} missing from materialized block")))
 }
 
 // ===== Phase 1: the symbolic (deterministic-skeleton) plan pass =====
 
-enum PrepError {
+pub(crate) enum PrepError {
     /// The plan's bundle structure depends on stream values.
     Uncacheable(String),
     /// An ordinary execution error (missing table/column, illegal join, ...).
@@ -529,16 +710,41 @@ impl From<Error> for PrepError {
     }
 }
 
+/// Run the seed-independent deterministic-skeleton pass over `plan`.
+///
+/// Returns `Err(PrepError::Uncacheable)` for plans whose bundle structure
+/// depends on stream values (a `Split` over a random column, paper §8) and
+/// `Err(PrepError::Fail)` for ordinary execution errors.
+pub(crate) fn build_skeleton(
+    plan: &PlanNode,
+    catalog: &Catalog,
+) -> std::result::Result<PlanSkeleton, PrepError> {
+    let mut registry = SkeletonRegistry::new();
+    let mut vg_rows = BTreeMap::new();
+    let (schema, bundles) = exec_sym(plan, catalog, &mut registry, &mut vg_rows)?;
+    let mut active = std::collections::BTreeSet::new();
+    for bundle in &bundles {
+        collect_keys(bundle, &mut active);
+    }
+    Ok(PlanSkeleton {
+        schema,
+        registry,
+        bundles,
+        vg_rows,
+        active_keys: active.into_iter().collect(),
+    })
+}
+
 type SymResult = std::result::Result<(Schema, Vec<SymBundle>), PrepError>;
 
 /// The symbolic mirror of `executor::exec_node`: identical traversal order,
-/// identical per-bundle decisions, but random attributes stay lineage-only.
+/// identical per-bundle decisions, but random attributes stay lineage-only
+/// and streams are identified by seed-independent keys.
 fn exec_sym(
     plan: &PlanNode,
     catalog: &Catalog,
-    master_seed: u64,
-    registry: &mut StreamRegistry,
-    vg_rows: &mut BTreeMap<SeedId, usize>,
+    registry: &mut SkeletonRegistry,
+    vg_rows: &mut BTreeMap<StreamKey, usize>,
 ) -> SymResult {
     match plan {
         PlanNode::TableScan { table } => {
@@ -557,22 +763,27 @@ fn exec_sym(
 
             let mut bundles = Vec::new();
             for (row_idx, param_row) in param_table.rows().iter().enumerate() {
-                // Seed operator: derive and register this tuple's stream.
-                let seed = mcdbr_prng::seed_for(master_seed, spec.table_tag, row_idx as u64);
+                // Seed operator, seed-independently: record this tuple's
+                // stream by its `(table_tag, row)` key; concrete seeds are
+                // derived at binding time.
+                let key = StreamKey::new(spec.table_tag, row_idx as u64);
                 let params: Vec<Value> = spec
                     .vg_params
                     .iter()
                     .map(|e| e.eval(param_schema, param_row.values()))
                     .collect::<Result<_>>()?;
-                registry.register(seed, spec.vg.clone(), params);
+                registry.register(key, spec.vg.clone(), params);
 
                 // Probe one VG invocation to learn the output-row count; the
-                // probe is deterministic and every block validates against it.
-                // A zero-row VG output emits no bundles, exactly like the
-                // one-shot executor's `0..vg_rows` loop.
-                let probe = registry.source(seed)?.generate_at(seed, 0)?;
+                // count is seed-independent by contract (see module docs) and
+                // every materialized block validates against it.  A zero-row
+                // VG output emits no bundles, exactly like the one-shot
+                // executor's `0..vg_rows` loop.
+                let probe = registry
+                    .source(key)?
+                    .generate_at(key.bind(PROBE_MASTER_SEED), 0)?;
                 let num_rows = probe.len();
-                vg_rows.insert(seed, num_rows);
+                vg_rows.insert(key, num_rows);
 
                 for vg_row in 0..num_rows {
                     let mut values = Vec::with_capacity(spec.columns.len());
@@ -584,7 +795,7 @@ fn exec_sym(
                             }
                             OutputColumn::Vg { vg_col, .. } => {
                                 values.push(SymValue::Stream {
-                                    seed,
+                                    key,
                                     vg_row,
                                     vg_col: *vg_col,
                                 });
@@ -600,7 +811,7 @@ fn exec_sym(
             Ok((out_schema, bundles))
         }
         PlanNode::Filter { input, predicate } => {
-            let (schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let (schema, bundles) = exec_sym(input, catalog, registry, vg_rows)?;
             let referenced = predicate.referenced_columns();
             let ref_indices: Vec<usize> = referenced
                 .iter()
@@ -634,7 +845,7 @@ fn exec_sym(
             Ok((schema, out))
         }
         PlanNode::Project { input, exprs } => {
-            let (in_schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let (in_schema, bundles) = exec_sym(input, catalog, registry, vg_rows)?;
             let out_schema = plan.schema(catalog)?;
             let mut out = Vec::with_capacity(bundles.len());
             for bundle in bundles {
@@ -674,8 +885,8 @@ fn exec_sym(
         PlanNode::Join {
             left, right, on, ..
         } => {
-            let (ls, lb) = exec_sym(left, catalog, master_seed, registry, vg_rows)?;
-            let (rs, rb) = exec_sym(right, catalog, master_seed, registry, vg_rows)?;
+            let (ls, lb) = exec_sym(left, catalog, registry, vg_rows)?;
+            let (rs, rb) = exec_sym(right, catalog, registry, vg_rows)?;
             let out_schema = ls.join(&rs);
             if on.is_empty() {
                 return Err(Error::Invalid("join requires at least one key pair".into()).into());
@@ -716,7 +927,7 @@ fn exec_sym(
             Ok((out_schema, out))
         }
         PlanNode::Split { input, column } => {
-            let (schema, bundles) = exec_sym(input, catalog, master_seed, registry, vg_rows)?;
+            let (schema, bundles) = exec_sym(input, catalog, registry, vg_rows)?;
             let idx = schema.index_of(column)?;
             if bundles
                 .iter()
@@ -836,6 +1047,7 @@ mod tests {
         let catalog = catalog();
         let mut session = ExecSession::prepare(&losses_plan(), &catalog, 7).unwrap();
         assert!(session.is_cached());
+        assert!(!session.skeleton_hit());
         assert_eq!(session.plan_executions(), 1);
         assert_eq!(session.prefix().unwrap().num_streams(), 3);
         assert_eq!(session.prefix().unwrap().num_bundles(), 3);
@@ -881,6 +1093,32 @@ mod tests {
             assert_sets_identical(&block, &from_scratch);
         }
         assert_eq!(session.plan_executions(), 1);
+    }
+
+    #[test]
+    fn one_skeleton_serves_many_master_seeds() {
+        // The seed-independence property the session cache is built on: a
+        // skeleton constructed once can be bound to any master seed, and
+        // every binding is bit-identical to a from-scratch prepare at that
+        // seed.
+        let catalog = catalog();
+        let plan = losses_plan()
+            .filter(Expr::col("cid").lt(Expr::lit(3i64)))
+            .filter(Expr::col("val").gt(Expr::lit(3.5)));
+        let skeleton = Arc::new(build_skeleton(&plan, &catalog).unwrap_or_else(|_| panic!()));
+        for seed in [7u64, 11, 42, 0xDEAD_BEEF] {
+            let mut rebound = ExecSession::from_skeleton(&plan, Arc::clone(&skeleton), seed, true);
+            assert!(rebound.skeleton_hit());
+            assert_eq!(
+                rebound.plan_executions(),
+                0,
+                "a cache hit skips phase 1 entirely"
+            );
+            let mut fresh = ExecSession::prepare(&plan, &catalog, seed).unwrap();
+            let a = rebound.instantiate_block(&catalog, 0, 32).unwrap();
+            let b = fresh.instantiate_block(&catalog, 0, 32).unwrap();
+            assert_sets_identical(&a, &b);
+        }
     }
 
     #[test]

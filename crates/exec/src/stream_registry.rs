@@ -16,17 +16,21 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mcdbr_prng::{RandomStream, SeedId};
+use mcdbr_prng::{RandomStream, SeedId, StreamKey};
 use mcdbr_storage::{Error, Result, Tuple, Value};
 use mcdbr_vg::VgFunction;
 
 /// How to generate one stream: a VG function plus its bound parameter row.
+///
+/// Both fields are reference-counted so that cloning a source — which
+/// happens once per stream every time a cached skeleton is bound to a new
+/// master seed — shares rather than copies the parameter row.
 #[derive(Debug, Clone)]
 pub struct StreamSource {
     /// The VG function invoked at every stream position.
     pub vg: Arc<dyn VgFunction>,
     /// The parameter row bound from the parameter table (paper §2).
-    pub params: Vec<Value>,
+    pub params: Arc<[Value]>,
 }
 
 impl StreamSource {
@@ -52,8 +56,19 @@ impl StreamRegistry {
     /// Register a stream.  Registering the same seed twice is fine as long
     /// as callers keep seeds unique per uncertain tuple (the executor derives
     /// them with [`mcdbr_prng::seed_for`], which guarantees that).
-    pub fn register(&mut self, seed: SeedId, vg: Arc<dyn VgFunction>, params: Vec<Value>) {
-        self.sources.insert(seed, StreamSource { vg, params });
+    pub fn register(
+        &mut self,
+        seed: SeedId,
+        vg: Arc<dyn VgFunction>,
+        params: impl Into<Arc<[Value]>>,
+    ) {
+        self.sources.insert(
+            seed,
+            StreamSource {
+                vg,
+                params: params.into(),
+            },
+        );
     }
 
     /// Look up a stream source.
@@ -115,6 +130,91 @@ impl StreamRegistry {
     }
 }
 
+/// The seed-independent counterpart of [`StreamRegistry`]: from stream *key*
+/// (`(table_tag, row)` lineage, [`mcdbr_prng::StreamKey`]) to generation
+/// recipe.
+///
+/// A plan's deterministic skeleton registers streams by key, not by concrete
+/// PRNG seed, because the recipe — VG function plus bound parameter row — is
+/// a function of the plan and the catalog only.  Binding the registry to a
+/// master seed ([`SkeletonRegistry::bind`]) derives every concrete
+/// [`SeedId`] via [`mcdbr_prng::seed_for`] without touching the catalog,
+/// which is what lets one cached skeleton serve sessions for any number of
+/// master seeds.
+#[derive(Debug, Clone, Default)]
+pub struct SkeletonRegistry {
+    sources: BTreeMap<StreamKey, StreamSource>,
+}
+
+impl SkeletonRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        SkeletonRegistry::default()
+    }
+
+    /// Register a stream by key.  Registering the same key twice (a plan
+    /// reusing one uncertain table, e.g. a self-join) keeps the latest
+    /// recipe; by construction both registrations carry identical recipes.
+    pub fn register(
+        &mut self,
+        key: StreamKey,
+        vg: Arc<dyn VgFunction>,
+        params: impl Into<Arc<[Value]>>,
+    ) {
+        self.sources.insert(
+            key,
+            StreamSource {
+                vg,
+                params: params.into(),
+            },
+        );
+    }
+
+    /// Look up a stream's generation recipe.
+    pub fn source(&self, key: StreamKey) -> Result<&StreamSource> {
+        self.sources
+            .get(&key)
+            .ok_or_else(|| Error::Invalid(format!("unknown stream key {key}")))
+    }
+
+    /// All registered keys, in increasing `(table_tag, row)` order.
+    pub fn keys(&self) -> impl Iterator<Item = StreamKey> + '_ {
+        self.sources.keys().copied()
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Bind every key to its concrete seed under `master_seed`, producing the
+    /// seed-addressed [`StreamRegistry`] carried by every emitted
+    /// [`crate::bundle::BundleSet`].  (Individual seeds are pure functions of
+    /// `(master_seed, key)` — [`StreamKey::bind`] — so no key → seed map is
+    /// needed.)
+    ///
+    /// This is the whole per-seed cost of re-using a cached plan skeleton: a
+    /// [`mcdbr_prng::seed_for`] mix plus two reference-count bumps per stream
+    /// (sources share their VG and parameter row) — no catalog reads, no VG
+    /// probes, no parameter copies.
+    pub fn bind(&self, master_seed: u64) -> StreamRegistry {
+        let mut registry = StreamRegistry::new();
+        for (key, source) in &self.sources {
+            registry.register(
+                key.bind(master_seed),
+                source.vg.clone(),
+                source.params.clone(),
+            );
+        }
+        registry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +270,33 @@ mod tests {
             assert_eq!(row.value(0).as_i64().unwrap(), i as i64);
             assert_eq!(reg.value_at(9, 0, i, 1).unwrap(), row.value(1).clone());
         }
+    }
+
+    #[test]
+    fn skeleton_registry_binding_matches_seed_derivation() {
+        let mut skel = SkeletonRegistry::new();
+        skel.register(StreamKey::new(1, 0), Arc::new(NormalVg), normal_params(3.0));
+        skel.register(StreamKey::new(1, 1), Arc::new(NormalVg), normal_params(4.0));
+        assert_eq!(skel.len(), 2);
+        assert!(!skel.is_empty());
+        assert!(skel.source(StreamKey::new(2, 0)).is_err());
+
+        let registry = skel.bind(42);
+        assert_eq!(registry.len(), 2);
+        for key in skel.keys() {
+            let seed = key.bind(42);
+            assert!(registry.contains(seed));
+            // The bound registry generates exactly what the recipe says.
+            assert_eq!(
+                registry.generate_at(seed, 7).unwrap(),
+                skel.source(key).unwrap().generate_at(seed, 7).unwrap()
+            );
+        }
+        // A different master gives disjoint seeds for the same keys.
+        let other = skel.bind(43);
+        assert_eq!(other.len(), 2);
+        assert!(skel.keys().all(|k| !registry.contains(k.bind(43))));
+        assert!(skel.keys().all(|k| !other.contains(k.bind(42))));
     }
 
     #[test]

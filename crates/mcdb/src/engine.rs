@@ -8,7 +8,7 @@
 //! batches of repetitions until `l` of them fall beyond a target quantile.
 
 use mcdbr_exec::aggregate::evaluate_aggregate;
-use mcdbr_exec::{AggregateSpec, ExecSession, Expr, PlanNode, QueryResultSamples};
+use mcdbr_exec::{AggregateSpec, ExecSession, Expr, PlanNode, QueryResultSamples, SessionCache};
 use mcdbr_storage::{Catalog, Result, Value};
 
 use crate::result::ResultDistribution;
@@ -65,32 +65,43 @@ pub struct NaiveTailReport {
     /// Total Monte Carlo repetitions generated.
     pub repetitions: usize,
     /// Number of times deterministic plan work ran.  The whole tail hunt
-    /// shares one execution session, so for cacheable plans this is 1.
+    /// shares one execution session, so for cacheable plans this is at most
+    /// 1 — and 0 when the engine's session cache already held the plan's
+    /// skeleton.
     pub plan_executions: usize,
     /// Number of repetition blocks materialized (calibration + batches).
     pub blocks_materialized: usize,
+    /// Whether the hunt's session skipped phase 1 because the engine's
+    /// [`SessionCache`] already held the plan's skeleton.
+    pub skeleton_hit: bool,
 }
 
 /// The naive-MCDB engine.
 ///
-/// Every entry point runs through a two-phase [`ExecSession`]: deterministic
-/// plan work (scans, joins, constant predicates) happens once per session,
-/// and repetitions are materialized as blocks of stream positions against the
-/// cached prefix.  The engine accumulates both counters across sessions so
-/// the experiment binaries can report the cost structure directly.
+/// Every entry point runs through a two-phase [`ExecSession`] obtained from
+/// the engine's plan-keyed [`SessionCache`]: deterministic plan work (scans,
+/// joins, constant predicates) happens once per *distinct* `(plan, catalog)`
+/// pair, not once per query — a repeated query under a fresh master seed
+/// skips phase 1 entirely and only re-derives stream seeds.  Repetitions are
+/// materialized as blocks of stream positions against the cached prefix.
+/// The engine accumulates all counters across sessions so the experiment
+/// binaries can report the cost structure directly.
 #[derive(Debug, Default)]
 pub struct McdbEngine {
+    cache: SessionCache,
     plans_executed: usize,
     blocks_materialized: usize,
 }
 
 impl McdbEngine {
-    /// Create a new engine.
+    /// Create a new engine (with an empty session cache).
     pub fn new() -> Self {
         McdbEngine::default()
     }
 
-    /// Total plan executions performed through this engine.
+    /// Total plan executions performed through this engine.  With the
+    /// session cache this stays flat across repeated queries: only the first
+    /// session per `(plan, catalog)` pair pays the skeleton pass.
     pub fn plans_executed(&self) -> usize {
         self.plans_executed
     }
@@ -98,6 +109,22 @@ impl McdbEngine {
     /// Total repetition blocks materialized through this engine.
     pub fn blocks_materialized(&self) -> usize {
         self.blocks_materialized
+    }
+
+    /// Number of sessions that skipped phase 1 because the plan's skeleton
+    /// was already cached.
+    pub fn skeleton_hits(&self) -> usize {
+        self.cache.skeleton_hits()
+    }
+
+    /// Number of sessions that had to run the deterministic skeleton pass.
+    pub fn skeleton_misses(&self) -> usize {
+        self.cache.skeleton_misses()
+    }
+
+    /// The engine's plan-keyed session cache.
+    pub fn cache(&self) -> &SessionCache {
+        &self.cache
     }
 
     fn absorb(&mut self, session: &ExecSession) {
@@ -114,7 +141,7 @@ impl McdbEngine {
         n: usize,
         master_seed: u64,
     ) -> Result<QueryResultSamples> {
-        let mut session = ExecSession::prepare(&query.plan, catalog, master_seed)?;
+        let mut session = self.cache.session(&query.plan, catalog, master_seed)?;
         let set = session.instantiate_block(catalog, 0, n)?;
         self.absorb(&session);
         evaluate_aggregate(
@@ -167,7 +194,7 @@ impl McdbEngine {
         max_repetitions: usize,
         master_seed: u64,
     ) -> Result<NaiveTailReport> {
-        let mut session = ExecSession::prepare(&query.plan, catalog, master_seed)?;
+        let mut session = self.cache.session(&query.plan, catalog, master_seed)?;
         // Absorb the session's counters whether the hunt succeeds or errors
         // mid-way: plan work that ran is plan work the engine must report.
         let hunt = Self::tail_hunt(
@@ -188,6 +215,7 @@ impl McdbEngine {
             repetitions,
             plan_executions: session.plan_executions(),
             blocks_materialized: session.blocks_materialized(),
+            skeleton_hit: session.skeleton_hit(),
         })
     }
 
@@ -312,7 +340,11 @@ mod tests {
             .unwrap();
         assert_eq!(a.single().unwrap(), b.single().unwrap());
         assert_ne!(a.single().unwrap(), c.single().unwrap());
-        assert_eq!(engine.plans_executed(), 3);
+        // The session cache means the deterministic skeleton ran once for
+        // all three queries — including the one under a fresh master seed.
+        assert_eq!(engine.plans_executed(), 1);
+        assert_eq!(engine.skeleton_misses(), 1);
+        assert_eq!(engine.skeleton_hits(), 2);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   ≈130 billion repetitions to estimate the tail area to ±1%, ≈10 million
 //!   to locate the 0.999-quantile).
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod naive_cost;
 pub mod result;

@@ -128,8 +128,8 @@ impl ResultDistribution {
 
     /// Distribution-free confidence interval for the `q`-quantile based on
     /// order statistics (binomial / normal-approximation bracketing), as in
-    /// the standard quantile-estimation techniques the paper cites ([19],
-    /// Sec. 2.6).  Returns `(lo, hi)` sample values.
+    /// the standard quantile-estimation techniques the paper cites (ref.
+    /// \[19\], Sec. 2.6).  Returns `(lo, hi)` sample values.
     pub fn quantile_confidence_interval(&self, q: f64, confidence: f64) -> Result<(f64, f64)> {
         let n = self.sorted.len();
         if n < 2 {

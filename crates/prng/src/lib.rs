@@ -25,4 +25,4 @@ pub mod pcg;
 pub mod stream;
 
 pub use pcg::Pcg64;
-pub use stream::{seed_for, RandomStream, SeedId};
+pub use stream::{seed_for, RandomStream, SeedId, StreamKey};

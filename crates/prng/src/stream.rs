@@ -26,6 +26,44 @@ use crate::pcg::Pcg64;
 /// underlying seed).  Stable across runs for a fixed master seed.
 pub type SeedId = u64;
 
+/// Seed-independent identity of a random stream: which uncertain table it
+/// belongs to (`table_tag`) and which parameter-table row it instantiates
+/// (`row`).
+///
+/// A concrete [`SeedId`] is a function of `(master_seed, table_tag, row)` —
+/// see [`seed_for`] — so the same `StreamKey` names "the same stream" across
+/// different master seeds.  This is what lets a seed-independent plan
+/// skeleton be shared between sessions that differ only in their master seed:
+/// lineage is recorded per key, and [`StreamKey::bind`] re-derives the
+/// concrete seeds for any master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamKey {
+    /// Tag of the uncertain table the stream belongs to (the
+    /// `RandomTableSpec::table_tag` mixed into seed derivation).
+    pub table_tag: u64,
+    /// Index of the parameter-table row the stream instantiates.
+    pub row: u64,
+}
+
+impl StreamKey {
+    /// Create a stream key.
+    pub fn new(table_tag: u64, row: u64) -> Self {
+        StreamKey { table_tag, row }
+    }
+
+    /// The concrete stream seed this key denotes under `master_seed`
+    /// (exactly [`seed_for`]`(master_seed, self.table_tag, self.row)`).
+    pub fn bind(&self, master_seed: u64) -> SeedId {
+        seed_for(master_seed, self.table_tag, self.row)
+    }
+}
+
+impl std::fmt::Display for StreamKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(table {}, row {})", self.table_tag, self.row)
+    }
+}
+
 /// Derive the seed for stream `index` of table `table_tag` from a master seed.
 ///
 /// Experiments use one master seed; every uncertain tuple derives its own
@@ -153,5 +191,15 @@ mod tests {
         // Different tables and masters change the seed too.
         assert_ne!(seed_for(42, 1, 5), seed_for(42, 2, 5));
         assert_ne!(seed_for(42, 1, 5), seed_for(43, 1, 5));
+    }
+
+    #[test]
+    fn stream_key_bind_matches_seed_for() {
+        let key = StreamKey::new(3, 17);
+        assert_eq!(key.bind(42), seed_for(42, 3, 17));
+        assert_eq!(key.bind(43), seed_for(43, 3, 17));
+        assert_ne!(key.bind(42), key.bind(43));
+        assert_eq!(key.to_string(), "(table 3, row 17)");
+        assert!(StreamKey::new(1, 0) < StreamKey::new(1, 1));
     }
 }

@@ -6,20 +6,49 @@
 //! replenishment runs (paper §9).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Error, Result};
 use crate::table::Table;
 
+/// Global source of catalog version stamps.  Every mutation of any catalog
+/// takes a fresh stamp, so two catalogs share an epoch only when one is an
+/// unmodified clone of the other (i.e. their contents are identical).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A named collection of [`Table`]s.
+///
+/// The catalog carries a content *epoch* — a version stamp bumped (to a
+/// globally fresh value) on every mutation.  Plan-level caches key on the
+/// epoch: equal epochs guarantee identical contents (epochs are only ever
+/// shared via `Clone`), so a cache entry keyed on `(plan, epoch)` can never
+/// serve data from a catalog the plan was not prepared against.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    epoch: u64,
 }
 
 impl Catalog {
     /// Create an empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// The catalog's content epoch.  Bumped on every mutation ([`register`],
+    /// [`register_or_replace`], [`remove`]); copied verbatim by `Clone`.
+    /// Two catalogs with equal epochs have identical contents — the
+    /// invalidation contract session caches rely on.
+    ///
+    /// [`register`]: Catalog::register
+    /// [`register_or_replace`]: Catalog::register_or_replace
+    /// [`remove`]: Catalog::remove
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register a table; errors if a table with the same name already exists.
@@ -29,6 +58,7 @@ impl Catalog {
             return Err(Error::TableAlreadyExists(name));
         }
         self.tables.insert(name, table);
+        self.epoch = next_epoch();
         Ok(())
     }
 
@@ -36,6 +66,7 @@ impl Catalog {
     /// Used for materialized intermediates which are recomputed per run.
     pub fn register_or_replace(&mut self, name: impl Into<String>, table: Table) {
         self.tables.insert(name.into(), table);
+        self.epoch = next_epoch();
     }
 
     /// Fetch a table by name.
@@ -52,7 +83,11 @@ impl Catalog {
 
     /// Remove a table, returning it if it existed.
     pub fn remove(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+        let removed = self.tables.remove(name);
+        if removed.is_some() {
+            self.epoch = next_epoch();
+        }
+        removed
     }
 
     /// Names of all registered tables, sorted.
@@ -120,5 +155,33 @@ mod tests {
         assert!(cat.remove("a").is_none());
         assert_eq!(cat.len(), 1);
         assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn epoch_changes_on_every_mutation_and_clones_verbatim() {
+        let mut cat = Catalog::new();
+        let e0 = cat.epoch();
+        cat.register("means", sample_table()).unwrap();
+        let e1 = cat.epoch();
+        assert_ne!(e0, e1);
+
+        // A clone shares the epoch (identical contents)...
+        let mut other = cat.clone();
+        assert_eq!(other.epoch(), e1);
+        // ...until either side mutates: stamps are globally fresh, so two
+        // independently mutated clones can never collide on an epoch.
+        other.register_or_replace("means", sample_table());
+        cat.register_or_replace("extra", sample_table());
+        assert_ne!(other.epoch(), e1);
+        assert_ne!(cat.epoch(), e1);
+        assert_ne!(cat.epoch(), other.epoch());
+
+        // Removing a present table bumps; removing a missing one does not.
+        let e2 = cat.epoch();
+        assert!(cat.remove("extra").is_some());
+        assert_ne!(cat.epoch(), e2);
+        let e3 = cat.epoch();
+        assert!(cat.remove("extra").is_none());
+        assert_eq!(cat.epoch(), e3);
     }
 }

@@ -31,6 +31,18 @@ pub trait VgFunction: fmt::Debug + Send + Sync {
     /// Human-readable name used in plans and error messages.
     fn name(&self) -> &str;
 
+    /// A token identifying this VG function *and its construction-time
+    /// configuration* for plan-fingerprinting purposes: two VG functions with
+    /// equal tokens must generate identical output given identical
+    /// `(params, gen)` inputs.  Stateless implementations return their
+    /// [`VgFunction::name`]; implementations with constructor state
+    /// (category lists, dimensions, step counts, ...) must fold that state
+    /// in, or structurally different plans would collide in plan-keyed
+    /// session caches and silently serve each other's cached skeletons.
+    /// The method is deliberately required (no default) so the compiler
+    /// forces every implementation to make this decision explicitly.
+    fn cache_token(&self) -> String;
+
     /// The schema of the (small) table one invocation produces.
     fn output_fields(&self) -> Vec<Field>;
 
@@ -64,6 +76,10 @@ impl VgFunction for NormalVg {
         "Normal"
     }
 
+    fn cache_token(&self) -> String {
+        self.name().to_string()
+    }
+
     fn output_fields(&self) -> Vec<Field> {
         vec![Field::float64("value")]
     }
@@ -94,6 +110,10 @@ impl VgFunction for UniformVg {
         "Uniform"
     }
 
+    fn cache_token(&self) -> String {
+        self.name().to_string()
+    }
+
     fn output_fields(&self) -> Vec<Field> {
         vec![Field::float64("value")]
     }
@@ -116,6 +136,10 @@ pub struct PoissonVg;
 impl VgFunction for PoissonVg {
     fn name(&self) -> &str {
         "Poisson"
+    }
+
+    fn cache_token(&self) -> String {
+        self.name().to_string()
     }
 
     fn output_fields(&self) -> Vec<Field> {
@@ -153,6 +177,34 @@ impl DiscreteVg {
 impl VgFunction for DiscreteVg {
     fn name(&self) -> &str {
         "Discrete"
+    }
+
+    fn cache_token(&self) -> String {
+        // Unambiguous serialization: a type tag per category plus a length
+        // prefix for strings.  Plain `Display` would collide Int64(1) with
+        // Float64(1.0) and ["a,b"] with ["a", "b"], and a fingerprint
+        // collision makes a plan-keyed session cache serve the wrong
+        // skeleton silently.
+        use std::fmt::Write;
+        let mut token = String::from("Discrete");
+        for c in &self.categories {
+            match c {
+                Value::Null => token.push_str("|n"),
+                Value::Int64(i) => {
+                    let _ = write!(token, "|i{i}");
+                }
+                Value::Float64(x) => {
+                    let _ = write!(token, "|f{:016x}", x.to_bits());
+                }
+                Value::Bool(b) => {
+                    let _ = write!(token, "|b{}", u8::from(*b));
+                }
+                Value::Utf8(s) => {
+                    let _ = write!(token, "|s{}:{s}", s.len());
+                }
+            }
+        }
+        token
     }
 
     fn output_fields(&self) -> Vec<Field> {
@@ -225,6 +277,10 @@ impl VgFunction for MultiNormalVg {
         "MultiNormal"
     }
 
+    fn cache_token(&self) -> String {
+        format!("MultiNormal[dim={},rho={}]", self.dim, self.rho)
+    }
+
     fn output_fields(&self) -> Vec<Field> {
         vec![Field::int64("component"), Field::float64("value")]
     }
@@ -270,6 +326,10 @@ pub struct BayesianDemandVg;
 impl VgFunction for BayesianDemandVg {
     fn name(&self) -> &str {
         "BayesianDemand"
+    }
+
+    fn cache_token(&self) -> String {
+        self.name().to_string()
     }
 
     fn output_fields(&self) -> Vec<Field> {
@@ -324,6 +384,10 @@ impl Default for GbmTerminalVg {
 impl VgFunction for GbmTerminalVg {
     fn name(&self) -> &str {
         "GbmTerminal"
+    }
+
+    fn cache_token(&self) -> String {
+        format!("GbmTerminal[steps={}]", self.steps)
     }
 
     fn output_fields(&self) -> Vec<Field> {
@@ -464,6 +528,40 @@ mod tests {
         assert!((frac("ship") - 0.5).abs() < 0.02);
         assert!((frac("truck") - 0.3).abs() < 0.02);
         assert!((frac("air") - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn cache_tokens_discriminate_configurations() {
+        assert_eq!(NormalVg.cache_token(), "Normal");
+        assert_ne!(
+            MultiNormalVg::new(3, 0.5).cache_token(),
+            MultiNormalVg::new(4, 0.5).cache_token()
+        );
+        assert_ne!(
+            MultiNormalVg::new(3, 0.5).cache_token(),
+            MultiNormalVg::new(3, 0.2).cache_token()
+        );
+        assert_ne!(
+            DiscreteVg::new(vec![Value::Int64(1)]).cache_token(),
+            DiscreteVg::new(vec![Value::Int64(2)]).cache_token()
+        );
+        // Serialization must not collide across types or string boundaries.
+        assert_ne!(
+            DiscreteVg::new(vec![Value::Int64(1), Value::Int64(2)]).cache_token(),
+            DiscreteVg::new(vec![Value::Float64(1.0), Value::Float64(2.0)]).cache_token()
+        );
+        assert_ne!(
+            DiscreteVg::new(vec![Value::str("a,b")]).cache_token(),
+            DiscreteVg::new(vec![Value::str("a"), Value::str("b")]).cache_token()
+        );
+        assert_ne!(
+            DiscreteVg::new(vec![Value::Bool(true)]).cache_token(),
+            DiscreteVg::new(vec![Value::Int64(1)]).cache_token()
+        );
+        assert_ne!(
+            GbmTerminalVg::new(16).cache_token(),
+            GbmTerminalVg::new(32).cache_token()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cached-prefix block materialization without changing a single result.
 
 use mcdbr::exec::aggregate::{evaluate_aggregate, evaluate_aggregate_threads};
-use mcdbr::exec::{BundleValue, ExecOptions, ExecSession, Executor, Expr, PlanNode};
+use mcdbr::exec::{BundleValue, ExecOptions, ExecSession, Executor, Expr, PlanNode, SessionCache};
 use mcdbr::mcdb::McdbEngine;
 use mcdbr::storage::{Catalog, Field, Schema, TableBuilder, Value};
 use mcdbr::vg::NormalVg;
@@ -250,6 +250,92 @@ fn tpch_join_workload_blocks_match_from_scratch() {
         assert_bit_identical(&block, &scratch);
     }
     assert_eq!(session.plan_executions(), 1);
+}
+
+#[test]
+fn cache_hits_skip_phase_one_and_stay_bit_identical_across_seeds() {
+    // The tentpole contract: for a repeated (plan, catalog) pair with a
+    // *fresh master seed*, phase 1 is skipped — skeleton_hits increments and
+    // plan_executions stays flat — and every block is bit-identical to an
+    // uncached ExecSession::prepare at the same seed.
+    let (catalog, plan) = complex_case();
+    let cache = SessionCache::new();
+    let mut total_plan_executions = 0usize;
+    for (i, seed) in [7u64, 99, 0xFEED].into_iter().enumerate() {
+        let mut cached = cache.session(&plan, &catalog, seed).unwrap();
+        total_plan_executions += cached.plan_executions();
+        assert_eq!(cached.skeleton_hit(), i > 0);
+        assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (i, 1));
+        let mut fresh = ExecSession::prepare(&plan, &catalog, seed).unwrap();
+        for (base, n) in [(0u64, 32usize), (32, 16), (5000, 8)] {
+            let a = cached.instantiate_block(&catalog, base, n).unwrap();
+            let b = fresh.instantiate_block(&catalog, base, n).unwrap();
+            assert_bit_identical(&a, &b);
+            // And against the one-shot executor, closing the triangle.
+            assert_bit_identical(&a, &exec_from_scratch(&plan, &catalog, seed, base, n));
+        }
+    }
+    assert_eq!(
+        total_plan_executions, 1,
+        "three sessions, one skeleton pass: plan_executions must stay flat"
+    );
+}
+
+#[test]
+fn cache_hits_are_thread_count_independent() {
+    let (catalog, plan) = complex_case();
+    let cache = SessionCache::new();
+    let reference = cache
+        .session(&plan, &catalog, 31)
+        .unwrap()
+        .with_threads(1)
+        .instantiate_block(&catalog, 0, 128)
+        .unwrap();
+    for threads in [2, 4, 16] {
+        // Every one of these is a cache hit materialized under a different
+        // worker count.
+        let block = cache
+            .session(&plan, &catalog, 31)
+            .unwrap()
+            .with_threads(threads)
+            .instantiate_block(&catalog, 0, 128)
+            .unwrap();
+        assert_bit_identical(&reference, &block);
+    }
+    assert_eq!(cache.skeleton_hits(), 3);
+}
+
+#[test]
+fn catalog_changes_invalidate_cached_skeletons() {
+    let mut catalog = customer_losses_catalog(8, (1.0, 4.0), 5).unwrap();
+    let q = customer_losses_query(None);
+    let cache = SessionCache::new();
+    let first = cache.session(&q.plan, &catalog, 3).unwrap();
+    assert_eq!(first.prefix().unwrap().num_streams(), 8);
+
+    // Replace the parameter table with a smaller one: the epoch changes, the
+    // next lookup misses, and the rebuilt skeleton reflects the new catalog
+    // (a stale hit would still carry 8 streams).
+    let replacement = customer_losses_catalog(3, (1.0, 4.0), 5).unwrap();
+    let means = replacement.get("means").unwrap().clone();
+    catalog.register_or_replace("means", means);
+    let second = cache.session(&q.plan, &catalog, 3).unwrap();
+    assert!(!second.skeleton_hit());
+    assert_eq!((cache.skeleton_hits(), cache.skeleton_misses()), (0, 2));
+    assert_eq!(second.prefix().unwrap().num_streams(), 3);
+
+    // An unrelated-table registration also invalidates (epochs are
+    // content-conservative, not table-reference-exact)...
+    let extra = TableBuilder::new(Schema::new(vec![Field::int64("x")]))
+        .row([Value::Int64(1)])
+        .build()
+        .unwrap();
+    catalog.register("unrelated", extra).unwrap();
+    let mut third = cache.session(&q.plan, &catalog, 4).unwrap();
+    assert!(!third.skeleton_hit());
+    // ...and the rebuilt skeleton still matches a from-scratch execution.
+    let block = third.instantiate_block(&catalog, 0, 16).unwrap();
+    assert_bit_identical(&block, &exec_from_scratch(&q.plan, &catalog, 4, 0, 16));
 }
 
 #[test]
