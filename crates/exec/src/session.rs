@@ -65,6 +65,7 @@ use std::sync::Arc;
 use mcdbr_prng::{SeedId, StreamKey};
 use mcdbr_storage::{Catalog, Error, Result, Schema, Tuple, Value};
 
+use crate::backend::ExecBackend;
 use crate::bundle::{BundleSet, BundleValue, TupleBundle};
 use crate::executor::{join_key, ExecOptions, Executor, JoinKey};
 use crate::expr::Expr;
@@ -115,7 +116,7 @@ struct SymPred {
 
 /// One output tuple of the deterministic skeleton.
 #[derive(Debug, Clone)]
-struct SymBundle {
+pub(crate) struct SymBundle {
     values: Vec<SymValue>,
     preds: Vec<SymPred>,
 }
@@ -149,7 +150,7 @@ impl SymBundle {
 pub struct PlanSkeleton {
     schema: Schema,
     registry: SkeletonRegistry,
-    bundles: Vec<SymBundle>,
+    pub(crate) bundles: Vec<SymBundle>,
     /// Rows produced by each stream's VG function per invocation (probed once
     /// during the skeleton pass, validated against every materialized block).
     vg_rows: BTreeMap<StreamKey, usize>,
@@ -159,6 +160,16 @@ pub struct PlanSkeleton {
     /// — a structural saving the one-shot executor (which instantiates before
     /// filtering) cannot make.
     active_keys: Vec<StreamKey>,
+    /// Per-bundle sorted stream keys (first key = the bundle's shard anchor),
+    /// computed once here so shard ownership decisions never re-walk the
+    /// symbolic bundles per shard per block.
+    pub(crate) bundle_keys: Vec<Vec<StreamKey>>,
+    /// The distinct bundle anchors, sorted — what the shard planner
+    /// partitions.  Partitioning anchors (rather than all active keys)
+    /// balances the work shards actually *own*: on a multi-table join every
+    /// bundle anchors at its smallest key, so ranges drawn over non-anchor
+    /// keys would own nothing.
+    anchor_keys: Vec<StreamKey>,
 }
 
 impl PlanSkeleton {
@@ -189,6 +200,21 @@ impl PlanSkeleton {
         self.active_keys.len()
     }
 
+    /// The streams referenced by surviving bundles, in increasing
+    /// `(table_tag, row)` order — the streams a block materialization
+    /// generates values for.
+    pub fn active_keys(&self) -> &[StreamKey] {
+        &self.active_keys
+    }
+
+    /// The distinct bundle anchor keys (each surviving bundle's smallest
+    /// stream key), sorted — the key list a sharded backend's planner
+    /// partitions into [`mcdbr_prng::StreamKeyRange`]s so every range owns
+    /// an even share of bundles.
+    pub fn anchor_keys(&self) -> &[StreamKey] {
+        &self.anchor_keys
+    }
+
     /// Bind this skeleton to a master seed, deriving every stream's concrete
     /// [`SeedId`] via [`mcdbr_prng::seed_for`].  This is the whole per-seed
     /// cost of reusing a skeleton: no catalog reads, no VG probes, no plan
@@ -198,6 +224,21 @@ impl PlanSkeleton {
             skeleton: Arc::clone(self),
             master_seed,
             registry: self.registry.bind(master_seed),
+        }
+    }
+
+    /// Bind this skeleton for shard-internal use, with an **empty** bound
+    /// registry: the whole shard path derives seeds purely
+    /// (`key.bind(master_seed)`) and reads VG recipes from the skeleton
+    /// registry, so a shard never consults a bound registry — paying
+    /// per-block binding for state nothing reads would be waste.  The
+    /// merged [`BundleSet`]'s registry comes from the session's own fully
+    /// bound prefix; this prefix never escapes the shard.
+    pub(crate) fn bind_for_shard(self: &Arc<Self>, master_seed: u64) -> DeterministicPrefix {
+        DeterministicPrefix {
+            skeleton: Arc::clone(self),
+            master_seed,
+            registry: StreamRegistry::new(),
         }
     }
 }
@@ -313,6 +354,7 @@ pub struct ExecSession {
     plan: PlanNode,
     master_seed: u64,
     threads: usize,
+    backend: Arc<dyn ExecBackend>,
     mode: Mode,
     skeleton_hit: bool,
     plan_executions: usize,
@@ -395,6 +437,7 @@ impl ExecSession {
             plan: plan.clone(),
             master_seed,
             threads: par::default_threads(),
+            backend: crate::backend::default_backend(),
             mode: Mode::Cached(Box::new(prefix)),
             skeleton_hit: cache_hit,
             // The deterministic skeleton ran exactly once — during this
@@ -418,6 +461,7 @@ impl ExecSession {
             plan: plan.clone(),
             master_seed,
             threads: par::default_threads(),
+            backend: crate::backend::default_backend(),
             mode: Mode::Fallback {
                 executor: Executor::new(),
                 reason,
@@ -431,10 +475,26 @@ impl ExecSession {
 
     /// Override the worker-thread count used by phase 2 (defaults to
     /// `MCDBR_THREADS` / available parallelism).  Results are bit-identical
-    /// for every thread count.
+    /// for every thread count.  The count applies to whichever
+    /// [`ExecBackend`] the session runs on: workers for the in-process pool,
+    /// concurrent shard slots for a sharded backend.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Run phase 2 on an explicit [`ExecBackend`] (defaults to
+    /// [`crate::backend::default_backend`]: the in-process thread pool, or a
+    /// [`crate::shard::ShardedBackend`] when `MCDBR_SHARDS` asks for one).
+    /// Results are bit-identical for every backend and shard count.
+    pub fn with_backend(mut self, backend: Arc<dyn ExecBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend phase 2 runs on.
+    pub fn backend(&self) -> &Arc<dyn ExecBackend> {
+        &self.backend
     }
 
     /// Whether the deterministic prefix is cached (`false` means every block
@@ -484,15 +544,21 @@ impl ExecSession {
         self.blocks_materialized
     }
 
-    /// Total stream values materialized across all blocks (streams × block
-    /// positions).
+    /// Total stream values materialized across all blocks (active streams ×
+    /// block positions) — the *logical* count the plan requires, independent
+    /// of backend.  A sharded backend may regenerate cross-shard streams on
+    /// top of this; that duplication is reported separately as
+    /// [`crate::ShardStats::cross_shard_regens`].
     pub fn values_materialized(&self) -> u64 {
         self.values_materialized
     }
 
     /// Phase 2: materialize stream positions `base_pos .. base_pos +
     /// num_values` against the cached prefix, returning a full [`BundleSet`]
-    /// bit-identical to `Executor::execute` at the same options.
+    /// bit-identical to `Executor::execute` at the same options.  Cacheable
+    /// plans delegate the materialization to the session's [`ExecBackend`];
+    /// fallback plans re-run the full plan inline (there is no prefix to
+    /// partition, so backends — and their shard counters — never see them).
     ///
     /// `catalog` is only consulted in fallback mode (the cached prefix has
     /// already absorbed all catalog reads).
@@ -517,7 +583,8 @@ impl ExecSession {
             }
             Mode::Cached(prefix) => {
                 self.values_materialized += (prefix.num_active_streams() * num_values) as u64;
-                instantiate_cached(prefix, self.threads, base_pos, num_values)
+                self.backend
+                    .instantiate_block(prefix, self.threads, base_pos, num_values)
             }
         }
     }
@@ -527,9 +594,45 @@ impl ExecSession {
 
 /// Per-stream materialized VG outputs for one block: `blocks[key][offset]` is
 /// the VG output table at stream position `base_pos + offset`.
-type BlockData = BTreeMap<StreamKey, Vec<Vec<Tuple>>>;
+pub(crate) type BlockData = BTreeMap<StreamKey, Vec<Vec<Tuple>>>;
 
-fn instantiate_cached(
+/// Generate one stream's VG outputs for positions `base_pos .. base_pos +
+/// num_values`, validating every invocation against the skeleton-probed row
+/// count.  Pure in `(skeleton, master_seed, key, base_pos, num_values)`, so
+/// any split of a block's streams across threads — or shards — regenerates
+/// exactly the same values.
+pub(crate) fn generate_stream_block(
+    prefix: &DeterministicPrefix,
+    key: StreamKey,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<Vec<Vec<Tuple>>> {
+    let skeleton = prefix.skeleton();
+    let seed = prefix.seed_of(key);
+    let source = skeleton.registry.source(key)?;
+    let expected = skeleton.vg_rows.get(&key).copied();
+    let mut per_pos = Vec::with_capacity(num_values);
+    for i in 0..num_values {
+        let rows = source.generate_at(seed, base_pos + i as u64)?;
+        if let Some(expected) = expected {
+            if rows.len() != expected {
+                return Err(Error::Invalid(format!(
+                    "VG function {} produced {} output rows at stream position {} \
+                     but {} during the skeleton probe; the bundle executor requires \
+                     a seed-independent, fixed row count per parameter row",
+                    source.vg.name(),
+                    rows.len(),
+                    base_pos + i as u64,
+                    expected
+                )));
+            }
+        }
+        per_pos.push(rows);
+    }
+    Ok(per_pos)
+}
+
+pub(crate) fn instantiate_cached(
     prefix: &DeterministicPrefix,
     threads: usize,
     base_pos: u64,
@@ -541,31 +644,9 @@ fn instantiate_cached(
     // others, so the split is bit-deterministic (see `crate::par`).
     let skeleton = prefix.skeleton();
     let keys = &skeleton.active_keys;
-    let generated: Vec<Vec<Vec<Tuple>>> =
-        par::try_par_map_threads(keys, threads, |&key| -> Result<Vec<Vec<Tuple>>> {
-            let seed = prefix.seed_of(key);
-            let source = skeleton.registry.source(key)?;
-            let expected = skeleton.vg_rows.get(&key).copied();
-            let mut per_pos = Vec::with_capacity(num_values);
-            for i in 0..num_values {
-                let rows = source.generate_at(seed, base_pos + i as u64)?;
-                if let Some(expected) = expected {
-                    if rows.len() != expected {
-                        return Err(Error::Invalid(format!(
-                            "VG function {} produced {} output rows at stream position {} \
-                             but {} during the skeleton probe; the bundle executor requires \
-                             a seed-independent, fixed row count per parameter row",
-                            source.vg.name(),
-                            rows.len(),
-                            base_pos + i as u64,
-                            expected
-                        )));
-                    }
-                }
-                per_pos.push(rows);
-            }
-            Ok(per_pos)
-        })?;
+    let generated: Vec<Vec<Vec<Tuple>>> = par::try_par_map_threads(keys, threads, |&key| {
+        generate_stream_block(prefix, key, base_pos, num_values)
+    })?;
     let blocks: BlockData = keys.iter().copied().zip(generated).collect();
 
     // Replay the symbolic residue of every bundle over the block, fanned out
@@ -589,7 +670,7 @@ fn instantiate_cached(
 /// mask is false everywhere (the executor drops such bundles at the filter
 /// that produced them — dropping here, after the fact, yields the same
 /// output sequence).
-fn materialize_bundle(
+pub(crate) fn materialize_bundle(
     bundle: &SymBundle,
     prefix: &DeterministicPrefix,
     blocks: &BlockData,
@@ -723,8 +804,16 @@ pub(crate) fn build_skeleton(
     let mut vg_rows = BTreeMap::new();
     let (schema, bundles) = exec_sym(plan, catalog, &mut registry, &mut vg_rows)?;
     let mut active = std::collections::BTreeSet::new();
+    let mut anchors = std::collections::BTreeSet::new();
+    let mut bundle_keys = Vec::with_capacity(bundles.len());
     for bundle in &bundles {
-        collect_keys(bundle, &mut active);
+        let mut keys = std::collections::BTreeSet::new();
+        collect_keys(bundle, &mut keys);
+        active.extend(keys.iter().copied());
+        if let Some(&anchor) = keys.iter().next() {
+            anchors.insert(anchor);
+        }
+        bundle_keys.push(keys.into_iter().collect::<Vec<_>>());
     }
     Ok(PlanSkeleton {
         schema,
@@ -732,6 +821,8 @@ pub(crate) fn build_skeleton(
         bundles,
         vg_rows,
         active_keys: active.into_iter().collect(),
+        bundle_keys,
+        anchor_keys: anchors.into_iter().collect(),
     })
 }
 

@@ -7,8 +7,11 @@
 //! strategy that MCDB-R is compared against in Appendix D: keep generating
 //! batches of repetitions until `l` of them fall beyond a target quantile.
 
-use mcdbr_exec::aggregate::evaluate_aggregate;
-use mcdbr_exec::{AggregateSpec, ExecSession, Expr, PlanNode, QueryResultSamples, SessionCache};
+use std::sync::Arc;
+
+use mcdbr_exec::{
+    par, AggregateSpec, ExecBackend, ExecSession, Expr, PlanNode, QueryResultSamples, SessionCache,
+};
 use mcdbr_storage::{Catalog, Result, Value};
 
 use crate::result::ResultDistribution;
@@ -74,6 +77,16 @@ pub struct NaiveTailReport {
     /// Whether the hunt's session skipped phase 1 because the engine's
     /// [`SessionCache`] already held the plan's skeleton.
     pub skeleton_hit: bool,
+    /// Shard tasks the hunt spawned through the engine's execution backend
+    /// (block materializations and aggregate partials; 0 on the in-process
+    /// backend).
+    pub shards_spawned: usize,
+    /// Nanoseconds the hunt's backend spent merging per-shard partials
+    /// (0 on the in-process backend).
+    pub shard_merge_ns: u64,
+    /// Streams shards regenerated outside their own key ranges during the
+    /// hunt (cross-shard joins; 0 on the in-process backend).
+    pub cross_shard_regens: usize,
 }
 
 /// The naive-MCDB engine.
@@ -84,19 +97,87 @@ pub struct NaiveTailReport {
 /// pair, not once per query — a repeated query under a fresh master seed
 /// skips phase 1 entirely and only re-derives stream seeds.  Repetitions are
 /// materialized as blocks of stream positions against the cached prefix.
-/// The engine accumulates all counters across sessions so the experiment
-/// binaries can report the cost structure directly.
-#[derive(Debug, Default)]
+/// Block materialization and per-repetition aggregation both run on the
+/// engine's pluggable [`ExecBackend`] ([`McdbEngine::with_backend`]) —
+/// in-process threads by default, shard-partitioned when asked — with
+/// bit-identical results either way.  The engine accumulates all counters
+/// across sessions so the experiment binaries can report the cost structure
+/// directly.
+#[derive(Debug)]
 pub struct McdbEngine {
     cache: SessionCache,
+    backend: Arc<dyn ExecBackend>,
+    /// The backend's cumulative stats when this engine adopted it.  The
+    /// default backend is one process-shared instance, so engine-level
+    /// counters report activity *since adoption* — this engine's own work —
+    /// rather than whatever other components already ran through it.
+    backend_baseline: mcdbr_exec::ShardStats,
     plans_executed: usize,
     blocks_materialized: usize,
 }
 
+impl Default for McdbEngine {
+    fn default() -> Self {
+        let backend = mcdbr_exec::default_backend();
+        let backend_baseline = backend.shard_stats();
+        McdbEngine {
+            cache: SessionCache::new(),
+            backend,
+            backend_baseline,
+            plans_executed: 0,
+            blocks_materialized: 0,
+        }
+    }
+}
+
 impl McdbEngine {
-    /// Create a new engine (with an empty session cache).
+    /// Create a new engine (with an empty session cache and the default
+    /// execution backend: in-process unless `MCDBR_SHARDS` selects sharded
+    /// execution).
     pub fn new() -> Self {
         McdbEngine::default()
+    }
+
+    /// Run every entry point — [`McdbEngine::run`],
+    /// [`McdbEngine::run_samples`], [`McdbEngine::naive_tail_sample`] — on
+    /// an explicit execution backend.  Results are bit-identical for every
+    /// backend and shard count; only the shard counters differ.
+    pub fn with_backend(mut self, backend: Arc<dyn ExecBackend>) -> Self {
+        self.backend_baseline = backend.shard_stats();
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend block materialization and aggregation run on.
+    pub fn backend(&self) -> &Arc<dyn ExecBackend> {
+        &self.backend
+    }
+
+    /// This engine's window of its backend's shard stats: activity since the
+    /// engine adopted the backend, so a process-shared default backend's
+    /// earlier work is not misattributed here.  (Concurrent users of a
+    /// deliberately shared backend still blur the window; see the
+    /// [`mcdbr_exec::ShardStats`] caveat.)
+    fn backend_window(&self) -> mcdbr_exec::ShardStats {
+        self.backend.shard_stats().since(self.backend_baseline)
+    }
+
+    /// Shard tasks spawned through this engine (0 when the backend never
+    /// shards).
+    pub fn shards_spawned(&self) -> usize {
+        self.backend_window().shards_spawned
+    }
+
+    /// Nanoseconds this engine's backend spent merging per-shard partials
+    /// on the engine's behalf.
+    pub fn shard_merge_ns(&self) -> u64 {
+        self.backend_window().shard_merge_ns
+    }
+
+    /// Streams shards regenerated outside their own key ranges through this
+    /// engine (cross-shard joins; 0 when the backend never shards).
+    pub fn cross_shard_regens(&self) -> usize {
+        self.backend_window().cross_shard_regens
     }
 
     /// Total plan executions performed through this engine.  With the
@@ -141,14 +222,18 @@ impl McdbEngine {
         n: usize,
         master_seed: u64,
     ) -> Result<QueryResultSamples> {
-        let mut session = self.cache.session(&query.plan, catalog, master_seed)?;
+        let mut session = self
+            .cache
+            .session(&query.plan, catalog, master_seed)?
+            .with_backend(Arc::clone(&self.backend));
         let set = session.instantiate_block(catalog, 0, n)?;
         self.absorb(&session);
-        evaluate_aggregate(
+        self.backend.aggregate(
             &set,
             &query.aggregate,
             &query.group_by,
             query.final_predicate.as_ref(),
+            par::default_threads(),
         )
     }
 
@@ -194,11 +279,16 @@ impl McdbEngine {
         max_repetitions: usize,
         master_seed: u64,
     ) -> Result<NaiveTailReport> {
-        let mut session = self.cache.session(&query.plan, catalog, master_seed)?;
+        let backend_stats_before = self.backend.shard_stats();
+        let mut session = self
+            .cache
+            .session(&query.plan, catalog, master_seed)?
+            .with_backend(Arc::clone(&self.backend));
         // Absorb the session's counters whether the hunt succeeds or errors
         // mid-way: plan work that ran is plan work the engine must report.
         let hunt = Self::tail_hunt(
             &mut session,
+            &self.backend,
             query,
             catalog,
             p,
@@ -209,6 +299,7 @@ impl McdbEngine {
         );
         self.absorb(&session);
         let (quantile_estimate, tail_samples, repetitions) = hunt?;
+        let backend_stats = self.backend.shard_stats().since(backend_stats_before);
         Ok(NaiveTailReport {
             quantile_estimate,
             tail_samples,
@@ -216,6 +307,9 @@ impl McdbEngine {
             plan_executions: session.plan_executions(),
             blocks_materialized: session.blocks_materialized(),
             skeleton_hit: session.skeleton_hit(),
+            shards_spawned: backend_stats.shards_spawned,
+            shard_merge_ns: backend_stats.shard_merge_ns,
+            cross_shard_regens: backend_stats.cross_shard_regens,
         })
     }
 
@@ -224,6 +318,7 @@ impl McdbEngine {
     #[allow(clippy::too_many_arguments)]
     fn tail_hunt(
         session: &mut ExecSession,
+        backend: &Arc<dyn ExecBackend>,
         query: &MonteCarloQuery,
         catalog: &Catalog,
         p: f64,
@@ -234,11 +329,12 @@ impl McdbEngine {
     ) -> Result<(f64, Vec<f64>, usize)> {
         // Step 1: estimate the (1-p)-quantile from a calibration block.
         let calib_set = session.instantiate_block(catalog, 0, calibration_reps)?;
-        let calib = evaluate_aggregate(
+        let calib = backend.aggregate(
             &calib_set,
             &query.aggregate,
             &query.group_by,
             query.final_predicate.as_ref(),
+            par::default_threads(),
         )?;
         let calib_dist = ResultDistribution::from_samples(calib.single()?);
         let quantile_estimate = calib_dist.quantile(1.0 - p)?;
@@ -255,11 +351,12 @@ impl McdbEngine {
         let mut next_pos = calibration_reps as u64;
         while tail_samples.len() < l && repetitions < max_repetitions {
             let set = session.instantiate_block(catalog, next_pos, batch)?;
-            let samples = evaluate_aggregate(
+            let samples = backend.aggregate(
                 &set,
                 &query.aggregate,
                 &query.group_by,
                 query.final_predicate.as_ref(),
+                par::default_threads(),
             )?;
             next_pos += batch as u64;
             repetitions += batch;
@@ -418,6 +515,52 @@ mod tests {
             "US mean = {}",
             us.1.mean()
         );
+    }
+
+    #[test]
+    fn sharded_engines_return_bit_identical_samples() {
+        let catalog = catalog(12);
+        let mut reference =
+            McdbEngine::new().with_backend(Arc::new(mcdbr_exec::InProcessBackend::new()));
+        let expected = reference
+            .run_samples(&losses_query(), &catalog, 64, 5)
+            .unwrap();
+        assert_eq!(reference.shards_spawned(), 0);
+        for shards in [1usize, 2, 3, 7] {
+            let mut engine =
+                McdbEngine::new().with_backend(Arc::new(mcdbr_exec::ShardedBackend::new(shards)));
+            let samples = engine
+                .run_samples(&losses_query(), &catalog, 64, 5)
+                .unwrap();
+            assert_eq!(samples.groups.len(), expected.groups.len());
+            for ((ka, va), (kb, vb)) in samples.groups.iter().zip(&expected.groups) {
+                assert_eq!(ka, kb);
+                assert!(va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+            // One block over 12 streams plus the aggregate partials over 64
+            // repetitions: min(shards, 12) + min(shards, 64) tasks.
+            assert_eq!(engine.shards_spawned(), shards.min(12) + shards.min(64));
+        }
+
+        // The naive tail hunt reports its own shard window.
+        let mut sharded =
+            McdbEngine::new().with_backend(Arc::new(mcdbr_exec::ShardedBackend::new(3)));
+        let report = sharded
+            .naive_tail_sample(&losses_query(), &catalog, 0.05, 10, 200, 100, 2_000, 7)
+            .unwrap();
+        assert!(report.shards_spawned > 0);
+        let in_process_report = McdbEngine::new()
+            .with_backend(Arc::new(mcdbr_exec::InProcessBackend::new()))
+            .naive_tail_sample(&losses_query(), &catalog, 0.05, 10, 200, 100, 2_000, 7)
+            .unwrap();
+        assert_eq!(in_process_report.shards_spawned, 0);
+        assert_eq!(in_process_report.shard_merge_ns, 0);
+        assert_eq!(report.tail_samples, in_process_report.tail_samples);
+        assert_eq!(
+            report.quantile_estimate,
+            in_process_report.quantile_estimate
+        );
+        assert_eq!(report.repetitions, in_process_report.repetitions);
     }
 
     #[test]

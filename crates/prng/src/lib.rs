@@ -20,9 +20,12 @@
 //!   positions (paper §4.2, §6).
 //! * [`SeedId`] and [`seed_for`] — stable derivation of per-tuple seeds from a
 //!   query-level master seed, so whole experiments are reproducible.
+//! * [`StreamKey`] and [`StreamKeyRange`] — seed-independent stream identity
+//!   (`(table_tag, row)`) and half-open key ranges with a range partitioner,
+//!   the unit sharded execution backends split a block's work by.
 
 pub mod pcg;
 pub mod stream;
 
 pub use pcg::Pcg64;
-pub use stream::{seed_for, RandomStream, SeedId, StreamKey};
+pub use stream::{balanced_chunks, seed_for, RandomStream, SeedId, StreamKey, StreamKeyRange};

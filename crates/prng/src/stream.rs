@@ -46,6 +46,14 @@ pub struct StreamKey {
 }
 
 impl StreamKey {
+    /// The smallest stream key in `(table_tag, row)` order — the canonical
+    /// lower bound of the whole key space, and the start of the first range
+    /// in any [`StreamKeyRange::partition`].
+    pub const MIN: StreamKey = StreamKey {
+        table_tag: 0,
+        row: 0,
+    };
+
     /// Create a stream key.
     pub fn new(table_tag: u64, row: u64) -> Self {
         StreamKey { table_tag, row }
@@ -61,6 +69,110 @@ impl StreamKey {
 impl std::fmt::Display for StreamKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "(table {}, row {})", self.table_tag, self.row)
+    }
+}
+
+/// Split `n` items into `min(parts, n)` contiguous chunk lengths differing
+/// by at most one (earlier chunks take the extra) — the one balancing rule
+/// every shard partitioner shares, whether the items are stream keys
+/// ([`StreamKeyRange::partition`]) or aggregate repetition ranges.  Returns
+/// an empty vector when `n == 0`.
+pub fn balanced_chunks(n: usize, parts: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let (base, rem) = (n / parts, n % parts);
+    (0..parts).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// A half-open range of stream keys, `[start, end)` in `(table_tag, row)`
+/// order — the unit a sharded execution backend partitions a block's work
+/// by.
+///
+/// `end == None` means "unbounded above"; the last range of every
+/// [`StreamKeyRange::partition`] is unbounded, so a set of partition ranges
+/// always covers the *entire* key space.  That makes a shard task
+/// self-describing: given a plan skeleton, a master seed, and its range, a
+/// worker can decide membership for any stream (or any bundle, by the
+/// bundle's smallest key) without consulting the partitioner again — the
+/// property that lets the same `(skeleton, seed, range)` triple be shipped
+/// to another thread today and another process tomorrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamKeyRange {
+    /// Inclusive lower bound.
+    pub start: StreamKey,
+    /// Exclusive upper bound; `None` = unbounded.
+    pub end: Option<StreamKey>,
+}
+
+impl StreamKeyRange {
+    /// The range covering the whole key space, `[MIN, ∞)`.
+    pub fn all() -> Self {
+        StreamKeyRange {
+            start: StreamKey::MIN,
+            end: None,
+        }
+    }
+
+    /// Whether `key` falls inside this range.
+    pub fn contains(&self, key: StreamKey) -> bool {
+        key >= self.start
+            && match self.end {
+                Some(end) => key < end,
+                None => true,
+            }
+    }
+
+    /// Partition a **sorted, deduplicated** slice of keys into at most
+    /// `parts` contiguous ranges that jointly cover the entire key space:
+    /// the first range starts at [`StreamKey::MIN`], the last is unbounded,
+    /// and consecutive ranges meet exactly (no gaps, no overlap), so every
+    /// possible key — listed or not — belongs to exactly one range.
+    ///
+    /// The partition is balanced: exactly `min(parts, keys.len())` ranges
+    /// come back (never fewer), differing by at most one key, so a caller
+    /// asking for `n` shards over at least `n` keys gets `n` shards.  With no
+    /// keys, or `parts <= 1`, the single all-covering range is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is not strictly increasing — range boundaries are
+    /// drawn *between* keys, which only makes sense for sorted input.
+    pub fn partition(keys: &[StreamKey], parts: usize) -> Vec<StreamKeyRange> {
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "StreamKeyRange::partition requires strictly increasing keys"
+        );
+        let lens = balanced_chunks(keys.len(), parts);
+        if lens.len() <= 1 {
+            return vec![StreamKeyRange::all()];
+        }
+        // Boundaries are the first key of every chunk after the first; each
+        // range [b_i, b_{i+1}) then holds exactly chunk i's keys.
+        let mut ranges = Vec::with_capacity(lens.len());
+        let mut start = StreamKey::MIN;
+        let mut next = 0usize;
+        for &len in &lens[..lens.len() - 1] {
+            next += len;
+            let bound = keys[next];
+            ranges.push(StreamKeyRange {
+                start,
+                end: Some(bound),
+            });
+            start = bound;
+        }
+        ranges.push(StreamKeyRange { start, end: None });
+        ranges
+    }
+}
+
+impl std::fmt::Display for StreamKeyRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.end {
+            Some(end) => write!(f, "[{} .. {})", self.start, end),
+            None => write!(f, "[{} .. ∞)", self.start),
+        }
     }
 }
 
@@ -191,6 +303,94 @@ mod tests {
         // Different tables and masters change the seed too.
         assert_ne!(seed_for(42, 1, 5), seed_for(42, 2, 5));
         assert_ne!(seed_for(42, 1, 5), seed_for(43, 1, 5));
+    }
+
+    #[test]
+    fn partition_covers_the_key_space_disjointly() {
+        let keys: Vec<StreamKey> = (0..10).map(|r| StreamKey::new(1, r)).collect();
+        for parts in [1usize, 2, 3, 7, 10, 25] {
+            let ranges = StreamKeyRange::partition(&keys, parts);
+            // Balanced: exactly min(parts, len) ranges, sizes within one key.
+            assert_eq!(ranges.len(), parts.clamp(1, keys.len()));
+            let sizes: Vec<usize> = ranges
+                .iter()
+                .map(|r| keys.iter().filter(|&&k| r.contains(k)).count())
+                .collect();
+            assert!(sizes.iter().all(|&s| s >= 1));
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+            // First range starts at MIN, last is unbounded, consecutive
+            // ranges meet exactly.
+            assert_eq!(ranges.first().unwrap().start, StreamKey::MIN);
+            assert_eq!(ranges.last().unwrap().end, None);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, Some(w[1].start));
+            }
+            // Every listed key — and keys *between* listed keys — belongs to
+            // exactly one range.
+            for key in keys.iter().copied().chain([
+                StreamKey::MIN,
+                StreamKey::new(0, 999),
+                StreamKey::new(1, 4),
+                StreamKey::new(99, 0),
+            ]) {
+                let owners = ranges.iter().filter(|r| r.contains(key)).count();
+                assert_eq!(owners, 1, "key {key} owned by {owners} ranges");
+            }
+            // Ranges are served in ascending key order.
+            let mut seen = Vec::new();
+            for r in &ranges {
+                seen.extend(keys.iter().copied().filter(|&k| r.contains(k)));
+            }
+            assert_eq!(seen, keys);
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty_and_tiny_inputs() {
+        assert_eq!(
+            StreamKeyRange::partition(&[], 4),
+            vec![StreamKeyRange::all()]
+        );
+        let one = [StreamKey::new(2, 5)];
+        assert_eq!(
+            StreamKeyRange::partition(&one, 4),
+            vec![StreamKeyRange::all()]
+        );
+        assert_eq!(
+            StreamKeyRange::partition(&one, 0),
+            vec![StreamKeyRange::all()]
+        );
+        assert!(StreamKeyRange::all().contains(StreamKey::MIN));
+        assert!(StreamKeyRange::all().contains(StreamKey::new(u64::MAX, u64::MAX)));
+        assert_eq!(StreamKeyRange::all().to_string(), "[(table 0, row 0) .. ∞)");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn partition_rejects_unsorted_keys() {
+        let keys = [StreamKey::new(1, 5), StreamKey::new(1, 2)];
+        let _ = StreamKeyRange::partition(&keys, 2);
+    }
+
+    #[test]
+    fn ranges_span_table_tags() {
+        // A multi-table plan's keys sort by (table_tag, row); boundaries may
+        // fall between tables and membership must respect the full ordering.
+        let keys = [
+            StreamKey::new(1, 0),
+            StreamKey::new(1, 1),
+            StreamKey::new(2, 0),
+            StreamKey::new(2, 1),
+        ];
+        let ranges = StreamKeyRange::partition(&keys, 2);
+        assert_eq!(ranges.len(), 2);
+        assert!(ranges[0].contains(StreamKey::new(1, 1)));
+        assert!(ranges[1].contains(StreamKey::new(2, 0)));
+        assert!(!ranges[0].contains(StreamKey::new(2, 0)));
+        assert_eq!(
+            ranges[0].to_string(),
+            "[(table 0, row 0) .. (table 2, row 0))"
+        );
     }
 
     #[test]

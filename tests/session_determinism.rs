@@ -9,7 +9,10 @@
 //! cached-prefix block materialization without changing a single result.
 
 use mcdbr::exec::aggregate::{evaluate_aggregate, evaluate_aggregate_threads};
-use mcdbr::exec::{BundleValue, ExecOptions, ExecSession, Executor, Expr, PlanNode, SessionCache};
+use mcdbr::exec::{
+    BundleValue, ExecBackend, ExecOptions, ExecSession, Executor, Expr, InProcessBackend, PlanNode,
+    SessionCache, ShardedBackend,
+};
 use mcdbr::mcdb::McdbEngine;
 use mcdbr::storage::{Catalog, Field, Schema, TableBuilder, Value};
 use mcdbr::vg::NormalVg;
@@ -209,6 +212,83 @@ fn thread_counts_never_change_a_block() {
             .instantiate_block(&catalog, 0, 128)
             .unwrap();
         assert_bit_identical(&reference, &parallel);
+    }
+}
+
+#[test]
+fn shard_counts_never_change_a_block() {
+    // The sharded-backend contract: for every shard count × thread count,
+    // every block — including consecutive replenishment-style blocks — is
+    // bit-identical to in-process execution and to the one-shot executor.
+    let (catalog, plan) = complex_case();
+    let seed = 77;
+    let blocks = [(0u64, 24usize), (24, 24), (48, 24), (10_000, 8)];
+    let mut reference = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    let expected: Vec<_> = blocks
+        .iter()
+        .map(|&(base, n)| reference.instantiate_block(&catalog, base, n).unwrap())
+        .collect();
+    for shards in [1usize, 2, 3, 7] {
+        for threads in [1usize, 2, 3, 7] {
+            let backend = Arc::new(ShardedBackend::new(shards));
+            let mut session = ExecSession::prepare(&plan, &catalog, seed)
+                .unwrap()
+                .with_threads(threads)
+                .with_backend(backend.clone());
+            for (&(base, n), want) in blocks.iter().zip(&expected) {
+                let got = session.instantiate_block(&catalog, base, n).unwrap();
+                assert_bit_identical(want, &got);
+                assert_bit_identical(want, &exec_from_scratch(&plan, &catalog, seed, base, n));
+            }
+            assert!(backend.shard_stats().shards_spawned > 0);
+            assert_eq!(session.plan_executions(), 1);
+        }
+    }
+}
+
+#[test]
+fn sharded_cache_hits_stay_bit_identical() {
+    // A cache-hit session re-bound to a fresh master seed and run on a
+    // sharded backend must equal an uncached, in-process session at that
+    // seed — the composition of the two tentpole contracts.
+    let (catalog, plan) = complex_case();
+    let cache = SessionCache::new();
+    let _ = cache.session(&plan, &catalog, 1).unwrap(); // warm (seed 1)
+    for (shards, seed) in [(2usize, 9u64), (3, 0xBEEF), (7, 1)] {
+        let mut hit = cache
+            .session(&plan, &catalog, seed)
+            .unwrap()
+            .with_backend(Arc::new(ShardedBackend::new(shards)));
+        assert!(hit.skeleton_hit());
+        assert_eq!(hit.plan_executions(), 0, "cache hit skips phase 1");
+        let mut fresh = ExecSession::prepare(&plan, &catalog, seed)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()));
+        for (base, n) in [(0u64, 32usize), (32, 16), (5000, 8)] {
+            let a = hit.instantiate_block(&catalog, base, n).unwrap();
+            let b = fresh.instantiate_block(&catalog, base, n).unwrap();
+            assert_bit_identical(&a, &b);
+        }
+    }
+}
+
+#[test]
+fn sharded_tpch_join_blocks_match_from_scratch() {
+    // The Appendix D join workload through shards: cross-shard bundles (a
+    // deterministic side joined to uncertain streams) regenerate foreign
+    // streams locally and must still merge into the exact executor output.
+    let w = TpchWorkload::generate(TpchConfig::test_scale()).unwrap();
+    let q = w.total_loss_query();
+    for shards in [2usize, 5] {
+        let mut session = ExecSession::prepare(&q.plan, &w.catalog, 99)
+            .unwrap()
+            .with_backend(Arc::new(ShardedBackend::new(shards)));
+        for (base, n) in [(0u64, 20usize), (20, 20)] {
+            let block = session.instantiate_block(&w.catalog, base, n).unwrap();
+            assert_bit_identical(&block, &exec_from_scratch(&q.plan, &w.catalog, 99, base, n));
+        }
     }
 }
 
