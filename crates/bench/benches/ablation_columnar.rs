@@ -1,0 +1,152 @@
+//! Criterion bench for columnar phase-2 block materialization: what do the
+//! typed, pooled `ColumnBlock` buffers buy over the retired row path?
+//!
+//! Both strategies materialize the *same* blocks against the *same* cached
+//! [`DeterministicPrefix`] — the determinism suite proves the outputs
+//! bit-identical — so the entire gap is representation and allocation:
+//!
+//! * `row_path/<n>` — the pre-columnar reference (`instantiate_block_rows`,
+//!   kept verbatim in `mcdbr-exec`): one boxed `Vec<Value>` per VG output
+//!   row per stream position, rebuilt from scratch every block.
+//! * `columnar/<n>` — the shipping path: batched VG generation straight
+//!   into pooled typed buffers, boxed values built only at the `BundleSet`
+//!   boundary, buffers recycled across blocks.
+//!
+//! On top of wall-clock (with values/sec and MB/sec throughput), the bench
+//! counts *heap allocations* per materialized block via a counting global
+//! allocator, since fewer allocations is the mechanism behind the speedup —
+//! the `allocs/block` lines print before the timing runs.
+//!
+//! Run with `cargo bench --bench ablation_columnar`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcdbr_bench::test_tpch;
+use mcdbr_exec::{
+    instantiate_block_rows, BlockBufferPool, DeterministicPrefix, ExecBackend, ExecSession, Expr,
+    InProcessBackend, PlanNode,
+};
+use mcdbr_storage::Catalog;
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+/// A pass-through allocator that counts every allocation, so the bench can
+/// report allocations-per-block for each strategy.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Heap allocations performed by one run of `f`.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+struct Workload {
+    label: &'static str,
+    prefix: DeterministicPrefix,
+    /// Values per block (active streams x block size) for throughput.
+    values_per_block: u64,
+}
+
+fn prepared(label: &'static str, plan: &PlanNode, catalog: &Catalog, block: usize) -> Workload {
+    let session = ExecSession::prepare(plan, catalog, 7).expect("cacheable plan");
+    let prefix = session.prefix().expect("cacheable plan").clone();
+    let values_per_block = (prefix.num_active_streams() * block) as u64;
+    Workload {
+        label,
+        prefix,
+        values_per_block,
+    }
+}
+
+fn bench_workload(c: &mut Criterion, w: &Workload, block: usize) {
+    // Allocation census first (not under the timer): the columnar path's
+    // advantage is structural, so report it directly.  The pooled path is
+    // measured warm — one priming block — matching how replenishment rounds
+    // and repeated queries actually run.
+    let pool = BlockBufferPool::new();
+    let backend = InProcessBackend::new();
+    let _ = backend
+        .instantiate_block(&w.prefix, &pool, 1, 0, block)
+        .unwrap();
+    let row_allocs = count_allocs(|| {
+        criterion::black_box(instantiate_block_rows(&w.prefix, 1, 0, block).unwrap());
+    });
+    let col_allocs = count_allocs(|| {
+        criterion::black_box(
+            backend
+                .instantiate_block(&w.prefix, &pool, 1, 0, block)
+                .unwrap(),
+        );
+    });
+    println!(
+        "{}/allocs_per_block/{block}: row_path={row_allocs} columnar={col_allocs} ({:.1}x fewer)",
+        w.label,
+        row_allocs as f64 / col_allocs.max(1) as f64
+    );
+
+    let mut group = c.benchmark_group(w.label);
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(w.values_per_block));
+    group.bench_with_input(BenchmarkId::new("row_path", block), &block, |b, &block| {
+        b.iter(|| instantiate_block_rows(&w.prefix, 1, 0, block).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("columnar", block), &block, |b, &block| {
+        b.iter(|| {
+            backend
+                .instantiate_block(&w.prefix, &pool, 1, 0, block)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// The §2 selective-filter workload: many customers, a deterministic filter
+/// keeping a slice of them, one Normal stream per survivor — the block
+/// materialization cost is pure per-position value generation.
+fn bench_filtered_losses(c: &mut Criterion) {
+    let n_customers = 2_000i64;
+    let catalog = customer_losses_catalog(n_customers as usize, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(n_customers / 10)));
+    let block = 256usize;
+    let w = prepared("ablation_columnar_filtered", &plan, &catalog, block);
+    bench_workload(c, &w, block);
+}
+
+/// The Appendix D join workload: uncertain order amounts joined to a
+/// deterministic lineitem side — blocks mix stream generation with residue
+/// replay over joined bundles.
+fn bench_tpch_join(c: &mut Criterion) {
+    let w_tpch = test_tpch();
+    let plan = w_tpch.total_loss_query().plan;
+    let block = 256usize;
+    let w = prepared("ablation_columnar_join", &plan, &w_tpch.catalog, block);
+    bench_workload(c, &w, block);
+}
+
+criterion_group!(benches, bench_filtered_losses, bench_tpch_join);
+criterion_main!(benches);

@@ -89,4 +89,23 @@ fn main() {
             report.plan_executions.to_string()
         ])
     );
+    println!(
+        "{}",
+        row(&[
+            "columnar bytes materialized".into(),
+            "-".into(),
+            format!(
+                "{:.3} MiB",
+                report.bytes_materialized as f64 / (1 << 20) as f64
+            )
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "pooled buffer reuses".into(),
+            "streams x (blocks - 1)".into(),
+            report.buffer_reuses.to_string()
+        ])
+    );
 }

@@ -98,6 +98,23 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "  (columnar bytes materialized)".into(),
+            format!(
+                "{:.3} MiB",
+                (result.bytes_materialized + repeat.bytes_materialized) as f64 / (1 << 20) as f64
+            ),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "  (pooled buffer reuses)".into(),
+            (result.buffer_reuses + repeat.buffer_reuses).to_string(),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive Gibbs loop (computed)".into(),
             format!("{naive_plan_runs:.3e}")
         ])

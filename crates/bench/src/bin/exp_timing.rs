@@ -127,6 +127,25 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "MCDB-R columnar bytes".into(),
+            "-".into(),
+            format!(
+                "{:.3} MiB",
+                result.bytes_materialized as f64 / (1 << 20) as f64
+            )
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R buffer reuses".into(),
+            "streams x replenishments".into(),
+            result.buffer_reuses.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive plan executions".into(),
             "1".into(),
             naive_plan_execs.to_string()
@@ -154,6 +173,17 @@ fn main() {
             "naive shards spawned".into(),
             "0 unless MCDBR_SHARDS".into(),
             engine.shards_spawned().to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive columnar bytes".into(),
+            "-".into(),
+            format!(
+                "{:.3} MiB",
+                engine.bytes_materialized() as f64 / (1 << 20) as f64
+            )
         ])
     );
     println!(

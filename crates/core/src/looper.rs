@@ -150,6 +150,14 @@ pub struct TailSampleResult {
     pub skeleton_misses: usize,
     /// Number of replenishment blocks triggered by exhausted streams.
     pub replenishments: usize,
+    /// Logical bytes written into pooled columnar block buffers across the
+    /// run (initial block + replenishments; includes cross-shard
+    /// regeneration on a sharded backend).
+    pub bytes_materialized: u64,
+    /// Columnar buffer acquisitions served by recycling the session's
+    /// [`mcdbr_exec::BlockBufferPool`] instead of allocating — every
+    /// replenishment round past the first reuses the warm buffers.
+    pub buffer_reuses: u64,
     /// Total stream positions consumed across all TS-seeds.
     pub stream_positions_consumed: u64,
     /// Shard tasks this run spawned through its execution backend (0 on the
@@ -395,6 +403,8 @@ impl GibbsLooper {
             skeleton_hits: usize::from(session.skeleton_hit()),
             skeleton_misses: usize::from(!session.skeleton_hit()),
             replenishments,
+            bytes_materialized: session.bytes_materialized(),
+            buffer_reuses: session.buffer_reuses(),
             stream_positions_consumed,
             shards_spawned: backend_stats.shards_spawned,
             shard_merge_ns: backend_stats.shard_merge_ns,
@@ -441,34 +451,36 @@ impl GibbsLooper {
         Ok(())
     }
 
-    /// Materialize the row of `bundle` as seen by DB version `v`, optionally
-    /// overriding one seed's assignment with a candidate position.
-    fn version_row(
+    /// Materialize the row of `bundle` as seen by DB version `v` into a
+    /// reusable scratch buffer, optionally overriding one seed's assignment
+    /// with a candidate position.  The Gibbs inner loop calls this once per
+    /// `(bundle, version, candidate)` — a per-call heap allocation here is
+    /// the hottest allocation in the whole looper, so the buffer is owned by
+    /// the caller and recycled across bundles.
+    fn version_row_into(
         bundle: &TupleBundle,
         ts_seeds: &BTreeMap<SeedId, TsSeed>,
         v: usize,
         override_pos: Option<(SeedId, u64)>,
-    ) -> Vec<Value> {
-        bundle
-            .values
-            .iter()
-            .map(|bv| match bv {
-                BundleValue::Const(value) => value.clone(),
-                BundleValue::Computed(values) => values[v].clone(),
-                BundleValue::Random {
-                    seed,
-                    base_pos,
-                    values,
-                    ..
-                } => {
-                    let assigned = match override_pos {
-                        Some((s, pos)) if s == *seed => pos,
-                        _ => ts_seeds[seed].assigned(v),
-                    };
-                    values[(assigned - base_pos) as usize].clone()
-                }
-            })
-            .collect()
+        row: &mut Vec<Value>,
+    ) {
+        row.clear();
+        row.extend(bundle.values.iter().map(|bv| match bv {
+            BundleValue::Const(value) => value.clone(),
+            BundleValue::Computed(values) => values[v].clone(),
+            BundleValue::Random {
+                seed,
+                base_pos,
+                values,
+                ..
+            } => {
+                let assigned = match override_pos {
+                    Some((s, pos)) if s == *seed => pos,
+                    _ => ts_seeds[seed].assigned(v),
+                };
+                values[(assigned - base_pos) as usize].clone()
+            }
+        }));
     }
 
     /// The contribution of the given bundles to DB version `v`'s aggregate.
@@ -482,8 +494,9 @@ impl GibbsLooper {
         override_pos: Option<(SeedId, u64)>,
     ) -> Result<f64> {
         let mut total = 0.0;
+        let mut row: Vec<Value> = Vec::with_capacity(schema.len());
         for &idx in indices {
-            let row = Self::version_row(&bundles[idx], ts_seeds, v, override_pos);
+            Self::version_row_into(&bundles[idx], ts_seeds, v, override_pos, &mut row);
             if let Some(pred) = &self.query.final_predicate {
                 if !pred.eval_bool(schema, &row)? {
                     continue;
@@ -708,6 +721,19 @@ mod tests {
             result.plan_executions, 1,
             "replenishment must not re-run the plan"
         );
+        // Replenishment rounds recycle the session's pooled columnar
+        // buffers: 3 streams per block, every block past the first reuses
+        // all three.  (A lower bound, not an equality: under a sharded
+        // default backend a shard task that finishes early releases its
+        // buffer in time for a neighbor task of the *same* block to reuse
+        // it, adding intra-block reuses on top.)
+        assert!(
+            result.buffer_reuses >= (3 * result.replenishments) as u64,
+            "each replenishment must reuse the warm buffers ({} reuses, {} replenishments)",
+            result.buffer_reuses,
+            result.replenishments
+        );
+        assert!(result.bytes_materialized > 0);
         // Larger blocks need fewer block materializations, and still exactly
         // one plan execution.
         let config_big = TailSamplingConfig::new(0.05, 10, 200)

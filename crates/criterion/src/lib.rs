@@ -27,6 +27,17 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// Declared per-iteration work, enabling throughput reporting
+/// (values/sec for [`Throughput::Elements`], MB/sec for
+/// [`Throughput::Bytes`]) alongside the wall-clock numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
 /// Identifier for a parameterized benchmark, e.g. `block_size/1024`.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -119,6 +130,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 10,
+            throughput: None,
         }
     }
 
@@ -128,7 +140,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_benchmark(self, None, &id.to_string(), 10, f);
+        run_benchmark(self, None, &id.to_string(), 10, None, f);
         self
     }
 }
@@ -138,12 +150,21 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration work of subsequent benchmarks in this
+    /// group; the report then includes values/sec (elements) or MB/sec
+    /// (bytes) computed from the mean sample.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -158,6 +179,7 @@ impl BenchmarkGroup<'_> {
             Some(&self.name),
             &id.to_string(),
             self.sample_size,
+            self.throughput,
             f,
         );
         self
@@ -179,6 +201,7 @@ impl BenchmarkGroup<'_> {
             Some(&self.name),
             &id.to_string(),
             self.sample_size,
+            self.throughput,
             |b| f(b, input),
         );
         self
@@ -193,6 +216,7 @@ fn run_benchmark<F>(
     group: Option<&str>,
     id: &str,
     sample_size: usize,
+    throughput: Option<Throughput>,
     mut f: F,
 ) where
     F: FnMut(&mut Bencher),
@@ -226,13 +250,42 @@ fn run_benchmark<F>(
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
+    let thrpt = throughput
+        .map(|t| format!("  thrpt: {}", fmt_throughput(t, mean)))
+        .unwrap_or_default();
     println!(
-        "{full_id:<40} time: [{} {} {}]  ({} samples)",
+        "{full_id:<40} time: [{} {} {}]  ({} samples){thrpt}",
         fmt_duration(min),
         fmt_duration(mean),
         fmt_duration(max),
         samples.len()
     );
+}
+
+/// Render a throughput figure from the declared per-iteration work and the
+/// mean per-iteration duration.
+fn fmt_throughput(throughput: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Elements(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e6 {
+                format!("{:.3} Melem/s", rate / 1e6)
+            } else if rate >= 1e3 {
+                format!("{:.3} Kelem/s", rate / 1e3)
+            } else {
+                format!("{rate:.3} elem/s")
+            }
+        }
+        Throughput::Bytes(n) => {
+            let rate = n as f64 / secs / (1024.0 * 1024.0);
+            if rate >= 1024.0 {
+                format!("{:.3} GiB/s", rate / 1024.0)
+            } else {
+                format!("{rate:.3} MiB/s")
+            }
+        }
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -302,5 +355,32 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
         assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
         assert!(fmt_duration(Duration::from_secs(10)).contains(" s"));
+    }
+
+    #[test]
+    fn throughput_formatting_scales() {
+        let ms = Duration::from_millis(1);
+        // 1e6 elements in 1 ms = 1e9 elem/s.
+        assert_eq!(
+            fmt_throughput(Throughput::Elements(1_000_000), ms),
+            "1000.000 Melem/s"
+        );
+        assert_eq!(
+            fmt_throughput(Throughput::Elements(500), Duration::from_secs(1)),
+            "500.000 elem/s"
+        );
+        assert_eq!(
+            fmt_throughput(Throughput::Elements(5_000), Duration::from_secs(1)),
+            "5.000 Kelem/s"
+        );
+        // 1 MiB in 1 s = 1 MiB/s; 2 GiB in 1 s reports in GiB/s.
+        assert_eq!(
+            fmt_throughput(Throughput::Bytes(1 << 20), Duration::from_secs(1)),
+            "1.000 MiB/s"
+        );
+        assert_eq!(
+            fmt_throughput(Throughput::Bytes(2 << 30), Duration::from_secs(1)),
+            "2.000 GiB/s"
+        );
     }
 }

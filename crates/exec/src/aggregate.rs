@@ -314,11 +314,15 @@ fn accumulate_rep(
 ) -> Result<Vec<Accum>> {
     let schema = &set.schema;
     let mut accs = vec![Accum::default(); layout.keys.len()];
+    // One scratch row serves every bundle of this repetition: the bundle
+    // columns are read in place and cloned into the buffer (scalar copies /
+    // string refcount bumps), never into a fresh per-bundle Vec.
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
     for (bundle, &gidx) in set.bundles.iter().zip(&layout.key_of_bundle) {
         if !bundle.is_present(rep) {
             continue;
         }
-        let row = bundle.row_at(rep);
+        bundle.write_row_into(rep, &mut row);
         if let Some(pred) = final_predicate {
             if !pred.eval_bool(schema, &row)? {
                 continue;

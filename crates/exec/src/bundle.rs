@@ -163,6 +163,16 @@ impl TupleBundle {
             .collect()
     }
 
+    /// [`TupleBundle::row_at`] into a caller-owned scratch buffer: the
+    /// per-repetition aggregation loop visits every `(bundle, repetition)`
+    /// pair, and reusing one buffer per repetition removes a heap
+    /// allocation from each visit (the value clones themselves are copies
+    /// for scalars and refcount bumps for strings).
+    pub fn write_row_into(&self, rep: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.values.iter().map(|v| v.value_at(rep).clone()));
+    }
+
     /// Concatenate two bundles (used by join operators).  Presence vectors
     /// are AND-ed.
     pub fn concat(&self, other: &TupleBundle) -> TupleBundle {

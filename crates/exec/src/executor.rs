@@ -316,7 +316,7 @@ pub(crate) enum JoinKey {
     Int(i64),
     Bits(u64),
     Bool(bool),
-    Str(String),
+    Str(std::sync::Arc<str>),
 }
 
 pub(crate) fn join_key(v: &Value) -> JoinKey {

@@ -52,6 +52,13 @@
 //! * [`par`] — the deterministic parallel fan-out used by phase-2
 //!   instantiation and per-repetition aggregation (bit-identical results for
 //!   every thread count).
+//! * [`pool`] — [`pool::BlockBufferPool`]: reusable columnar
+//!   [`mcdbr_storage::ColumnBlock`] buffers for phase 2.  Streams are
+//!   materialized by the batched `VgFunction::generate_block_into` path
+//!   straight into pooled typed buffers, so replenishment rounds, repeated
+//!   queries, and shard tasks stop re-paying the per-position allocation
+//!   bill; `bytes_materialized` / `buffer_reuses` counters surface the
+//!   effect end to end.
 
 #![warn(missing_docs)]
 
@@ -63,6 +70,7 @@ pub mod executor;
 pub mod expr;
 pub mod par;
 pub mod plan;
+pub mod pool;
 pub mod session;
 pub mod shard;
 pub mod stream_registry;
@@ -74,6 +82,7 @@ pub use cache::SessionCache;
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
 pub use plan::{JoinType, PlanNode, RandomTableSpec};
-pub use session::{DeterministicPrefix, ExecSession, PlanSkeleton};
+pub use pool::BlockBufferPool;
+pub use session::{instantiate_block_rows, DeterministicPrefix, ExecSession, PlanSkeleton};
 pub use shard::{plan_shards, ShardOutput, ShardTask, ShardedBackend};
 pub use stream_registry::{SkeletonRegistry, StreamRegistry, StreamSource};

@@ -63,7 +63,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mcdbr_prng::{SeedId, StreamKey};
-use mcdbr_storage::{Catalog, Error, Result, Schema, Tuple, Value};
+use mcdbr_storage::{Catalog, ColumnBlock, Error, Result, Schema, Tuple, Value};
 
 use crate::backend::ExecBackend;
 use crate::bundle::{BundleSet, BundleValue, TupleBundle};
@@ -71,6 +71,7 @@ use crate::executor::{join_key, ExecOptions, Executor, JoinKey};
 use crate::expr::Expr;
 use crate::par;
 use crate::plan::{OutputColumn, PlanNode};
+use crate::pool::BlockBufferPool;
 use crate::stream_registry::{SkeletonRegistry, StreamRegistry};
 
 /// The master seed used only to probe VG output-row counts during skeleton
@@ -355,6 +356,11 @@ pub struct ExecSession {
     master_seed: u64,
     threads: usize,
     backend: Arc<dyn ExecBackend>,
+    pool: Arc<BlockBufferPool>,
+    /// The pool's `(bytes_materialized, buffer_reuses)` when this session
+    /// adopted it, so a shared pool's earlier work is not misattributed to
+    /// this session (the `ShardStats::since` windowing pattern).
+    pool_baseline: (u64, u64),
     mode: Mode,
     skeleton_hit: bool,
     plan_executions: usize,
@@ -438,6 +444,8 @@ impl ExecSession {
             master_seed,
             threads: par::default_threads(),
             backend: crate::backend::default_backend(),
+            pool: Arc::new(BlockBufferPool::new()),
+            pool_baseline: (0, 0),
             mode: Mode::Cached(Box::new(prefix)),
             skeleton_hit: cache_hit,
             // The deterministic skeleton ran exactly once — during this
@@ -462,6 +470,8 @@ impl ExecSession {
             master_seed,
             threads: par::default_threads(),
             backend: crate::backend::default_backend(),
+            pool: Arc::new(BlockBufferPool::new()),
+            pool_baseline: (0, 0),
             mode: Mode::Fallback {
                 executor: Executor::new(),
                 reason,
@@ -495,6 +505,43 @@ impl ExecSession {
     /// The execution backend phase 2 runs on.
     pub fn backend(&self) -> &Arc<dyn ExecBackend> {
         &self.backend
+    }
+
+    /// Use an explicit [`BlockBufferPool`] for phase-2 columnar buffers —
+    /// engines share one across queries so repeated queries reuse warm
+    /// buffers.  The session's `bytes_materialized` / `buffer_reuses`
+    /// counters report activity *since adoption*, so a shared pool's
+    /// earlier work is not misattributed (sessions running concurrently on
+    /// one pool still blur each other's windows, like [`ShardStats`](crate::ShardStats)).
+    pub fn with_pool(mut self, pool: Arc<BlockBufferPool>) -> Self {
+        self.pool_baseline = (pool.bytes_materialized(), pool.buffer_reuses());
+        self.pool = pool;
+        self
+    }
+
+    /// The columnar buffer pool phase 2 materializes blocks through.
+    pub fn pool(&self) -> &Arc<BlockBufferPool> {
+        &self.pool
+    }
+
+    /// Logical bytes this session wrote into columnar block buffers (pool
+    /// activity since the session adopted it; 0 in fallback mode, which
+    /// never materializes columnar blocks).  Sharded backends release
+    /// per-task buffers through the same pool, so cross-shard regeneration
+    /// is included.
+    pub fn bytes_materialized(&self) -> u64 {
+        self.pool
+            .bytes_materialized()
+            .saturating_sub(self.pool_baseline.0)
+    }
+
+    /// Block-buffer acquisitions this session served by recycling a pooled
+    /// buffer rather than allocating — rises with every replenishment round
+    /// or repeated block once the pool is warm.
+    pub fn buffer_reuses(&self) -> u64 {
+        self.pool
+            .buffer_reuses()
+            .saturating_sub(self.pool_baseline.1)
     }
 
     /// Whether the deterministic prefix is cached (`false` means every block
@@ -583,8 +630,13 @@ impl ExecSession {
             }
             Mode::Cached(prefix) => {
                 self.values_materialized += (prefix.num_active_streams() * num_values) as u64;
-                self.backend
-                    .instantiate_block(prefix, self.threads, base_pos, num_values)
+                self.backend.instantiate_block(
+                    prefix,
+                    &self.pool,
+                    self.threads,
+                    base_pos,
+                    num_values,
+                )
             }
         }
     }
@@ -592,16 +644,271 @@ impl ExecSession {
 
 // ===== Phase 2: block materialization against a cached prefix =====
 
-/// Per-stream materialized VG outputs for one block: `blocks[key][offset]` is
-/// the VG output table at stream position `base_pos + offset`.
-pub(crate) type BlockData = BTreeMap<StreamKey, Vec<Vec<Tuple>>>;
+/// Per-stream materialized VG outputs for one block, columnar:
+/// `blocks[key]` is the stream's [`ColumnBlock`] — one typed buffer per VG
+/// output cell, spanning positions `base_pos .. base_pos + num_values`.
+pub(crate) type BlockData = BTreeMap<StreamKey, ColumnBlock>;
 
 /// Generate one stream's VG outputs for positions `base_pos .. base_pos +
-/// num_values`, validating every invocation against the skeleton-probed row
-/// count.  Pure in `(skeleton, master_seed, key, base_pos, num_values)`, so
-/// any split of a block's streams across threads — or shards — regenerates
-/// exactly the same values.
+/// num_values` into a pooled columnar buffer, via the VG function's batched
+/// [`mcdbr_vg::VgFunction::generate_block_into`] path (the default trait
+/// implementation falls back to per-position generation, so third-party VG
+/// functions keep working).  Pure in `(skeleton, master_seed, key, base_pos,
+/// num_values)`, so any split of a block's streams across threads — or
+/// shards — regenerates exactly the same values.
+///
+/// The VG output-row-count contract is validated **once per block** against
+/// the batched generator's reported shape (the row path checked it per
+/// position): raggedness within the block errors inside
+/// [`ColumnBlock::push_position`] / [`ColumnBlock::validate`], and a uniform
+/// shape that contradicts the skeleton probe errors here.
 pub(crate) fn generate_stream_block(
+    prefix: &DeterministicPrefix,
+    key: StreamKey,
+    base_pos: u64,
+    num_values: usize,
+    pool: &BlockBufferPool,
+) -> Result<ColumnBlock> {
+    let mut block = pool.acquire();
+    match fill_stream_block(prefix, key, base_pos, num_values, &mut block) {
+        Ok(()) => Ok(block),
+        Err(e) => {
+            // Back to the pool even on failure, so partial work is metered
+            // and the buffer is not lost.
+            pool.release(block);
+            Err(e)
+        }
+    }
+}
+
+/// The fallible body of [`generate_stream_block`]: batched generation plus
+/// the hoisted once-per-block shape validation.
+fn fill_stream_block(
+    prefix: &DeterministicPrefix,
+    key: StreamKey,
+    base_pos: u64,
+    num_values: usize,
+    block: &mut ColumnBlock,
+) -> Result<()> {
+    let skeleton = prefix.skeleton();
+    let seed = prefix.seed_of(key);
+    let source = skeleton.registry.source(key)?;
+    source
+        .vg
+        .generate_block_into(&source.params, seed, base_pos, num_values, block)?;
+    block.validate(num_values)?;
+    if num_values > 0 {
+        if let Some(&expected) = skeleton.vg_rows.get(&key) {
+            if block.rows_per_pos() != expected {
+                return Err(Error::Invalid(format!(
+                    "VG function {} produced {} output rows per position in block [{}, {}) \
+                     but {} during the skeleton probe; the bundle executor requires a \
+                     seed-independent, fixed row count per parameter row",
+                    source.vg.name(),
+                    block.rows_per_pos(),
+                    base_pos,
+                    base_pos + num_values as u64,
+                    expected
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn instantiate_cached(
+    prefix: &DeterministicPrefix,
+    pool: &BlockBufferPool,
+    threads: usize,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<BundleSet> {
+    // Generate the block of every stream still referenced by a surviving
+    // bundle (deterministically-filtered streams cost nothing), fanned out
+    // across streams into pooled columnar buffers.  Each `(seed, position)`
+    // value is independent of all others, so the split is bit-deterministic
+    // (see `crate::par`).
+    let skeleton = prefix.skeleton();
+    let keys = &skeleton.active_keys;
+    let generated: Vec<Result<ColumnBlock>> = par::par_map_threads(keys, threads, |&key| {
+        generate_stream_block(prefix, key, base_pos, num_values, pool)
+    });
+    let mut blocks = BlockData::new();
+    let mut first_err = None;
+    for (&key, result) in keys.iter().zip(generated) {
+        match result {
+            Ok(block) => {
+                blocks.insert(key, block);
+            }
+            // Keep the first error in input order (the `crate::par`
+            // determinism contract); successfully generated neighbors still
+            // go back to the pool below.
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+
+    // Replay the symbolic residue of every bundle over the block, fanned out
+    // across bundles.  Dropping never-present bundles afterwards preserves
+    // the relative order `Executor::execute` produces.
+    let converted: Result<Vec<Option<TupleBundle>>> = match first_err {
+        Some(e) => Err(e),
+        None => par::try_par_map_threads(&skeleton.bundles, threads, |bundle| {
+            materialize_bundle(bundle, prefix, &blocks, base_pos, num_values)
+        }),
+    };
+
+    // The bundles own their boxed values now; the columnar buffers go back
+    // to the pool — on errors too, so partial work is metered and buffers
+    // survive for the next block (replenishment round, repeated query, or a
+    // neighboring shard task).
+    for (_, block) in blocks {
+        pool.release(block);
+    }
+    let bundles: Vec<TupleBundle> = converted?.into_iter().flatten().collect();
+
+    Ok(BundleSet {
+        schema: skeleton.schema.clone(),
+        bundles,
+        registry: prefix.registry.clone(),
+        num_reps: num_values,
+    })
+}
+
+/// Materialize one symbolic bundle for a block; `None` when its presence
+/// mask is false everywhere (the executor drops such bundles at the filter
+/// that produced them — dropping here, after the fact, yields the same
+/// output sequence).  Reads column buffers directly; boxed [`Value`]s are
+/// only built at the [`BundleSet`] boundary (and per offset for deferred
+/// expressions, which evaluate over rows by contract).
+pub(crate) fn materialize_bundle(
+    bundle: &SymBundle,
+    prefix: &DeterministicPrefix,
+    blocks: &BlockData,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<Option<TupleBundle>> {
+    let mut values = Vec::with_capacity(bundle.values.len());
+    for sym in &bundle.values {
+        values.push(materialize_value(
+            sym, prefix, blocks, base_pos, num_values,
+        )?);
+    }
+    let is_pres = match bundle.preds.as_slice() {
+        [] => None,
+        preds => {
+            let mut mask = Vec::with_capacity(num_values);
+            let mut row: Vec<Value> = Vec::new();
+            for offset in 0..num_values {
+                let mut present = true;
+                for pred in preds {
+                    eval_row_into(&pred.inputs, blocks, offset, &mut row)?;
+                    if !pred.predicate.eval_bool(&pred.schema, &row)? {
+                        present = false;
+                        break;
+                    }
+                }
+                mask.push(present);
+            }
+            if mask.iter().all(|&p| !p) {
+                return Ok(None);
+            }
+            Some(mask)
+        }
+    };
+    Ok(Some(TupleBundle { values, is_pres }))
+}
+
+fn materialize_value(
+    sym: &SymValue,
+    prefix: &DeterministicPrefix,
+    blocks: &BlockData,
+    base_pos: u64,
+    num_values: usize,
+) -> Result<BundleValue> {
+    match sym {
+        SymValue::Const(v) => Ok(BundleValue::Const(v.clone())),
+        SymValue::Stream {
+            key,
+            vg_row,
+            vg_col,
+        } => Ok(BundleValue::Random {
+            seed: prefix.seed_of(*key),
+            vg_row: *vg_row,
+            vg_col: *vg_col,
+            base_pos,
+            // A zero-position block may be legitimately unshaped (the
+            // generic fallback path learns its shape from the first
+            // position); the empty value vector is well-formed either way.
+            values: if num_values == 0 {
+                Vec::new()
+            } else {
+                block_for(blocks, *key)?.values_out(*vg_row, *vg_col)?
+            },
+        }),
+        SymValue::Expr(e) => {
+            let mut computed = Vec::with_capacity(num_values);
+            let mut row: Vec<Value> = Vec::new();
+            for offset in 0..num_values {
+                eval_row_into(&e.inputs, blocks, offset, &mut row)?;
+                computed.push(e.expr.eval(&e.schema, &row)?);
+            }
+            Ok(BundleValue::Computed(computed))
+        }
+    }
+}
+
+/// Evaluate one symbolic value at a single block offset.
+fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> {
+    match sym {
+        SymValue::Const(v) => Ok(v.clone()),
+        SymValue::Stream {
+            key,
+            vg_row,
+            vg_col,
+        } => block_for(blocks, *key)?.value_at(*vg_row, *vg_col, offset),
+        SymValue::Expr(e) => {
+            let mut row = Vec::new();
+            eval_row_into(&e.inputs, blocks, offset, &mut row)?;
+            e.expr.eval(&e.schema, &row)
+        }
+    }
+}
+
+/// Build the input row at `offset` into a reusable scratch buffer (one
+/// buffer serves every offset of a bundle's residue replay).
+fn eval_row_into(
+    inputs: &[SymValue],
+    blocks: &BlockData,
+    offset: usize,
+    row: &mut Vec<Value>,
+) -> Result<()> {
+    row.clear();
+    for sym in inputs {
+        row.push(eval_sym(sym, blocks, offset)?);
+    }
+    Ok(())
+}
+
+fn block_for(blocks: &BlockData, key: StreamKey) -> Result<&ColumnBlock> {
+    blocks
+        .get(&key)
+        .ok_or_else(|| Error::Invalid(format!("stream {key} missing from materialized block")))
+}
+
+// ===== The retained row-path reference implementation =====
+//
+// The pre-columnar phase 2, kept verbatim as (a) the referee the
+// determinism suite compares the columnar path against and (b) the baseline
+// the `ablation_columnar` bench quantifies the win over.  Nothing in the
+// engine calls it.
+
+/// Per-stream row-wise VG outputs: `blocks[key][offset]` is the VG output
+/// table at stream position `base_pos + offset` (the retired representation).
+type RowBlockData = BTreeMap<StreamKey, Vec<Vec<Tuple>>>;
+
+fn generate_stream_block_rows(
     prefix: &DeterministicPrefix,
     key: StreamKey,
     base_pos: u64,
@@ -632,29 +939,26 @@ pub(crate) fn generate_stream_block(
     Ok(per_pos)
 }
 
-pub(crate) fn instantiate_cached(
+/// The pre-columnar block materialization (row-of-boxed-`Value` buffers, no
+/// pooling): bit-identical to [`ExecSession::instantiate_block`] on a
+/// cacheable plan, retained as the determinism referee and the
+/// `ablation_columnar` baseline.
+pub fn instantiate_block_rows(
     prefix: &DeterministicPrefix,
     threads: usize,
     base_pos: u64,
     num_values: usize,
 ) -> Result<BundleSet> {
-    // Generate the block of every stream still referenced by a surviving
-    // bundle (deterministically-filtered streams cost nothing), fanned out
-    // across streams.  Each `(seed, position)` value is independent of all
-    // others, so the split is bit-deterministic (see `crate::par`).
     let skeleton = prefix.skeleton();
     let keys = &skeleton.active_keys;
     let generated: Vec<Vec<Vec<Tuple>>> = par::try_par_map_threads(keys, threads, |&key| {
-        generate_stream_block(prefix, key, base_pos, num_values)
+        generate_stream_block_rows(prefix, key, base_pos, num_values)
     })?;
-    let blocks: BlockData = keys.iter().copied().zip(generated).collect();
+    let blocks: RowBlockData = keys.iter().copied().zip(generated).collect();
 
-    // Replay the symbolic residue of every bundle over the block, fanned out
-    // across bundles.  Dropping never-present bundles afterwards preserves
-    // the relative order `Executor::execute` produces.
     let converted: Vec<Option<TupleBundle>> =
         par::try_par_map_threads(&skeleton.bundles, threads, |bundle| {
-            materialize_bundle(bundle, prefix, &blocks, base_pos, num_values)
+            materialize_bundle_rows(bundle, prefix, &blocks, base_pos, num_values)
         })?;
     let bundles: Vec<TupleBundle> = converted.into_iter().flatten().collect();
 
@@ -666,20 +970,16 @@ pub(crate) fn instantiate_cached(
     })
 }
 
-/// Materialize one symbolic bundle for a block; `None` when its presence
-/// mask is false everywhere (the executor drops such bundles at the filter
-/// that produced them — dropping here, after the fact, yields the same
-/// output sequence).
-pub(crate) fn materialize_bundle(
+fn materialize_bundle_rows(
     bundle: &SymBundle,
     prefix: &DeterministicPrefix,
-    blocks: &BlockData,
+    blocks: &RowBlockData,
     base_pos: u64,
     num_values: usize,
 ) -> Result<Option<TupleBundle>> {
     let mut values = Vec::with_capacity(bundle.values.len());
     for sym in &bundle.values {
-        values.push(materialize_value(
+        values.push(materialize_value_rows(
             sym, prefix, blocks, base_pos, num_values,
         )?);
     }
@@ -690,7 +990,7 @@ pub(crate) fn materialize_bundle(
             for offset in 0..num_values {
                 let mut present = true;
                 for pred in preds {
-                    let row = eval_row(&pred.inputs, blocks, offset)?;
+                    let row = eval_row_rows(&pred.inputs, blocks, offset)?;
                     if !pred.predicate.eval_bool(&pred.schema, &row)? {
                         present = false;
                         break;
@@ -707,10 +1007,10 @@ pub(crate) fn materialize_bundle(
     Ok(Some(TupleBundle { values, is_pres }))
 }
 
-fn materialize_value(
+fn materialize_value_rows(
     sym: &SymValue,
     prefix: &DeterministicPrefix,
-    blocks: &BlockData,
+    blocks: &RowBlockData,
     base_pos: u64,
     num_values: usize,
 ) -> Result<BundleValue> {
@@ -721,7 +1021,7 @@ fn materialize_value(
             vg_row,
             vg_col,
         } => {
-            let per_pos = block_for(blocks, *key)?;
+            let per_pos = row_block_for(blocks, *key)?;
             let values: Vec<Value> = per_pos
                 .iter()
                 .map(|rows| rows[*vg_row].value(*vg_col).clone())
@@ -737,7 +1037,7 @@ fn materialize_value(
         SymValue::Expr(e) => {
             let mut computed = Vec::with_capacity(num_values);
             for offset in 0..num_values {
-                let row = eval_row(&e.inputs, blocks, offset)?;
+                let row = eval_row_rows(&e.inputs, blocks, offset)?;
                 computed.push(e.expr.eval(&e.schema, &row)?);
             }
             Ok(BundleValue::Computed(computed))
@@ -745,32 +1045,31 @@ fn materialize_value(
     }
 }
 
-/// Evaluate one symbolic value at a single block offset.
-fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> {
+fn eval_sym_rows(sym: &SymValue, blocks: &RowBlockData, offset: usize) -> Result<Value> {
     match sym {
         SymValue::Const(v) => Ok(v.clone()),
         SymValue::Stream {
             key,
             vg_row,
             vg_col,
-        } => Ok(block_for(blocks, *key)?[offset][*vg_row]
+        } => Ok(row_block_for(blocks, *key)?[offset][*vg_row]
             .value(*vg_col)
             .clone()),
         SymValue::Expr(e) => {
-            let row = eval_row(&e.inputs, blocks, offset)?;
+            let row = eval_row_rows(&e.inputs, blocks, offset)?;
             e.expr.eval(&e.schema, &row)
         }
     }
 }
 
-fn eval_row(inputs: &[SymValue], blocks: &BlockData, offset: usize) -> Result<Vec<Value>> {
+fn eval_row_rows(inputs: &[SymValue], blocks: &RowBlockData, offset: usize) -> Result<Vec<Value>> {
     inputs
         .iter()
-        .map(|sym| eval_sym(sym, blocks, offset))
+        .map(|sym| eval_sym_rows(sym, blocks, offset))
         .collect()
 }
 
-fn block_for(blocks: &BlockData, key: StreamKey) -> Result<&Vec<Vec<Tuple>>> {
+fn row_block_for(blocks: &RowBlockData, key: StreamKey) -> Result<&Vec<Vec<Tuple>>> {
     blocks
         .get(&key)
         .ok_or_else(|| Error::Invalid(format!("stream {key} missing from materialized block")))
@@ -1309,6 +1608,129 @@ mod tests {
         assert!(ExecSession::prepare(&PlanNode::scan("nope"), &catalog, 1).is_err());
         let join_random = losses_plan().join(PlanNode::scan("regions"), vec![("val", "cid")]);
         assert!(ExecSession::prepare(&join_random, &catalog, 1).is_err());
+    }
+
+    /// A VG whose batched path claims a different (but uniform) output
+    /// shape than its scalar path reports to the skeleton probe — the
+    /// contract violation the hoisted once-per-block shape check catches.
+    #[derive(Debug)]
+    struct ShapeShiftVg;
+
+    impl mcdbr_vg::VgFunction for ShapeShiftVg {
+        fn name(&self) -> &str {
+            "ShapeShift"
+        }
+        fn cache_token(&self) -> String {
+            self.name().to_string()
+        }
+        fn output_fields(&self) -> Vec<mcdbr_storage::Field> {
+            vec![Field::float64("value")]
+        }
+        fn generate(&self, _params: &[Value], gen: &mut mcdbr_prng::Pcg64) -> Result<Vec<Tuple>> {
+            // The probe (and any scalar regeneration) sees one row...
+            Ok(vec![Tuple::from_iter_values([gen.next_f64()])])
+        }
+        fn generate_block_into(
+            &self,
+            _params: &[Value],
+            seed: SeedId,
+            base_pos: u64,
+            num_values: usize,
+            out: &mut ColumnBlock,
+        ) -> Result<()> {
+            // ...but the batched path writes two (uniformly, so the ragged
+            // check inside ColumnBlock cannot catch it — only the per-block
+            // probe comparison can).
+            out.reset(2, 1, num_values);
+            let stream = mcdbr_prng::RandomStream::new(seed);
+            for i in 0..num_values {
+                let mut gen = stream.generator_at(base_pos + i as u64);
+                let v = gen.next_f64();
+                out.column_mut(0, 0).push_f64(v);
+                out.column_mut(1, 0).push_f64(v);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn block_shape_mismatches_against_the_probe_error_once_per_block() {
+        let catalog = catalog();
+        let plan = PlanNode::random_table(scalar_random_table(
+            "Shifty",
+            "means",
+            Arc::new(ShapeShiftVg),
+            vec![Expr::col("m")],
+            &["cid"],
+            "val",
+            9,
+        ));
+        let mut session = ExecSession::prepare(&plan, &catalog, 3).unwrap();
+        let err = session.instantiate_block(&catalog, 0, 8).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("during the skeleton probe"),
+            "unexpected error: {msg}"
+        );
+        assert!(msg.contains("2 output rows per position"), "{msg}");
+        // The failed block's buffers went back to the pool: the work that
+        // ran before the error is metered, not lost.
+        assert!(session.bytes_materialized() > 0);
+        assert!(session.pool().idle() > 0);
+    }
+
+    #[test]
+    fn zero_value_blocks_are_well_formed() {
+        let catalog = catalog();
+        let plan = losses_plan();
+        let mut session = ExecSession::prepare(&plan, &catalog, 7).unwrap();
+        let block = session.instantiate_block(&catalog, 0, 0).unwrap();
+        assert_eq!(block.num_reps, 0);
+        assert_eq!(block.len(), 3, "bundle structure is position-independent");
+        for bundle in &block.bundles {
+            for value in &bundle.values {
+                assert_ne!(value.materialized_len(), Some(1));
+                if let BundleValue::Random { values, .. } = value {
+                    assert!(values.is_empty());
+                }
+            }
+        }
+        assert_eq!(block.schema, *session.prefix().unwrap().schema());
+    }
+
+    #[test]
+    fn sessions_recycle_pooled_buffers_across_blocks() {
+        // Pinned to the in-process backend: it holds all of a block's
+        // buffers live until the bundles are materialized, so the reuse
+        // counts are exact (a sharded backend adds timing-dependent
+        // intra-block reuses; covered by the looper/engine lower bounds).
+        let in_process = || Arc::new(crate::backend::InProcessBackend::new());
+        let catalog = catalog();
+        let mut session = ExecSession::prepare(&losses_plan(), &catalog, 7)
+            .unwrap()
+            .with_threads(2)
+            .with_backend(in_process());
+        let _ = session.instantiate_block(&catalog, 0, 16).unwrap();
+        assert_eq!(session.buffer_reuses(), 0, "cold pool allocates");
+        let bytes_one = session.bytes_materialized();
+        assert_eq!(bytes_one, 3 * 16 * 8, "3 streams x 16 f64 positions");
+        let _ = session.instantiate_block(&catalog, 16, 16).unwrap();
+        assert_eq!(session.buffer_reuses(), 3, "warm pool recycles per stream");
+        assert_eq!(session.bytes_materialized(), 2 * bytes_one);
+
+        // An explicitly shared pool warms across sessions too.
+        let pool = Arc::new(crate::pool::BlockBufferPool::new());
+        let mut a = ExecSession::prepare(&losses_plan(), &catalog, 7)
+            .unwrap()
+            .with_backend(in_process())
+            .with_pool(Arc::clone(&pool));
+        let _ = a.instantiate_block(&catalog, 0, 8).unwrap();
+        let mut b = ExecSession::prepare(&losses_plan(), &catalog, 8)
+            .unwrap()
+            .with_backend(in_process())
+            .with_pool(Arc::clone(&pool));
+        let _ = b.instantiate_block(&catalog, 0, 8).unwrap();
+        assert_eq!(pool.buffer_reuses(), 3);
     }
 
     #[test]

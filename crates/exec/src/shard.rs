@@ -56,6 +56,7 @@ use crate::backend::{ExecBackend, ShardStats};
 use crate::bundle::{BundleSet, TupleBundle};
 use crate::expr::Expr;
 use crate::par;
+use crate::pool::BlockBufferPool;
 use crate::session::{self, DeterministicPrefix, PlanSkeleton};
 
 /// One self-describing slice of a block instantiation: bind `skeleton` to
@@ -95,8 +96,11 @@ impl ShardTask {
     /// Execute the shard: decide bundle ownership from the skeleton and the
     /// key range alone, bind a private prefix restricted to the streams the
     /// owned bundles reference (foreign keys included), generate those
-    /// streams, and materialize the owned bundles.
-    pub fn run(&self) -> Result<ShardOutput> {
+    /// streams into columnar buffers from `pool`, and materialize the owned
+    /// bundles.  Concurrent shard tasks share the pool safely — each
+    /// acquisition hands out a distinct buffer — so a multi-shard block
+    /// still reuses every buffer on the next block.
+    pub fn run(&self, pool: &BlockBufferPool) -> Result<ShardOutput> {
         let skeleton = &self.skeleton;
 
         // Ownership: a bundle belongs to the shard whose range contains its
@@ -124,28 +128,42 @@ impl ShardTask {
             .count();
         let prefix = skeleton.bind_for_shard(self.master_seed);
         let mut blocks: session::BlockData = session::BlockData::new();
+        let mut generation: Result<()> = Ok(());
         for key in needed {
-            blocks.insert(
-                key,
-                session::generate_stream_block(&prefix, key, self.base_pos, self.num_values)?,
-            );
+            match session::generate_stream_block(&prefix, key, self.base_pos, self.num_values, pool)
+            {
+                Ok(block) => {
+                    blocks.insert(key, block);
+                }
+                Err(e) => {
+                    generation = Err(e);
+                    break;
+                }
+            }
         }
 
-        let bundles = owned
-            .into_iter()
-            .map(|idx| {
-                let bundle = session::materialize_bundle(
-                    &skeleton.bundles[idx],
-                    &prefix,
-                    &blocks,
-                    self.base_pos,
-                    self.num_values,
-                )?;
-                Ok((idx, bundle))
-            })
-            .collect::<Result<_>>()?;
+        let bundles: Result<Vec<(usize, Option<TupleBundle>)>> = generation.and_then(|()| {
+            owned
+                .into_iter()
+                .map(|idx| {
+                    let bundle = session::materialize_bundle(
+                        &skeleton.bundles[idx],
+                        &prefix,
+                        &blocks,
+                        self.base_pos,
+                        self.num_values,
+                    )?;
+                    Ok((idx, bundle))
+                })
+                .collect()
+        });
+        // Pool the buffers on every exit path so partial work is metered and
+        // the buffers stay warm.
+        for (_, block) in blocks {
+            pool.release(block);
+        }
         Ok(ShardOutput {
-            bundles,
+            bundles: bundles?,
             foreign_streams,
         })
     }
@@ -205,6 +223,7 @@ impl ExecBackend for ShardedBackend {
     fn instantiate_block(
         &self,
         prefix: &DeterministicPrefix,
+        pool: &BlockBufferPool,
         threads: usize,
         base_pos: u64,
         num_values: usize,
@@ -222,7 +241,7 @@ impl ExecBackend for ShardedBackend {
             .collect();
         self.shards_spawned
             .fetch_add(tasks.len(), Ordering::Relaxed);
-        let partials = par::try_par_map_threads(&tasks, threads, ShardTask::run)?;
+        let partials = par::try_par_map_threads(&tasks, threads, |task| task.run(pool))?;
 
         // Merge: partials arrive in ascending key-range order; slotting each
         // bundle at its skeleton index restores the exact output order of
@@ -343,17 +362,20 @@ mod tests {
 
     #[test]
     fn sharded_blocks_match_in_process_for_every_shard_count() {
+        let pool = BlockBufferPool::new();
         let catalog = catalog();
         let plan = complex_plan();
         let session = ExecSession::prepare(&plan, &catalog, 42).unwrap();
         let prefix = session.prefix().unwrap();
         let reference = InProcessBackend::new()
-            .instantiate_block(prefix, 1, 0, 64)
+            .instantiate_block(prefix, &pool, 1, 0, 64)
             .unwrap();
         for shards in [1usize, 2, 3, 7, 50] {
             for threads in [1usize, 2, 8] {
                 let backend = ShardedBackend::new(shards);
-                let block = backend.instantiate_block(prefix, threads, 0, 64).unwrap();
+                let block = backend
+                    .instantiate_block(prefix, &pool, threads, 0, 64)
+                    .unwrap();
                 assert_sets_identical(&reference, &block);
             }
         }
@@ -361,6 +383,7 @@ mod tests {
 
     #[test]
     fn planner_never_exceeds_bundle_anchors_and_counters_accumulate() {
+        let pool = BlockBufferPool::new();
         let catalog = catalog();
         let plan = complex_plan();
         let session = ExecSession::prepare(&plan, &catalog, 7).unwrap();
@@ -378,16 +401,17 @@ mod tests {
         assert_eq!(backend.shards(), 3);
         assert_eq!(backend.name(), "sharded");
         assert_eq!(backend.shard_stats(), ShardStats::default());
-        let _ = backend.instantiate_block(prefix, 2, 0, 8).unwrap();
+        let _ = backend.instantiate_block(prefix, &pool, 2, 0, 8).unwrap();
         let after_one = backend.shard_stats();
         assert_eq!(after_one.shards_spawned, 3);
-        let _ = backend.instantiate_block(prefix, 2, 8, 8).unwrap();
+        let _ = backend.instantiate_block(prefix, &pool, 2, 8, 8).unwrap();
         assert_eq!(backend.shard_stats().shards_spawned, 6);
         assert_eq!(backend.shard_stats().since(after_one).shards_spawned, 3);
     }
 
     #[test]
     fn shard_tasks_are_self_describing_and_cover_all_bundles() {
+        let pool = BlockBufferPool::new();
         let catalog = catalog();
         let plan = complex_plan();
         let session = ExecSession::prepare(&plan, &catalog, 11).unwrap();
@@ -403,7 +427,7 @@ mod tests {
                 base_pos: 0,
                 num_values: 4,
             };
-            let output = task.run().unwrap();
+            let output = task.run(&pool).unwrap();
             // Single-stream bundles never cross range boundaries.
             assert_eq!(output.foreign_streams, 0);
             for (idx, _) in output.bundles {
@@ -415,6 +439,7 @@ mod tests {
 
     #[test]
     fn cross_shard_joins_regenerate_foreign_streams_and_stay_identical() {
+        let pool = BlockBufferPool::new();
         // Two uncertain tables (tags 1 and 2) joined on cid: every bundle
         // references one stream from each table, so any split between the
         // tables makes every bundle cross-shard — the owning shard must
@@ -435,11 +460,11 @@ mod tests {
         let session = ExecSession::prepare(&plan, &catalog, 13).unwrap();
         let prefix = session.prefix().unwrap();
         let reference = InProcessBackend::new()
-            .instantiate_block(prefix, 1, 0, 32)
+            .instantiate_block(prefix, &pool, 1, 0, 32)
             .unwrap();
         for shards in [2usize, 3, 7] {
             let backend = ShardedBackend::new(shards);
-            let block = backend.instantiate_block(prefix, 2, 0, 32).unwrap();
+            let block = backend.instantiate_block(prefix, &pool, 2, 0, 32).unwrap();
             assert_sets_identical(&reference, &block);
             assert!(
                 backend.shard_stats().cross_shard_regens > 0,
@@ -448,7 +473,7 @@ mod tests {
         }
         // One shard owns everything: nothing is foreign.
         let single = ShardedBackend::new(1);
-        let _ = single.instantiate_block(prefix, 1, 0, 32).unwrap();
+        let _ = single.instantiate_block(prefix, &pool, 1, 0, 32).unwrap();
         assert_eq!(single.shard_stats().cross_shard_regens, 0);
 
         // The planner partitions *anchors* (all tag-1 here), so both shards
@@ -465,7 +490,7 @@ mod tests {
                 base_pos: 0,
                 num_values: 4,
             }
-            .run()
+            .run(&pool)
             .unwrap();
             assert_eq!(output.bundles.len(), 4, "ownership must balance 4/4");
         }
@@ -473,11 +498,12 @@ mod tests {
 
     #[test]
     fn deterministic_only_plans_run_on_one_shard() {
+        let pool = BlockBufferPool::new();
         let catalog = catalog();
         let session = ExecSession::prepare(&PlanNode::scan("regions"), &catalog, 1).unwrap();
         let prefix = session.prefix().unwrap();
         let backend = ShardedBackend::new(4);
-        let block = backend.instantiate_block(prefix, 4, 0, 3).unwrap();
+        let block = backend.instantiate_block(prefix, &pool, 4, 0, 3).unwrap();
         assert_eq!(block.len(), 4);
         assert!(block.registry.is_empty());
         assert_eq!(backend.shard_stats().shards_spawned, 1);

@@ -10,7 +10,8 @@
 use std::sync::Arc;
 
 use mcdbr_exec::{
-    par, AggregateSpec, ExecBackend, ExecSession, Expr, PlanNode, QueryResultSamples, SessionCache,
+    par, AggregateSpec, BlockBufferPool, ExecBackend, ExecSession, Expr, PlanNode,
+    QueryResultSamples, SessionCache,
 };
 use mcdbr_storage::{Catalog, Result, Value};
 
@@ -77,6 +78,14 @@ pub struct NaiveTailReport {
     /// Whether the hunt's session skipped phase 1 because the engine's
     /// [`SessionCache`] already held the plan's skeleton.
     pub skeleton_hit: bool,
+    /// Logical bytes written into pooled columnar block buffers during the
+    /// hunt (calibration + batches; includes cross-shard regeneration on a
+    /// sharded backend).
+    pub bytes_materialized: u64,
+    /// Columnar buffer acquisitions the hunt served by recycling its
+    /// session's pool instead of allocating — every batch past calibration
+    /// reuses the warm buffers.
+    pub buffer_reuses: u64,
     /// Shard tasks the hunt spawned through the engine's execution backend
     /// (block materializations and aggregate partials; 0 on the in-process
     /// backend).
@@ -107,6 +116,11 @@ pub struct NaiveTailReport {
 pub struct McdbEngine {
     cache: SessionCache,
     backend: Arc<dyn ExecBackend>,
+    /// One buffer pool shared by every session this engine creates, so a
+    /// repeated query reuses the previous query's warm columnar buffers
+    /// (sessions report windowed counters, so per-query attribution stays
+    /// correct).
+    pool: Arc<BlockBufferPool>,
     /// The backend's cumulative stats when this engine adopted it.  The
     /// default backend is one process-shared instance, so engine-level
     /// counters report activity *since adoption* — this engine's own work —
@@ -114,6 +128,8 @@ pub struct McdbEngine {
     backend_baseline: mcdbr_exec::ShardStats,
     plans_executed: usize,
     blocks_materialized: usize,
+    bytes_materialized: u64,
+    buffer_reuses: u64,
 }
 
 impl Default for McdbEngine {
@@ -123,9 +139,12 @@ impl Default for McdbEngine {
         McdbEngine {
             cache: SessionCache::new(),
             backend,
+            pool: Arc::new(BlockBufferPool::new()),
             backend_baseline,
             plans_executed: 0,
             blocks_materialized: 0,
+            bytes_materialized: 0,
+            buffer_reuses: 0,
         }
     }
 }
@@ -192,6 +211,18 @@ impl McdbEngine {
         self.blocks_materialized
     }
 
+    /// Total logical bytes written into pooled columnar block buffers
+    /// through this engine's sessions.
+    pub fn bytes_materialized(&self) -> u64 {
+        self.bytes_materialized
+    }
+
+    /// Total columnar buffer acquisitions served by recycling a session
+    /// pool instead of allocating.
+    pub fn buffer_reuses(&self) -> u64 {
+        self.buffer_reuses
+    }
+
     /// Number of sessions that skipped phase 1 because the plan's skeleton
     /// was already cached.
     pub fn skeleton_hits(&self) -> usize {
@@ -211,6 +242,8 @@ impl McdbEngine {
     fn absorb(&mut self, session: &ExecSession) {
         self.plans_executed += session.plan_executions();
         self.blocks_materialized += session.blocks_materialized();
+        self.bytes_materialized += session.bytes_materialized();
+        self.buffer_reuses += session.buffer_reuses();
     }
 
     /// Run `query` for `n` Monte Carlo repetitions, returning the raw
@@ -225,7 +258,8 @@ impl McdbEngine {
         let mut session = self
             .cache
             .session(&query.plan, catalog, master_seed)?
-            .with_backend(Arc::clone(&self.backend));
+            .with_backend(Arc::clone(&self.backend))
+            .with_pool(Arc::clone(&self.pool));
         let set = session.instantiate_block(catalog, 0, n)?;
         self.absorb(&session);
         self.backend.aggregate(
@@ -283,7 +317,8 @@ impl McdbEngine {
         let mut session = self
             .cache
             .session(&query.plan, catalog, master_seed)?
-            .with_backend(Arc::clone(&self.backend));
+            .with_backend(Arc::clone(&self.backend))
+            .with_pool(Arc::clone(&self.pool));
         // Absorb the session's counters whether the hunt succeeds or errors
         // mid-way: plan work that ran is plan work the engine must report.
         let hunt = Self::tail_hunt(
@@ -307,6 +342,8 @@ impl McdbEngine {
             plan_executions: session.plan_executions(),
             blocks_materialized: session.blocks_materialized(),
             skeleton_hit: session.skeleton_hit(),
+            bytes_materialized: session.bytes_materialized(),
+            buffer_reuses: session.buffer_reuses(),
             shards_spawned: backend_stats.shards_spawned,
             shard_merge_ns: backend_stats.shard_merge_ns,
             cross_shard_regens: backend_stats.cross_shard_regens,
@@ -442,6 +479,10 @@ mod tests {
         assert_eq!(engine.plans_executed(), 1);
         assert_eq!(engine.skeleton_misses(), 1);
         assert_eq!(engine.skeleton_hits(), 2);
+        // The engine-level buffer pool means the second and third queries
+        // recycled the first query's warm buffers (5 streams each; a
+        // sharded default backend can only add intra-block reuses on top).
+        assert!(engine.buffer_reuses() >= 10);
     }
 
     #[test]
@@ -586,6 +627,14 @@ mod tests {
         // deterministic plan execution.
         assert!(report.blocks_materialized > 1);
         assert_eq!(report.plan_executions, 1);
+        // Every batch past calibration recycles the session's columnar
+        // buffers: 10 streams per block, reused per extra block (a lower
+        // bound — a sharded default backend adds intra-block reuses when an
+        // early-finishing shard task's buffer serves a neighbor task).
+        assert!(report.buffer_reuses >= (10 * (report.blocks_materialized - 1)) as u64);
+        assert!(report.bytes_materialized >= (report.repetitions * 10 * 8) as u64);
+        assert_eq!(engine.bytes_materialized(), report.bytes_materialized);
+        assert_eq!(engine.buffer_reuses(), report.buffer_reuses);
         // Every reported tail sample really lies beyond the estimated quantile.
         assert!(report
             .tail_samples

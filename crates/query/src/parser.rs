@@ -297,7 +297,7 @@ impl Parser {
                     Value::Float64(v)
                 }
             }
-            Token::Str(s) => Value::Utf8(s),
+            Token::Str(s) => Value::str(s),
             other => return Err(Error::Invalid(format!("expected literal, found {other:?}"))),
         };
         Ok(Expr::Binary {

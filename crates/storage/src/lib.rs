@@ -23,6 +23,7 @@
 //! materialized and reused during replenishment runs (paper §9).
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod schema;
 pub mod table;
@@ -30,6 +31,7 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use column::{Column, ColumnBlock, ColumnData, NullBitmap, Utf8Column};
 pub use error::{Error, Result};
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};

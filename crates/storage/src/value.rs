@@ -8,6 +8,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
@@ -45,6 +46,12 @@ impl fmt::Display for DataType {
 /// sorted and inserted into ordered containers: NULL sorts first, then
 /// booleans, then numbers (integers and floats compare numerically against
 /// each other), then strings.  NaN floats sort after all other numbers.
+///
+/// Strings are reference-counted (`Arc<str>`): values flow through the
+/// engine by clone — per-repetition row materialization, bundle
+/// concatenation, the columnar-block boundary — and a string clone must be
+/// a refcount bump, not a heap copy, for categorical workloads to scale
+/// like numeric ones.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL.
@@ -55,13 +62,13 @@ pub enum Value {
     Float64(f64),
     /// Boolean.
     Bool(bool),
-    /// UTF-8 string.
-    Utf8(String),
+    /// UTF-8 string (shared; clones are refcount bumps).
+    Utf8(Arc<str>),
 }
 
 impl Value {
     /// Construct a string value from anything string-like.
-    pub fn str(s: impl Into<String>) -> Self {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
         Value::Utf8(s.into())
     }
 
@@ -126,7 +133,7 @@ impl Value {
     /// Interpret the value as a string slice.
     pub fn as_str(&self) -> Result<&str> {
         match self {
-            Value::Utf8(s) => Ok(s),
+            Value::Utf8(s) => Ok(s.as_ref()),
             other => Err(Error::TypeMismatch {
                 expected: "string".into(),
                 found: other.data_type().to_string(),
@@ -290,12 +297,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Utf8(v.to_string())
+        Value::Utf8(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Utf8(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Utf8(v)
     }
 }
@@ -396,6 +409,20 @@ mod tests {
         assert_eq!(Value::from(2.5f64), Value::Float64(2.5));
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+
+    #[test]
+    fn string_clones_share_storage() {
+        // The Arc<str> contract: cloning a string value is a refcount bump,
+        // not a heap copy — what makes per-repetition row materialization of
+        // categorical columns as cheap as numeric ones.
+        let a = Value::str("shared");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Utf8(x), Value::Utf8(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

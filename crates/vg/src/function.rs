@@ -16,8 +16,8 @@
 
 use std::fmt;
 
-use mcdbr_prng::Pcg64;
-use mcdbr_storage::{Error, Field, Result, Tuple, Value};
+use mcdbr_prng::{Pcg64, RandomStream, SeedId};
+use mcdbr_storage::{ColumnBlock, Error, Field, Result, Tuple, Value};
 
 use crate::dist::Distribution;
 use crate::math::std_normal_quantile;
@@ -53,6 +53,40 @@ pub trait VgFunction: fmt::Debug + Send + Sync {
     /// `gen` is the deterministic sub-generator for the current stream
     /// position.
     fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>>;
+
+    /// Batched generation: materialize stream positions `base_pos ..
+    /// base_pos + num_values` directly into a columnar block.
+    ///
+    /// The value contract is **bit-exact equality** with the per-position
+    /// path: for every position `p`, the values written must be identical to
+    /// what [`VgFunction::generate`] produces from the sub-generator at
+    /// `(seed, p)` — the batched path is an allocation optimization, never a
+    /// semantic one.  The default implementation *is* the per-position path
+    /// (one `generate` call per position, appended row-wise), so third-party
+    /// VG functions keep working unchanged; the built-in VG functions
+    /// override it to parse parameters once and push scalars straight into
+    /// the typed buffers.
+    ///
+    /// Implementations must leave `out` holding exactly `num_values`
+    /// positions in every column of a uniform `rows × cols` shape (callers
+    /// validate once per block via [`ColumnBlock::validate`]).
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        out.clear();
+        let stream = RandomStream::new(seed);
+        for i in 0..num_values {
+            let mut gen = stream.generator_at(base_pos + i as u64);
+            let rows = self.generate(params, &mut gen)?;
+            out.push_position(&rows)?;
+        }
+        Ok(())
+    }
 }
 
 fn param_f64(params: &[Value], idx: usize, name: &str, fn_name: &str) -> Result<f64> {
@@ -60,6 +94,27 @@ fn param_f64(params: &[Value], idx: usize, name: &str, fn_name: &str) -> Result<
         .get(idx)
         .ok_or_else(|| Error::Invalid(format!("{fn_name}: missing parameter {idx} ({name})")))?
         .as_f64()
+}
+
+/// Drive a native batched generation loop for a single-cell (`1 × 1`) VG
+/// function: shape the block, then write `sample(gen)` for every position's
+/// sub-generator.  `sample` must consume the generator exactly as the
+/// scalar [`VgFunction::generate`] path does — that is the whole bit-exact
+/// `(seed, position)` → value contract.
+fn scalar_block_into(
+    seed: SeedId,
+    base_pos: u64,
+    num_values: usize,
+    out: &mut ColumnBlock,
+    mut sample: impl FnMut(&mut Pcg64) -> f64,
+) {
+    out.reset(1, 1, num_values);
+    let stream = RandomStream::new(seed);
+    let col = out.column_mut(0, 0);
+    for i in 0..num_values {
+        let mut gen = stream.generator_at(base_pos + i as u64);
+        col.push_f64(sample(&mut gen));
+    }
 }
 
 /// The built-in `Normal` VG function of paper §2.
@@ -99,6 +154,31 @@ impl VgFunction for NormalVg {
         .sample(gen);
         Ok(vec![Tuple::from_iter_values([value])])
     }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        // Parameters are parsed and validated once per block, not per
+        // position; the draws themselves are bit-identical to `generate`.
+        let mean = param_f64(params, 0, "mean", "Normal")?;
+        let variance = param_f64(params, 1, "variance", "Normal")?;
+        if variance < 0.0 {
+            return Err(Error::Invalid(format!(
+                "Normal: negative variance {variance}"
+            )));
+        }
+        let dist = Distribution::Normal {
+            mean,
+            sd: variance.sqrt(),
+        };
+        scalar_block_into(seed, base_pos, num_values, out, |gen| dist.sample(gen));
+        Ok(())
+    }
 }
 
 /// Uniform VG function.  Parameters: `[lo, hi]`.
@@ -127,6 +207,24 @@ impl VgFunction for UniformVg {
         let value = Distribution::Uniform { lo, hi }.sample(gen);
         Ok(vec![Tuple::from_iter_values([value])])
     }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let lo = param_f64(params, 0, "lo", "Uniform")?;
+        let hi = param_f64(params, 1, "hi", "Uniform")?;
+        if hi < lo {
+            return Err(Error::Invalid(format!("Uniform: hi {hi} < lo {lo}")));
+        }
+        let dist = Distribution::Uniform { lo, hi };
+        scalar_block_into(seed, base_pos, num_values, out, |gen| dist.sample(gen));
+        Ok(())
+    }
 }
 
 /// Poisson VG function (e.g. order quantities).  Parameters: `[lambda]`.
@@ -154,6 +252,23 @@ impl VgFunction for PoissonVg {
         let value = Distribution::Poisson { lambda }.sample(gen);
         Ok(vec![Tuple::from_iter_values([value])])
     }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let lambda = param_f64(params, 0, "lambda", "Poisson")?;
+        if lambda < 0.0 {
+            return Err(Error::Invalid(format!("Poisson: negative mean {lambda}")));
+        }
+        let dist = Distribution::Poisson { lambda };
+        scalar_block_into(seed, base_pos, num_values, out, |gen| dist.sample(gen));
+        Ok(())
+    }
 }
 
 /// A VG function that samples one of a fixed set of categories.
@@ -171,6 +286,42 @@ impl DiscreteVg {
     /// Create a discrete VG function over the given category values.
     pub fn new(categories: Vec<Value>) -> Self {
         DiscreteVg { categories }
+    }
+
+    /// Parse and validate the per-call weights (one per category).
+    fn weights(&self, params: &[Value]) -> Result<(Vec<f64>, f64)> {
+        if params.len() != self.categories.len() {
+            return Err(Error::Invalid(format!(
+                "Discrete: expected {} weights, got {}",
+                self.categories.len(),
+                params.len()
+            )));
+        }
+        let weights: Vec<f64> = params
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Result<Vec<_>>>()?;
+        if weights.iter().any(|&w| w < 0.0) {
+            return Err(Error::Invalid("Discrete: negative weight".into()));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::Invalid("Discrete: weights sum to zero".into()));
+        }
+        Ok((weights, total))
+    }
+
+    /// Sample a category index from the weights (floating-point edge: the
+    /// last category).  Consumes exactly one uniform from `gen`.
+    fn choose(weights: &[f64], total: f64, gen: &mut Pcg64) -> usize {
+        let mut u = gen.next_f64() * total;
+        for (idx, w) in weights.iter().enumerate() {
+            if u < *w {
+                return idx;
+            }
+            u -= w;
+        }
+        weights.len() - 1
     }
 }
 
@@ -217,37 +368,47 @@ impl VgFunction for DiscreteVg {
     }
 
     fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
-        if params.len() != self.categories.len() {
-            return Err(Error::Invalid(format!(
-                "Discrete: expected {} weights, got {}",
-                self.categories.len(),
-                params.len()
-            )));
-        }
-        let weights: Vec<f64> = params
-            .iter()
-            .map(|v| v.as_f64())
-            .collect::<Result<Vec<_>>>()?;
-        if weights.iter().any(|&w| w < 0.0) {
-            return Err(Error::Invalid("Discrete: negative weight".into()));
-        }
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return Err(Error::Invalid("Discrete: weights sum to zero".into()));
-        }
-        let mut u = gen.next_f64() * total;
-        for (cat, w) in self.categories.iter().zip(&weights) {
-            if u < *w {
-                return Ok(vec![Tuple::new(vec![cat.clone()])]);
+        let (weights, total) = self.weights(params)?;
+        let chosen = Self::choose(&weights, total, gen);
+        // Category values are Arc-backed, so this clone is a refcount bump
+        // even for string categories — never a byte copy.
+        Ok(vec![Tuple::new(vec![self.categories[chosen].clone()])])
+    }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let (weights, total) = self.weights(params)?;
+        out.reset(1, 1, num_values);
+        let stream = RandomStream::new(seed);
+        let col = out.column_mut(0, 0);
+        // String categories are interned once up front; each sampled row
+        // then stores a dictionary index — no per-row clone, no per-row
+        // hash lookup.  Mixed or non-string category lists fall back to the
+        // generic value push (still cheap: scalars copy, strings intern).
+        let all_utf8 = self.categories.iter().all(|c| matches!(c, Value::Utf8(_)));
+        if all_utf8 && !self.categories.is_empty() {
+            let ids: Vec<u32> = self
+                .categories
+                .iter()
+                .map(|c| col.intern_utf8(c.as_str().expect("checked Utf8")))
+                .collect::<Result<_>>()?;
+            for i in 0..num_values {
+                let mut gen = stream.generator_at(base_pos + i as u64);
+                col.push_utf8_id(ids[Self::choose(&weights, total, &mut gen)])?;
             }
-            u -= w;
+        } else {
+            for i in 0..num_values {
+                let mut gen = stream.generator_at(base_pos + i as u64);
+                col.push_value(&self.categories[Self::choose(&weights, total, &mut gen)]);
+            }
         }
-        // Floating-point edge: fall back to the last category.
-        Ok(vec![Tuple::new(vec![self
-            .categories
-            .last()
-            .unwrap()
-            .clone()])])
+        Ok(())
     }
 }
 
@@ -303,6 +464,37 @@ impl VgFunction for MultiNormalVg {
         }
         Ok(rows)
     }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let mean = param_f64(params, 0, "mean", "MultiNormal")?;
+        let sd = param_f64(params, 1, "sd", "MultiNormal")?;
+        if sd < 0.0 {
+            return Err(Error::Invalid(format!("MultiNormal: negative sd {sd}")));
+        }
+        let (w0, wi) = (self.rho.sqrt(), (1.0 - self.rho).sqrt());
+        out.reset(self.dim, 2, num_values);
+        let stream = RandomStream::new(seed);
+        for i in 0..num_values {
+            // Uniform consumption order matches `generate` exactly: one z0,
+            // then one zi per component, per position.
+            let mut gen = stream.generator_at(base_pos + i as u64);
+            let z0 = std_normal_quantile(gen.next_f64_open());
+            for d in 0..self.dim {
+                let zi = std_normal_quantile(gen.next_f64_open());
+                let x = mean + sd * (w0 * z0 + wi * zi);
+                out.column_mut(d, 0).push_i64(d as i64);
+                out.column_mut(d, 1).push_f64(x);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A Bayesian demand model: demand under a hypothetical price change.
@@ -350,6 +542,35 @@ impl VgFunction for BayesianDemandVg {
         let scaled = rate * (-elasticity * price_change).exp();
         let demand = Distribution::Poisson { lambda: scaled }.sample(gen);
         Ok(vec![Tuple::from_iter_values([demand])])
+    }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let shape = param_f64(params, 0, "shape", "BayesianDemand")?;
+        let scale = param_f64(params, 1, "scale", "BayesianDemand")?;
+        let elasticity = param_f64(params, 2, "elasticity", "BayesianDemand")?;
+        let price_change = param_f64(params, 3, "price_change", "BayesianDemand")?;
+        if shape <= 0.0 || scale <= 0.0 {
+            return Err(Error::Invalid(
+                "BayesianDemand: shape and scale must be positive".into(),
+            ));
+        }
+        let gamma = Distribution::Gamma { shape, scale };
+        let price_factor = (-elasticity * price_change).exp();
+        scalar_block_into(seed, base_pos, num_values, out, |gen| {
+            let rate = gamma.sample(gen);
+            Distribution::Poisson {
+                lambda: rate * price_factor,
+            }
+            .sample(gen)
+        });
+        Ok(())
     }
 }
 
@@ -415,6 +636,38 @@ impl VgFunction for GbmTerminalVg {
             s = s.max(1e-12);
         }
         Ok(vec![Tuple::from_iter_values([s])])
+    }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let s0 = param_f64(params, 0, "s0", "GbmTerminal")?;
+        let mu = param_f64(params, 1, "mu", "GbmTerminal")?;
+        let sigma = param_f64(params, 2, "sigma", "GbmTerminal")?;
+        let horizon = param_f64(params, 3, "horizon", "GbmTerminal")?;
+        if s0 <= 0.0 || sigma < 0.0 || horizon <= 0.0 {
+            return Err(Error::Invalid(
+                "GbmTerminal: require s0 > 0, sigma >= 0, horizon > 0".into(),
+            ));
+        }
+        let dt = horizon / self.steps as f64;
+        let sqrt_dt = dt.sqrt();
+        let steps = self.steps;
+        scalar_block_into(seed, base_pos, num_values, out, |gen| {
+            let mut s = s0;
+            for _ in 0..steps {
+                let z = std_normal_quantile(gen.next_f64_open());
+                s += mu * s * dt + sigma * s * sqrt_dt * z;
+                s = s.max(1e-12);
+            }
+            s
+        });
+        Ok(())
     }
 }
 
@@ -561,6 +814,189 @@ mod tests {
         assert_ne!(
             GbmTerminalVg::new(16).cache_token(),
             GbmTerminalVg::new(32).cache_token()
+        );
+    }
+
+    /// Assert `generate_block_into` and per-position `generate` agree
+    /// bit-for-bit over a window of stream positions.
+    fn assert_batched_matches_scalar(vg: &dyn VgFunction, params: &[Value], seed: u64) {
+        let (base, n) = (5u64, 64usize);
+        let mut block = ColumnBlock::new();
+        vg.generate_block_into(params, seed, base, n, &mut block)
+            .unwrap();
+        block.validate(n).unwrap();
+        let stream = RandomStream::new(seed);
+        let mut rows_per_pos = None;
+        for i in 0..n {
+            let mut gen = stream.generator_at(base + i as u64);
+            let rows = vg.generate(params, &mut gen).unwrap();
+            rows_per_pos = Some(rows.len());
+            assert_eq!(block.rows_per_pos(), rows.len());
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(block.cols(), row.arity());
+                for c in 0..row.arity() {
+                    let batched = block.value_at(r, c, i).unwrap();
+                    let scalar = row.value(c);
+                    match (&batched, scalar) {
+                        (Value::Float64(a), Value::Float64(b)) => {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{} pos {i} cell ({r},{c})",
+                                vg.name()
+                            );
+                        }
+                        _ => assert_eq!(&batched, scalar, "{} pos {i} cell ({r},{c})", vg.name()),
+                    }
+                }
+            }
+        }
+        assert_eq!(rows_per_pos, Some(block.rows_per_pos()));
+    }
+
+    #[test]
+    fn batched_generation_is_bit_identical_for_every_builtin_vg() {
+        let f = Value::Float64;
+        assert_batched_matches_scalar(&NormalVg, &[f(3.0), f(2.0)], 11);
+        assert_batched_matches_scalar(&UniformVg, &[f(-1.0), f(4.0)], 12);
+        assert_batched_matches_scalar(&PoissonVg, &[f(6.5)], 13);
+        assert_batched_matches_scalar(
+            &DiscreteVg::new(vec![
+                Value::str("ship"),
+                Value::str("truck"),
+                Value::str("air"),
+            ]),
+            &[f(0.5), f(0.3), f(0.2)],
+            14,
+        );
+        assert_batched_matches_scalar(
+            &DiscreteVg::new(vec![Value::Int64(20), Value::Int64(21), Value::Null]),
+            &[f(0.4), f(0.4), f(0.2)],
+            15,
+        );
+        assert_batched_matches_scalar(&MultiNormalVg::new(3, 0.6), &[f(1.0), f(2.0)], 16);
+        assert_batched_matches_scalar(&BayesianDemandVg, &[f(4.0), f(2.5), f(1.5), f(0.1)], 17);
+        assert_batched_matches_scalar(
+            &GbmTerminalVg::new(16),
+            &[f(100.0), f(0.05), f(0.2), f(1.0)],
+            18,
+        );
+    }
+
+    /// A third-party-style VG with no batched override: the default
+    /// `generate_block_into` must fall back to per-position `generate` and
+    /// still satisfy the bit-exact contract.
+    #[derive(Debug)]
+    struct FallbackOnlyVg;
+
+    impl VgFunction for FallbackOnlyVg {
+        fn name(&self) -> &str {
+            "FallbackOnly"
+        }
+        fn cache_token(&self) -> String {
+            self.name().to_string()
+        }
+        fn output_fields(&self) -> Vec<Field> {
+            vec![Field::float64("value"), Field::utf8("label")]
+        }
+        fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+            let shift = param_f64(params, 0, "shift", "FallbackOnly")?;
+            let x = gen.next_f64() + shift;
+            let label = if x > shift + 0.5 { "hi" } else { "lo" };
+            Ok(vec![Tuple::from_iter_values([
+                Value::Float64(x),
+                Value::str(label),
+            ])])
+        }
+    }
+
+    #[test]
+    fn default_batched_fallback_matches_scalar_generation() {
+        assert_batched_matches_scalar(&FallbackOnlyVg, &[Value::Float64(2.0)], 19);
+    }
+
+    /// A broken VG whose output row count depends on the draw — the contract
+    /// violation the per-block shape validation must catch.
+    #[derive(Debug)]
+    struct RaggedVg;
+
+    impl VgFunction for RaggedVg {
+        fn name(&self) -> &str {
+            "Ragged"
+        }
+        fn cache_token(&self) -> String {
+            self.name().to_string()
+        }
+        fn output_fields(&self) -> Vec<Field> {
+            vec![Field::float64("value")]
+        }
+        fn generate(&self, _params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+            let rows = if gen.next_f64() < 0.5 { 1 } else { 2 };
+            Ok((0..rows)
+                .map(|_| Tuple::from_iter_values([gen.next_f64()]))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn ragged_row_counts_error_in_the_batched_fallback() {
+        let mut block = ColumnBlock::new();
+        let err = RaggedVg
+            .generate_block_into(&[], 3, 0, 256, &mut block)
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("fixed, seed-independent row count"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn discrete_batched_blocks_intern_categories() {
+        let vg = DiscreteVg::new(vec![
+            Value::str("ship"),
+            Value::str("truck"),
+            Value::str("air"),
+        ]);
+        let params = [
+            Value::Float64(0.5),
+            Value::Float64(0.3),
+            Value::Float64(0.2),
+        ];
+        let mut block = ColumnBlock::new();
+        vg.generate_block_into(&params, 21, 0, 10_000, &mut block)
+            .unwrap();
+        match block.column(0, 0).data() {
+            mcdbr_storage::ColumnData::Utf8(col) => {
+                assert_eq!(col.len(), 10_000);
+                assert_eq!(
+                    col.distinct(),
+                    3,
+                    "10k sampled rows must store exactly 3 arena strings"
+                );
+            }
+            other => panic!("expected an interned Utf8 column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discrete_cache_tokens_are_stable_across_the_interning_change() {
+        // The plan fingerprint (and therefore every session-cache key) must
+        // not move when category storage changes representation: these are
+        // the exact token strings the pre-interning implementation produced.
+        assert_eq!(
+            DiscreteVg::new(vec![Value::str("a,b"), Value::Int64(1)]).cache_token(),
+            "Discrete|s3:a,b|i1"
+        );
+        assert_eq!(
+            DiscreteVg::new(vec![
+                Value::Float64(1.0),
+                Value::Bool(true),
+                Value::Null,
+                Value::str("x")
+            ])
+            .cache_token(),
+            format!("Discrete|f{:016x}|b1|n|s1:x", 1.0f64.to_bits())
         );
     }
 

@@ -10,8 +10,8 @@
 
 use mcdbr::exec::aggregate::{evaluate_aggregate, evaluate_aggregate_threads};
 use mcdbr::exec::{
-    BundleValue, ExecBackend, ExecOptions, ExecSession, Executor, Expr, InProcessBackend, PlanNode,
-    SessionCache, ShardedBackend,
+    instantiate_block_rows, BlockBufferPool, BundleValue, ExecBackend, ExecOptions, ExecSession,
+    Executor, Expr, InProcessBackend, PlanNode, SessionCache, ShardedBackend,
 };
 use mcdbr::mcdb::McdbEngine;
 use mcdbr::storage::{Catalog, Field, Schema, TableBuilder, Value};
@@ -289,6 +289,77 @@ fn sharded_tpch_join_blocks_match_from_scratch() {
             let block = session.instantiate_block(&w.catalog, base, n).unwrap();
             assert_bit_identical(&block, &exec_from_scratch(&q.plan, &w.catalog, 99, base, n));
         }
+    }
+}
+
+#[test]
+fn columnar_blocks_match_the_row_reference_path_for_every_shard_and_thread_count() {
+    // The columnar-tentpole referee: `instantiate_block_rows` is the
+    // pre-change row path kept verbatim; the pooled columnar path — on the
+    // in-process backend and on every sharded configuration — must
+    // reproduce its output bit for bit, on the multi-operator plan and the
+    // Appendix D join workload alike.
+    let (catalog, plan) = complex_case();
+    let w = TpchWorkload::generate(TpchConfig::test_scale()).unwrap();
+    let join = w.total_loss_query();
+    for (plan, cat, seed) in [(&plan, &catalog, 55u64), (&join.plan, &w.catalog, 91u64)] {
+        let session = ExecSession::prepare(plan, cat, seed).unwrap();
+        let prefix = session.prefix().unwrap();
+        for (base, n) in [(0u64, 32usize), (32, 16), (9000, 8)] {
+            let reference = instantiate_block_rows(prefix, 1, base, n).unwrap();
+            let pool = BlockBufferPool::new();
+            for threads in [1usize, 2, 7] {
+                let columnar = InProcessBackend::new()
+                    .instantiate_block(prefix, &pool, threads, base, n)
+                    .unwrap();
+                assert_bit_identical(&reference, &columnar);
+            }
+            for shards in [1usize, 2, 3, 7] {
+                for threads in [1usize, 2] {
+                    let sharded = ShardedBackend::new(shards)
+                        .instantiate_block(prefix, &pool, threads, base, n)
+                        .unwrap();
+                    assert_bit_identical(&reference, &sharded);
+                }
+            }
+            assert!(
+                pool.buffer_reuses() > 0,
+                "repeated blocks over one pool must recycle buffers"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_value_blocks_are_well_formed_on_both_backends() {
+    // num_values == 0 must be a first-class input, not incidental behavior:
+    // a well-formed, empty-repetition BundleSet on the in-process and
+    // sharded backends alike, agreeing with the one-shot executor.
+    let losses_catalog = customer_losses_catalog(6, (1.0, 4.0), 3).unwrap();
+    let q = customer_losses_query(None);
+    let scratch = exec_from_scratch(&q.plan, &losses_catalog, 13, 0, 0);
+    for backend in [
+        Arc::new(InProcessBackend::new()) as Arc<dyn ExecBackend>,
+        Arc::new(ShardedBackend::new(3)) as Arc<dyn ExecBackend>,
+    ] {
+        let mut session = ExecSession::prepare(&q.plan, &losses_catalog, 13)
+            .unwrap()
+            .with_backend(Arc::clone(&backend));
+        let block = session.instantiate_block(&losses_catalog, 0, 0).unwrap();
+        assert_eq!(block.num_reps, 0, "backend {}", backend.name());
+        assert_eq!(block.schema, scratch.schema);
+        assert_bit_identical(&block, &scratch);
+        for bundle in &block.bundles {
+            for value in &bundle.values {
+                assert!(matches!(value.materialized_len(), None | Some(0)));
+            }
+        }
+        // A zero block then a real one: the session stays fully usable.
+        let real = session.instantiate_block(&losses_catalog, 0, 8).unwrap();
+        assert_bit_identical(
+            &real,
+            &exec_from_scratch(&q.plan, &losses_catalog, 13, 0, 8),
+        );
     }
 }
 
