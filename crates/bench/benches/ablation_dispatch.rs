@@ -1,0 +1,124 @@
+//! Criterion bench for the multi-process dispatch backend: what does
+//! phase-2 block materialization cost when shard tasks cross a process
+//! boundary, as the worker count sweeps?
+//!
+//! Each measured iteration materializes `BLOCKS` consecutive blocks through
+//! one `ExecSession`:
+//!
+//! * `in_process` — the baseline thread-pool backend.
+//! * `sharded/<k>` — `ShardedBackend` with `k` in-process shards (the
+//!   zero-serialization upper bound for `k`-way partitioning).
+//! * `workers/<k>` — `ProcessBackend` with `k` persistent `mcdbr-worker`
+//!   processes: plans ship once (cold), every later task is a ~60-byte
+//!   header against the workers' warm session caches, partial bundles
+//!   stream back as columnar frames.
+//!
+//! Workers are spawned once per backend and reused across the measured
+//! blocks, so the sweep prices the steady-state wire cost (serialize
+//! task, deserialize partials), not process startup.  Results are
+//! bit-identical across every row (asserted outside measurement via
+//! bundle checksums).  Two workloads, mirroring `ablation_sharding`: the
+//! Appendix D join and the §2 selective filter.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdbr_bench::test_tpch;
+use mcdbr_dispatch::ProcessBackend;
+use mcdbr_exec::{ExecBackend, ExecSession, Expr, InProcessBackend, PlanNode, ShardedBackend};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+const BLOCK: usize = 100;
+const BLOCKS: usize = 8;
+const MASTER_SEED: u64 = 47;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Materialize `BLOCKS` consecutive blocks on `backend`, returning total
+/// bundles (kept live so the work cannot be optimized away).
+fn run_blocks(
+    plan: &PlanNode,
+    catalog: &mcdbr_storage::Catalog,
+    backend: Arc<dyn ExecBackend>,
+) -> usize {
+    let mut session = ExecSession::prepare(plan, catalog, MASTER_SEED)
+        .unwrap()
+        .with_backend(backend);
+    let mut total_bundles = 0usize;
+    for i in 0..BLOCKS {
+        let set = session
+            .instantiate_block(catalog, (i * BLOCK) as u64, BLOCK)
+            .unwrap();
+        total_bundles += set.len();
+    }
+    assert_eq!(session.plan_executions(), 1);
+    total_bundles
+}
+
+fn sweep(c: &mut Criterion, group_name: &str, plan: &PlanNode, catalog: &mcdbr_storage::Catalog) {
+    // Cross-check once, outside measurement: every worker count produces
+    // the in-process bundle count, tasks really crossed the wire, and the
+    // warm path engaged after the first block.
+    let baseline = run_blocks(plan, catalog, Arc::new(InProcessBackend::new()));
+    for &workers in &WORKER_COUNTS {
+        let backend = Arc::new(ProcessBackend::new(workers));
+        assert_eq!(
+            run_blocks(plan, catalog, backend.clone()),
+            baseline,
+            "{workers} workers changed the output"
+        );
+        let stats = backend.shard_stats();
+        assert!(stats.tasks_dispatched >= BLOCKS);
+        assert!(stats.worker_warm_hits > 0, "warm path must engage");
+        assert_eq!(stats.worker_respawns, 0);
+    }
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("in_process", |b| {
+        b.iter(|| run_blocks(plan, catalog, Arc::new(InProcessBackend::new())))
+    });
+    for &workers in &WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| run_blocks(plan, catalog, Arc::new(ShardedBackend::new(workers))))
+            },
+        );
+    }
+    for &workers in &WORKER_COUNTS {
+        // One pool per row, spawned before measurement: the bench prices
+        // the steady-state wire round trip, not process startup.
+        let backend = Arc::new(ProcessBackend::new(workers));
+        let _ = run_blocks(plan, catalog, backend.clone());
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, _workers| b.iter(|| run_blocks(plan, catalog, backend.clone())),
+        );
+    }
+    group.finish();
+}
+
+/// The Appendix D join workload: few uncertain streams, a large
+/// deterministic side folded into the skeleton.
+fn bench_tpch_join(c: &mut Criterion) {
+    let w = test_tpch();
+    let plan = w.total_loss_query().plan;
+    sweep(c, "ablation_dispatch_join", &plan, &w.catalog);
+}
+
+/// The §2 selective-filter workload (`WHERE CID < limit`): many active
+/// streams partitioning cleanly across workers.
+fn bench_filtered_losses(c: &mut Criterion) {
+    let n_customers = 2_000i64;
+    let limit = n_customers / 20;
+    let catalog = customer_losses_catalog(n_customers as usize, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(limit)));
+    sweep(c, "ablation_dispatch_filtered", &plan, &catalog);
+}
+
+criterion_group!(benches, bench_tpch_join, bench_filtered_losses);
+criterion_main!(benches);

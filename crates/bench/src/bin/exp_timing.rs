@@ -7,14 +7,19 @@
 //! The paper reports ~11 minutes vs ~18 hours at full scale; the shape to
 //! reproduce is the orders-of-magnitude ratio.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use mcdbr_bench::{appendix_d_config, row, run_tail_sampling};
+use mcdbr_bench::{appendix_d_config, backend_from_args, row, run_tail_sampling_on};
 use mcdbr_mcdb::McdbEngine;
 use mcdbr_workloads::{TpchConfig, TpchWorkload};
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "test".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The flag replaced the old env-only backend selection; the scale is
+    // the first argument the flag did not consume.
+    let (backend_label, backend, rest) = backend_from_args(&args);
+    let scale = rest.first().cloned().unwrap_or_else(|| "test".into());
     let (config, budget) = match scale.as_str() {
         "paper" => (TpchConfig::paper_scale(), 500),
         "laptop" => (TpchConfig::laptop_scale(), 500),
@@ -27,14 +32,15 @@ fn main() {
     // MCDB-R tail sampling.
     let start = Instant::now();
     let cfg = appendix_d_config(budget, 77);
-    let result = run_tail_sampling(&w.total_loss_query(), &w.catalog, cfg).expect("tail run");
+    let result = run_tail_sampling_on(&w.total_loss_query(), &w.catalog, cfg, Arc::clone(&backend))
+        .expect("tail run");
     let mcdbr_secs = start.elapsed().as_secs_f64();
 
     // Naive MCDB: measure the per-repetition cost with a modest batch.  The
     // engine's shard counters are windowed from its own construction, so the
-    // looper's shards (same process-shared default backend) don't leak into
-    // the naive rows.
-    let mut engine = McdbEngine::new();
+    // looper's shards (same backend instance) don't leak into the naive
+    // rows.
+    let mut engine = McdbEngine::new().with_backend(Arc::clone(&backend));
     let calib_reps = 200;
     let start = Instant::now();
     engine
@@ -49,8 +55,8 @@ fn main() {
     let naive_secs = per_rep * reps_needed;
 
     println!(
-        "E3: MCDB-R vs naive MCDB ({} orders, {} lineitems, p = {p:.6}, l = 100)",
-        w.config.num_orders, w.config.num_lineitems
+        "E3: MCDB-R vs naive MCDB ({} orders, {} lineitems, p = {p:.6}, l = 100, backend = {})",
+        w.config.num_orders, w.config.num_lineitems, backend_label
     );
     println!(
         "{}",
@@ -146,6 +152,34 @@ fn main() {
     println!(
         "{}",
         row(&[
+            "MCDB-R workers spawned/respawned".into(),
+            "0 unless --backend process".into(),
+            format!("{} / {}", result.workers_spawned, result.worker_respawns)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R tasks dispatched".into(),
+            "0 unless --backend process".into(),
+            result.tasks_dispatched.to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "MCDB-R wire sent/received".into(),
+            "-".into(),
+            format!(
+                "{:.3} / {:.3} MiB",
+                result.wire_bytes_sent as f64 / (1 << 20) as f64,
+                result.wire_bytes_received as f64 / (1 << 20) as f64
+            )
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
             "naive plan executions".into(),
             "1".into(),
             naive_plan_execs.to_string()
@@ -173,6 +207,14 @@ fn main() {
             "naive shards spawned".into(),
             "0 unless MCDBR_SHARDS".into(),
             engine.shards_spawned().to_string()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "naive tasks dispatched".into(),
+            "0 unless --backend process".into(),
+            engine.tasks_dispatched().to_string()
         ])
     );
     println!(

@@ -1,0 +1,791 @@
+//! The multi-process execution backend: phase 2 dispatched to a pool of
+//! persistent `mcdbr-worker` OS processes over the wire protocol.
+//!
+//! A [`ProcessBackend`] implements the same [`ExecBackend`] seam as the
+//! in-process pool and the sharded backend, with the same bit-identity
+//! contract: for any worker count, a block's merged output equals
+//! in-process execution exactly.  The shard planner is shared with
+//! [`ShardedBackend`] — a block's bundle anchors partition into balanced
+//! [`mcdbr_prng::StreamKeyRange`]s, one [`mcdbr_exec::ShardTask`] per
+//! worker — and the merge slots partial bundles back into skeleton order,
+//! visiting partials in ascending key-range order.
+//!
+//! **Cold vs warm workers.**  The dispatcher learns each prefix's plan and
+//! catalog through [`ExecBackend::prepare_dispatch`] (sessions call it
+//! before every cached block) and encodes the `Plan` frame once; a worker
+//! receives it only before its first task for that plan key.  After that,
+//! tasks travel as a ~60-byte header and the worker's own `SessionCache`
+//! skips phase 1 (`worker_warm_hits` counts those skips).
+//!
+//! **Crash handling.**  A worker that dies mid-conversation (EOF, broken
+//! pipe, corrupt frame) is respawned — fresh process, cold cache — and its
+//! in-flight task is re-dispatched, once per failure, transparently to the
+//! caller; `worker_respawns` counts the events.  Task-level errors the
+//! worker *reports* (an `Error` frame) are not crashes and propagate to
+//! the caller without a respawn.
+//!
+//! **Graceful degradation.**  Plans that cannot travel — a third-party VG
+//! function outside the built-in set, or a prefix the backend was never
+//! primed for (direct `instantiate_block` calls without a session) —
+//! execute locally through the in-process path, bit-identically;
+//! `tasks_dispatched` stays flat so the fallback is observable.
+//!
+//! Aggregation never crosses the process boundary: shipping a full
+//! `BundleSet` out and partial aggregates back would dwarf the aggregation
+//! itself, so per-repetition partials run on the local sharded path
+//! (their counters fold into this backend's [`ShardStats`]).
+
+use std::collections::HashSet;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mcdbr_exec::aggregate::{AggregateSpec, QueryResultSamples};
+use mcdbr_exec::{
+    plan_shards, BlockBufferPool, BundleSet, DeterministicPrefix, ExecBackend, Expr,
+    InProcessBackend, PlanNode, PlanSkeleton, ShardStats, ShardedBackend, TupleBundle,
+};
+use mcdbr_storage::{Catalog, Result};
+
+use crate::wire::{self, Frame, PlanKey, TaskHeader, WireError, WireResult};
+
+/// How many distinct prepared plans the dispatcher keeps encoded (oldest
+/// evicted beyond this; re-priming re-encodes).
+const MAX_PREPARED_PLANS: usize = 64;
+
+/// One live worker process and what it already knows.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    /// Plan keys this worker has received `Plan` frames for.
+    known: HashSet<PlanKey>,
+}
+
+/// One dispatchable plan: the skeleton it belongs to (held alive so the
+/// pointer identity used for lookup can never be reused by a different
+/// skeleton), its wire key, and the encoded `Plan` frame — `None` when the
+/// plan is not wire-serializable and blocks must run locally.
+struct PlanEntry {
+    skeleton: Arc<PlanSkeleton>,
+    key: PlanKey,
+    frame: Option<Arc<Vec<u8>>>,
+}
+
+#[derive(Default)]
+struct State {
+    slots: Vec<Option<Worker>>,
+    plans: Vec<PlanEntry>,
+}
+
+/// The multi-process [`ExecBackend`]: see the module docs for the
+/// contract.
+pub struct ProcessBackend {
+    workers: usize,
+    state: Mutex<State>,
+    /// Local sharded path for aggregation partials (and its counters).
+    agg: ShardedBackend,
+    workers_spawned: AtomicUsize,
+    tasks_dispatched: AtomicUsize,
+    wire_bytes_sent: AtomicU64,
+    wire_bytes_received: AtomicU64,
+    worker_respawns: AtomicUsize,
+    worker_warm_hits: AtomicUsize,
+    merge_ns: AtomicU64,
+    cross_shard_regens: AtomicUsize,
+}
+
+impl std::fmt::Debug for ProcessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessBackend")
+            .field("workers", &self.workers)
+            .field("stats", &self.shard_stats())
+            .finish()
+    }
+}
+
+impl ProcessBackend {
+    /// Create a backend dispatching to `workers` worker processes
+    /// (minimum 1).  Workers are spawned lazily on first dispatch and kept
+    /// warm across blocks, sessions, and queries.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        ProcessBackend {
+            workers,
+            state: Mutex::new(State {
+                slots: (0..workers).map(|_| None).collect(),
+                plans: Vec::new(),
+            }),
+            agg: ShardedBackend::new(workers),
+            workers_spawned: AtomicUsize::new(0),
+            tasks_dispatched: AtomicUsize::new(0),
+            wire_bytes_sent: AtomicU64::new(0),
+            wire_bytes_received: AtomicU64::new(0),
+            worker_respawns: AtomicUsize::new(0),
+            worker_warm_hits: AtomicUsize::new(0),
+            merge_ns: AtomicU64::new(0),
+            cross_shard_regens: AtomicUsize::new(0),
+        }
+    }
+
+    /// The target worker-process count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Kill worker `index`'s OS process (if one is live), leaving the dead
+    /// handle in place so the *next* dispatch runs into the broken pipe and
+    /// exercises the respawn + re-dispatch path.  A fault-injection hook
+    /// for tests and operational drills; counted in `worker_respawns` when
+    /// the respawn happens, not here.
+    pub fn kill_worker(&self, index: usize) {
+        let mut state = self.state.lock().expect("dispatch state");
+        if let Some(worker) = state.slots.get_mut(index).and_then(Option::as_mut) {
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+    }
+
+    /// Resolve the `mcdbr-worker` binary: the `MCDBR_WORKER_BIN`
+    /// environment variable when set, else a sibling of the current
+    /// executable (hopping out of cargo's `deps/` / `examples/`
+    /// directories).
+    fn worker_binary() -> WireResult<PathBuf> {
+        if let Ok(path) = std::env::var("MCDBR_WORKER_BIN") {
+            return Ok(PathBuf::from(path));
+        }
+        let exe = std::env::current_exe()?;
+        let mut dir = exe
+            .parent()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        if dir
+            .file_name()
+            .is_some_and(|n| n == "deps" || n == "examples")
+        {
+            dir.pop();
+        }
+        let candidate = dir.join(format!("mcdbr-worker{}", std::env::consts::EXE_SUFFIX));
+        if candidate.exists() {
+            Ok(candidate)
+        } else {
+            Err(WireError::Io(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "worker binary not found at {} (build the `mcdbr-worker` bin of \
+                     mcdbr-dispatch, or point MCDBR_WORKER_BIN at it)",
+                    candidate.display()
+                ),
+            ))
+        }
+    }
+
+    /// Spawn one worker process and run the handshake.
+    fn spawn_worker(&self) -> WireResult<Worker> {
+        let mut child = Command::new(Self::worker_binary()?)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut worker = Worker {
+            child,
+            stdin,
+            stdout,
+            known: HashSet::new(),
+        };
+        self.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        self.send(&mut worker, &wire::encode_hello())?;
+        worker.stdin.flush()?;
+        let (payload, _) = self.receive(&mut worker)?;
+        match wire::decode_frame(&payload)? {
+            Frame::Hello { magic, version } if magic == wire::WIRE_MAGIC => {
+                if version != wire::WIRE_VERSION {
+                    return Err(WireError::VersionMismatch {
+                        ours: wire::WIRE_VERSION,
+                        theirs: version,
+                    });
+                }
+            }
+            Frame::Hello { magic, .. } => return Err(WireError::BadMagic(magic)),
+            Frame::Error { message } => return Err(WireError::Remote(message)),
+            _ => return Err(WireError::Corrupt("expected Hello from worker".into())),
+        }
+        Ok(worker)
+    }
+
+    fn send(&self, worker: &mut Worker, payload: &[u8]) -> WireResult<()> {
+        let n = wire::write_frame(&mut worker.stdin, payload)?;
+        self.wire_bytes_sent.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn receive(&self, worker: &mut Worker) -> WireResult<(Vec<u8>, u64)> {
+        let (payload, n) = wire::read_frame(&mut worker.stdout)?.ok_or(WireError::Truncated {
+            what: "worker response",
+        })?;
+        self.wire_bytes_received.fetch_add(n, Ordering::Relaxed);
+        Ok((payload, n))
+    }
+
+    /// Replace (or fill) a worker slot with a fresh process.  `respawn`
+    /// marks crash replacements for the counter.
+    fn fill_slot(&self, slot: &mut Option<Worker>, respawn: bool) -> WireResult<()> {
+        if respawn {
+            if let Some(old) = slot.as_mut() {
+                let _ = old.child.kill();
+                let _ = old.child.wait();
+            }
+            self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(self.spawn_worker()?);
+        Ok(())
+    }
+
+    /// Send (plan-if-needed +) task to the worker in `slot`, spawning it
+    /// first when empty.
+    fn send_task(
+        &self,
+        slot: &mut Option<Worker>,
+        entry_key: PlanKey,
+        plan_frame: &[u8],
+        task_frame: &[u8],
+    ) -> WireResult<()> {
+        if slot.is_none() {
+            self.fill_slot(slot, false)?;
+        }
+        let worker = slot.as_mut().expect("slot just filled");
+        if !worker.known.contains(&entry_key) {
+            self.send(worker, plan_frame)?;
+            worker.known.insert(entry_key);
+        }
+        self.send(worker, task_frame)?;
+        worker.stdin.flush()?;
+        self.tasks_dispatched.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read one task's response: bundle frames up to the terminating stats
+    /// frame.
+    #[allow(clippy::type_complexity)]
+    fn read_response(
+        &self,
+        slot: &mut Option<Worker>,
+    ) -> WireResult<(Vec<(usize, Option<TupleBundle>)>, wire::TaskStats)> {
+        let worker = slot.as_mut().ok_or(WireError::Truncated {
+            what: "worker response (no worker)",
+        })?;
+        let mut bundles = Vec::new();
+        loop {
+            let (payload, _) = self.receive(worker)?;
+            match wire::decode_frame(&payload)? {
+                Frame::Bundle { idx, bundle } => bundles.push((idx, bundle)),
+                Frame::TaskStats(stats) => {
+                    if stats.bundles != bundles.len() {
+                        return Err(WireError::Corrupt(format!(
+                            "worker announced {} bundles but sent {}",
+                            stats.bundles,
+                            bundles.len()
+                        )));
+                    }
+                    return Ok((bundles, stats));
+                }
+                Frame::Error { message } => return Err(WireError::Remote(message)),
+                _ => {
+                    return Err(WireError::Corrupt(
+                        "unexpected frame inside a task response".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Whether a wire failure warrants a respawn + re-dispatch (crashes and
+    /// protocol breakdowns do; a task-level `Error` frame does not — the
+    /// worker is healthy and the failure is deterministic).
+    fn is_crash(err: &WireError) -> bool {
+        !matches!(err, WireError::Remote(_))
+    }
+
+    /// The fallible dispatch conversation for one block: pipeline every
+    /// task to its worker (phase A), then collect responses in task order
+    /// (phase B).  The caller tears down all in-flight workers when this
+    /// errors, so no partially-read conversation can leak into the next
+    /// block.
+    #[allow(clippy::type_complexity)]
+    fn run_tasks(
+        &self,
+        state: &mut State,
+        key: PlanKey,
+        plan_frame: &[u8],
+        tasks: &[Vec<u8>],
+    ) -> WireResult<Vec<(Vec<(usize, Option<TupleBundle>)>, wire::TaskStats)>> {
+        // Phase A: pipeline every task out to its worker before reading any
+        // response, so the workers run concurrently.  A send failure is a
+        // crashed worker: respawn once and re-send.
+        for (i, task_frame) in tasks.iter().enumerate() {
+            let slot = &mut state.slots[i];
+            if let Err(e) = self.send_task(slot, key, plan_frame, task_frame) {
+                if !Self::is_crash(&e) {
+                    return Err(e);
+                }
+                self.fill_slot(slot, true)?;
+                self.send_task(slot, key, plan_frame, task_frame)?;
+            }
+        }
+
+        // Phase B: collect partials in task (= ascending key-range) order.
+        // A read failure is a crashed worker: respawn, re-dispatch that
+        // task, and read again — the position-addressable streams make the
+        // re-run bit-identical.  A worker that evicted the plan from its
+        // bounded memory answers with the unknown-plan error: it is
+        // healthy, so just re-send the plan and the task.
+        let mut partials = Vec::with_capacity(tasks.len());
+        for (i, task_frame) in tasks.iter().enumerate() {
+            let slot = &mut state.slots[i];
+            let response = match self.read_response(slot) {
+                Ok(r) => r,
+                Err(WireError::Remote(msg))
+                    if msg.starts_with(wire::UNKNOWN_PLAN_MESSAGE_PREFIX) =>
+                {
+                    if let Some(worker) = slot.as_mut() {
+                        worker.known.remove(&key);
+                    }
+                    self.send_task(slot, key, plan_frame, task_frame)?;
+                    self.read_response(slot)?
+                }
+                Err(e) if Self::is_crash(&e) => {
+                    self.fill_slot(slot, true)?;
+                    self.send_task(slot, key, plan_frame, task_frame)?;
+                    self.read_response(slot)?
+                }
+                Err(e) => return Err(e),
+            };
+            partials.push(response);
+        }
+        Ok(partials)
+    }
+}
+
+impl ExecBackend for ProcessBackend {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn prepare_dispatch(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        prefix: &DeterministicPrefix,
+    ) -> Result<()> {
+        let mut state = self.state.lock().expect("dispatch state");
+        if state
+            .plans
+            .iter()
+            .any(|e| Arc::ptr_eq(&e.skeleton, prefix.skeleton()))
+        {
+            return Ok(());
+        }
+        let key = PlanKey {
+            fingerprint: plan.fingerprint(),
+            epoch: catalog.epoch(),
+        };
+        let frame = match wire::encode_plan(key, plan, catalog) {
+            Ok(bytes) => Some(Arc::new(bytes)),
+            // Not expressible on the wire (third-party VG): remember the
+            // verdict so every block of this plan runs locally.
+            Err(WireError::Unserializable(_)) => None,
+            Err(e) => return Err(e.into()),
+        };
+        if state.plans.len() >= MAX_PREPARED_PLANS {
+            state.plans.remove(0);
+        }
+        state.plans.push(PlanEntry {
+            skeleton: Arc::clone(prefix.skeleton()),
+            key,
+            frame,
+        });
+        Ok(())
+    }
+
+    fn instantiate_block(
+        &self,
+        prefix: &DeterministicPrefix,
+        pool: &BlockBufferPool,
+        threads: usize,
+        base_pos: u64,
+        num_values: usize,
+    ) -> Result<BundleSet> {
+        let skeleton = prefix.skeleton();
+        let mut state = self.state.lock().expect("dispatch state");
+        let (key, plan_frame) = match state
+            .plans
+            .iter()
+            .find(|e| Arc::ptr_eq(&e.skeleton, skeleton))
+        {
+            Some(PlanEntry {
+                frame: Some(frame),
+                key,
+                ..
+            }) => (*key, Arc::clone(frame)),
+            // Unprimed prefix or unserializable plan: run locally,
+            // bit-identically (tasks_dispatched stays flat).
+            _ => {
+                drop(state);
+                return InProcessBackend::new()
+                    .instantiate_block(prefix, pool, threads, base_pos, num_values);
+            }
+        };
+
+        let ranges = plan_shards(skeleton, self.workers);
+        let tasks: Vec<Vec<u8>> = ranges
+            .iter()
+            .map(|&key_range| {
+                wire::encode_task(&TaskHeader {
+                    key,
+                    master_seed: prefix.master_seed(),
+                    key_range,
+                    base_pos,
+                    num_values,
+                })
+            })
+            .collect();
+
+        let partials = match self.run_tasks(&mut state, key, &plan_frame, &tasks) {
+            Ok(partials) => partials,
+            Err(e) => {
+                // Aborting mid-conversation (a task-level Error frame, a
+                // failed respawn, ...) can leave *other* workers' completed
+                // responses queued in their pipes; a later block would read
+                // those stale frames as its own partials.  Drop every
+                // worker that had a task in flight this block — they
+                // respawn cold on the next dispatch — so no stale frame
+                // can ever desync a future conversation.
+                for slot in state.slots[..tasks.len()].iter_mut() {
+                    if let Some(worker) = slot.as_mut() {
+                        let _ = worker.child.kill();
+                        let _ = worker.child.wait();
+                    }
+                    *slot = None;
+                }
+                return Err(e.into());
+            }
+        };
+        drop(state);
+
+        // Merge: identical slotting to ShardedBackend — partials arrive in
+        // ascending key-range order and every bundle lands at its skeleton
+        // index, restoring single-shard output order exactly.
+        let merge_start = Instant::now();
+        let mut slots: Vec<Option<TupleBundle>> = Vec::with_capacity(skeleton.num_bundles());
+        slots.resize_with(skeleton.num_bundles(), || None);
+        let mut foreign = 0usize;
+        let mut warm = 0usize;
+        for (bundles, stats) in partials {
+            foreign += stats.foreign_streams;
+            warm += usize::from(stats.warm_hit);
+            for (idx, bundle) in bundles {
+                if idx >= slots.len() {
+                    return Err(mcdbr_storage::Error::Invalid(format!(
+                        "worker returned bundle index {idx} outside the skeleton ({} bundles)",
+                        slots.len()
+                    )));
+                }
+                slots[idx] = bundle;
+            }
+        }
+        self.merge_ns
+            .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.cross_shard_regens
+            .fetch_add(foreign, Ordering::Relaxed);
+        self.worker_warm_hits.fetch_add(warm, Ordering::Relaxed);
+        Ok(BundleSet {
+            schema: skeleton.schema().clone(),
+            bundles: slots.into_iter().flatten().collect(),
+            registry: prefix.registry().clone(),
+            num_reps: num_values,
+        })
+    }
+
+    fn aggregate(
+        &self,
+        set: &BundleSet,
+        agg: &AggregateSpec,
+        group_by: &[String],
+        final_predicate: Option<&Expr>,
+        threads: usize,
+    ) -> Result<QueryResultSamples> {
+        // Local sharded partials; see the module docs for why aggregation
+        // never crosses the process boundary.
+        self.agg
+            .aggregate(set, agg, group_by, final_predicate, threads)
+    }
+
+    fn shard_stats(&self) -> ShardStats {
+        let agg = self.agg.shard_stats();
+        ShardStats {
+            shards_spawned: self.tasks_dispatched.load(Ordering::Relaxed) + agg.shards_spawned,
+            shard_merge_ns: self.merge_ns.load(Ordering::Relaxed) + agg.shard_merge_ns,
+            cross_shard_regens: self.cross_shard_regens.load(Ordering::Relaxed)
+                + agg.cross_shard_regens,
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            tasks_dispatched: self.tasks_dispatched.load(Ordering::Relaxed),
+            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            worker_warm_hits: self.worker_warm_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ProcessBackend {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().expect("dispatch state");
+        for slot in state.slots.iter_mut() {
+            if let Some(worker) = slot.as_mut() {
+                // Best-effort clean shutdown, then make sure the process is
+                // reaped either way.
+                let _ = wire::write_frame(&mut worker.stdin, &wire::encode_shutdown());
+                let _ = worker.stdin.flush();
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_exec::plan::scalar_random_table;
+    use mcdbr_exec::{ExecSession, SessionCache};
+    use mcdbr_storage::{Field, Schema, TableBuilder, Value};
+    use mcdbr_vg::NormalVg;
+
+    fn catalog() -> Catalog {
+        let mut means =
+            TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]));
+        for i in 0..8i64 {
+            means = means.row([Value::Int64(i), Value::Float64(2.0 + i as f64)]);
+        }
+        let regions = TableBuilder::new(Schema::new(vec![
+            Field::int64("rcid"),
+            Field::utf8("region"),
+        ]))
+        .row([Value::Int64(0), Value::str("EU")])
+        .row([Value::Int64(1), Value::str("US")])
+        .row([Value::Int64(2), Value::str("US")])
+        .row([Value::Int64(5), Value::str("APAC")])
+        .build()
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("means", means.build().unwrap()).unwrap();
+        catalog.register("regions", regions).unwrap();
+        catalog
+    }
+
+    /// Scan + random table + both filter kinds + join + computed projection.
+    fn complex_plan() -> PlanNode {
+        PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ))
+        .filter(Expr::col("cid").lt(Expr::lit(6i64)))
+        .join(PlanNode::scan("regions"), vec![("cid", "rcid")])
+        .filter(Expr::col("val").gt(Expr::lit(2.5)))
+        .project(vec![
+            ("cid", Expr::col("cid")),
+            ("loss", Expr::col("val")),
+            ("scaled", Expr::col("val").mul(Expr::lit(2.0))),
+            ("region", Expr::col("region")),
+        ])
+    }
+
+    fn assert_sets_identical(a: &BundleSet, b: &BundleSet) {
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.num_reps, b.num_reps);
+        assert_eq!(a.bundles, b.bundles);
+    }
+
+    #[test]
+    fn process_blocks_are_bit_identical_to_in_process_for_every_worker_count() {
+        let catalog = catalog();
+        let plan = complex_plan();
+        let mut reference = ExecSession::prepare(&plan, &catalog, 42)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()));
+        let expected: Vec<BundleSet> = [(0u64, 24usize), (24, 24), (9000, 8)]
+            .iter()
+            .map(|&(base, n)| reference.instantiate_block(&catalog, base, n).unwrap())
+            .collect();
+        for workers in [1usize, 2, 3] {
+            let backend = Arc::new(ProcessBackend::new(workers));
+            assert_eq!(backend.name(), "process");
+            assert_eq!(backend.workers(), workers);
+            let mut session = ExecSession::prepare(&plan, &catalog, 42)
+                .unwrap()
+                .with_backend(backend.clone());
+            for (&(base, n), want) in [(0u64, 24usize), (24, 24), (9000, 8)].iter().zip(&expected) {
+                let got = session.instantiate_block(&catalog, base, n).unwrap();
+                assert_sets_identical(want, &got);
+            }
+            let stats = backend.shard_stats();
+            assert!(
+                stats.tasks_dispatched > 0,
+                "{workers} workers: blocks must actually cross the wire"
+            );
+            assert!(stats.workers_spawned >= 1 && stats.workers_spawned <= workers);
+            assert!(stats.wire_bytes_sent > 0 && stats.wire_bytes_received > 0);
+            assert_eq!(stats.worker_respawns, 0);
+            assert!(
+                stats.worker_warm_hits > 0,
+                "later blocks must hit the warm-worker phase-1 skip"
+            );
+        }
+    }
+
+    #[test]
+    fn killed_workers_are_respawned_and_their_task_re_dispatched() {
+        let catalog = catalog();
+        let plan = complex_plan();
+        let backend = Arc::new(ProcessBackend::new(2));
+        let mut session = ExecSession::prepare(&plan, &catalog, 7)
+            .unwrap()
+            .with_backend(backend.clone());
+        let mut reference = ExecSession::prepare(&plan, &catalog, 7)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()));
+        let first = session.instantiate_block(&catalog, 0, 16).unwrap();
+        assert_sets_identical(
+            &reference.instantiate_block(&catalog, 0, 16).unwrap(),
+            &first,
+        );
+
+        // Kill both workers: the next block hits broken pipes, respawns,
+        // re-sends the plan (respawned workers are cold), re-dispatches, and
+        // still merges bit-identically.
+        backend.kill_worker(0);
+        backend.kill_worker(1);
+        let second = session.instantiate_block(&catalog, 16, 16).unwrap();
+        assert_sets_identical(
+            &reference.instantiate_block(&catalog, 16, 16).unwrap(),
+            &second,
+        );
+        let stats = backend.shard_stats();
+        assert!(
+            stats.worker_respawns >= 1,
+            "killed workers must be respawned, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn evicted_worker_plans_are_resent_transparently() {
+        // Workers bound their plan memory (MAX_KNOWN_PLANS); cycling more
+        // distinct plans than that through one worker evicts the first one
+        // from the *worker* while the coordinator still believes the worker
+        // knows it.  The worker answers with the unknown-plan error, the
+        // coordinator re-sends the plan + task, and the block comes back
+        // bit-identical — without a respawn (the worker is healthy).
+        let catalog = catalog();
+        let backend = Arc::new(ProcessBackend::new(1));
+        let plan_i = |i: i64| {
+            complex_plan().project(vec![("loss", Expr::col("loss")), ("tag", Expr::lit(i))])
+        };
+        let mut first = ExecSession::prepare(&plan_i(0), &catalog, 5)
+            .unwrap()
+            .with_backend(backend.clone());
+        let _ = first.instantiate_block(&catalog, 0, 4).unwrap();
+        // 64 more distinct plans push plan 0 out of the worker's store.
+        for i in 1..=64i64 {
+            let mut session = ExecSession::prepare(&plan_i(i), &catalog, 5)
+                .unwrap()
+                .with_backend(backend.clone());
+            let _ = session.instantiate_block(&catalog, 0, 2).unwrap();
+        }
+        let got = first.instantiate_block(&catalog, 4, 8).unwrap();
+        let want = ExecSession::prepare(&plan_i(0), &catalog, 5)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()))
+            .instantiate_block(&catalog, 4, 8)
+            .unwrap();
+        assert_sets_identical(&want, &got);
+        let stats = backend.shard_stats();
+        assert_eq!(
+            stats.worker_respawns, 0,
+            "plan eviction is recovered by re-sending, never by respawning: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn unprimed_prefixes_and_unserializable_plans_fall_back_locally() {
+        let catalog = catalog();
+        let plan = complex_plan();
+        let backend = ProcessBackend::new(2);
+        let pool = BlockBufferPool::new();
+        let session = ExecSession::prepare(&plan, &catalog, 3).unwrap();
+        let prefix = session.prefix().unwrap();
+        // Direct backend call without prepare_dispatch: local, identical.
+        let direct = backend.instantiate_block(prefix, &pool, 2, 0, 16).unwrap();
+        let reference = InProcessBackend::new()
+            .instantiate_block(prefix, &pool, 1, 0, 16)
+            .unwrap();
+        assert_sets_identical(&reference, &direct);
+        assert_eq!(backend.shard_stats().tasks_dispatched, 0);
+
+        // A third-party VG function is not wire-serializable: prime +
+        // instantiate still works, locally.
+        #[derive(Debug)]
+        struct LocalVg;
+        impl mcdbr_vg::VgFunction for LocalVg {
+            fn name(&self) -> &str {
+                "LocalOnly"
+            }
+            fn cache_token(&self) -> String {
+                self.name().into()
+            }
+            fn output_fields(&self) -> Vec<Field> {
+                vec![Field::float64("value")]
+            }
+            fn generate(
+                &self,
+                _params: &[Value],
+                gen: &mut mcdbr_prng::Pcg64,
+            ) -> mcdbr_storage::Result<Vec<mcdbr_storage::Tuple>> {
+                Ok(vec![mcdbr_storage::Tuple::from_iter_values([
+                    gen.next_f64()
+                ])])
+            }
+        }
+        let local_plan = PlanNode::random_table(scalar_random_table(
+            "Local",
+            "means",
+            Arc::new(LocalVg),
+            vec![],
+            &["cid"],
+            "val",
+            9,
+        ));
+        let cache = SessionCache::new();
+        let mut session = cache
+            .session(&local_plan, &catalog, 5)
+            .unwrap()
+            .with_backend(Arc::new(ProcessBackend::new(2)));
+        let mut reference = cache
+            .session(&local_plan, &catalog, 5)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()));
+        let a = session.instantiate_block(&catalog, 0, 12).unwrap();
+        let b = reference.instantiate_block(&catalog, 0, 12).unwrap();
+        assert_sets_identical(&b, &a);
+        assert_eq!(session.backend().shard_stats().tasks_dispatched, 0);
+    }
+}

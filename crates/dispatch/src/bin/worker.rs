@@ -1,0 +1,19 @@
+//! `mcdbr-worker`: the worker-process binary behind
+//! [`mcdbr_dispatch::ProcessBackend`].
+//!
+//! Speaks the dispatch wire protocol over stdin/stdout — handshake, then
+//! `Plan` / `Task` frames in, columnar partial-result frames out — and
+//! exits cleanly on a `Shutdown` frame or when the coordinator closes the
+//! pipe.  Protocol failures exit non-zero with the reason on stderr; the
+//! coordinator treats that as a crash and respawns.
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    if let Err(e) = mcdbr_dispatch::worker::run_worker(&mut input, &mut output) {
+        eprintln!("mcdbr-worker: {e}");
+        std::process::exit(1);
+    }
+}

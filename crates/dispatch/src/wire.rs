@@ -1,0 +1,1024 @@
+//! The versioned, dependency-free binary wire format between the shard
+//! dispatcher and its worker processes.
+//!
+//! Everything on the wire is a **frame**: a little-endian `u32` length
+//! prefix followed by that many payload bytes, the first of which is the
+//! frame tag.  The conversation is strictly request/response over a
+//! worker's stdin/stdout:
+//!
+//! ```text
+//! coordinator → worker        worker → coordinator
+//! ───────────────────         ────────────────────
+//! Hello{magic, version}   →
+//!                         ←   Hello{magic, version}      (version negotiation)
+//! Plan{key, plan, tables} →                              (cold worker only)
+//! Task{key, seed, range,  →
+//!      base_pos, n}
+//!                         ←   Bundle{idx, bundle}  × N   (length-prefixed partials)
+//!                         ←   TaskStats{N, foreign, warm}
+//! Shutdown                →                              (clean exit)
+//! ```
+//!
+//! The *plan* travels as a serialized [`PlanNode`] plus a catalog snapshot
+//! (only the tables the plan actually reads), so a cold worker can rebuild
+//! the seed-independent `PlanSkeleton` from scratch; the
+//! `(plan fingerprint, catalog epoch)` [`PlanKey`] travels first on every
+//! `Task`, so a *warm* worker — one that already built this plan's skeleton
+//! for an earlier task — skips phase 1 through its own
+//! [`mcdbr_exec::SessionCache`] and reports the hit in
+//! [`TaskStats::warm_hit`].  Partial results come back as one
+//! length-prefixed frame per owned bundle, each attribute encoded through
+//! the columnar [`Column`] codec (typed little-endian vectors, dictionary
+//! arena for strings, packed null bitmaps) — floats travel as raw IEEE
+//! bits, so the decoded bundle is bit-identical to the worker's.
+//!
+//! Decoding is total: truncated or corrupted frames return a typed
+//! [`WireError`], never a panic, and a version or magic mismatch is
+//! rejected at the handshake before any plan or task bytes flow.
+//!
+//! VG functions serialize by construction-time configuration (the built-in
+//! set is enumerable via [`mcdbr_vg::VgFunction::as_any`]); a plan using a
+//! third-party VG function is not wire-serializable — [`encode_plan`]
+//! reports [`WireError::Unserializable`] and the dispatcher executes such
+//! plans locally instead.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use mcdbr_exec::plan::{OutputColumn, RandomTableSpec};
+use mcdbr_exec::{BinaryOp, BundleValue, Expr, JoinType, PlanNode, TupleBundle};
+use mcdbr_prng::StreamKeyRange;
+use mcdbr_storage::{Column, DataType, Error, Field, Schema, Table, Tuple, Value};
+use mcdbr_vg::{
+    BayesianDemandVg, DiscreteVg, GbmTerminalVg, MultiNormalVg, NormalVg, PoissonVg, UniformVg,
+    VgFunction,
+};
+
+/// The protocol magic (`"MCDW"` little-endian) every handshake leads with.
+pub const WIRE_MAGIC: u32 = 0x5744_434D;
+
+/// The protocol version this build speaks.  Bumped on any incompatible
+/// frame change; the handshake rejects peers speaking another version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's payload, guarding against a corrupt
+/// length prefix allocating unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// The prefix of the `Error`-frame message a worker answers a task with
+/// when it does not (or no longer) holds the task's plan.  Part of the
+/// protocol: the coordinator recognizes it as "healthy worker, re-send
+/// the plan" — not a crash, not a fatal task error.
+pub const UNKNOWN_PLAN_MESSAGE_PREFIX: &str = "unknown plan key";
+
+/// Typed wire-protocol failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The input ended inside `what`.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// Structurally invalid bytes (unknown tag, bad flag, invalid UTF-8,
+    /// inconsistent lengths).
+    Corrupt(String),
+    /// The peer's handshake did not lead with [`WIRE_MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version this build speaks.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// The value cannot be expressed on the wire (e.g. a third-party VG
+    /// function); the dispatcher falls back to local execution.
+    Unserializable(String),
+    /// An I/O failure on the underlying pipe.
+    Io(std::io::ErrorKind, String),
+    /// The worker answered with an `Error` frame carrying this message.
+    Remote(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated wire data inside {what}"),
+            WireError::Corrupt(msg) => write!(f, "corrupt wire data: {msg}"),
+            WireError::BadMagic(got) => {
+                write!(
+                    f,
+                    "bad handshake magic {got:#010x} (want {WIRE_MAGIC:#010x})"
+                )
+            }
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: we speak v{ours}, peer speaks v{theirs}"
+                )
+            }
+            WireError::Unserializable(what) => write!(f, "not wire-serializable: {what}"),
+            WireError::Io(kind, msg) => write!(f, "wire I/O failure ({kind:?}): {msg}"),
+            WireError::Remote(msg) => write!(f, "worker error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Invalid(format!("dispatch wire: {e}"))
+    }
+}
+
+/// Shorthand result alias for wire operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+// ===== Primitive cursor =====
+
+/// A bounds-checked decode cursor over a frame payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> WireResult<&'a [u8]> {
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated { what })?;
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &'static str) -> WireResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn str(&mut self, what: &'static str) -> WireResult<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Corrupt(format!("invalid UTF-8 inside {what}")))
+    }
+
+    /// Decode a [`Value`] via the storage codec, translating its error.
+    fn value(&mut self, what: &'static str) -> WireResult<Value> {
+        Value::decode_wire(self.buf, &mut self.pos)
+            .map_err(|e| WireError::Corrupt(format!("{what}: {e}")))
+    }
+
+    /// Decode a boxed value vector via the columnar [`Column`] codec.
+    fn values(&mut self, what: &'static str) -> WireResult<Vec<Value>> {
+        let column = Column::decode_wire(self.buf, &mut self.pos)
+            .map_err(|e| WireError::Corrupt(format!("{what}: {e}")))?;
+        Ok(column.values_out())
+    }
+
+    fn finish(self, what: &'static str) -> WireResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a boxed value vector through the columnar [`Column`] codec:
+/// typed vectors for homogeneous data, dictionary + arena for strings,
+/// null bitmap for NULLs, tagged boxed values only for mixed cells.
+fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+    let mut column = Column::default();
+    for v in values {
+        column.push_value(v);
+    }
+    column.encode_wire(out);
+}
+
+// ===== Frame layer =====
+
+/// Write one length-prefixed frame, returning the total bytes written
+/// (prefix included).  The caller flushes the stream when the message
+/// boundary requires it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> WireResult<u64> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(4 + payload.len() as u64)
+}
+
+/// Read one length-prefixed frame payload, plus the total bytes consumed.
+/// EOF *before the first length byte* returns `Ok(None)` — the peer closed
+/// the stream cleanly; EOF anywhere later is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> WireResult<Option<(Vec<u8>, u64)>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    what: "frame length",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => WireError::Truncated {
+            what: "frame payload",
+        },
+        _ => e.into(),
+    })?;
+    Ok(Some((payload, 4 + len as u64)))
+}
+
+/// The `(plan fingerprint, catalog epoch)` cache key a task is addressed
+/// by — the same key the coordinator's `SessionCache` uses, sent first so
+/// warm workers can skip phase 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`PlanNode::fingerprint`] of the plan.
+    pub fingerprint: u64,
+    /// [`mcdbr_storage::Catalog::epoch`] of the coordinator's catalog at
+    /// snapshot time.  Opaque to the worker (its rebuilt catalog mints its
+    /// own local epoch); the pair only has to *identify* the snapshot.
+    pub epoch: u64,
+}
+
+/// The header of one dispatched shard task: everything a worker that
+/// already knows the plan needs to execute its slice of a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskHeader {
+    /// Which prepared plan to execute against.
+    pub key: PlanKey,
+    /// The master seed the worker binds the skeleton to.
+    pub master_seed: u64,
+    /// The slice of the stream-key space this task owns.
+    pub key_range: StreamKeyRange,
+    /// First stream position of the block window.
+    pub base_pos: u64,
+    /// Number of stream positions to materialize.
+    pub num_values: usize,
+}
+
+/// The counter frame terminating a task response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Number of `Bundle` frames that preceded this frame (validated
+    /// against what the coordinator actually received).
+    pub bundles: usize,
+    /// Streams the worker regenerated outside its key range (cross-shard
+    /// joins).
+    pub foreign_streams: usize,
+    /// Whether the worker's own session cache already held the plan's
+    /// skeleton — the warm-worker phase-1 skip.
+    pub warm_hit: bool,
+}
+
+/// A decoded protocol frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// Handshake / version negotiation (both directions).
+    Hello {
+        /// Must equal [`WIRE_MAGIC`].
+        magic: u32,
+        /// The sender's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// A plan + catalog snapshot keyed for later tasks (coordinator →
+    /// worker, once per cold worker per plan).
+    Plan {
+        /// The key later `Task` frames will reference.
+        key: PlanKey,
+        /// The serialized plan, rebuilt by the worker.
+        plan: PlanNode,
+        /// The tables the plan reads: `(name, table)` pairs.
+        tables: Vec<(String, Table)>,
+    },
+    /// One shard task (coordinator → worker).
+    Task(TaskHeader),
+    /// One owned bundle of a task's partial result (worker → coordinator);
+    /// `bundle` is `None` for bundles whose presence mask is false
+    /// everywhere.
+    Bundle {
+        /// The bundle's skeleton slot index.
+        idx: usize,
+        /// The materialized bundle, if present anywhere.
+        bundle: Option<TupleBundle>,
+    },
+    /// Terminates a task response (worker → coordinator).
+    TaskStats(TaskStats),
+    /// A recoverable task-level failure (worker → coordinator).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Clean-exit request (coordinator → worker).
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_PLAN: u8 = 2;
+const TAG_TASK: u8 = 3;
+const TAG_BUNDLE: u8 = 4;
+const TAG_TASK_STATS: u8 = 5;
+const TAG_ERROR: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+/// Encode the handshake frame.
+pub fn encode_hello() -> Vec<u8> {
+    let mut out = vec![TAG_HELLO];
+    out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out
+}
+
+/// Encode a handshake frame announcing an arbitrary magic/version (test
+/// hook for negotiation failures; production peers send [`encode_hello`]).
+pub fn encode_hello_with(magic: u32, version: u16) -> Vec<u8> {
+    let mut out = vec![TAG_HELLO];
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
+    out
+}
+
+/// Encode a `Plan` frame: the key, the serialized plan, and a snapshot of
+/// every table the plan reads from `catalog`.  Fails with
+/// [`WireError::Unserializable`] when the plan uses a VG function outside
+/// the built-in set, and with [`WireError::Corrupt`] when the plan
+/// references a table the catalog does not hold.
+pub fn encode_plan(
+    key: PlanKey,
+    plan: &PlanNode,
+    catalog: &mcdbr_storage::Catalog,
+) -> WireResult<Vec<u8>> {
+    let mut out = vec![TAG_PLAN];
+    out.extend_from_slice(&key.fingerprint.to_le_bytes());
+    out.extend_from_slice(&key.epoch.to_le_bytes());
+    put_plan(&mut out, plan)?;
+    let mut names = std::collections::BTreeSet::new();
+    collect_tables(plan, &mut names);
+    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for name in names {
+        let table = catalog
+            .get(&name)
+            .map_err(|e| WireError::Corrupt(format!("catalog snapshot: {e}")))?;
+        put_str(&mut out, &name);
+        put_table(&mut out, table);
+    }
+    Ok(out)
+}
+
+/// Encode a `Task` frame.
+pub fn encode_task(task: &TaskHeader) -> Vec<u8> {
+    let mut out = vec![TAG_TASK];
+    out.extend_from_slice(&task.key.fingerprint.to_le_bytes());
+    out.extend_from_slice(&task.key.epoch.to_le_bytes());
+    out.extend_from_slice(&task.master_seed.to_le_bytes());
+    task.key_range.encode_wire(&mut out);
+    out.extend_from_slice(&task.base_pos.to_le_bytes());
+    out.extend_from_slice(&(task.num_values as u64).to_le_bytes());
+    out
+}
+
+/// Encode one partial-result `Bundle` frame.
+pub fn encode_bundle(idx: usize, bundle: Option<&TupleBundle>) -> Vec<u8> {
+    let mut out = vec![TAG_BUNDLE];
+    out.extend_from_slice(&(idx as u64).to_le_bytes());
+    match bundle {
+        None => out.push(0),
+        Some(bundle) => {
+            out.push(1);
+            out.extend_from_slice(&(bundle.values.len() as u32).to_le_bytes());
+            for value in &bundle.values {
+                match value {
+                    BundleValue::Const(v) => {
+                        out.push(1);
+                        v.encode_wire(&mut out);
+                    }
+                    BundleValue::Random {
+                        seed,
+                        vg_row,
+                        vg_col,
+                        base_pos,
+                        values,
+                    } => {
+                        out.push(2);
+                        out.extend_from_slice(&seed.to_le_bytes());
+                        out.extend_from_slice(&(*vg_row as u32).to_le_bytes());
+                        out.extend_from_slice(&(*vg_col as u32).to_le_bytes());
+                        out.extend_from_slice(&base_pos.to_le_bytes());
+                        put_values(&mut out, values);
+                    }
+                    BundleValue::Computed(values) => {
+                        out.push(3);
+                        put_values(&mut out, values);
+                    }
+                }
+            }
+            match &bundle.is_pres {
+                None => out.push(0),
+                Some(mask) => {
+                    out.push(1);
+                    out.extend_from_slice(&(mask.len() as u32).to_le_bytes());
+                    out.extend(mask.iter().map(|&p| u8::from(p)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Encode the `TaskStats` frame terminating a task response.
+pub fn encode_task_stats(stats: TaskStats) -> Vec<u8> {
+    let mut out = vec![TAG_TASK_STATS];
+    out.extend_from_slice(&(stats.bundles as u64).to_le_bytes());
+    out.extend_from_slice(&(stats.foreign_streams as u64).to_le_bytes());
+    out.push(u8::from(stats.warm_hit));
+    out
+}
+
+/// Encode an `Error` frame.
+pub fn encode_error(message: &str) -> Vec<u8> {
+    let mut out = vec![TAG_ERROR];
+    put_str(&mut out, message);
+    out
+}
+
+/// Encode the `Shutdown` frame.
+pub fn encode_shutdown() -> Vec<u8> {
+    vec![TAG_SHUTDOWN]
+}
+
+/// Decode one frame payload.
+pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
+    let mut d = Dec::new(payload);
+    let tag = d.u8("frame tag")?;
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello {
+            magic: d.u32("hello magic")?,
+            version: d.u16("hello version")?,
+        },
+        TAG_PLAN => {
+            let key = PlanKey {
+                fingerprint: d.u64("plan key")?,
+                epoch: d.u64("plan key")?,
+            };
+            let plan = get_plan(&mut d)?;
+            let num_tables = d.u32("table count")? as usize;
+            let mut tables = Vec::with_capacity(num_tables.min(1024));
+            for _ in 0..num_tables {
+                let name = d.str("table name")?;
+                let table = get_table(&mut d)?;
+                tables.push((name, table));
+            }
+            Frame::Plan { key, plan, tables }
+        }
+        TAG_TASK => {
+            let key = PlanKey {
+                fingerprint: d.u64("task key")?,
+                epoch: d.u64("task key")?,
+            };
+            let master_seed = d.u64("task master seed")?;
+            let key_range =
+                StreamKeyRange::decode_wire(d.buf, &mut d.pos).ok_or(WireError::Truncated {
+                    what: "task key range",
+                })?;
+            Frame::Task(TaskHeader {
+                key,
+                master_seed,
+                key_range,
+                base_pos: d.u64("task base position")?,
+                num_values: d.u64("task value count")? as usize,
+            })
+        }
+        TAG_BUNDLE => {
+            let idx = d.u64("bundle index")? as usize;
+            let bundle = match d.u8("bundle presence flag")? {
+                0 => None,
+                1 => {
+                    let arity = d.u32("bundle arity")? as usize;
+                    let mut values = Vec::with_capacity(arity.min(4096));
+                    for _ in 0..arity {
+                        values.push(match d.u8("bundle value tag")? {
+                            1 => BundleValue::Const(d.value("bundle constant")?),
+                            2 => BundleValue::Random {
+                                seed: d.u64("random seed")?,
+                                vg_row: d.u32("random vg_row")? as usize,
+                                vg_col: d.u32("random vg_col")? as usize,
+                                base_pos: d.u64("random base_pos")?,
+                                values: d.values("random values")?,
+                            },
+                            3 => BundleValue::Computed(d.values("computed values")?),
+                            other => {
+                                return Err(WireError::Corrupt(format!(
+                                    "unknown bundle value tag {other}"
+                                )))
+                            }
+                        });
+                    }
+                    let is_pres = match d.u8("presence flag")? {
+                        0 => None,
+                        1 => {
+                            let len = d.u32("presence length")? as usize;
+                            Some(
+                                d.take(len, "presence mask")?
+                                    .iter()
+                                    .map(|&b| b != 0)
+                                    .collect(),
+                            )
+                        }
+                        other => {
+                            return Err(WireError::Corrupt(format!(
+                                "unknown presence flag {other}"
+                            )))
+                        }
+                    };
+                    Some(TupleBundle { values, is_pres })
+                }
+                other => {
+                    return Err(WireError::Corrupt(format!(
+                        "unknown bundle presence flag {other}"
+                    )))
+                }
+            };
+            Frame::Bundle { idx, bundle }
+        }
+        TAG_TASK_STATS => Frame::TaskStats(TaskStats {
+            bundles: d.u64("stats bundle count")? as usize,
+            foreign_streams: d.u64("stats foreign streams")? as usize,
+            warm_hit: d.u8("stats warm flag")? != 0,
+        }),
+        TAG_ERROR => Frame::Error {
+            message: d.str("error message")?,
+        },
+        TAG_SHUTDOWN => Frame::Shutdown,
+        other => return Err(WireError::Corrupt(format!("unknown frame tag {other}"))),
+    };
+    d.finish("frame")?;
+    Ok(frame)
+}
+
+// ===== Plan / expression / VG codecs =====
+
+fn op_to_u8(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Add => 1,
+        BinaryOp::Sub => 2,
+        BinaryOp::Mul => 3,
+        BinaryOp::Div => 4,
+        BinaryOp::Eq => 5,
+        BinaryOp::NotEq => 6,
+        BinaryOp::Lt => 7,
+        BinaryOp::LtEq => 8,
+        BinaryOp::Gt => 9,
+        BinaryOp::GtEq => 10,
+        BinaryOp::And => 11,
+        BinaryOp::Or => 12,
+    }
+}
+
+fn op_from_u8(raw: u8) -> WireResult<BinaryOp> {
+    Ok(match raw {
+        1 => BinaryOp::Add,
+        2 => BinaryOp::Sub,
+        3 => BinaryOp::Mul,
+        4 => BinaryOp::Div,
+        5 => BinaryOp::Eq,
+        6 => BinaryOp::NotEq,
+        7 => BinaryOp::Lt,
+        8 => BinaryOp::LtEq,
+        9 => BinaryOp::Gt,
+        10 => BinaryOp::GtEq,
+        11 => BinaryOp::And,
+        12 => BinaryOp::Or,
+        other => return Err(WireError::Corrupt(format!("unknown binary op {other}"))),
+    })
+}
+
+fn put_expr(out: &mut Vec<u8>, expr: &Expr) {
+    match expr {
+        Expr::Column(name) => {
+            out.push(1);
+            put_str(out, name);
+        }
+        Expr::Literal(v) => {
+            out.push(2);
+            v.encode_wire(out);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            out.push(3);
+            out.push(op_to_u8(*op));
+            put_expr(out, lhs);
+            put_expr(out, rhs);
+        }
+        Expr::Not(inner) => {
+            out.push(4);
+            put_expr(out, inner);
+        }
+    }
+}
+
+fn get_expr(d: &mut Dec<'_>) -> WireResult<Expr> {
+    Ok(match d.u8("expression tag")? {
+        1 => Expr::Column(d.str("column name")?),
+        2 => Expr::Literal(d.value("literal")?),
+        3 => {
+            let op = op_from_u8(d.u8("binary op")?)?;
+            let lhs = get_expr(d)?;
+            let rhs = get_expr(d)?;
+            Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }
+        }
+        4 => Expr::Not(Box::new(get_expr(d)?)),
+        other => {
+            return Err(WireError::Corrupt(format!(
+                "unknown expression tag {other}"
+            )))
+        }
+    })
+}
+
+/// Serialize a VG function by its construction-time configuration.  Only
+/// the built-in set is enumerable; anything else is
+/// [`WireError::Unserializable`].
+fn put_vg(out: &mut Vec<u8>, vg: &dyn VgFunction) -> WireResult<()> {
+    let any = vg
+        .as_any()
+        .ok_or_else(|| WireError::Unserializable(format!("VG function {}", vg.name())))?;
+    if any.downcast_ref::<NormalVg>().is_some() {
+        out.push(1);
+    } else if any.downcast_ref::<UniformVg>().is_some() {
+        out.push(2);
+    } else if any.downcast_ref::<PoissonVg>().is_some() {
+        out.push(3);
+    } else if let Some(discrete) = any.downcast_ref::<DiscreteVg>() {
+        out.push(4);
+        out.extend_from_slice(&(discrete.categories().len() as u32).to_le_bytes());
+        for category in discrete.categories() {
+            category.encode_wire(out);
+        }
+    } else if let Some(multi) = any.downcast_ref::<MultiNormalVg>() {
+        out.push(5);
+        out.extend_from_slice(&(multi.dim() as u64).to_le_bytes());
+        out.extend_from_slice(&multi.rho().to_bits().to_le_bytes());
+    } else if any.downcast_ref::<BayesianDemandVg>().is_some() {
+        out.push(6);
+    } else if let Some(gbm) = any.downcast_ref::<GbmTerminalVg>() {
+        out.push(7);
+        out.extend_from_slice(&(gbm.steps() as u64).to_le_bytes());
+    } else {
+        return Err(WireError::Unserializable(format!(
+            "VG function {}",
+            vg.name()
+        )));
+    }
+    Ok(())
+}
+
+fn get_vg(d: &mut Dec<'_>) -> WireResult<Arc<dyn VgFunction>> {
+    Ok(match d.u8("VG tag")? {
+        1 => Arc::new(NormalVg),
+        2 => Arc::new(UniformVg),
+        3 => Arc::new(PoissonVg),
+        4 => {
+            let len = d.u32("Discrete category count")? as usize;
+            let mut categories = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                categories.push(d.value("Discrete category")?);
+            }
+            Arc::new(DiscreteVg::new(categories))
+        }
+        5 => {
+            let dim = d.u64("MultiNormal dim")? as usize;
+            let rho = d.f64("MultiNormal rho")?;
+            if dim < 1 || !(0.0..=1.0).contains(&rho) {
+                return Err(WireError::Corrupt(format!(
+                    "MultiNormal configuration out of range (dim={dim}, rho={rho})"
+                )));
+            }
+            Arc::new(MultiNormalVg::new(dim, rho))
+        }
+        6 => Arc::new(BayesianDemandVg),
+        7 => {
+            let steps = d.u64("GbmTerminal steps")? as usize;
+            if steps < 1 {
+                return Err(WireError::Corrupt("GbmTerminal needs >= 1 step".into()));
+            }
+            Arc::new(GbmTerminalVg::new(steps))
+        }
+        other => return Err(WireError::Corrupt(format!("unknown VG tag {other}"))),
+    })
+}
+
+fn put_plan(out: &mut Vec<u8>, plan: &PlanNode) -> WireResult<()> {
+    match plan {
+        PlanNode::TableScan { table } => {
+            out.push(1);
+            put_str(out, table);
+        }
+        PlanNode::RandomTable(spec) => {
+            out.push(2);
+            put_str(out, &spec.name);
+            put_str(out, &spec.param_table);
+            put_vg(out, spec.vg.as_ref())?;
+            out.extend_from_slice(&(spec.vg_params.len() as u32).to_le_bytes());
+            for expr in &spec.vg_params {
+                put_expr(out, expr);
+            }
+            out.extend_from_slice(&(spec.columns.len() as u32).to_le_bytes());
+            for column in &spec.columns {
+                match column {
+                    OutputColumn::Param { source, as_name } => {
+                        out.push(1);
+                        put_str(out, source);
+                        put_str(out, as_name);
+                    }
+                    OutputColumn::Vg { vg_col, as_name } => {
+                        out.push(2);
+                        out.extend_from_slice(&(*vg_col as u32).to_le_bytes());
+                        put_str(out, as_name);
+                    }
+                }
+            }
+            out.extend_from_slice(&spec.table_tag.to_le_bytes());
+        }
+        PlanNode::Filter { input, predicate } => {
+            out.push(3);
+            put_expr(out, predicate);
+            put_plan(out, input)?;
+        }
+        PlanNode::Project { input, exprs } => {
+            out.push(4);
+            out.extend_from_slice(&(exprs.len() as u32).to_le_bytes());
+            for (name, expr) in exprs {
+                put_str(out, name);
+                put_expr(out, expr);
+            }
+            put_plan(out, input)?;
+        }
+        PlanNode::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            out.push(5);
+            out.push(match join_type {
+                JoinType::Inner => 1,
+            });
+            out.extend_from_slice(&(on.len() as u32).to_le_bytes());
+            for (l, r) in on {
+                put_str(out, l);
+                put_str(out, r);
+            }
+            put_plan(out, left)?;
+            put_plan(out, right)?;
+        }
+        PlanNode::Split { input, column } => {
+            out.push(6);
+            put_str(out, column);
+            put_plan(out, input)?;
+        }
+    }
+    Ok(())
+}
+
+fn get_plan(d: &mut Dec<'_>) -> WireResult<PlanNode> {
+    Ok(match d.u8("plan tag")? {
+        1 => PlanNode::TableScan {
+            table: d.str("scan table")?,
+        },
+        2 => {
+            let name = d.str("random-table name")?;
+            let param_table = d.str("parameter table")?;
+            let vg = get_vg(d)?;
+            let num_params = d.u32("VG parameter count")? as usize;
+            let mut vg_params = Vec::with_capacity(num_params.min(4096));
+            for _ in 0..num_params {
+                vg_params.push(get_expr(d)?);
+            }
+            let num_columns = d.u32("output column count")? as usize;
+            let mut columns = Vec::with_capacity(num_columns.min(4096));
+            for _ in 0..num_columns {
+                columns.push(match d.u8("output column tag")? {
+                    1 => OutputColumn::Param {
+                        source: d.str("param source")?,
+                        as_name: d.str("param alias")?,
+                    },
+                    2 => OutputColumn::Vg {
+                        vg_col: d.u32("vg column index")? as usize,
+                        as_name: d.str("vg alias")?,
+                    },
+                    other => {
+                        return Err(WireError::Corrupt(format!(
+                            "unknown output column tag {other}"
+                        )))
+                    }
+                });
+            }
+            PlanNode::RandomTable(RandomTableSpec {
+                name,
+                param_table,
+                vg,
+                vg_params,
+                columns,
+                table_tag: d.u64("table tag")?,
+            })
+        }
+        3 => {
+            let predicate = get_expr(d)?;
+            let input = get_plan(d)?;
+            PlanNode::Filter {
+                input: Box::new(input),
+                predicate,
+            }
+        }
+        4 => {
+            let num_exprs = d.u32("projection count")? as usize;
+            let mut exprs = Vec::with_capacity(num_exprs.min(4096));
+            for _ in 0..num_exprs {
+                let name = d.str("projection name")?;
+                exprs.push((name, get_expr(d)?));
+            }
+            PlanNode::Project {
+                input: Box::new(get_plan(d)?),
+                exprs,
+            }
+        }
+        5 => {
+            let join_type = match d.u8("join type")? {
+                1 => JoinType::Inner,
+                other => return Err(WireError::Corrupt(format!("unknown join type {other}"))),
+            };
+            let num_on = d.u32("join key count")? as usize;
+            let mut on = Vec::with_capacity(num_on.min(4096));
+            for _ in 0..num_on {
+                let l = d.str("left join key")?;
+                let r = d.str("right join key")?;
+                on.push((l, r));
+            }
+            let left = get_plan(d)?;
+            let right = get_plan(d)?;
+            PlanNode::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+                join_type,
+            }
+        }
+        6 => {
+            let column = d.str("split column")?;
+            PlanNode::Split {
+                input: Box::new(get_plan(d)?),
+                column,
+            }
+        }
+        other => return Err(WireError::Corrupt(format!("unknown plan tag {other}"))),
+    })
+}
+
+/// The table names a plan reads (scans + VG parameter tables) — the
+/// catalog snapshot a worker needs.
+fn collect_tables(plan: &PlanNode, out: &mut std::collections::BTreeSet<String>) {
+    match plan {
+        PlanNode::TableScan { table } => {
+            out.insert(table.clone());
+        }
+        PlanNode::RandomTable(spec) => {
+            out.insert(spec.param_table.clone());
+        }
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Split { input, .. } => collect_tables(input, out),
+        PlanNode::Join { left, right, .. } => {
+            collect_tables(left, out);
+            collect_tables(right, out);
+        }
+    }
+}
+
+fn dtype_to_u8(dt: DataType) -> u8 {
+    match dt {
+        DataType::Null => 0,
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Bool => 3,
+        DataType::Utf8 => 4,
+    }
+}
+
+fn dtype_from_u8(raw: u8) -> WireResult<DataType> {
+    Ok(match raw {
+        0 => DataType::Null,
+        1 => DataType::Int64,
+        2 => DataType::Float64,
+        3 => DataType::Bool,
+        4 => DataType::Utf8,
+        other => return Err(WireError::Corrupt(format!("unknown data type {other}"))),
+    })
+}
+
+fn put_table(out: &mut Vec<u8>, table: &Table) {
+    let schema = table.schema();
+    out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    for field in schema.fields() {
+        put_str(out, &field.name);
+        out.push(dtype_to_u8(field.data_type));
+    }
+    // Rows travel column-major through the typed Column codec, so a table
+    // of N float rows costs ~8N bytes, not N boxed tuples.
+    out.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    for col_idx in 0..schema.len() {
+        let mut column = Column::default();
+        for row in table.rows() {
+            column.push_value(row.value(col_idx));
+        }
+        column.encode_wire(out);
+    }
+}
+
+fn get_table(d: &mut Dec<'_>) -> WireResult<Table> {
+    let num_fields = d.u32("field count")? as usize;
+    let mut fields = Vec::with_capacity(num_fields.min(4096));
+    for _ in 0..num_fields {
+        let name = d.str("field name")?;
+        let dt = dtype_from_u8(d.u8("field type")?)?;
+        fields.push(Field::new(name, dt));
+    }
+    let schema = Schema::new(fields);
+    let num_rows = d.u64("row count")? as usize;
+    // The row count is untrusted until a column vouches for it (each
+    // decoded column is checked against it below).  A field-less table has
+    // no columns to vouch, so bound it directly — otherwise a corrupt
+    // header could demand billions of empty tuples.
+    if schema.is_empty() && num_rows != 0 {
+        return Err(WireError::Corrupt(format!(
+            "table snapshot claims {num_rows} rows across zero fields"
+        )));
+    }
+    let mut columns = Vec::with_capacity(schema.len());
+    for _ in 0..schema.len() {
+        let column = Column::decode_wire(d.buf, &mut d.pos)
+            .map_err(|e| WireError::Corrupt(format!("table column: {e}")))?;
+        if column.len() != num_rows {
+            return Err(WireError::Corrupt(format!(
+                "table column holds {} rows, header says {num_rows}",
+                column.len()
+            )));
+        }
+        columns.push(column);
+    }
+    let rows: Vec<Tuple> = (0..num_rows)
+        .map(|r| Tuple::new(columns.iter().map(|c| c.value_at(r)).collect()))
+        .collect();
+    Table::new(schema, rows).map_err(|e| WireError::Corrupt(format!("table snapshot: {e}")))
+}

@@ -1,0 +1,373 @@
+//! The worker side of the dispatch protocol: a request/response loop over
+//! a pair of byte streams (stdin/stdout for the `mcdbr-worker` binary;
+//! in-memory pipes in tests).
+//!
+//! A worker is deliberately *stateful but rebuildable*: it remembers every
+//! `Plan` frame it has been sent — the rebuilt [`PlanNode`] plus a local
+//! [`Catalog`] reconstructed from the snapshot — keyed by the
+//! coordinator's [`PlanKey`], and runs every `Task` through its own
+//! [`SessionCache`].  The first task for a plan pays the deterministic
+//! skeleton pass (the *cold* path); every later task for the same key hits
+//! the cache, skips phase 1 entirely, and reports `warm_hit = true` in its
+//! [`TaskStats`] frame — the same plan-keyed reuse the coordinator enjoys
+//! in-process.  A respawned worker simply starts cold again; the
+//! coordinator re-sends the plan.
+//!
+//! Task-level failures (unknown key, execution errors) come back as
+//! `Error` frames and leave the loop alive; protocol-level failures
+//! (handshake mismatch, corrupt frames) terminate the worker, which the
+//! coordinator treats like a crash: respawn and re-dispatch.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use mcdbr_exec::{BlockBufferPool, PlanNode, SessionCache, ShardTask};
+use mcdbr_storage::Catalog;
+
+use crate::wire::{
+    self, Frame, PlanKey, TaskHeader, TaskStats, WireError, WireResult, WIRE_MAGIC, WIRE_VERSION,
+};
+
+/// One plan the worker knows how to execute: the rebuilt plan tree and the
+/// catalog reconstructed from the coordinator's snapshot.  The catalog is
+/// built once per `Plan` frame, so its (worker-local) epoch is stable and
+/// the worker's session cache can key on it.
+struct KnownPlan {
+    plan: PlanNode,
+    catalog: Catalog,
+}
+
+/// How many plans (and their catalog snapshots) a worker retains.  The
+/// coordinator caps its prepared-plan list the same way; a worker asked
+/// about an evicted key answers with the
+/// [`wire::UNKNOWN_PLAN_MESSAGE_PREFIX`] error and the coordinator simply
+/// re-sends the plan — bounded memory on both sides, no lost work.
+const MAX_KNOWN_PLANS: usize = 64;
+
+/// The worker's bounded plan store: FIFO eviction past
+/// [`MAX_KNOWN_PLANS`]; a failed snapshot rebuild is remembered as the
+/// failure message so the *task* (which expects a response) reports it —
+/// a `Plan` frame itself never gets a response, so answering one with an
+/// `Error` frame would desync the coordinator's request/response stream.
+#[derive(Default)]
+struct PlanStore {
+    plans: HashMap<PlanKey, Result<KnownPlan, String>>,
+    order: std::collections::VecDeque<PlanKey>,
+}
+
+impl PlanStore {
+    fn insert(&mut self, key: PlanKey, entry: Result<KnownPlan, String>) {
+        if self.plans.insert(key, entry).is_none() {
+            self.order.push_back(key);
+        }
+        while self.plans.len() > MAX_KNOWN_PLANS {
+            if let Some(oldest) = self.order.pop_front() {
+                self.plans.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The worker loop: handshake, then serve `Plan`/`Task` frames until a
+/// `Shutdown` frame or a clean EOF on `input`.
+///
+/// Generic over the streams so tests can drive a worker over in-memory
+/// pipes; the `mcdbr-worker` binary passes its locked stdin/stdout.
+pub fn run_worker<R: Read, W: Write>(input: &mut R, output: &mut W) -> WireResult<()> {
+    // ===== Handshake: the coordinator speaks first; reject anything that
+    // is not our magic + version before any plan bytes flow.
+    let (payload, _) =
+        wire::read_frame(input)?.ok_or(WireError::Truncated { what: "handshake" })?;
+    match wire::decode_frame(&payload)? {
+        Frame::Hello { magic, version } => {
+            if magic != WIRE_MAGIC {
+                let err = WireError::BadMagic(magic);
+                wire::write_frame(output, &wire::encode_error(&err.to_string()))?;
+                output.flush()?;
+                return Err(err);
+            }
+            if version != WIRE_VERSION {
+                let err = WireError::VersionMismatch {
+                    ours: WIRE_VERSION,
+                    theirs: version,
+                };
+                wire::write_frame(output, &wire::encode_error(&err.to_string()))?;
+                output.flush()?;
+                return Err(err);
+            }
+        }
+        _ => {
+            let err = WireError::Corrupt("expected Hello as the first frame".into());
+            wire::write_frame(output, &wire::encode_error(&err.to_string()))?;
+            output.flush()?;
+            return Err(err);
+        }
+    }
+    wire::write_frame(output, &wire::encode_hello())?;
+    output.flush()?;
+
+    let mut plans = PlanStore::default();
+    let cache = SessionCache::new();
+    let pool = BlockBufferPool::new();
+
+    loop {
+        let Some((payload, _)) = wire::read_frame(input)? else {
+            // Coordinator closed our stdin: clean exit.
+            return Ok(());
+        };
+        match wire::decode_frame(&payload)? {
+            Frame::Plan { key, plan, tables } => {
+                // No response frame — `Plan` is fire-and-forget; a rebuild
+                // failure is remembered and reported by the next task.
+                let mut catalog = Catalog::new();
+                let mut failure = None;
+                for (name, table) in tables {
+                    if let Err(e) = catalog.register(name, table) {
+                        failure = Some(format!("rebuilding catalog snapshot: {e}"));
+                        break;
+                    }
+                }
+                plans.insert(
+                    key,
+                    match failure {
+                        Some(message) => Err(message),
+                        None => Ok(KnownPlan { plan, catalog }),
+                    },
+                );
+            }
+            Frame::Task(task) => {
+                match serve_task(&plans, &cache, &pool, &task) {
+                    Ok((bundles, stats)) => {
+                        for (idx, bundle) in &bundles {
+                            wire::write_frame(output, &wire::encode_bundle(*idx, bundle.as_ref()))?;
+                        }
+                        wire::write_frame(output, &wire::encode_task_stats(stats))?;
+                    }
+                    Err(message) => {
+                        wire::write_frame(output, &wire::encode_error(&message))?;
+                    }
+                }
+                output.flush()?;
+            }
+            Frame::Shutdown => return Ok(()),
+            Frame::Hello { .. } => {
+                return Err(WireError::Corrupt("unexpected mid-stream Hello".into()))
+            }
+            Frame::Bundle { .. } | Frame::TaskStats(_) => {
+                return Err(WireError::Corrupt(
+                    "received a response frame on the request stream".into(),
+                ))
+            }
+            Frame::Error { message } => return Err(WireError::Remote(message)),
+        }
+    }
+}
+
+/// Execute one task against the worker's known plans; errors are returned
+/// as strings for the `Error` frame (the loop stays alive).
+#[allow(clippy::type_complexity)]
+fn serve_task(
+    plans: &PlanStore,
+    cache: &SessionCache,
+    pool: &BlockBufferPool,
+    task: &TaskHeader,
+) -> Result<(Vec<(usize, Option<mcdbr_exec::TupleBundle>)>, TaskStats), String> {
+    let known = plans
+        .plans
+        .get(&task.key)
+        .ok_or_else(|| {
+            format!(
+                "{} (fingerprint {:#018x}, epoch {}); send a Plan frame first",
+                wire::UNKNOWN_PLAN_MESSAGE_PREFIX,
+                task.key.fingerprint,
+                task.key.epoch
+            )
+        })?
+        .as_ref()
+        .map_err(|message| message.clone())?;
+    // The worker's own plan-keyed session cache: the first task for a key
+    // builds the skeleton (cold), every later one skips phase 1 (warm).
+    let session = cache
+        .session(&known.plan, &known.catalog, task.master_seed)
+        .map_err(|e| format!("phase 1 failed: {e}"))?;
+    let warm_hit = session.skeleton_hit();
+    let prefix = session.prefix().ok_or_else(|| {
+        format!(
+            "plan is not prefix-cacheable ({}); such plans execute locally and are never \
+             dispatched",
+            session.fallback_reason().unwrap_or("unknown reason")
+        )
+    })?;
+    let shard = ShardTask {
+        skeleton: Arc::clone(prefix.skeleton()),
+        master_seed: task.master_seed,
+        key_range: task.key_range,
+        base_pos: task.base_pos,
+        num_values: task.num_values,
+    };
+    let output = shard
+        .run(pool)
+        .map_err(|e| format!("shard task failed: {e}"))?;
+    let stats = TaskStats {
+        bundles: output.bundles.len(),
+        foreign_streams: output.foreign_streams,
+        warm_hit,
+    };
+    Ok((output.bundles, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdbr_exec::plan::scalar_random_table;
+    use mcdbr_exec::Expr;
+    use mcdbr_storage::{Field, Schema, TableBuilder, Value};
+    use mcdbr_vg::NormalVg;
+
+    fn catalog() -> Catalog {
+        let means = TableBuilder::new(Schema::new(vec![Field::int64("cid"), Field::float64("m")]))
+            .row([Value::Int64(1), Value::Float64(3.0)])
+            .row([Value::Int64(2), Value::Float64(4.0)])
+            .build()
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("means", means).unwrap();
+        catalog
+    }
+
+    fn plan() -> PlanNode {
+        PlanNode::random_table(scalar_random_table(
+            "Losses",
+            "means",
+            Arc::new(NormalVg),
+            vec![Expr::col("m"), Expr::lit(1.0)],
+            &["cid"],
+            "val",
+            1,
+        ))
+    }
+
+    /// Drive a full conversation against `run_worker` over in-memory pipes
+    /// and return the response frames.
+    fn converse(request_frames: Vec<Vec<u8>>) -> (WireResult<()>, Vec<Frame>) {
+        let mut input = Vec::new();
+        for frame in request_frames {
+            wire::write_frame(&mut input, &frame).unwrap();
+        }
+        let mut reader = std::io::Cursor::new(input);
+        let mut output = Vec::new();
+        let result = run_worker(&mut reader, &mut output);
+        let mut frames = Vec::new();
+        let mut cursor = std::io::Cursor::new(output);
+        while let Some((payload, _)) = wire::read_frame(&mut cursor).unwrap() {
+            frames.push(wire::decode_frame(&payload).unwrap());
+        }
+        (result, frames)
+    }
+
+    #[test]
+    fn cold_then_warm_tasks_round_trip_with_phase_one_skipped_once() {
+        let catalog = catalog();
+        let plan = plan();
+        let key = PlanKey {
+            fingerprint: plan.fingerprint(),
+            epoch: catalog.epoch(),
+        };
+        let task = |base_pos| {
+            wire::encode_task(&TaskHeader {
+                key,
+                master_seed: 42,
+                key_range: mcdbr_prng::StreamKeyRange::all(),
+                base_pos,
+                num_values: 8,
+            })
+        };
+        let (result, frames) = converse(vec![
+            wire::encode_hello(),
+            wire::encode_plan(key, &plan, &catalog).unwrap(),
+            task(0),
+            task(8),
+            wire::encode_shutdown(),
+        ]);
+        result.unwrap();
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        // Two tasks × (2 bundles + 1 stats frame).
+        let stats: Vec<&TaskStats> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::TaskStats(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].bundles, 2);
+        assert!(!stats[0].warm_hit, "first task is cold");
+        assert!(stats[1].warm_hit, "second task must hit the worker cache");
+        let bundles = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Bundle { .. }))
+            .count();
+        assert_eq!(bundles, 4);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_at_handshake() {
+        let (result, frames) =
+            converse(vec![wire::encode_hello_with(WIRE_MAGIC, WIRE_VERSION + 1)]);
+        assert_eq!(
+            result,
+            Err(WireError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: WIRE_VERSION + 1,
+            })
+        );
+        assert!(
+            matches!(&frames[0], Frame::Error { message } if message.contains("version mismatch")),
+            "worker must answer with an Error frame before exiting"
+        );
+
+        let (result, frames) = converse(vec![wire::encode_hello_with(0xBAD, WIRE_VERSION)]);
+        assert_eq!(result, Err(WireError::BadMagic(0xBAD)));
+        assert!(matches!(&frames[0], Frame::Error { .. }));
+    }
+
+    #[test]
+    fn unknown_task_keys_answer_with_an_error_frame_and_keep_serving() {
+        let catalog = catalog();
+        let plan = plan();
+        let key = PlanKey {
+            fingerprint: plan.fingerprint(),
+            epoch: catalog.epoch(),
+        };
+        let bogus = PlanKey {
+            fingerprint: 0xDEAD,
+            epoch: 0,
+        };
+        let mk_task = |key| {
+            wire::encode_task(&TaskHeader {
+                key,
+                master_seed: 7,
+                key_range: mcdbr_prng::StreamKeyRange::all(),
+                base_pos: 0,
+                num_values: 4,
+            })
+        };
+        let (result, frames) = converse(vec![
+            wire::encode_hello(),
+            mk_task(bogus),
+            wire::encode_plan(key, &plan, &catalog).unwrap(),
+            mk_task(key),
+        ]);
+        // EOF after the last task is a clean exit.
+        result.unwrap();
+        assert!(
+            matches!(&frames[1], Frame::Error { message } if message.contains("unknown plan key"))
+        );
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::TaskStats(s) if s.bundles == 2)));
+    }
+}

@@ -76,7 +76,10 @@ pub mod shard;
 pub mod stream_registry;
 
 pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
-pub use backend::{default_backend, ExecBackend, InProcessBackend, ShardStats};
+pub use backend::{
+    default_backend, default_backend_kind, default_workers, install_default_backend, BackendKind,
+    ExecBackend, InProcessBackend, ShardStats,
+};
 pub use bundle::{BundleSet, BundleValue, TupleBundle};
 pub use cache::SessionCache;
 pub use executor::{ExecOptions, Executor};

@@ -208,6 +208,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_releases_past_the_idle_cap_drop_without_inflating_reuses() {
+        // Shard tasks return their buffers in whatever order they finish; a
+        // pool whose idle cap is smaller than the number of in-flight
+        // buffers must drop the overflow under *any* interleaving, and the
+        // dropped buffers must never be double-counted as reuses by later
+        // acquisitions.
+        let pool = BlockBufferPool::with_max_pooled(2);
+        let blocks: Vec<ColumnBlock> = (0..8).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.buffer_reuses(), 0, "all eight live at once");
+        std::thread::scope(|scope| {
+            for mut block in blocks {
+                let pool = &pool;
+                scope.spawn(move || {
+                    block.reset(1, 1, 1);
+                    block.column_mut(0, 0).push_f64(1.0);
+                    pool.release(block);
+                });
+            }
+        });
+        assert_eq!(pool.idle(), 2, "releases beyond the cap must drop");
+        // Every release was metered, pooled or dropped alike (8 bytes per
+        // single-f64 buffer).
+        assert_eq!(pool.bytes_materialized(), 8 * 8);
+        // Re-acquiring eight buffers: exactly the two pooled ones count as
+        // reuses; the dropped six must not inflate the counter.
+        let again: Vec<ColumnBlock> = (0..8).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.buffer_reuses(), 2);
+        assert_eq!(pool.acquires(), 16);
+        assert_eq!(pool.idle(), 0);
+        drop(again);
+    }
+
+    #[test]
     fn bytes_accumulate_across_releases() {
         let pool = BlockBufferPool::new();
         for round in 0..3 {

@@ -608,7 +608,10 @@ impl ExecSession {
     /// partition, so backends — and their shard counters — never see them).
     ///
     /// `catalog` is only consulted in fallback mode (the cached prefix has
-    /// already absorbed all catalog reads).
+    /// already absorbed all catalog reads) and by dispatching backends,
+    /// which snapshot it — together with the plan — for cold worker
+    /// processes ([`ExecBackend::prepare_dispatch`]); pass the same catalog
+    /// the session was prepared against.
     pub fn instantiate_block(
         &mut self,
         catalog: &Catalog,
@@ -630,6 +633,7 @@ impl ExecSession {
             }
             Mode::Cached(prefix) => {
                 self.values_materialized += (prefix.num_active_streams() * num_values) as u64;
+                self.backend.prepare_dispatch(&self.plan, catalog, prefix)?;
                 self.backend.instantiate_block(
                     prefix,
                     &self.pool,

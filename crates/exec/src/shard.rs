@@ -296,6 +296,7 @@ impl ExecBackend for ShardedBackend {
             shards_spawned: self.shards_spawned.load(Ordering::Relaxed),
             shard_merge_ns: self.shard_merge_ns.load(Ordering::Relaxed),
             cross_shard_regens: self.cross_shard_regens.load(Ordering::Relaxed),
+            ..ShardStats::default()
         }
     }
 }

@@ -96,6 +96,19 @@ pub struct NaiveTailReport {
     /// Streams shards regenerated outside their own key ranges during the
     /// hunt (cross-shard joins; 0 on the in-process backend).
     pub cross_shard_regens: usize,
+    /// Worker OS processes spawned during the hunt (multi-process backend
+    /// only: pool fills + crash respawns).
+    pub workers_spawned: usize,
+    /// Shard tasks serialized and dispatched to worker processes during
+    /// the hunt (0 on in-process backends).
+    pub tasks_dispatched: usize,
+    /// Bytes written to worker processes during the hunt.
+    pub wire_bytes_sent: u64,
+    /// Bytes read back from worker processes during the hunt.
+    pub wire_bytes_received: u64,
+    /// Workers respawned after a crash during the hunt, with their tasks
+    /// re-dispatched.
+    pub worker_respawns: usize,
 }
 
 /// The naive-MCDB engine.
@@ -134,7 +147,10 @@ pub struct McdbEngine {
 
 impl Default for McdbEngine {
     fn default() -> Self {
-        let backend = mcdbr_exec::default_backend();
+        // Routed through the dispatch crate so `MCDBR_BACKEND=process`
+        // resolves to a multi-process backend (exec alone cannot construct
+        // one); any other environment defers to exec's own rules.
+        let backend = mcdbr_dispatch::default_backend();
         let backend_baseline = backend.shard_stats();
         McdbEngine {
             cache: SessionCache::new(),
@@ -151,8 +167,8 @@ impl Default for McdbEngine {
 
 impl McdbEngine {
     /// Create a new engine (with an empty session cache and the default
-    /// execution backend: in-process unless `MCDBR_SHARDS` selects sharded
-    /// execution).
+    /// execution backend: in-process unless `MCDBR_BACKEND` /
+    /// `MCDBR_SHARDS` select sharded or multi-process execution).
     pub fn new() -> Self {
         McdbEngine::default()
     }
@@ -197,6 +213,31 @@ impl McdbEngine {
     /// engine (cross-shard joins; 0 when the backend never shards).
     pub fn cross_shard_regens(&self) -> usize {
         self.backend_window().cross_shard_regens
+    }
+
+    /// Worker OS processes this engine's backend spawned on its behalf
+    /// (multi-process backend only).
+    pub fn workers_spawned(&self) -> usize {
+        self.backend_window().workers_spawned
+    }
+
+    /// Shard tasks this engine's backend serialized and dispatched to
+    /// worker processes (0 on in-process backends).
+    pub fn tasks_dispatched(&self) -> usize {
+        self.backend_window().tasks_dispatched
+    }
+
+    /// Wire bytes this engine's backend sent to / received from worker
+    /// processes.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        let window = self.backend_window();
+        (window.wire_bytes_sent, window.wire_bytes_received)
+    }
+
+    /// Workers respawned (and their tasks re-dispatched) after crashes
+    /// during this engine's runs.
+    pub fn worker_respawns(&self) -> usize {
+        self.backend_window().worker_respawns
     }
 
     /// Total plan executions performed through this engine.  With the
@@ -347,6 +388,11 @@ impl McdbEngine {
             shards_spawned: backend_stats.shards_spawned,
             shard_merge_ns: backend_stats.shard_merge_ns,
             cross_shard_regens: backend_stats.cross_shard_regens,
+            workers_spawned: backend_stats.workers_spawned,
+            tasks_dispatched: backend_stats.tasks_dispatched,
+            wire_bytes_sent: backend_stats.wire_bytes_sent,
+            wire_bytes_received: backend_stats.wire_bytes_received,
+            worker_respawns: backend_stats.worker_respawns,
         })
     }
 
@@ -482,7 +528,14 @@ mod tests {
         // The engine-level buffer pool means the second and third queries
         // recycled the first query's warm buffers (5 streams each; a
         // sharded default backend can only add intra-block reuses on top).
-        assert!(engine.buffer_reuses() >= 10);
+        // Under a multi-process default backend the buffers live in the
+        // worker processes instead, so the coordinator-side pool stays
+        // flat and the dispatch counters carry the evidence.
+        if engine.backend().name() == "process" {
+            assert!(engine.tasks_dispatched() >= 3);
+        } else {
+            assert!(engine.buffer_reuses() >= 10);
+        }
     }
 
     #[test]
@@ -631,8 +684,16 @@ mod tests {
         // buffers: 10 streams per block, reused per extra block (a lower
         // bound — a sharded default backend adds intra-block reuses when an
         // early-finishing shard task's buffer serves a neighbor task).
-        assert!(report.buffer_reuses >= (10 * (report.blocks_materialized - 1)) as u64);
-        assert!(report.bytes_materialized >= (report.repetitions * 10 * 8) as u64);
+        // Under a multi-process default backend the buffers live in the
+        // worker processes, so the coordinator-side pool stays flat and
+        // the dispatch counters carry the evidence instead.
+        if engine.backend().name() == "process" {
+            assert!(report.tasks_dispatched >= report.blocks_materialized);
+            assert!(report.wire_bytes_received > 0);
+        } else {
+            assert!(report.buffer_reuses >= (10 * (report.blocks_materialized - 1)) as u64);
+            assert!(report.bytes_materialized >= (report.repetitions * 10 * 8) as u64);
+        }
         assert_eq!(engine.bytes_materialized(), report.bytes_materialized);
         assert_eq!(engine.buffer_reuses(), report.buffer_reuses);
         // Every reported tail sample really lies beyond the estimated quantile.

@@ -146,6 +146,68 @@ impl Value {
         matches!(self, Value::Int64(_) | Value::Float64(_) | Value::Bool(_))
     }
 
+    /// Append this value's tagged wire encoding to `out`.  Floats travel as
+    /// raw IEEE bits, so the round trip is bit-exact — the same contract the
+    /// columnar buffers keep in memory.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int64(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float64(x) => {
+                out.push(2);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(3);
+                out.push(u8::from(*b));
+            }
+            Value::Utf8(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decode a value from `buf` at `*pos`, advancing `*pos`.  Truncated or
+    /// malformed input (unknown tag, invalid UTF-8) returns a typed
+    /// [`Error::Invalid`].
+    pub fn decode_wire(buf: &[u8], pos: &mut usize) -> Result<Value> {
+        fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+            let bytes = buf
+                .get(*pos..*pos + n)
+                .ok_or_else(|| Error::Invalid("truncated value encoding".into()))?;
+            *pos += n;
+            Ok(bytes)
+        }
+        let tag = take(buf, pos, 1)?[0];
+        Ok(match tag {
+            0 => Value::Null,
+            1 => Value::Int64(i64::from_le_bytes(
+                take(buf, pos, 8)?.try_into().expect("8 bytes"),
+            )),
+            2 => Value::Float64(f64::from_bits(u64::from_le_bytes(
+                take(buf, pos, 8)?.try_into().expect("8 bytes"),
+            ))),
+            3 => Value::Bool(take(buf, pos, 1)?[0] != 0),
+            4 => {
+                let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().expect("4 bytes"));
+                let bytes = take(buf, pos, len as usize)?;
+                Value::Utf8(Arc::from(std::str::from_utf8(bytes).map_err(|_| {
+                    Error::Invalid("value encoding holds invalid UTF-8".into())
+                })?))
+            }
+            other => {
+                return Err(Error::Invalid(format!(
+                    "unknown value encoding tag {other}"
+                )))
+            }
+        })
+    }
+
     /// Total ordering over values, suitable for sorting heterogeneous columns.
     ///
     /// NULL < Bool < numeric < Utf8; numerics compare by value with NaN last.

@@ -54,6 +54,15 @@ pub trait VgFunction: fmt::Debug + Send + Sync {
     /// position.
     fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>>;
 
+    /// Downcasting hook for wire serialization: the built-in VG functions
+    /// return `Some(self)` so a process dispatcher can recognize them and
+    /// ship their construction-time configuration to worker processes.
+    /// Third-party VG functions may keep the default `None` — plans using
+    /// them simply aren't wire-serializable and execute locally.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Batched generation: materialize stream positions `base_pos ..
     /// base_pos + num_values` directly into a columnar block.
     ///
@@ -131,6 +140,10 @@ impl VgFunction for NormalVg {
         "Normal"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn cache_token(&self) -> String {
         self.name().to_string()
     }
@@ -190,6 +203,10 @@ impl VgFunction for UniformVg {
         "Uniform"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn cache_token(&self) -> String {
         self.name().to_string()
     }
@@ -234,6 +251,10 @@ pub struct PoissonVg;
 impl VgFunction for PoissonVg {
     fn name(&self) -> &str {
         "Poisson"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn cache_token(&self) -> String {
@@ -288,6 +309,12 @@ impl DiscreteVg {
         DiscreteVg { categories }
     }
 
+    /// The category values, in construction order (wire serialization ships
+    /// these to worker processes).
+    pub fn categories(&self) -> &[Value] {
+        &self.categories
+    }
+
     /// Parse and validate the per-call weights (one per category).
     fn weights(&self, params: &[Value]) -> Result<(Vec<f64>, f64)> {
         if params.len() != self.categories.len() {
@@ -328,6 +355,10 @@ impl DiscreteVg {
 impl VgFunction for DiscreteVg {
     fn name(&self) -> &str {
         "Discrete"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn cache_token(&self) -> String {
@@ -431,11 +462,25 @@ impl MultiNormalVg {
         assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
         MultiNormalVg { dim, rho }
     }
+
+    /// The output dimension fixed at construction.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The equicorrelation coefficient fixed at construction.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
 }
 
 impl VgFunction for MultiNormalVg {
     fn name(&self) -> &str {
         "MultiNormal"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn cache_token(&self) -> String {
@@ -520,6 +565,10 @@ impl VgFunction for BayesianDemandVg {
         "BayesianDemand"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn cache_token(&self) -> String {
         self.name().to_string()
     }
@@ -594,6 +643,11 @@ impl GbmTerminalVg {
         assert!(steps >= 1, "need at least one Euler step");
         GbmTerminalVg { steps }
     }
+
+    /// The Euler step count fixed at construction.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
 }
 
 impl Default for GbmTerminalVg {
@@ -605,6 +659,10 @@ impl Default for GbmTerminalVg {
 impl VgFunction for GbmTerminalVg {
     fn name(&self) -> &str {
         "GbmTerminal"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn cache_token(&self) -> String {

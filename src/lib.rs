@@ -13,6 +13,7 @@
 //! | [`prng`] | deterministic position-addressable random streams |
 //! | [`vg`] | VG (variable-generation) functions: Normal, Gamma, Poisson, ... |
 //! | [`exec`] | tuple-bundle query plans and operators (Seed, Instantiate, Split, joins, aggregation) |
+//! | [`dispatch`] | multi-process shard dispatch: wire protocol, `mcdbr-worker` binary, `ProcessBackend` |
 //! | [`mcdb`] | the MCDB baseline: naive Monte Carlo over bundles + result-distribution statistics |
 //! | [`core`] | the MCDB-R contribution: Gibbs sampler, Gibbs cloner, TS-seeds, GibbsLooper, parameter selection |
 //! | [`risk`] | risk measures: VaR, expected shortfall, empirical/analytic CDFs, frequency tables |
@@ -23,6 +24,7 @@
 //! inventory and experiment index.
 
 pub use mcdbr_core as core;
+pub use mcdbr_dispatch as dispatch;
 pub use mcdbr_exec as exec;
 pub use mcdbr_mcdb as mcdb;
 pub use mcdbr_prng as prng;

@@ -8,6 +8,7 @@
 //! GibbsLooper and the MCDB engine replace per-block plan re-execution with
 //! cached-prefix block materialization without changing a single result.
 
+use mcdbr::dispatch::ProcessBackend;
 use mcdbr::exec::aggregate::{evaluate_aggregate, evaluate_aggregate_threads};
 use mcdbr::exec::{
     instantiate_block_rows, BlockBufferPool, BundleValue, ExecBackend, ExecOptions, ExecSession,
@@ -361,6 +362,155 @@ fn zero_value_blocks_are_well_formed_on_both_backends() {
             &exec_from_scratch(&q.plan, &losses_catalog, 13, 0, 8),
         );
     }
+}
+
+#[test]
+fn process_backend_blocks_are_bit_identical_for_every_worker_and_thread_count() {
+    // The multi-process dispatch contract: for worker counts {1, 2, 3} ×
+    // thread counts, every block — consecutive replenishment-style windows
+    // included — merged from `mcdbr-worker` OS processes is bit-identical
+    // to the in-process backend, the sharded backend, and the one-shot
+    // executor.
+    let (catalog, plan) = complex_case();
+    let seed = 77;
+    let blocks = [(0u64, 24usize), (24, 24), (48, 24), (10_000, 8)];
+    let mut reference = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    let expected: Vec<_> = blocks
+        .iter()
+        .map(|&(base, n)| reference.instantiate_block(&catalog, base, n).unwrap())
+        .collect();
+    for workers in [1usize, 2, 3] {
+        for threads in [1usize, 2, 7] {
+            let backend = Arc::new(ProcessBackend::new(workers));
+            let mut session = ExecSession::prepare(&plan, &catalog, seed)
+                .unwrap()
+                .with_threads(threads)
+                .with_backend(backend.clone());
+            let mut sharded = ExecSession::prepare(&plan, &catalog, seed)
+                .unwrap()
+                .with_threads(threads)
+                .with_backend(Arc::new(ShardedBackend::new(workers)));
+            for (&(base, n), want) in blocks.iter().zip(&expected) {
+                let got = session.instantiate_block(&catalog, base, n).unwrap();
+                assert_bit_identical(want, &got);
+                assert_bit_identical(want, &sharded.instantiate_block(&catalog, base, n).unwrap());
+                assert_bit_identical(want, &exec_from_scratch(&plan, &catalog, seed, base, n));
+            }
+            let stats = backend.shard_stats();
+            assert!(
+                stats.tasks_dispatched >= blocks.len(),
+                "{workers}x{threads}: every block must cross the wire"
+            );
+            assert!(stats.wire_bytes_sent > 0 && stats.wire_bytes_received > 0);
+            assert!(
+                stats.worker_warm_hits > 0,
+                "{workers}x{threads}: later blocks must hit warm workers"
+            );
+            assert_eq!(session.plan_executions(), 1);
+        }
+    }
+}
+
+#[test]
+fn process_backend_cache_hits_skip_phase_one_on_both_sides_of_the_wire() {
+    // Composition of the session-cache and dispatch contracts: a
+    // coordinator-side cache hit (fresh master seed, phase 1 skipped) run
+    // on a process backend must equal an uncached in-process session, and
+    // the *workers'* own caches must serve the later blocks warm.
+    let (catalog, plan) = complex_case();
+    let cache = SessionCache::new();
+    let backend = Arc::new(ProcessBackend::new(2));
+    let _ = cache.session(&plan, &catalog, 1).unwrap(); // warm (seed 1)
+    for seed in [9u64, 0xBEEF] {
+        let mut hit = cache
+            .session(&plan, &catalog, seed)
+            .unwrap()
+            .with_backend(backend.clone());
+        assert!(hit.skeleton_hit());
+        assert_eq!(hit.plan_executions(), 0, "cache hit skips phase 1");
+        let mut fresh = ExecSession::prepare(&plan, &catalog, seed)
+            .unwrap()
+            .with_backend(Arc::new(InProcessBackend::new()));
+        for (base, n) in [(0u64, 32usize), (32, 16), (5000, 8)] {
+            let a = hit.instantiate_block(&catalog, base, n).unwrap();
+            let b = fresh.instantiate_block(&catalog, base, n).unwrap();
+            assert_bit_identical(&a, &b);
+        }
+    }
+    let stats = backend.shard_stats();
+    // Both loops share one plan key and one worker pool: after each
+    // worker's first (cold) task, every later task skipped phase 1 on the
+    // worker side too.
+    assert!(
+        stats.worker_warm_hits > 0,
+        "warm workers must skip phase 1: {stats:?}"
+    );
+    assert!(stats.tasks_dispatched > stats.worker_warm_hits);
+}
+
+#[test]
+fn process_backend_survives_forced_worker_kills_with_re_dispatch() {
+    // Crash-recovery contract: killing worker processes between (and
+    // during) blocks forces the broken-pipe path — respawn, re-send the
+    // plan to the now-cold worker, re-dispatch the in-flight task — and
+    // the merged output stays bit-identical throughout.
+    let (catalog, plan) = complex_case();
+    let seed = 31;
+    let backend = Arc::new(ProcessBackend::new(2));
+    let mut session = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(backend.clone());
+    let mut reference = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    for (round, (base, n)) in [(0u64, 20usize), (20, 20), (40, 20), (60, 12)]
+        .into_iter()
+        .enumerate()
+    {
+        if round > 0 {
+            // Alternate killing one worker and the whole pool.
+            backend.kill_worker(round % 2);
+            if round == 2 {
+                backend.kill_worker(0);
+                backend.kill_worker(1);
+            }
+        }
+        let got = session.instantiate_block(&catalog, base, n).unwrap();
+        let want = reference.instantiate_block(&catalog, base, n).unwrap();
+        assert_bit_identical(&want, &got);
+        assert_bit_identical(&want, &exec_from_scratch(&plan, &catalog, seed, base, n));
+    }
+    let stats = backend.shard_stats();
+    assert!(
+        stats.worker_respawns >= 3,
+        "every kill must surface as a respawn + re-dispatch: {stats:?}"
+    );
+    assert_eq!(session.plan_executions(), 1);
+}
+
+#[test]
+fn process_backend_engine_runs_match_in_process_engines() {
+    // End to end through the MCDB engine: per-repetition samples computed
+    // over process-dispatched blocks equal the in-process engine's exactly
+    // (aggregation is local on both; the blocks are what crossed the wire).
+    let catalog = customer_losses_catalog(12, (1.0, 4.0), 2).unwrap();
+    let q = customer_losses_query(Some(9));
+    let backend = Arc::new(ProcessBackend::new(2));
+    let mut process_engine = McdbEngine::new().with_backend(backend.clone());
+    let mut inproc_engine = McdbEngine::new().with_backend(Arc::new(InProcessBackend::new()));
+    let a = process_engine.run_samples(&q, &catalog, 64, 42).unwrap();
+    let b = inproc_engine.run_samples(&q, &catalog, 64, 42).unwrap();
+    assert_eq!(a.group_columns, b.group_columns);
+    for ((ka, va), (kb, vb)) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(ka, kb);
+        assert!(va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+    assert!(process_engine.tasks_dispatched() > 0);
+    assert!(process_engine.workers_spawned() >= 1);
+    let (sent, received) = process_engine.wire_bytes();
+    assert!(sent > 0 && received > 0);
 }
 
 #[test]

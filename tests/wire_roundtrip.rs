@@ -1,0 +1,492 @@
+//! Property-style tests over the dispatch wire format: every frame's
+//! encode→decode round trip is the identity, truncated or corrupted bytes
+//! come back as typed errors (never panics), and version negotiation
+//! rejects mismatched peers at the handshake.
+//!
+//! Like `property_invariants.rs`, the build environment has no registry
+//! access, so instead of `proptest` these use a seeded case generator over
+//! the repository's own [`Pcg64`]: each property runs for pseudorandom
+//! configurations whose case seed is carried in every failure message.
+
+use std::sync::Arc;
+
+use mcdbr::dispatch::wire::{
+    self, Frame, PlanKey, TaskHeader, TaskStats, WireError, WIRE_MAGIC, WIRE_VERSION,
+};
+use mcdbr::dispatch::worker::run_worker;
+use mcdbr::exec::plan::{OutputColumn, RandomTableSpec};
+use mcdbr::exec::{BundleValue, Expr, PlanNode, TupleBundle};
+use mcdbr::prng::{Pcg64, StreamKey, StreamKeyRange};
+use mcdbr::storage::{Catalog, Field, Schema, Table, TableBuilder, Tuple, Value};
+use mcdbr::vg::{
+    BayesianDemandVg, DiscreteVg, GbmTerminalVg, MultiNormalVg, NormalVg, PoissonVg, UniformVg,
+    VgFunction,
+};
+
+const CASES: u64 = 64;
+
+struct Gen {
+    rng: Pcg64,
+}
+
+impl Gen {
+    fn new(case: u64) -> Self {
+        Gen {
+            rng: Pcg64::new(0x77697265 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.rng.next_u64().is_multiple_of(2)
+    }
+
+    /// A random value, optionally including the bit-exactness landmines
+    /// (NaN with payload, negative zero, infinities).
+    fn value(&mut self, specials: bool) -> Value {
+        match self.usize_in(0, if specials { 6 } else { 5 }) {
+            0 => Value::Null,
+            1 => Value::Int64(self.u64() as i64),
+            2 => Value::Float64(f64::from_bits(self.u64() & !(0x7ffu64 << 52))),
+            3 => Value::Bool(self.bool()),
+            4 => {
+                let len = self.usize_in(0, 12);
+                let s: String = (0..len)
+                    .map(|_| char::from(b'a' + (self.u64() % 26) as u8))
+                    .collect();
+                Value::str(s)
+            }
+            _ => [
+                Value::Float64(f64::from_bits(0x7ff8_dead_beef_0001)),
+                Value::Float64(-0.0),
+                Value::Float64(f64::INFINITY),
+                Value::Float64(f64::NEG_INFINITY),
+            ][self.usize_in(0, 4)]
+            .clone(),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.usize_in(0, 3) == 0 {
+            return if self.bool() {
+                Expr::col(format!("c{}", self.usize_in(0, 5)))
+            } else {
+                Expr::Literal(self.value(false))
+            };
+        }
+        match self.usize_in(0, 3) {
+            0 => self.expr(depth - 1).add(self.expr(depth - 1)),
+            1 => self.expr(depth - 1).lt(self.expr(depth - 1)),
+            _ => Expr::Not(Box::new(self.expr(depth - 1))),
+        }
+    }
+
+    fn vg(&mut self) -> Arc<dyn VgFunction> {
+        match self.usize_in(0, 7) {
+            0 => Arc::new(NormalVg),
+            1 => Arc::new(UniformVg),
+            2 => Arc::new(PoissonVg),
+            3 => {
+                let n = self.usize_in(1, 5);
+                Arc::new(DiscreteVg::new((0..n).map(|_| self.value(false)).collect()))
+            }
+            4 => Arc::new(MultiNormalVg::new(
+                self.usize_in(1, 4),
+                (self.u64() % 1000) as f64 / 1000.0,
+            )),
+            5 => Arc::new(BayesianDemandVg),
+            _ => Arc::new(GbmTerminalVg::new(self.usize_in(1, 64))),
+        }
+    }
+
+    fn plan(&mut self, depth: usize) -> PlanNode {
+        let leaf = if self.bool() {
+            PlanNode::scan(format!("t{}", self.usize_in(0, 3)))
+        } else {
+            let num_params = self.usize_in(0, 3);
+            let num_cols = self.usize_in(1, 4);
+            PlanNode::RandomTable(RandomTableSpec {
+                name: format!("U{}", self.usize_in(0, 9)),
+                param_table: format!("t{}", self.usize_in(0, 3)),
+                vg: self.vg(),
+                vg_params: (0..num_params).map(|_| self.expr(2)).collect(),
+                columns: (0..num_cols)
+                    .map(|i| {
+                        if self.bool() {
+                            OutputColumn::Param {
+                                source: format!("c{}", self.usize_in(0, 5)),
+                                as_name: format!("a{i}"),
+                            }
+                        } else {
+                            OutputColumn::Vg {
+                                vg_col: self.usize_in(0, 3),
+                                as_name: format!("a{i}"),
+                            }
+                        }
+                    })
+                    .collect(),
+                table_tag: self.u64(),
+            })
+        };
+        if depth == 0 {
+            return leaf;
+        }
+        match self.usize_in(0, 5) {
+            0 => self.plan(depth - 1).filter(self.expr(2)),
+            1 => self.plan(depth - 1).project(vec![
+                ("p0".to_string(), self.expr(2)),
+                ("p1".to_string(), self.expr(1)),
+            ]),
+            2 => self
+                .plan(depth - 1)
+                .join(self.plan(depth - 1), vec![("c0", "c1")]),
+            3 => self
+                .plan(depth - 1)
+                .split(format!("c{}", self.usize_in(0, 5))),
+            _ => leaf,
+        }
+    }
+
+    fn table(&mut self) -> Table {
+        let cols = self.usize_in(1, 4);
+        let fields: Vec<Field> = (0..cols)
+            .map(|i| match self.usize_in(0, 4) {
+                0 => Field::int64(format!("c{i}")),
+                1 => Field::float64(format!("c{i}")),
+                2 => Field::utf8(format!("c{i}")),
+                _ => Field::boolean(format!("c{i}")),
+            })
+            .collect();
+        let rows = self.usize_in(0, 10);
+        let mut builder = TableBuilder::new(Schema::new(fields));
+        for _ in 0..rows {
+            // Cell types drift from the declared field type on purpose:
+            // the codec must carry the actual values, Mixed columns
+            // included.
+            builder = builder.tuple(Tuple::new((0..cols).map(|_| self.value(true)).collect()));
+        }
+        builder.build().unwrap()
+    }
+
+    fn bundle(&mut self, specials: bool) -> TupleBundle {
+        let arity = self.usize_in(1, 5);
+        let reps = self.usize_in(0, 9);
+        let values = (0..arity)
+            .map(|_| match self.usize_in(0, 3) {
+                0 => BundleValue::Const(self.value(specials)),
+                1 => BundleValue::Random {
+                    seed: self.u64(),
+                    vg_row: self.usize_in(0, 4),
+                    vg_col: self.usize_in(0, 4),
+                    base_pos: self.u64(),
+                    values: (0..reps).map(|_| self.value(specials)).collect(),
+                },
+                _ => BundleValue::Computed((0..reps).map(|_| self.value(specials)).collect()),
+            })
+            .collect();
+        let is_pres = if self.bool() {
+            Some((0..reps).map(|_| self.bool()).collect())
+        } else {
+            None
+        };
+        TupleBundle { values, is_pres }
+    }
+
+    fn key_range(&mut self) -> StreamKeyRange {
+        let start = StreamKey::new(self.u64() % 16, self.u64());
+        if self.bool() {
+            StreamKeyRange { start, end: None }
+        } else {
+            StreamKeyRange {
+                start,
+                end: Some(StreamKey::new(self.u64() % 16, self.u64())),
+            }
+        }
+    }
+}
+
+/// Register every table a plan references so `encode_plan` can snapshot it.
+fn catalog_for(_plan: &PlanNode, g: &mut Gen) -> Catalog {
+    let mut catalog = Catalog::new();
+    for i in 0..3 {
+        catalog.register(format!("t{i}"), g.table()).unwrap();
+    }
+    catalog
+}
+
+#[test]
+fn plan_frames_round_trip_identically() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let depth = g.usize_in(1, 4);
+        let plan = g.plan(depth);
+        let catalog = catalog_for(&plan, &mut g);
+        let key = PlanKey {
+            fingerprint: plan.fingerprint(),
+            epoch: catalog.epoch(),
+        };
+        let payload = wire::encode_plan(key, &plan, &catalog).unwrap();
+        match wire::decode_frame(&payload).unwrap() {
+            Frame::Plan {
+                key: got_key,
+                plan: got_plan,
+                tables,
+            } => {
+                assert_eq!(got_key, key, "case {case}");
+                // PlanNode carries trait objects, so equality is asserted
+                // through the structural fingerprint (every
+                // execution-relevant field) plus the rendered tree (names).
+                assert_eq!(
+                    got_plan.fingerprint(),
+                    plan.fingerprint(),
+                    "case {case}: fingerprint drifted across the wire"
+                );
+                assert_eq!(got_plan.to_string(), plan.to_string(), "case {case}");
+                // Snapshot tables round-trip value-exactly.
+                for (name, table) in tables {
+                    let original = catalog.get(&name).unwrap();
+                    assert_eq!(table.schema(), original.schema(), "case {case} {name}");
+                    assert_eq!(table.len(), original.len());
+                    for (a, b) in table.rows().iter().zip(original.rows()) {
+                        for (x, y) in a.values().iter().zip(b.values()) {
+                            match (x, y) {
+                                (Value::Float64(x), Value::Float64(y)) => {
+                                    assert_eq!(x.to_bits(), y.to_bits(), "case {case}")
+                                }
+                                _ => assert_eq!(x, y, "case {case}"),
+                            }
+                        }
+                    }
+                }
+            }
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+        // Re-encoding the decoded plan is byte-identical: the strongest
+        // identity check, NaN payloads and all.
+        let Frame::Plan { key, plan, tables } = wire::decode_frame(&payload).unwrap() else {
+            unreachable!()
+        };
+        let mut rebuilt = Catalog::new();
+        for (name, table) in tables {
+            rebuilt.register(name, table).unwrap();
+        }
+        // encode_plan reads the epoch from the key, not the catalog.
+        let re = wire::encode_plan(key, &plan, &rebuilt).unwrap();
+        assert_eq!(re, payload, "case {case}: re-encode differs");
+    }
+}
+
+#[test]
+fn task_bundle_and_stats_frames_round_trip_identically() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let task = TaskHeader {
+            key: PlanKey {
+                fingerprint: g.u64(),
+                epoch: g.u64(),
+            },
+            master_seed: g.u64(),
+            key_range: g.key_range(),
+            base_pos: g.u64(),
+            num_values: g.usize_in(0, 100_000),
+        };
+        match wire::decode_frame(&wire::encode_task(&task)).unwrap() {
+            Frame::Task(got) => assert_eq!(got, task, "case {case}"),
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+
+        // Bundles without float specials compare by PartialEq...
+        let idx = g.usize_in(0, 1000);
+        let bundle = g.bundle(false);
+        match wire::decode_frame(&wire::encode_bundle(idx, Some(&bundle))).unwrap() {
+            Frame::Bundle {
+                idx: got_idx,
+                bundle: Some(got),
+            } => {
+                assert_eq!(got_idx, idx, "case {case}");
+                assert_eq!(got, bundle, "case {case}");
+            }
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+        // ...bundles *with* NaN payloads / -0.0 / infinities are asserted
+        // byte-exact through a re-encode (PartialEq can't see NaN bits).
+        let special = g.bundle(true);
+        let payload = wire::encode_bundle(idx, Some(&special));
+        let Frame::Bundle {
+            bundle: Some(got), ..
+        } = wire::decode_frame(&payload).unwrap()
+        else {
+            panic!("case {case}: bundle frame shape");
+        };
+        assert_eq!(
+            wire::encode_bundle(idx, Some(&got)),
+            payload,
+            "case {case}: special-value bundle not bit-identical"
+        );
+
+        // Absent bundles and stats frames.
+        match wire::decode_frame(&wire::encode_bundle(idx, None)).unwrap() {
+            Frame::Bundle { bundle: None, .. } => {}
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+        let stats = TaskStats {
+            bundles: g.usize_in(0, 100),
+            foreign_streams: g.usize_in(0, 100),
+            warm_hit: g.bool(),
+        };
+        match wire::decode_frame(&wire::encode_task_stats(stats)).unwrap() {
+            Frame::TaskStats(got) => assert_eq!(got, stats, "case {case}"),
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn control_frames_round_trip() {
+    match wire::decode_frame(&wire::encode_hello()).unwrap() {
+        Frame::Hello { magic, version } => {
+            assert_eq!(magic, WIRE_MAGIC);
+            assert_eq!(version, WIRE_VERSION);
+        }
+        other => panic!("decoded {other:?}"),
+    }
+    match wire::decode_frame(&wire::encode_error("it broke")).unwrap() {
+        Frame::Error { message } => assert_eq!(message, "it broke"),
+        other => panic!("decoded {other:?}"),
+    }
+    assert!(matches!(
+        wire::decode_frame(&wire::encode_shutdown()).unwrap(),
+        Frame::Shutdown
+    ));
+}
+
+#[test]
+fn truncated_frames_return_typed_errors() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let plan = g.plan(2);
+        let catalog = catalog_for(&plan, &mut g);
+        let key = PlanKey {
+            fingerprint: plan.fingerprint(),
+            epoch: catalog.epoch(),
+        };
+        let frames = [
+            wire::encode_hello(),
+            wire::encode_plan(key, &plan, &catalog).unwrap(),
+            wire::encode_task(&TaskHeader {
+                key,
+                master_seed: g.u64(),
+                key_range: g.key_range(),
+                base_pos: 0,
+                num_values: 7,
+            }),
+            wire::encode_bundle(3, Some(&g.bundle(true))),
+            wire::encode_task_stats(TaskStats {
+                bundles: 1,
+                foreign_streams: 0,
+                warm_hit: true,
+            }),
+            wire::encode_error("x"),
+        ];
+        for (fi, frame) in frames.iter().enumerate() {
+            // Every strict prefix must fail with a typed error, not panic
+            // (sample larger frames to keep the suite fast).
+            let step = (frame.len() / 64).max(1);
+            for cut in (0..frame.len()).step_by(step) {
+                let err = wire::decode_frame(&frame[..cut])
+                    .expect_err(&format!("case {case} frame {fi} cut {cut} decoded"));
+                assert!(
+                    matches!(err, WireError::Truncated { .. } | WireError::Corrupt(_)),
+                    "case {case} frame {fi} cut {cut}: unexpected {err:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_frames_never_panic_and_bad_tags_are_typed() {
+    assert!(matches!(
+        wire::decode_frame(&[99, 0, 0]),
+        Err(WireError::Corrupt(_))
+    ));
+    assert!(matches!(
+        wire::decode_frame(&[]),
+        Err(WireError::Truncated { .. })
+    ));
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let bundle_frame = wire::encode_bundle(1, Some(&g.bundle(true)));
+        let plan = g.plan(2);
+        let catalog = catalog_for(&plan, &mut g);
+        let plan_frame = wire::encode_plan(
+            PlanKey {
+                fingerprint: 1,
+                epoch: 2,
+            },
+            &plan,
+            &catalog,
+        )
+        .unwrap();
+        for frame in [bundle_frame, plan_frame] {
+            for _ in 0..32 {
+                let mut corrupt = frame.clone();
+                let at = g.usize_in(0, corrupt.len());
+                corrupt[at] ^= (g.u64() % 255 + 1) as u8;
+                // Must return (Ok or a typed Err), never panic.
+                let _ = wire::decode_frame(&corrupt);
+            }
+        }
+    }
+}
+
+#[test]
+fn handshake_rejects_version_and_magic_mismatches() {
+    // Drive the real worker loop over in-memory pipes: a peer announcing a
+    // different protocol version (or the wrong magic) must be rejected at
+    // the handshake — with an Error frame on the way out — before any
+    // plan or task bytes are consumed.
+    for (magic, version, expect_message) in [
+        (WIRE_MAGIC, WIRE_VERSION + 9, "version mismatch"),
+        (0x0BAD_F00D, WIRE_VERSION, "bad handshake magic"),
+    ] {
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, &wire::encode_hello_with(magic, version)).unwrap();
+        let mut reader = std::io::Cursor::new(input);
+        let mut output = Vec::new();
+        let result = run_worker(&mut reader, &mut output);
+        assert!(result.is_err(), "worker accepted a mismatched handshake");
+        let mut cursor = std::io::Cursor::new(output);
+        let (payload, _) = wire::read_frame(&mut cursor).unwrap().unwrap();
+        match wire::decode_frame(&payload).unwrap() {
+            Frame::Error { message } => assert!(
+                message.contains(expect_message),
+                "unexpected handshake error: {message}"
+            ),
+            other => panic!("expected an Error frame, got {other:?}"),
+        }
+    }
+    // And the well-formed handshake is answered with a matching Hello.
+    let mut input = Vec::new();
+    wire::write_frame(&mut input, &wire::encode_hello()).unwrap();
+    let mut reader = std::io::Cursor::new(input);
+    let mut output = Vec::new();
+    run_worker(&mut reader, &mut output).unwrap();
+    let (payload, _) = wire::read_frame(&mut std::io::Cursor::new(output))
+        .unwrap()
+        .unwrap();
+    assert!(matches!(
+        wire::decode_frame(&payload).unwrap(),
+        Frame::Hello {
+            magic: WIRE_MAGIC,
+            version: WIRE_VERSION
+        }
+    ));
+}
