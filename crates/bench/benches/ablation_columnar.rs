@@ -24,9 +24,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcdbr_bench::test_tpch;
+use std::sync::Arc;
+
 use mcdbr_exec::{
     instantiate_block_rows, BlockBufferPool, DeterministicPrefix, ExecBackend, ExecSession, Expr,
-    InProcessBackend, PlanNode,
+    PlanNode,
 };
 use mcdbr_storage::Catalog;
 use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
@@ -68,16 +70,27 @@ struct Workload {
     prefix: DeterministicPrefix,
     /// Values per block (active streams x block size) for throughput.
     values_per_block: u64,
+    /// The `MCDBR_BACKEND`-resolved columnar backend, primed for dispatch.
+    /// In-process by default (the headline numbers); `MCDBR_BACKEND=process`
+    /// routes the columnar leg through the worker fleet so CI smoke runs
+    /// exercise that path too (the allocation census is process-local, so
+    /// its numbers are only meaningful in-process).
+    backend: Arc<dyn ExecBackend>,
 }
 
 fn prepared(label: &'static str, plan: &PlanNode, catalog: &Catalog, block: usize) -> Workload {
     let session = ExecSession::prepare(plan, catalog, 7).expect("cacheable plan");
     let prefix = session.prefix().expect("cacheable plan").clone();
     let values_per_block = (prefix.num_active_streams() * block) as u64;
+    let backend = mcdbr_dispatch::default_backend();
+    backend
+        .prepare_dispatch(plan, catalog, &prefix)
+        .expect("dispatch priming");
     Workload {
         label,
         prefix,
         values_per_block,
+        backend,
     }
 }
 
@@ -87,10 +100,14 @@ fn bench_workload(c: &mut Criterion, w: &Workload, block: usize) {
     // measured warm — one priming block — matching how replenishment rounds
     // and repeated queries actually run.
     let pool = BlockBufferPool::new();
-    let backend = InProcessBackend::new();
-    let _ = backend
-        .instantiate_block(&w.prefix, &pool, 1, 0, block)
-        .unwrap();
+    let backend = &w.backend;
+    // Warm fully: buffer capacities stabilize only after the recycled cell
+    // storage has made one full round trip (block -> Arc -> block).
+    for _ in 0..3 {
+        let _ = backend
+            .instantiate_block(&w.prefix, &pool, 1, 0, block)
+            .unwrap();
+    }
     let row_allocs = count_allocs(|| {
         criterion::black_box(instantiate_block_rows(&w.prefix, 1, 0, block).unwrap());
     });
@@ -105,6 +122,16 @@ fn bench_workload(c: &mut Criterion, w: &Workload, block: usize) {
         "{}/allocs_per_block/{block}: row_path={row_allocs} columnar={col_allocs} ({:.1}x fewer)",
         w.label,
         row_allocs as f64 / col_allocs.max(1) as f64
+    );
+    criterion::record_metric(
+        format!("{}/row_path/{block}", w.label),
+        "allocs_per_block",
+        row_allocs as f64,
+    );
+    criterion::record_metric(
+        format!("{}/columnar/{block}", w.label),
+        "allocs_per_block",
+        col_allocs as f64,
     );
 
     let mut group = c.benchmark_group(w.label);

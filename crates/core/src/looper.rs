@@ -490,7 +490,7 @@ impl GibbsLooper {
         row.clear();
         row.extend(bundle.values.iter().map(|bv| match bv {
             BundleValue::Const(value) => value.clone(),
-            BundleValue::Computed(values) => values[v].clone(),
+            BundleValue::Computed(values) => values.value_at(v),
             BundleValue::Random {
                 seed,
                 base_pos,
@@ -501,7 +501,7 @@ impl GibbsLooper {
                     Some((s, pos)) if s == *seed => pos,
                     _ => ts_seeds[seed].assigned(v),
                 };
-                values[(assigned - base_pos) as usize].clone()
+                values.value_at((assigned - base_pos) as usize)
             }
         }));
     }
@@ -585,7 +585,9 @@ impl GibbsLooper {
                 ) = (ev, nv)
                 {
                     debug_assert_eq!(*es, ns, "stream identity must be stable across runs");
-                    evs.extend(nvs);
+                    // Appends the fresh block as another shared column
+                    // segment — replenishment never recopies earlier blocks.
+                    evs.append(nvs);
                 }
             }
         }

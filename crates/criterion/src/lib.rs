@@ -7,7 +7,8 @@
 //! the workspace `criterion` entry for `criterion = "0.5"` and everything
 //! recompiles unchanged — while providing a serviceable measurement loop:
 //! per-benchmark warm-up, a configurable number of timed samples, and a
-//! mean / min / max wall-clock report on stdout.
+//! min / median / max wall-clock report on stdout (the median is the central
+//! estimate — robust to descheduling outliers on shared machines).
 //!
 //! Behavioural notes:
 //!
@@ -17,10 +18,51 @@
 //!   test suite stays fast.
 //! * Unknown CLI flags and filters are accepted and ignored, matching how
 //!   cargo invokes bench binaries.
+//! * Beyond the stdout report, every bench binary writes a machine-readable
+//!   `BENCH_<name>.json` (timings, derived values/sec and MiB/sec, plus any
+//!   [`record_metric`] scalars such as allocation counts) into
+//!   `$BENCH_JSON_DIR` (default `target`) — the stand-in's replacement for
+//!   criterion's `target/criterion` estimate tree.
 
 use std::fmt;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, captured for the machine-readable report.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    samples: usize,
+    mean_ns: u128,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    throughput: Option<Throughput>,
+}
+
+/// A caller-reported scalar attached to the report (e.g. allocations per
+/// block, counted outside the timing loop).
+#[derive(Debug, Clone)]
+struct Metric {
+    benchmark: String,
+    name: String,
+    value: f64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// Attach a named scalar metric to the JSON report, keyed by a benchmark
+/// (or workload) id — for quantities measured outside the timing loop,
+/// like an allocation census.
+pub fn record_metric(benchmark: impl Into<String>, name: impl Into<String>, value: f64) {
+    METRICS.lock().unwrap().push(Metric {
+        benchmark: benchmark.into(),
+        name: name.into(),
+        value,
+    });
+}
 
 /// Prevent the optimizer from discarding a computed value.
 pub fn black_box<T>(x: T) -> T {
@@ -162,7 +204,7 @@ impl BenchmarkGroup<'_> {
 
     /// Declare the per-iteration work of subsequent benchmarks in this
     /// group; the report then includes values/sec (elements) or MB/sec
-    /// (bytes) computed from the mean sample.
+    /// (bytes) computed from the median sample.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
         self
@@ -237,10 +279,6 @@ fn run_benchmark<F>(
         num_samples,
     };
     f(&mut bencher);
-    if criterion.test_mode {
-        println!("test {full_id} ... ok");
-        return;
-    }
     let samples = &bencher.samples;
     if samples.is_empty() {
         println!("{full_id:<40} (no samples)");
@@ -250,22 +288,43 @@ fn run_benchmark<F>(
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
+    // The central estimate is the median, not the mean: bench machines
+    // share cores, and one descheduled sample can be an order of magnitude
+    // slower than the rest — the median ignores it, the mean does not.
+    let median = {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    };
+    RECORDS.lock().unwrap().push(Record {
+        id: full_id.clone(),
+        samples: samples.len(),
+        mean_ns: mean.as_nanos(),
+        median_ns: median.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        throughput,
+    });
+    if criterion.test_mode {
+        println!("test {full_id} ... ok");
+        return;
+    }
     let thrpt = throughput
-        .map(|t| format!("  thrpt: {}", fmt_throughput(t, mean)))
+        .map(|t| format!("  thrpt: {}", fmt_throughput(t, median)))
         .unwrap_or_default();
     println!(
         "{full_id:<40} time: [{} {} {}]  ({} samples){thrpt}",
         fmt_duration(min),
-        fmt_duration(mean),
+        fmt_duration(median),
         fmt_duration(max),
         samples.len()
     );
 }
 
 /// Render a throughput figure from the declared per-iteration work and the
-/// mean per-iteration duration.
-fn fmt_throughput(throughput: Throughput, mean: Duration) -> String {
-    let secs = mean.as_secs_f64().max(1e-12);
+/// median per-iteration duration.
+fn fmt_throughput(throughput: Throughput, median: Duration) -> String {
+    let secs = median.as_secs_f64().max(1e-12);
     match throughput {
         Throughput::Elements(n) => {
             let rate = n as f64 / secs;
@@ -285,6 +344,125 @@ fn fmt_throughput(throughput: Throughput, mean: Duration) -> String {
                 format!("{rate:.3} MiB/s")
             }
         }
+    }
+}
+
+/// Write the machine-readable benchmark report.  `criterion_main!` calls
+/// this after every group has run: one `BENCH_<bench-name>.json` per bench
+/// binary, in `$BENCH_JSON_DIR` (default `target`), holding every timed
+/// result (with derived values/sec and MiB/sec) plus the metrics reported
+/// via [`record_metric`].
+pub fn write_json_report() {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let name = bench_stem(&arg0);
+    let records = RECORDS.lock().unwrap().clone();
+    let metrics = METRICS.lock().unwrap().clone();
+    if records.is_empty() && metrics.is_empty() {
+        return;
+    }
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "target".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let json = render_json(&name, &records, &metrics);
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!("could not write {}: {e}", path.display());
+        return;
+    }
+    println!("bench report: {}", path.display());
+}
+
+/// The bench binary's logical name: the executable stem minus the `-<hash>`
+/// disambiguator cargo appends under `target/*/deps/`.
+fn bench_stem(arg0: &str) -> String {
+    let stem = std::path::Path::new(arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn render_json(name: &str, records: &[Record], metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": {},\n", json_str(name)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let median_secs = (r.median_ns as f64 / 1e9).max(1e-12);
+        let mut extra = String::new();
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                extra = format!(
+                    ", \"elements_per_iter\": {}, \"elements_per_sec\": {}",
+                    n,
+                    json_f64(n as f64 / median_secs)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                extra = format!(
+                    ", \"bytes_per_iter\": {}, \"mib_per_sec\": {}",
+                    n,
+                    json_f64(n as f64 / median_secs / (1024.0 * 1024.0))
+                );
+            }
+            None => {}
+        }
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"samples\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}{extra}}}{}\n",
+            json_str(&r.id),
+            r.samples,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"benchmark\": {}, \"name\": {}, \"value\": {}}}{}\n",
+            json_str(&m.benchmark),
+            json_str(&m.name),
+            json_f64(m.value),
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity literals; clamp them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -312,12 +490,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define the bench binary's `main`, mirroring criterion's macro.
+/// Define the bench binary's `main`, mirroring criterion's macro.  After
+/// every group has run, the machine-readable `BENCH_<name>.json` report is
+/// written (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -355,6 +536,58 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
         assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
         assert!(fmt_duration(Duration::from_secs(10)).contains(" s"));
+    }
+
+    #[test]
+    fn bench_stems_drop_cargo_hashes() {
+        assert_eq!(
+            bench_stem("target/release/deps/ablation_kernels-0123456789abcdef"),
+            "ablation_kernels"
+        );
+        // Not a 16-hex suffix: keep the stem whole.
+        assert_eq!(bench_stem("my-bench"), "my-bench");
+        assert_eq!(bench_stem(""), "bench");
+    }
+
+    #[test]
+    fn json_report_renders_records_and_metrics() {
+        let records = vec![
+            Record {
+                id: "g/fast/256".into(),
+                samples: 20,
+                mean_ns: 2_400_000,
+                median_ns: 2_000_000,
+                min_ns: 1_500_000,
+                max_ns: 2_500_000,
+                throughput: Some(Throughput::Elements(1_000_000)),
+            },
+            Record {
+                id: "g/wire".into(),
+                samples: 10,
+                mean_ns: 1_200_000,
+                median_ns: 1_000_000,
+                min_ns: 900_000,
+                max_ns: 1_100_000,
+                throughput: Some(Throughput::Bytes(1 << 20)),
+            },
+        ];
+        let metrics = vec![Metric {
+            benchmark: "g/fast/256".into(),
+            name: "allocs_per_block".into(),
+            value: 716.0,
+        }];
+        let json = render_json("demo", &records, &metrics);
+        // 1e6 elements at a 2 ms/iter median = 5e8 elements/sec.
+        assert!(json.contains("\"elements_per_sec\": 500000000"));
+        // 1 MiB at a 1 ms/iter median = 1000 MiB/sec.
+        assert!(json.contains("\"mib_per_sec\": 1000"));
+        assert!(json.contains("\"median_ns\": 2000000"));
+        assert!(json.contains("\"allocs_per_block\""));
+        assert!(json.contains("\"bench\": \"demo\""));
+        // Exactly one comma-separated results list: no trailing comma.
+        assert!(!json.contains(",\n  ]"));
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 
     #[test]

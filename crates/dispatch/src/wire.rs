@@ -46,7 +46,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 
 use mcdbr_exec::plan::{OutputColumn, RandomTableSpec};
-use mcdbr_exec::{BinaryOp, BundleValue, Expr, JoinType, PlanNode, TupleBundle};
+use mcdbr_exec::{BinaryOp, BundleValue, Expr, JoinType, PlanNode, TupleBundle, ValueChain};
 use mcdbr_prng::StreamKeyRange;
 use mcdbr_storage::{Column, DataType, Error, Field, Schema, Table, Tuple, Value};
 use mcdbr_vg::{
@@ -196,11 +196,12 @@ impl<'a> Dec<'a> {
             .map_err(|e| WireError::Corrupt(format!("{what}: {e}")))
     }
 
-    /// Decode a boxed value vector via the columnar [`Column`] codec.
-    fn values(&mut self, what: &'static str) -> WireResult<Vec<Value>> {
+    /// Decode a value chain via the columnar [`Column`] codec.  The decoded
+    /// column becomes the chain's single shared segment — no re-boxing.
+    fn chain(&mut self, what: &'static str) -> WireResult<ValueChain> {
         let column = Column::decode_wire(self.buf, &mut self.pos)
             .map_err(|e| WireError::Corrupt(format!("{what}: {e}")))?;
-        Ok(column.values_out())
+        Ok(ValueChain::from_column(column))
     }
 
     fn finish(self, what: &'static str) -> WireResult<()> {
@@ -219,13 +220,18 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Encode a boxed value vector through the columnar [`Column`] codec:
-/// typed vectors for homogeneous data, dictionary + arena for strings,
-/// null bitmap for NULLs, tagged boxed values only for mixed cells.
-fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+/// Encode a bundle value chain.  The common single-segment chain writes its
+/// column's wire encoding directly — a straight column copy, no per-value
+/// boxing; a replenished multi-segment chain flattens through a temporary
+/// column first (same on-wire format either way).
+fn put_chain(out: &mut Vec<u8>, chain: &ValueChain) {
+    if let [seg] = chain.segments() {
+        seg.encode_wire(out);
+        return;
+    }
     let mut column = Column::default();
-    for v in values {
-        column.push_value(v);
+    for v in chain.iter() {
+        column.push_value(&v);
     }
     column.encode_wire(out);
 }
@@ -453,11 +459,11 @@ pub fn encode_bundle(idx: usize, bundle: Option<&TupleBundle>) -> Vec<u8> {
                         out.extend_from_slice(&(*vg_row as u32).to_le_bytes());
                         out.extend_from_slice(&(*vg_col as u32).to_le_bytes());
                         out.extend_from_slice(&base_pos.to_le_bytes());
-                        put_values(&mut out, values);
+                        put_chain(&mut out, values);
                     }
                     BundleValue::Computed(values) => {
                         out.push(3);
-                        put_values(&mut out, values);
+                        put_chain(&mut out, values);
                     }
                 }
             }
@@ -552,9 +558,9 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
                                 vg_row: d.u32("random vg_row")? as usize,
                                 vg_col: d.u32("random vg_col")? as usize,
                                 base_pos: d.u64("random base_pos")?,
-                                values: d.values("random values")?,
+                                values: d.chain("random values")?,
                             },
-                            3 => BundleValue::Computed(d.values("computed values")?),
+                            3 => BundleValue::Computed(d.chain("computed values")?),
                             other => {
                                 return Err(WireError::Corrupt(format!(
                                     "unknown bundle value tag {other}"

@@ -11,10 +11,11 @@
 //! simultaneous queries" — group keys must therefore be deterministic
 //! (constant) attributes.
 
-use mcdbr_storage::{Error, Result, Schema, Value};
+use mcdbr_storage::{Error, Mask, Result, Schema, SelVec, Value};
 
-use crate::bundle::BundleSet;
+use crate::bundle::{BundleSet, BundleValue};
 use crate::expr::Expr;
+use crate::kernels::{self, Lane, NumVals};
 use crate::par;
 
 /// Aggregate functions supported by the engine.
@@ -150,17 +151,40 @@ pub fn evaluate_aggregate_threads(
     threads: usize,
 ) -> Result<QueryResultSamples> {
     let layout = GroupLayout::discover(set, group_by)?;
-
-    // One independent accumulation per repetition, fanned out across
-    // repetitions; within a repetition bundles are visited in set order, so
-    // floating-point accumulation order (and hence every bit of the result)
-    // is independent of the thread count.
-    let reps: Vec<usize> = (0..set.num_reps).collect();
-    let per_rep: Vec<Vec<Accum>> = par::try_par_map_threads(&reps, threads, |&rep| {
-        accumulate_rep(set, &layout, agg, final_predicate, rep)
-    })?;
-
+    let per_rep = accumulate_all(set, &layout, agg, final_predicate, threads)?;
     Ok(layout.finish(per_rep, agg.func, group_by))
+}
+
+/// Every repetition's accumulators, fanned out across `threads`.  The
+/// vectorized plan partitions repetitions into balanced contiguous ranges
+/// and sweeps bundles column-at-a-time within each; the scalar fallback
+/// fans out per repetition.  Within a repetition bundles are visited in set
+/// order either way, so floating-point accumulation order (and hence every
+/// bit of the result) is independent of the thread count and of which path
+/// ran.
+fn accumulate_all(
+    set: &BundleSet,
+    layout: &GroupLayout,
+    agg: &AggregateSpec,
+    final_predicate: Option<&Expr>,
+    threads: usize,
+) -> Result<Vec<Vec<Accum>>> {
+    if let Some(plan) = compile_plan(set, layout, agg, final_predicate) {
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut lo = 0usize;
+        for len in mcdbr_prng::balanced_chunks(set.num_reps, threads.max(1)) {
+            ranges.push(lo..lo + len);
+            lo += len;
+        }
+        let chunks: Vec<Vec<Vec<Accum>>> = par::try_par_map_threads(&ranges, threads, |range| {
+            Ok(accumulate_range(&plan, range.start, range.end))
+        })?;
+        return Ok(chunks.into_iter().flatten().collect());
+    }
+    let reps: Vec<usize> = (0..set.num_reps).collect();
+    par::try_par_map_threads(&reps, threads, |&rep| {
+        accumulate_rep(set, layout, agg, final_predicate, rep)
+    })
 }
 
 /// The sharded-partials variant behind
@@ -201,7 +225,11 @@ pub(crate) fn evaluate_aggregate_partials(
     }
     let spawned = ranges.len();
 
+    let plan = compile_plan(set, &layout, agg, final_predicate);
     let partials: Vec<Vec<Vec<Accum>>> = par::try_par_map_threads(&ranges, threads, |range| {
+        if let Some(plan) = &plan {
+            return Ok(accumulate_range(plan, range.start, range.end));
+        }
         range
             .clone()
             .map(|rep| accumulate_rep(set, &layout, agg, final_predicate, rep))
@@ -301,6 +329,111 @@ impl GroupLayout {
             groups,
         }
     }
+}
+
+/// A pre-compiled columnar aggregation plan: per bundle, the aggregand
+/// evaluated across every repetition plus the selection vector of
+/// contributing repetitions (presence ∧ final predicate).  Compilation
+/// declines — whole-set scalar fallback — whenever any bundle leaves the
+/// vectorized subset (multi-segment chain, non-compilable expression,
+/// [`kernels::KernelMode::ForceScalar`]), so the plan is bit-identical to
+/// the scalar loop wherever it engages.
+struct AggPlan {
+    bundles: Vec<PlanBundle>,
+    num_groups: usize,
+}
+
+struct PlanBundle {
+    gidx: usize,
+    vals: NumVals,
+    sel: SelVec,
+}
+
+fn compile_plan(
+    set: &BundleSet,
+    layout: &GroupLayout,
+    agg: &AggregateSpec,
+    final_predicate: Option<&Expr>,
+) -> Option<AggPlan> {
+    if !kernels::vectorized_enabled() {
+        return None;
+    }
+    let schema = &set.schema;
+    let n = set.num_reps;
+    let mut bundles = Vec::with_capacity(set.bundles.len());
+    for (bundle, &gidx) in set.bundles.iter().zip(&layout.key_of_bundle) {
+        // Every attribute must be a broadcast constant or expose a single
+        // contiguous column segment of exactly `n` repetitions to become an
+        // expression lane (replenished chains are longer and multi-segment;
+        // the scalar loop handles those).
+        let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(bundle.values.len());
+        for v in &bundle.values {
+            lanes.push(match v {
+                BundleValue::Const(c) => Lane::Const(c),
+                chained => {
+                    let seg = chained.chain()?.as_single()?;
+                    if seg.len() != n {
+                        return None;
+                    }
+                    Lane::Col(seg)
+                }
+            });
+        }
+        let vals = kernels::numeric_values(&agg.expr, schema, &lanes, n)?;
+        let mut keep = match &bundle.is_pres {
+            None => Mask::ones(n),
+            Some(flags) => {
+                // Out-of-range repetitions count as absent, matching
+                // `TupleBundle::is_present`.
+                let mut m = Mask::zeros(n);
+                for (i, &f) in flags.iter().take(n).enumerate() {
+                    if f {
+                        m.set(i, true);
+                    }
+                }
+                m
+            }
+        };
+        if let Some(pred) = final_predicate {
+            let pm = kernels::predicate_mask(pred, schema, &lanes, n)?;
+            keep.and_assign(&pm);
+        }
+        bundles.push(PlanBundle {
+            gidx,
+            vals,
+            sel: SelVec::from_mask(&keep),
+        });
+    }
+    Some(AggPlan {
+        bundles,
+        num_groups: layout.keys.len(),
+    })
+}
+
+/// Accumulate the contiguous repetition range `lo..hi` column-at-a-time:
+/// bundles in the outer loop (set order), each bundle's selection vector
+/// sliced to the range in the inner loop.  Per `(repetition, group)`
+/// accumulator the `add` calls arrive in exactly the scalar path's bundle
+/// order over exactly the same `f64`s, so the result is bit-identical to
+/// [`accumulate_rep`] over the same range.
+fn accumulate_range(plan: &AggPlan, lo: usize, hi: usize) -> Vec<Vec<Accum>> {
+    let mut accs = vec![vec![Accum::default(); plan.num_groups]; hi - lo];
+    for b in &plan.bundles {
+        let reps = b.sel.slice_in_range(lo, hi);
+        match &b.vals {
+            NumVals::Const(c) => {
+                for &rep in reps {
+                    accs[rep as usize - lo][b.gidx].add(*c);
+                }
+            }
+            NumVals::Col(v) => {
+                for &rep in reps {
+                    accs[rep as usize - lo][b.gidx].add(v[rep as usize]);
+                }
+            }
+        }
+    }
+    accs
 }
 
 /// Accumulate one repetition's aggregates over every group, visiting bundles
@@ -424,7 +557,7 @@ mod tests {
                     vg_row: 0,
                     vg_col: 0,
                     base_pos: 0,
-                    values: vals.into_iter().map(Value::Float64).collect(),
+                    values: crate::bundle::ValueChain::from_f64s(vals),
                 },
             ],
             is_pres: None,
@@ -565,7 +698,7 @@ mod tests {
         set.num_reps = 0;
         for b in &mut set.bundles {
             if let BundleValue::Random { values, .. } = &mut b.values[1] {
-                values.clear();
+                *values = crate::bundle::ValueChain::new();
             }
         }
         let agg = AggregateSpec::sum(Expr::col("loss"), "s");

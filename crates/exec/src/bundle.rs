@@ -19,11 +19,226 @@
 //!
 //! Presence (`isPres`, paper §5) is a per-repetition boolean vector: `None`
 //! means "present in every instance".
+//!
+//! Since the end-to-end columnar migration, the materialized values behind
+//! `Random` and `Computed` attributes live in a [`ValueChain`] — shared,
+//! refcounted [`Column`] segments — instead of a boxed `Vec<Value>`.  The
+//! bundle-set boundary is no longer a transpose-and-box: phase 2 hands each
+//! bundle an `Arc` to the very column the VG kernel filled, joins fan the
+//! same `Arc` out to every matching bundle, and the aggregation / looper /
+//! dispatch layers read contiguous typed slices.
+
+use std::sync::Arc;
 
 use mcdbr_prng::SeedId;
-use mcdbr_storage::{Schema, Value};
+use mcdbr_storage::{Column, Schema, Value};
 
 use crate::stream_registry::StreamRegistry;
+
+/// The materialized values of one random or computed attribute: an ordered
+/// chain of shared, immutable column segments.
+///
+/// A freshly instantiated bundle holds exactly one segment — an `Arc` of the
+/// column its VG kernel produced (or its projection computed).  Replenishment
+/// runs [`ValueChain::append`] further segments for later stream positions,
+/// so a Gibbs bundle that has been replenished `r` times holds `r + 1`
+/// segments; reads cross segment boundaries transparently.  Sharing is the
+/// point: a join that fans one stream block out to `m` bundles clones `m`
+/// refcounts, not `m` value vectors.
+///
+/// Lifetime rule: segments are immutable from the moment they enter a chain.
+/// Pooled generation buffers are therefore *copied once* into their `Arc`
+/// segment at the bundle-set boundary (one memcpy per cell per block) and
+/// the pooled buffer is released immediately — a chain never points into the
+/// block pool.
+#[derive(Debug, Clone, Default)]
+pub struct ValueChain {
+    segments: Segments,
+    len: usize,
+}
+
+/// Segment storage: the overwhelmingly common single-segment chain (a bundle
+/// that has never been replenished) is stored inline, so building one from an
+/// `Arc` is a refcount bump with *zero* heap allocations; only replenishment
+/// promotes a chain to the vector representation.
+#[derive(Debug, Clone)]
+enum Segments {
+    One(Arc<Column>),
+    Many(Vec<Arc<Column>>),
+}
+
+impl Default for Segments {
+    fn default() -> Self {
+        Segments::Many(Vec::new())
+    }
+}
+
+impl Segments {
+    fn as_slice(&self) -> &[Arc<Column>] {
+        match self {
+            Segments::One(col) => std::slice::from_ref(col),
+            Segments::Many(cols) => cols,
+        }
+    }
+}
+
+impl ValueChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        ValueChain::default()
+    }
+
+    /// A single-segment chain sharing `col` (no heap allocation).
+    pub fn from_arc(col: Arc<Column>) -> Self {
+        ValueChain {
+            len: col.len(),
+            segments: Segments::One(col),
+        }
+    }
+
+    /// A single-segment chain owning `col`.
+    pub fn from_column(col: Column) -> Self {
+        Self::from_arc(Arc::new(col))
+    }
+
+    /// Build a chain from boxed values (the row-path and test boundary).
+    pub fn from_values(values: &[Value]) -> Self {
+        let mut col = Column::default();
+        for v in values {
+            col.push_value(v);
+        }
+        Self::from_column(col)
+    }
+
+    /// Build a single-segment `Float64` chain (test/bench convenience).
+    pub fn from_f64s(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut col = Column::default();
+        for v in values {
+            col.push_f64(v);
+        }
+        Self::from_column(col)
+    }
+
+    /// Total number of materialized positions across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no positions are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column segments, in stream-position order.
+    pub fn segments(&self) -> &[Arc<Column>] {
+        self.segments.as_slice()
+    }
+
+    /// The sole segment of a single-segment chain (the common,
+    /// never-replenished case every vectorized kernel fast-paths).
+    pub fn as_single(&self) -> Option<&Arc<Column>> {
+        match self.segments.as_slice() {
+            [only] => Some(only),
+            _ => None,
+        }
+    }
+
+    /// The contiguous `f64` slice behind a single-segment, `Float64`-typed,
+    /// null-free chain — the typed view the batched kernels consume.
+    pub fn f64_slice(&self) -> Option<&[f64]> {
+        self.as_single().and_then(|col| col.f64_slice())
+    }
+
+    /// The boxed value at position `idx` (a scalar copy, or a refcount bump
+    /// for strings).  Single-segment chains resolve on the first probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the materialized chain — callers are
+    /// expected to have instantiated enough positions.
+    pub fn value_at(&self, idx: usize) -> Value {
+        let mut off = idx;
+        for seg in self.segments() {
+            if off < seg.len() {
+                return seg.value_at(off);
+            }
+            off -= seg.len();
+        }
+        panic!(
+            "value index {idx} outside the materialized chain of {} positions",
+            self.len
+        );
+    }
+
+    /// Append `other`'s segments (replenishment: later stream positions).
+    /// A single-segment chain is promoted to the vector representation here;
+    /// everywhere else stays allocation-free.
+    pub fn append(&mut self, other: ValueChain) {
+        self.len += other.len;
+        let ours = std::mem::take(&mut self.segments);
+        self.segments = match (ours, other.segments) {
+            (Segments::Many(mut a), Segments::One(b)) => {
+                a.push(b);
+                Segments::Many(a)
+            }
+            (Segments::Many(mut a), Segments::Many(b)) => {
+                a.extend(b);
+                Segments::Many(a)
+            }
+            (Segments::One(a), theirs) => {
+                let mut merged = Vec::with_capacity(1 + theirs.as_slice().len());
+                merged.push(a);
+                match theirs {
+                    Segments::One(b) => merged.push(b),
+                    Segments::Many(b) => merged.extend(b),
+                }
+                Segments::Many(merged)
+            }
+        };
+    }
+
+    /// Materialize the whole chain as boxed values (wire flattening and
+    /// test assertions only — the engine reads columns).
+    pub fn to_values(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.len);
+        for seg in self.segments() {
+            out.extend(seg.values_out());
+        }
+        out
+    }
+
+    /// Iterate the chain's values in position order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.segments()
+            .iter()
+            .flat_map(|seg| (0..seg.len()).map(move |i| seg.value_at(i)))
+    }
+}
+
+impl FromIterator<Value> for ValueChain {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        let mut col = Column::default();
+        for v in iter {
+            col.push_value(&v);
+        }
+        Self::from_column(col)
+    }
+}
+
+/// Value-wise equality (the chain segmentation is an implementation detail:
+/// one chain of two segments equals one chain of one segment holding the
+/// same values).  Single-segment float chains compare slice-at-a-time.
+impl PartialEq for ValueChain {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (self.f64_slice(), other.f64_slice()) {
+            return a == b;
+        }
+        self.iter().eq(other.iter())
+    }
+}
 
 /// One attribute of a tuple bundle.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,14 +253,14 @@ pub enum BundleValue {
         vg_row: usize,
         /// Which column of the VG function's output table this attribute reads.
         vg_col: usize,
-        /// Stream position of `values[0]`.
+        /// Stream position of the chain's first value.
         base_pos: u64,
-        /// Materialized block of values for positions
+        /// Materialized chain of values for positions
         /// `base_pos .. base_pos + values.len()`.
-        values: Vec<Value>,
+        values: ValueChain,
     },
     /// Per-repetition values without lineage (derived by a projection).
-    Computed(Vec<Value>),
+    Computed(ValueChain),
 }
 
 impl BundleValue {
@@ -63,27 +278,34 @@ impl BundleValue {
     }
 
     /// The value of this attribute in Monte Carlo repetition `rep`
-    /// (equivalently, at block offset `rep` for a Gibbs block).
+    /// (equivalently, at block offset `rep` for a Gibbs block), boxed — a
+    /// scalar copy or a string refcount bump.
     ///
-    /// Panics if `rep` is outside the materialized block — callers are
+    /// Panics if `rep` is outside the materialized chain — callers are
     /// expected to have instantiated enough positions (the executor always
     /// materializes exactly `num_reps` values in MCDB mode).
-    pub fn value_at(&self, rep: usize) -> &Value {
+    pub fn value_at(&self, rep: usize) -> Value {
         match self {
-            BundleValue::Const(v) => v,
-            BundleValue::Random { values, .. } => &values[rep],
-            BundleValue::Computed(values) => &values[rep],
+            BundleValue::Const(v) => v.clone(),
+            BundleValue::Random { values, .. } => values.value_at(rep),
+            BundleValue::Computed(values) => values.value_at(rep),
+        }
+    }
+
+    /// The value chain behind a random or computed attribute (`None` for
+    /// constants) — the typed-slice entry point for vectorized kernels.
+    pub fn chain(&self) -> Option<&ValueChain> {
+        match self {
+            BundleValue::Const(_) => None,
+            BundleValue::Random { values, .. } => Some(values),
+            BundleValue::Computed(values) => Some(values),
         }
     }
 
     /// Number of materialized values (None for constants, which cover any
     /// number of repetitions).
     pub fn materialized_len(&self) -> Option<usize> {
-        match self {
-            BundleValue::Const(_) => None,
-            BundleValue::Random { values, .. } => Some(values.len()),
-            BundleValue::Computed(values) => Some(values.len()),
-        }
+        self.chain().map(ValueChain::len)
     }
 }
 
@@ -157,10 +379,7 @@ impl TupleBundle {
     /// Materialize the row of this bundle for repetition `rep` (ignoring
     /// presence; callers check [`TupleBundle::is_present`] first).
     pub fn row_at(&self, rep: usize) -> Vec<Value> {
-        self.values
-            .iter()
-            .map(|v| v.value_at(rep).clone())
-            .collect()
+        self.values.iter().map(|v| v.value_at(rep)).collect()
     }
 
     /// [`TupleBundle::row_at`] into a caller-owned scratch buffer: the
@@ -170,7 +389,7 @@ impl TupleBundle {
     /// for scalars and refcount bumps for strings).
     pub fn write_row_into(&self, rep: usize, out: &mut Vec<Value>) {
         out.clear();
-        out.extend(self.values.iter().map(|v| v.value_at(rep).clone()));
+        out.extend(self.values.iter().map(|v| v.value_at(rep)));
     }
 
     /// Concatenate two bundles (used by join operators).  Presence vectors
@@ -232,7 +451,7 @@ mod tests {
             vg_row: 0,
             vg_col: 0,
             base_pos: 0,
-            values: values.into_iter().map(Value::Float64).collect(),
+            values: ValueChain::from_f64s(values),
         }
     }
 

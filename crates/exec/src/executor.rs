@@ -18,9 +18,9 @@
 use std::collections::HashMap;
 
 use mcdbr_prng::seed_for;
-use mcdbr_storage::{Catalog, Error, Result, Schema, Value};
+use mcdbr_storage::{Catalog, Column, Error, Result, Schema, Value};
 
-use crate::bundle::{BundleSet, BundleValue, TupleBundle};
+use crate::bundle::{BundleSet, BundleValue, TupleBundle, ValueChain};
 use crate::expr::Expr;
 use crate::plan::{OutputColumn, PlanNode, RandomTableSpec};
 use crate::stream_registry::StreamRegistry;
@@ -196,16 +196,16 @@ fn exec_random_table(
                         values.push(BundleValue::Const(param_row.value(idx).clone()));
                     }
                     OutputColumn::Vg { vg_col, .. } => {
-                        let block: Vec<Value> = per_pos_rows
-                            .iter()
-                            .map(|rows| rows[vg_row].value(*vg_col).clone())
-                            .collect();
+                        let mut block = Column::default();
+                        for rows in &per_pos_rows {
+                            block.push_value(rows[vg_row].value(*vg_col));
+                        }
                         values.push(BundleValue::Random {
                             seed,
                             vg_row,
                             vg_col: *vg_col,
                             base_pos: opts.base_pos,
-                            values: block,
+                            values: ValueChain::from_column(block),
                         });
                     }
                 }
@@ -291,12 +291,12 @@ fn apply_project(
                 let row = bundle.row_at(0);
                 values.push(BundleValue::Const(expr.eval(schema, &row)?));
             } else {
-                let mut computed = Vec::with_capacity(num_reps);
+                let mut computed = Column::default();
                 for rep in 0..num_reps {
                     let row = bundle.row_at(rep);
-                    computed.push(expr.eval(schema, &row)?);
+                    computed.push_value(&expr.eval(schema, &row)?);
                 }
-                values.push(BundleValue::Computed(computed));
+                values.push(BundleValue::Computed(ValueChain::from_column(computed)));
             }
         }
         out.push(TupleBundle {
@@ -525,7 +525,7 @@ mod tests {
                     .registry
                     .value_at(*seed, i as u64, *vg_row, *vg_col)
                     .unwrap();
-                assert_eq!(&regen, v);
+                assert_eq!(regen, v);
             }
         }
     }
@@ -576,7 +576,7 @@ mod tests {
                 }
                 _ => panic!("expected random attributes"),
             };
-            assert_eq!(&long_vals[5..10], &block_vals[..]);
+            assert_eq!(&long_vals.to_values()[5..10], &block_vals.to_values()[..]);
         }
     }
 

@@ -68,6 +68,7 @@ pub mod bundle;
 pub mod cache;
 pub mod executor;
 pub mod expr;
+pub mod kernels;
 pub mod par;
 pub mod plan;
 pub mod pool;
@@ -80,10 +81,11 @@ pub use backend::{
     default_backend, default_backend_kind, default_workers, install_default_backend, BackendKind,
     ExecBackend, InProcessBackend, ShardStats,
 };
-pub use bundle::{BundleSet, BundleValue, TupleBundle};
+pub use bundle::{BundleSet, BundleValue, TupleBundle, ValueChain};
 pub use cache::SessionCache;
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
 pub use plan::{JoinType, PlanNode, RandomTableSpec};
 pub use pool::BlockBufferPool;
 pub use session::{instantiate_block_rows, DeterministicPrefix, ExecSession, PlanSkeleton};

@@ -63,16 +63,17 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mcdbr_prng::{SeedId, StreamKey};
-use mcdbr_storage::{Catalog, ColumnBlock, Error, Result, Schema, Tuple, Value};
+use mcdbr_storage::{Catalog, ColumnBlock, Error, Mask, Result, Schema, SelVec, Tuple, Value};
 
 use crate::backend::ExecBackend;
-use crate::bundle::{BundleSet, BundleValue, TupleBundle};
+use crate::bundle::{BundleSet, BundleValue, TupleBundle, ValueChain};
 use crate::executor::{join_key, ExecOptions, Executor, JoinKey};
 use crate::expr::Expr;
+use crate::kernels::{self, Lane};
 use crate::par;
 use crate::plan::{OutputColumn, PlanNode};
 use crate::pool::BlockBufferPool;
-use crate::stream_registry::{SkeletonRegistry, StreamRegistry};
+use crate::stream_registry::{SkeletonRegistry, StreamRegistry, StreamSource};
 
 /// The master seed used only to probe VG output-row counts during skeleton
 /// construction (the probed values are discarded; only the row count is
@@ -161,6 +162,13 @@ pub struct PlanSkeleton {
     /// — a structural saving the one-shot executor (which instantiates before
     /// filtering) cannot make.
     active_keys: Vec<StreamKey>,
+    /// Per-active-key generation recipe — the registry source plus the
+    /// probed per-invocation row count — aligned with `active_keys`.
+    /// Precomputed once here so the per-block generation fan-out indexes a
+    /// slice instead of probing two `BTreeMap`s per stream per block (the
+    /// registry may hold thousands of streams while only a filtered few are
+    /// active).
+    active_sources: Vec<(StreamSource, Option<usize>)>,
     /// Per-bundle sorted stream keys (first key = the bundle's shard anchor),
     /// computed once here so shard ownership decisions never re-walk the
     /// symbolic bundles per shard per block.
@@ -648,10 +656,112 @@ impl ExecSession {
 
 // ===== Phase 2: block materialization against a cached prefix =====
 
-/// Per-stream materialized VG outputs for one block, columnar:
-/// `blocks[key]` is the stream's [`ColumnBlock`] — one typed buffer per VG
-/// output cell, spanning positions `base_pos .. base_pos + num_values`.
-pub(crate) type BlockData = BTreeMap<StreamKey, ColumnBlock>;
+/// One stream's generated block as shared, immutable per-cell columns.
+///
+/// The pooled [`ColumnBlock`] a VG kernel fills is a *reused* buffer; bundle
+/// values must outlive it.  Converting *moves* each cell column out of the
+/// pooled buffer into a recycled `Arc` ([`BlockBufferPool::adopt_cell`] —
+/// a swap, not a copy) and lets the pooled buffer go straight back to the
+/// pool — after which every bundle referencing the cell shares the same
+/// `Arc` ([`crate::bundle::ValueChain`] segments), so a join fanning a
+/// stream out to `m` bundles clones `m` refcounts, never `m` value vectors,
+/// and dispatch partial frames encode the column bytes directly.
+pub(crate) struct CellCols {
+    rows: usize,
+    cols: usize,
+    cells: Cells,
+}
+
+/// Cell storage: scalar VG functions (one output row, one output column —
+/// the dominant shape) store their single cell inline, skipping the
+/// per-stream grid `Vec` allocation.
+enum Cells {
+    Single(Arc<mcdbr_storage::Column>),
+    Grid(Vec<Arc<mcdbr_storage::Column>>),
+}
+
+impl CellCols {
+    /// Move a generated block's cells out of the pooled buffer (see the
+    /// type docs; the caller releases `block` immediately afterwards — its
+    /// cells now hold the recycled Arcs' cleared warm storage).
+    pub(crate) fn from_block(block: &mut ColumnBlock, pool: &BlockBufferPool) -> CellCols {
+        let rows = block.rows_per_pos();
+        let cols = block.cols();
+        let cells = if rows * cols == 1 {
+            Cells::Single(pool.adopt_cell(block.column_mut(0, 0)))
+        } else {
+            let mut grid = Vec::with_capacity(rows * cols);
+            for row in 0..rows {
+                for col in 0..cols {
+                    grid.push(pool.adopt_cell(block.column_mut(row, col)));
+                }
+            }
+            Cells::Grid(grid)
+        };
+        CellCols { rows, cols, cells }
+    }
+
+    /// The shared column for VG output cell `(row, col)`.
+    pub(crate) fn cell(&self, row: usize, col: usize) -> Result<&Arc<mcdbr_storage::Column>> {
+        if row >= self.rows || col >= self.cols {
+            return Err(Error::Invalid(format!(
+                "VG output cell ({row}, {col}) outside the {}x{} block shape",
+                self.rows, self.cols
+            )));
+        }
+        match &self.cells {
+            Cells::Single(cell) => Ok(cell),
+            Cells::Grid(grid) => Ok(&grid[row * self.cols + col]),
+        }
+    }
+
+    /// The boxed value at block offset `pos` of cell `(row, col)`.
+    pub(crate) fn value_at(&self, row: usize, col: usize, pos: usize) -> Result<Value> {
+        Ok(self.cell(row, col)?.value_at(pos))
+    }
+}
+
+/// Per-stream shared cell columns for one generated block window.
+///
+/// A sorted vec rather than a `BTreeMap`: both builders insert keys in
+/// ascending order (the in-process fan-out walks the skeleton's sorted
+/// `active_keys`; shard tasks walk a sorted needed-set), so building is an
+/// append and lookup a cache-friendly binary search over one contiguous
+/// allocation instead of pointer-chasing per-entry tree nodes.
+#[derive(Default)]
+pub(crate) struct CellData {
+    entries: Vec<(StreamKey, CellCols)>,
+}
+
+impl CellData {
+    pub(crate) fn with_capacity(n: usize) -> CellData {
+        CellData {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Insert `key`'s cells.  Ascending-order inserts (the only order the
+    /// engine produces) append; anything else falls back to a sorted insert
+    /// so the invariant holds for arbitrary callers.
+    pub(crate) fn insert(&mut self, key: StreamKey, cells: CellCols) {
+        match self.entries.last() {
+            Some((last, _)) if *last >= key => {
+                match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(i) => self.entries[i] = (key, cells),
+                    Err(i) => self.entries.insert(i, (key, cells)),
+                }
+            }
+            _ => self.entries.push((key, cells)),
+        }
+    }
+
+    fn get(&self, key: StreamKey) -> Option<&CellCols> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
 
 /// Generate one stream's VG outputs for positions `base_pos .. base_pos +
 /// num_values` into a pooled columnar buffer, via the VG function's batched
@@ -673,8 +783,70 @@ pub(crate) fn generate_stream_block(
     num_values: usize,
     pool: &BlockBufferPool,
 ) -> Result<ColumnBlock> {
+    let skeleton = prefix.skeleton();
+    // Resolve through the precomputed active-key recipes when the key is
+    // active (a sorted-slice probe); fall back to the registry maps for
+    // keys outside the active set.
+    let (source, expected) = match skeleton.active_keys.binary_search(&key) {
+        Ok(idx) => {
+            let (source, expected) = &skeleton.active_sources[idx];
+            (source, *expected)
+        }
+        Err(_) => (
+            skeleton.registry.source(key)?,
+            skeleton.vg_rows.get(&key).copied(),
+        ),
+    };
+    generate_source_block(
+        source,
+        expected,
+        prefix.seed_of(key),
+        base_pos,
+        num_values,
+        pool,
+    )
+}
+
+/// [`generate_stream_block`] for the `idx`-th active stream, using the
+/// skeleton's precomputed recipe directly — the per-block fan-out path,
+/// which must not probe shared maps per stream.
+pub(crate) fn generate_active_stream_block(
+    prefix: &DeterministicPrefix,
+    idx: usize,
+    base_pos: u64,
+    num_values: usize,
+    pool: &BlockBufferPool,
+) -> Result<ColumnBlock> {
+    let skeleton = prefix.skeleton();
+    let key = skeleton.active_keys[idx];
+    let (source, expected) = &skeleton.active_sources[idx];
+    generate_source_block(
+        source,
+        *expected,
+        prefix.seed_of(key),
+        base_pos,
+        num_values,
+        pool,
+    )
+}
+
+fn generate_source_block(
+    source: &crate::stream_registry::StreamSource,
+    expected_rows: Option<usize>,
+    seed: mcdbr_prng::SeedId,
+    base_pos: u64,
+    num_values: usize,
+    pool: &BlockBufferPool,
+) -> Result<ColumnBlock> {
     let mut block = pool.acquire();
-    match fill_stream_block(prefix, key, base_pos, num_values, &mut block) {
+    match fill_stream_block(
+        source,
+        expected_rows,
+        seed,
+        base_pos,
+        num_values,
+        &mut block,
+    ) {
         Ok(()) => Ok(block),
         Err(e) => {
             // Back to the pool even on failure, so partial work is metered
@@ -688,21 +860,19 @@ pub(crate) fn generate_stream_block(
 /// The fallible body of [`generate_stream_block`]: batched generation plus
 /// the hoisted once-per-block shape validation.
 fn fill_stream_block(
-    prefix: &DeterministicPrefix,
-    key: StreamKey,
+    source: &crate::stream_registry::StreamSource,
+    expected_rows: Option<usize>,
+    seed: mcdbr_prng::SeedId,
     base_pos: u64,
     num_values: usize,
     block: &mut ColumnBlock,
 ) -> Result<()> {
-    let skeleton = prefix.skeleton();
-    let seed = prefix.seed_of(key);
-    let source = skeleton.registry.source(key)?;
     source
         .vg
         .generate_block_into(&source.params, seed, base_pos, num_values, block)?;
     block.validate(num_values)?;
     if num_values > 0 {
-        if let Some(&expected) = skeleton.vg_rows.get(&key) {
+        if let Some(expected) = expected_rows {
             if block.rows_per_pos() != expected {
                 return Err(Error::Invalid(format!(
                     "VG function {} produced {} output rows per position in block [{}, {}) \
@@ -734,19 +904,28 @@ pub(crate) fn instantiate_cached(
     // (see `crate::par`).
     let skeleton = prefix.skeleton();
     let keys = &skeleton.active_keys;
-    let generated: Vec<Result<ColumnBlock>> = par::par_map_threads(keys, threads, |&key| {
-        generate_stream_block(prefix, key, base_pos, num_values, pool)
+    // Reclaim cell storage freed since the last block (dropped results,
+    // previous replenishment rounds) before adopting this block's cells.
+    pool.sweep_cells();
+    let idxs: Vec<u32> = (0..keys.len() as u32).collect();
+    let generated: Vec<Result<ColumnBlock>> = par::par_map_threads(&idxs, threads, |&idx| {
+        generate_active_stream_block(prefix, idx as usize, base_pos, num_values, pool)
     });
-    let mut blocks = BlockData::new();
+    // Copy each generated cell once into shared columns and return the
+    // pooled buffer immediately — on errors too, so partial work is metered
+    // and buffers survive for the next block (replenishment round, repeated
+    // query, or a neighboring shard task).  The first error in input order
+    // wins (the `crate::par` determinism contract).
+    let mut cells = CellData::with_capacity(keys.len());
     let mut first_err = None;
     for (&key, result) in keys.iter().zip(generated) {
         match result {
-            Ok(block) => {
-                blocks.insert(key, block);
+            Ok(mut block) => {
+                if first_err.is_none() {
+                    cells.insert(key, CellCols::from_block(&mut block, pool));
+                }
+                pool.release(block);
             }
-            // Keep the first error in input order (the `crate::par`
-            // determinism contract); successfully generated neighbors still
-            // go back to the pool below.
             Err(e) => {
                 first_err.get_or_insert(e);
             }
@@ -754,22 +933,15 @@ pub(crate) fn instantiate_cached(
     }
 
     // Replay the symbolic residue of every bundle over the block, fanned out
-    // across bundles.  Dropping never-present bundles afterwards preserves
-    // the relative order `Executor::execute` produces.
+    // across bundles.  The bundles share the cell columns by refcount.
+    // Dropping never-present bundles afterwards preserves the relative order
+    // `Executor::execute` produces.
     let converted: Result<Vec<Option<TupleBundle>>> = match first_err {
         Some(e) => Err(e),
         None => par::try_par_map_threads(&skeleton.bundles, threads, |bundle| {
-            materialize_bundle(bundle, prefix, &blocks, base_pos, num_values)
+            materialize_bundle(bundle, prefix, &cells, base_pos, num_values)
         }),
     };
-
-    // The bundles own their boxed values now; the columnar buffers go back
-    // to the pool — on errors too, so partial work is metered and buffers
-    // survive for the next block (replenishment round, repeated query, or a
-    // neighboring shard task).
-    for (_, block) in blocks {
-        pool.release(block);
-    }
     let bundles: Vec<TupleBundle> = converted?.into_iter().flatten().collect();
 
     Ok(BundleSet {
@@ -783,13 +955,20 @@ pub(crate) fn instantiate_cached(
 /// Materialize one symbolic bundle for a block; `None` when its presence
 /// mask is false everywhere (the executor drops such bundles at the filter
 /// that produced them — dropping here, after the fact, yields the same
-/// output sequence).  Reads column buffers directly; boxed [`Value`]s are
-/// only built at the [`BundleSet`] boundary (and per offset for deferred
-/// expressions, which evaluate over rows by contract).
+/// output sequence).
+///
+/// Random attributes become refcount clones of the shared cell columns.
+/// Presence predicates run through the vectorized kernels
+/// ([`crate::kernels::predicate_mask`]) whenever the expression compiles:
+/// one packed mask per predicate, no row materialization.  Predicates
+/// outside the vectorizable subset replay the scalar row loop — but only at
+/// the offsets still present, which both preserves the scalar path's
+/// cross-predicate short-circuit (a row failing an earlier predicate never
+/// evaluates a later one) and makes the fallback selection-driven.
 pub(crate) fn materialize_bundle(
     bundle: &SymBundle,
     prefix: &DeterministicPrefix,
-    blocks: &BlockData,
+    blocks: &CellData,
     base_pos: u64,
     num_values: usize,
 ) -> Result<Option<TupleBundle>> {
@@ -802,32 +981,84 @@ pub(crate) fn materialize_bundle(
     let is_pres = match bundle.preds.as_slice() {
         [] => None,
         preds => {
-            let mut mask = Vec::with_capacity(num_values);
+            let mut present = Mask::ones(num_values);
             let mut row: Vec<Value> = Vec::new();
-            for offset in 0..num_values {
-                let mut present = true;
-                for pred in preds {
-                    eval_row_into(&pred.inputs, blocks, offset, &mut row)?;
-                    if !pred.predicate.eval_bool(&pred.schema, &row)? {
-                        present = false;
-                        break;
+            for pred in preds {
+                if let Some(mask) = vector_pred_mask(pred, blocks, num_values) {
+                    present.and_assign(&mask);
+                } else {
+                    let sel = SelVec::from_mask(&present);
+                    for &off in sel.indices() {
+                        let offset = off as usize;
+                        eval_row_into(&pred.inputs, blocks, offset, &mut row)?;
+                        if !pred.predicate.eval_bool(&pred.schema, &row)? {
+                            present.set(offset, false);
+                        }
                     }
                 }
-                mask.push(present);
             }
-            if mask.iter().all(|&p| !p) {
+            if present.none() {
                 return Ok(None);
             }
-            Some(mask)
+            Some(present.to_bools())
         }
     };
     Ok(Some(TupleBundle { values, is_pres }))
 }
 
+/// Try the vectorized kernel path for one deferred predicate: every input
+/// must be a constant or a direct stream-cell column (deferred
+/// sub-expressions stay on the scalar path), and the predicate itself must
+/// compile (see [`crate::kernels`] for the subset and the bit-identity
+/// argument).
+fn vector_pred_mask(pred: &SymPred, blocks: &CellData, num_values: usize) -> Option<Mask> {
+    let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(pred.inputs.len());
+    for sym in &pred.inputs {
+        match sym {
+            SymValue::Const(v) => lanes.push(Lane::Const(v)),
+            SymValue::Stream {
+                key,
+                vg_row,
+                vg_col,
+            } => {
+                let cell = blocks.get(*key)?.cell(*vg_row, *vg_col).ok()?;
+                lanes.push(Lane::Col(cell));
+            }
+            SymValue::Expr(_) => return None,
+        }
+    }
+    kernels::predicate_mask(&pred.predicate, &pred.schema, &lanes, num_values)
+}
+
+/// The vectorized path for a deferred projection expression: same lane
+/// construction as [`vector_pred_mask`], compiled to a whole output column.
+fn vector_computed(
+    e: &SymExpr,
+    blocks: &CellData,
+    num_values: usize,
+) -> Option<mcdbr_storage::Column> {
+    let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(e.inputs.len());
+    for sym in &e.inputs {
+        match sym {
+            SymValue::Const(v) => lanes.push(Lane::Const(v)),
+            SymValue::Stream {
+                key,
+                vg_row,
+                vg_col,
+            } => {
+                let cell = blocks.get(*key)?.cell(*vg_row, *vg_col).ok()?;
+                lanes.push(Lane::Col(cell));
+            }
+            SymValue::Expr(_) => return None,
+        }
+    }
+    kernels::computed_column(&e.expr, &e.schema, &lanes, num_values)
+}
+
 fn materialize_value(
     sym: &SymValue,
     prefix: &DeterministicPrefix,
-    blocks: &BlockData,
+    blocks: &CellData,
     base_pos: u64,
     num_values: usize,
 ) -> Result<BundleValue> {
@@ -844,34 +1075,40 @@ fn materialize_value(
             base_pos,
             // A zero-position block may be legitimately unshaped (the
             // generic fallback path learns its shape from the first
-            // position); the empty value vector is well-formed either way.
+            // position); the empty chain is well-formed either way.  The
+            // non-empty case is the columnar payoff: a refcount clone of
+            // the shared cell column, shared across every bundle (and every
+            // join fan-out) reading this cell.
             values: if num_values == 0 {
-                Vec::new()
+                ValueChain::new()
             } else {
-                block_for(blocks, *key)?.values_out(*vg_row, *vg_col)?
+                ValueChain::from_arc(Arc::clone(cells_for(blocks, *key)?.cell(*vg_row, *vg_col)?))
             },
         }),
         SymValue::Expr(e) => {
-            let mut computed = Vec::with_capacity(num_values);
+            if let Some(col) = vector_computed(e, blocks, num_values) {
+                return Ok(BundleValue::Computed(ValueChain::from_column(col)));
+            }
+            let mut col = mcdbr_storage::Column::default();
             let mut row: Vec<Value> = Vec::new();
             for offset in 0..num_values {
                 eval_row_into(&e.inputs, blocks, offset, &mut row)?;
-                computed.push(e.expr.eval(&e.schema, &row)?);
+                col.push_value(&e.expr.eval(&e.schema, &row)?);
             }
-            Ok(BundleValue::Computed(computed))
+            Ok(BundleValue::Computed(ValueChain::from_column(col)))
         }
     }
 }
 
 /// Evaluate one symbolic value at a single block offset.
-fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> {
+fn eval_sym(sym: &SymValue, blocks: &CellData, offset: usize) -> Result<Value> {
     match sym {
         SymValue::Const(v) => Ok(v.clone()),
         SymValue::Stream {
             key,
             vg_row,
             vg_col,
-        } => block_for(blocks, *key)?.value_at(*vg_row, *vg_col, offset),
+        } => cells_for(blocks, *key)?.value_at(*vg_row, *vg_col, offset),
         SymValue::Expr(e) => {
             let mut row = Vec::new();
             eval_row_into(&e.inputs, blocks, offset, &mut row)?;
@@ -884,7 +1121,7 @@ fn eval_sym(sym: &SymValue, blocks: &BlockData, offset: usize) -> Result<Value> 
 /// buffer serves every offset of a bundle's residue replay).
 fn eval_row_into(
     inputs: &[SymValue],
-    blocks: &BlockData,
+    blocks: &CellData,
     offset: usize,
     row: &mut Vec<Value>,
 ) -> Result<()> {
@@ -895,9 +1132,9 @@ fn eval_row_into(
     Ok(())
 }
 
-fn block_for(blocks: &BlockData, key: StreamKey) -> Result<&ColumnBlock> {
+fn cells_for(blocks: &CellData, key: StreamKey) -> Result<&CellCols> {
     blocks
-        .get(&key)
+        .get(key)
         .ok_or_else(|| Error::Invalid(format!("stream {key} missing from materialized block")))
 }
 
@@ -1035,7 +1272,7 @@ fn materialize_value_rows(
                 vg_row: *vg_row,
                 vg_col: *vg_col,
                 base_pos,
-                values,
+                values: ValueChain::from_values(&values),
             })
         }
         SymValue::Expr(e) => {
@@ -1044,7 +1281,7 @@ fn materialize_value_rows(
                 let row = eval_row_rows(&e.inputs, blocks, offset)?;
                 computed.push(e.expr.eval(&e.schema, &row)?);
             }
-            Ok(BundleValue::Computed(computed))
+            Ok(BundleValue::Computed(ValueChain::from_values(&computed)))
         }
     }
 }
@@ -1118,12 +1355,24 @@ pub(crate) fn build_skeleton(
         }
         bundle_keys.push(keys.into_iter().collect::<Vec<_>>());
     }
+    let active_keys: Vec<StreamKey> = active.into_iter().collect();
+    let active_sources = active_keys
+        .iter()
+        .map(|&key| {
+            let source = registry
+                .source(key)
+                .expect("every bundle key was registered during the skeleton pass")
+                .clone();
+            (source, vg_rows.get(&key).copied())
+        })
+        .collect();
     Ok(PlanSkeleton {
         schema,
         registry,
         bundles,
         vg_rows,
-        active_keys: active.into_iter().collect(),
+        active_keys,
+        active_sources,
         bundle_keys,
         anchor_keys: anchors.into_iter().collect(),
     })

@@ -127,13 +127,18 @@ impl ShardTask {
             .filter(|&&key| !self.key_range.contains(key))
             .count();
         let prefix = skeleton.bind_for_shard(self.master_seed);
-        let mut blocks: session::BlockData = session::BlockData::new();
+        // Each generated block's cells are moved into recycled shared
+        // columns and the pooled buffer is released immediately — on every
+        // exit path, so partial work is metered and the buffers stay warm.
+        let mut cells = session::CellData::with_capacity(needed.len());
+        pool.sweep_cells();
         let mut generation: Result<()> = Ok(());
         for key in needed {
             match session::generate_stream_block(&prefix, key, self.base_pos, self.num_values, pool)
             {
-                Ok(block) => {
-                    blocks.insert(key, block);
+                Ok(mut block) => {
+                    cells.insert(key, session::CellCols::from_block(&mut block, pool));
+                    pool.release(block);
                 }
                 Err(e) => {
                     generation = Err(e);
@@ -149,7 +154,7 @@ impl ShardTask {
                     let bundle = session::materialize_bundle(
                         &skeleton.bundles[idx],
                         &prefix,
-                        &blocks,
+                        &cells,
                         self.base_pos,
                         self.num_values,
                     )?;
@@ -157,11 +162,6 @@ impl ShardTask {
                 })
                 .collect()
         });
-        // Pool the buffers on every exit path so partial work is metered and
-        // the buffers stay warm.
-        for (_, block) in blocks {
-            pool.release(block);
-        }
         Ok(ShardOutput {
             bundles: bundles?,
             foreign_streams,

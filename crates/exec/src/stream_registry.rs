@@ -42,9 +42,16 @@ impl StreamSource {
 }
 
 /// Registry of all streams referenced by a plan execution.
+///
+/// The seed → source map lives behind an `Arc` with copy-on-write mutation:
+/// a registry is built once (executor / skeleton binding, where the `Arc` is
+/// unique so `Arc::make_mut` never copies) and then cloned onto every
+/// [`crate::bundle::BundleSet`] a session emits — for a plan with thousands
+/// of streams, that clone used to allocate a tree node per handful of
+/// entries *per materialized block*; now it is a refcount bump.
 #[derive(Debug, Clone, Default)]
 pub struct StreamRegistry {
-    sources: BTreeMap<SeedId, StreamSource>,
+    sources: Arc<BTreeMap<SeedId, StreamSource>>,
 }
 
 impl StreamRegistry {
@@ -62,7 +69,7 @@ impl StreamRegistry {
         vg: Arc<dyn VgFunction>,
         params: impl Into<Arc<[Value]>>,
     ) {
-        self.sources.insert(
+        Arc::make_mut(&mut self.sources).insert(
             seed,
             StreamSource {
                 vg,
@@ -110,7 +117,13 @@ impl StreamRegistry {
     /// Merge another registry into this one (used when a plan has several
     /// uncertain tables / Seed operators).
     pub fn merge(&mut self, other: StreamRegistry) {
-        self.sources.extend(other.sources);
+        if self.is_empty() {
+            // Common shape: merging into a fresh registry shares the map.
+            self.sources = other.sources;
+            return;
+        }
+        let theirs = Arc::try_unwrap(other.sources).unwrap_or_else(|arc| (*arc).clone());
+        Arc::make_mut(&mut self.sources).extend(theirs);
     }
 
     /// All registered seeds, in increasing order (the order GibbsLooper

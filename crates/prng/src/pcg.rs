@@ -32,14 +32,28 @@ impl Pcg64 {
     /// Create a generator from a seed and a stream selector.  Different
     /// streams with the same seed produce statistically independent output.
     pub fn with_stream(seed: u64, stream: u64) -> Self {
-        // SplitMix-style expansion of the 64-bit inputs into 128-bit state,
-        // mirroring how rand_core's SeedableRng fills wider seeds.
+        Self::with_expanded_seed(Self::expand_seed(seed), stream)
+    }
+
+    /// SplitMix-style expansion of a 64-bit seed into the 128-bit initial
+    /// state, mirroring how rand_core's SeedableRng fills wider seeds.
+    ///
+    /// Exposed separately because the expansion depends only on the seed:
+    /// a position-addressable stream derives one generator *per position*
+    /// (`stream` = position) from one fixed seed, and hoisting this out of
+    /// the per-position loop is a pure win with identical output bits.
+    pub fn expand_seed(seed: u64) -> u128 {
         let s0 = splitmix64(seed);
         let s1 = splitmix64(s0 ^ 0x9e37_79b9_7f4a_7c15);
+        ((s0 as u128) << 64) | s1 as u128
+    }
+
+    /// [`Pcg64::with_stream`] with the seed expansion precomputed by
+    /// [`Pcg64::expand_seed`].  Bit-identical to the two-argument form.
+    pub fn with_expanded_seed(init_state: u128, stream: u64) -> Self {
         let t0 = splitmix64(stream.wrapping_add(0xda94_2042_e4dd_58b5));
         let t1 = splitmix64(t0 ^ 0xbf58_476d_1ce4_e5b9);
 
-        let init_state = ((s0 as u128) << 64) | s1 as u128;
         // The increment must be odd.
         let init_inc = (((t0 as u128) << 64) | t1 as u128) | 1;
         let increment = if stream == 0 {

@@ -241,12 +241,19 @@ pub fn seed_for(master: u64, table_tag: u64, index: u64) -> SeedId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RandomStream {
     seed: SeedId,
+    /// The seed's SplitMix expansion ([`Pcg64::expand_seed`]), computed once
+    /// at construction: every position's sub-generator shares it, so batched
+    /// generation loops skip two mixing rounds per position.
+    expanded: u128,
 }
 
 impl RandomStream {
     /// Create the stream for a seed.
     pub fn new(seed: SeedId) -> Self {
-        RandomStream { seed }
+        RandomStream {
+            seed,
+            expanded: Pcg64::expand_seed(seed),
+        }
     }
 
     /// The seed this stream was created from.
@@ -260,7 +267,7 @@ impl RandomStream {
     /// VG functions can re-derive any previously generated value — the
     /// property replenishment runs rely on.
     pub fn generator_at(&self, pos: u64) -> Pcg64 {
-        Pcg64::with_stream(self.seed, pos.wrapping_add(1))
+        Pcg64::with_expanded_seed(self.expanded, pos.wrapping_add(1))
     }
 
     /// The single uniform variate at position `pos` (convenience for VG

@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
+use crate::selvec::Mask;
 use crate::tuple::Tuple;
 use crate::value::{DataType, Value};
 
@@ -66,6 +67,27 @@ impl NullBitmap {
     /// Whether any position is null.
     pub fn any(&self) -> bool {
         self.any
+    }
+
+    /// The bitmap over `len` positions as a packed [`Mask`] suitable for the
+    /// branchless predicate kernels.
+    ///
+    /// The sparse representation stores nothing past the last word ever
+    /// touched by [`NullBitmap::set`], so the mask zero-pads missing words;
+    /// and because `set` never learned the column's logical length, any bits
+    /// at positions `>= len` (possible when a pooled buffer shrinks between
+    /// uses) are masked off the trailing word.  Without that trailing-word
+    /// masking, whole-word kernel combinators would read garbage lanes for
+    /// block lengths that are not a multiple of 64.
+    pub fn to_mask(&self, len: usize) -> Mask {
+        if !self.any {
+            return Mask::zeros(len);
+        }
+        let mut words = vec![0u64; crate::selvec::words_for(len)];
+        for (dst, src) in words.iter_mut().zip(&self.words) {
+            *dst = *src;
+        }
+        Mask::from_words(words, len)
     }
 
     fn clear(&mut self) {
@@ -456,6 +478,87 @@ impl Column {
     pub fn i64_slice(&self) -> Option<&[i64]> {
         match &self.data {
             ColumnData::Int64(v) if !self.nulls.any() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `Float64` buffer regardless of nulls — null positions hold
+    /// the `0.0` placeholder slot.  Kernel callers must consult
+    /// [`Column::null_mask`] before trusting those lanes.
+    pub fn f64_raw(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `Int64` buffer regardless of nulls (see [`Column::f64_raw`]).
+    pub fn i64_raw(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `Bool` buffer regardless of nulls (see [`Column::f64_raw`]).
+    pub fn bool_raw(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The packed null mask over this column's positions, with the
+    /// trailing-word bits beyond `len` masked off (see
+    /// [`NullBitmap::to_mask`]).
+    pub fn null_mask(&self) -> Mask {
+        self.nulls.to_mask(self.len)
+    }
+
+    /// Append `n` `Float64` positions initialized to `0.0` and return the
+    /// appended slice for in-place batch writes — the two-pass batched VG
+    /// kernels fill it with uniforms, then transform it in place.
+    ///
+    /// An empty column retypes itself to `Float64` (a pool-recycled buffer
+    /// last used by the same stream keeps its capacity; one last used by a
+    /// string stream retypes and starts cold, exactly like the push path).
+    /// Returns `None` when the column already holds non-`Float64` data, in
+    /// which case the caller falls back to per-value pushes.
+    pub fn extend_f64_zeroed(&mut self, n: usize) -> Option<&mut [f64]> {
+        if self.len == 0 && !matches!(self.data, ColumnData::Float64(_)) {
+            self.data = ColumnData::Float64(Vec::new());
+        }
+        match &mut self.data {
+            ColumnData::Float64(v) => {
+                let start = v.len();
+                v.resize(start + n, 0.0);
+                self.len += n;
+                Some(&mut v[start..])
+            }
+            _ => None,
+        }
+    }
+
+    /// Append the `Float64` positions yielded by `values` and return the
+    /// appended slice — the single-write analogue of
+    /// [`Column::extend_f64_zeroed`] for batched kernels whose first pass
+    /// produces every slot value anyway (no zero-fill that is immediately
+    /// overwritten).  Same retyping rules; returns `None`, with the column
+    /// untouched, when it already holds non-`Float64` data.
+    pub fn extend_f64_values(
+        &mut self,
+        values: impl ExactSizeIterator<Item = f64>,
+    ) -> Option<&mut [f64]> {
+        if self.len == 0 && !matches!(self.data, ColumnData::Float64(_)) {
+            self.data = ColumnData::Float64(Vec::new());
+        }
+        match &mut self.data {
+            ColumnData::Float64(v) => {
+                let start = v.len();
+                v.extend(values);
+                self.len += v.len() - start;
+                Some(&mut v[start..])
+            }
             _ => None,
         }
     }
@@ -1252,5 +1355,79 @@ mod tests {
         block.column_mut(0, 0).push_i64(42);
         block.validate(1).unwrap();
         assert_eq!(block.values_out(0, 0).unwrap(), vec![Value::Int64(42)]);
+    }
+}
+
+#[cfg(test)]
+mod null_mask_tests {
+    use super::*;
+
+    /// Satellite check: the sparse bitmap's packed view must be exact for
+    /// block lengths that are not a multiple of 64.
+    #[test]
+    fn null_mask_handles_non_multiple_of_64_lengths() {
+        let mut col = Column::default();
+        for i in 0..70 {
+            if i % 7 == 0 {
+                col.push_null();
+            } else {
+                col.push_f64(i as f64);
+            }
+        }
+        let mask = col.null_mask();
+        assert_eq!(mask.len(), 70);
+        for i in 0..70 {
+            assert_eq!(mask.get(i), i % 7 == 0, "lane {i}");
+        }
+        assert_eq!(mask.count(), 10);
+    }
+
+    #[test]
+    fn null_mask_zero_pads_words_the_sparse_bitmap_never_allocated() {
+        // Nulls only in the first 64 positions: the bitmap stores one word,
+        // but a 130-position mask needs three.
+        let mut bm = NullBitmap::default();
+        bm.set(3);
+        let mask = bm.to_mask(130);
+        assert_eq!(mask.words().len(), 3);
+        assert!(mask.get(3));
+        assert_eq!(mask.count(), 1);
+        assert!((0..130).filter(|&i| mask.get(i)).eq(std::iter::once(3)));
+    }
+
+    #[test]
+    fn null_mask_drops_stray_bits_beyond_the_logical_length() {
+        // A bitmap that once covered 100 positions, reused for a 65-position
+        // view: bits at 65..100 must not leak into the trailing word.
+        let mut bm = NullBitmap::default();
+        bm.set(64);
+        bm.set(70);
+        bm.set(99);
+        let mask = bm.to_mask(65);
+        assert_eq!(mask.len(), 65);
+        assert_eq!(mask.count(), 1, "only position 64 is inside the view");
+        assert!(mask.get(64));
+        let empty = bm.to_mask(64);
+        assert_eq!(empty.count(), 0, "single-word view holds no set bits");
+    }
+
+    #[test]
+    fn extend_f64_zeroed_appends_writable_slots() {
+        let mut col = Column::default();
+        {
+            let slots = col.extend_f64_zeroed(3).expect("fresh column retypes");
+            assert_eq!(slots, &[0.0, 0.0, 0.0]);
+            slots[1] = 2.5;
+        }
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.value_at(1), Value::Float64(2.5));
+        // Appending extends, not overwrites.
+        col.extend_f64_zeroed(2).unwrap();
+        assert_eq!(col.len(), 5);
+        // A non-Float64 column refuses and keeps its data intact.
+        let mut s = Column::default();
+        s.push_str("a");
+        assert!(s.extend_f64_zeroed(4).is_none());
+        assert_eq!(s.len(), 1);
     }
 }

@@ -26,6 +26,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod schema;
+pub mod selvec;
 pub mod table;
 pub mod tuple;
 pub mod value;
@@ -34,6 +35,7 @@ pub use catalog::Catalog;
 pub use column::{Column, ColumnBlock, ColumnData, NullBitmap, Utf8Column};
 pub use error::{Error, Result};
 pub use schema::{Field, Schema};
+pub use selvec::{CmpOp, Mask, SelVec};
 pub use table::{Table, TableBuilder};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

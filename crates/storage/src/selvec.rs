@@ -1,0 +1,438 @@
+//! Selection vectors and branchless predicate kernels over packed bitmasks.
+//!
+//! Vectorized filters evaluate predicates column-at-a-time into a packed
+//! [`Mask`] (one bit per position, 64 positions per word) and then compress
+//! the surviving positions into a [`SelVec`] — a sorted list of selected
+//! indices.  Downstream operators iterate the selection vector instead of
+//! materializing a filtered copy of every column, which is the classic
+//! selection-vector design of batch-at-a-time query engines.
+//!
+//! The comparison kernels are *branchless in the lane*: every position is
+//! evaluated with straight-line compare/convert instructions and the result
+//! bit is OR-ed into the current word, so the loops autovectorize and never
+//! depend on the selectivity of the data.  All kernels maintain the trailing
+//! -word invariant documented on [`Mask`]: bits at positions `>= len` in the
+//! last word are zero, so whole-word AND/OR/NOT and popcounts need no edge
+//! handling for lengths that are not a multiple of 64.
+
+/// Comparison operators shared by the predicate kernels.
+///
+/// The semantics mirror the scalar expression evaluator exactly, including
+/// its NaN convention: `partial_cmp` returning `None` is treated as
+/// `Ordering::Equal`, so a NaN lane satisfies `LtEq`/`GtEq` but not
+/// `Lt`/`Gt`/`Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` (SQL semantics at a higher layer: NULL never equal).
+    Eq,
+    /// `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+}
+
+impl CmpOp {
+    /// The scalar lane function: one branchless boolean per pair.
+    #[inline(always)]
+    pub fn lane(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            // SQL `<>` over non-null numerics is the negation of `=`, so a
+            // NaN operand satisfies it (`!(NaN == x)`), unlike Lt/Gt.
+            CmpOp::NotEq => a != b,
+            CmpOp::Lt => a < b,
+            // partial_cmp(None) -> Equal, and Equal satisfies <= and >=.
+            CmpOp::LtEq => (a <= b) | a.is_nan() | b.is_nan(),
+            CmpOp::Gt => a > b,
+            CmpOp::GtEq => (a >= b) | a.is_nan() | b.is_nan(),
+        }
+    }
+}
+
+/// Number of 64-bit words needed to cover `len` one-bit lanes.
+#[inline]
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// A fixed-length packed bitmask: bit `i` of word `i / 64` is position `i`.
+///
+/// Invariant: bits at positions `>= len` in the final word are always zero.
+/// Every constructor and mutator re-establishes the invariant (see
+/// [`Mask::not_assign`] for the case that needs explicit trailing-word
+/// masking), so word-granular combinators and [`Mask::count`] are exact for
+/// any length, including lengths that are not a multiple of 64.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Mask {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Mask {
+    /// An all-zero mask over `len` positions.
+    pub fn zeros(len: usize) -> Mask {
+        Mask {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// An all-one mask over `len` positions (trailing bits zero).
+    pub fn ones(len: usize) -> Mask {
+        let mut m = Mask {
+            len,
+            words: vec![u64::MAX; words_for(len)],
+        };
+        m.mask_tail();
+        m
+    }
+
+    /// Build from pre-packed words covering `len` positions, masking any
+    /// stray bits in the trailing word so the invariant holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`words_for`]`(len)` long.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Mask {
+        assert_eq!(words.len(), words_for(len), "word count mismatch");
+        let mut m = Mask { len, words };
+        m.mask_tail();
+        m
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Mask {
+        let mut m = Mask::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            m.words[i / 64] |= (b as u64) << (i % 64);
+        }
+        m
+    }
+
+    /// Expand to one `bool` per position.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words (trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The bit at position `idx`.
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Set the bit at position `idx` to `bit`.
+    pub fn set(&mut self, idx: usize, bit: bool) {
+        debug_assert!(idx < self.len);
+        let word = &mut self.words[idx / 64];
+        *word = (*word & !(1 << (idx % 64))) | ((bit as u64) << (idx % 64));
+    }
+
+    /// Number of set bits.  Exact for any length thanks to the trailing-word
+    /// invariant.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True when every one of the `len` bits is set.
+    pub fn all(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// `self &= other` word-at-a-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &Mask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// `self |= other` word-at-a-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &Mask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self = !self`, re-masking the trailing word so bits beyond `len`
+    /// stay zero — the edge case for lengths not a multiple of 64.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// `self &= !other` word-at-a-time: clear every position set in `other`
+    /// (used to null-out comparison lanes from a packed null bitmap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not_assign(&mut self, other: &Mask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Zero any bits at positions `>= len` in the final word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Overwrite this mask with per-position results of `lane`, branchlessly
+    /// packing 64 lanes per word.  The closure is monomorphized per call
+    /// site, so comparison kernels compile to straight-line compare + shift
+    /// loops.
+    #[inline]
+    pub fn fill_with(&mut self, len: usize, mut lane: impl FnMut(usize) -> bool) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(words_for(len), 0);
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let lo = w * 64;
+            let hi = (lo + 64).min(len);
+            let mut acc = 0u64;
+            for i in lo..hi {
+                acc |= (lane(i) as u64) << (i - lo);
+            }
+            *word = acc;
+        }
+    }
+}
+
+/// `out[i] = op(lhs[i], rhs)` for a column-vs-constant comparison.
+pub fn cmp_f64_const(op: CmpOp, lhs: &[f64], rhs: f64, out: &mut Mask) {
+    out.fill_with(lhs.len(), |i| op.lane(lhs[i], rhs));
+}
+
+/// `out[i] = op(lhs, rhs[i])` for a constant-vs-column comparison.
+pub fn cmp_const_f64(op: CmpOp, lhs: f64, rhs: &[f64], out: &mut Mask) {
+    out.fill_with(rhs.len(), |i| op.lane(lhs, rhs[i]));
+}
+
+/// `out[i] = op(lhs[i], rhs[i])` for a column-vs-column comparison.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn cmp_f64_f64(op: CmpOp, lhs: &[f64], rhs: &[f64], out: &mut Mask) {
+    assert_eq!(lhs.len(), rhs.len(), "comparison kernel length mismatch");
+    out.fill_with(lhs.len(), |i| op.lane(lhs[i], rhs[i]));
+}
+
+/// A selection vector: the sorted indices of the positions that survived a
+/// filter.  Downstream kernels iterate these indices over the *unfiltered*
+/// columns instead of materializing compacted copies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelVec {
+    sel: Vec<u32>,
+}
+
+impl SelVec {
+    /// An empty selection vector.
+    pub fn new() -> SelVec {
+        SelVec::default()
+    }
+
+    /// Compress the set bits of `mask` into a selection vector using
+    /// word-at-a-time bit iteration (`trailing_zeros` + clear-lowest-bit),
+    /// which touches only the set bits — O(selected), not O(scanned).
+    pub fn from_mask(mask: &Mask) -> SelVec {
+        let mut sel = Vec::with_capacity(mask.count());
+        for (w, &word) in mask.words().iter().enumerate() {
+            let base = (w * 64) as u32;
+            let mut bits = word;
+            while bits != 0 {
+                sel.push(base + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+        SelVec { sel }
+    }
+
+    /// Number of selected positions.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// The selected indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.sel
+    }
+
+    /// Append an index.  Callers must keep the vector sorted.
+    pub fn push(&mut self, idx: u32) {
+        debug_assert!(self.sel.last().is_none_or(|&last| last < idx));
+        self.sel.push(idx);
+    }
+
+    /// The selected indices restricted to `lo..hi` (by binary search; the
+    /// vector is sorted).  Lets per-thread repetition ranges consume one
+    /// shared selection vector without re-deriving it.
+    pub fn slice_in_range(&self, lo: usize, hi: usize) -> &[u32] {
+        let start = self.sel.partition_point(|&i| (i as usize) < lo);
+        let end = self.sel.partition_point(|&i| (i as usize) < hi);
+        &self.sel[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_not_respect_non_multiple_of_64_lengths() {
+        for len in [0, 1, 63, 64, 65, 127, 128, 130] {
+            let ones = Mask::ones(len);
+            assert_eq!(ones.count(), len, "len {len}");
+            assert!(ones.all(), "len {len}");
+            let mut z = Mask::zeros(len);
+            z.not_assign();
+            assert_eq!(z, ones, "NOT of zeros must equal ones at len {len}");
+            z.not_assign();
+            assert!(z.none(), "double NOT must round-trip at len {len}");
+        }
+    }
+
+    #[test]
+    fn fill_with_masks_the_trailing_word() {
+        let mut m = Mask::default();
+        m.fill_with(70, |_| true);
+        assert_eq!(m.count(), 70);
+        assert_eq!(m.words().len(), 2);
+        assert_eq!(m.words()[1], (1 << 6) - 1, "bits 70..128 must stay zero");
+    }
+
+    #[test]
+    fn combinators_match_boolean_reference() {
+        let a: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..130).map(|i| i % 5 == 0).collect();
+        let (ma, mb) = (Mask::from_bools(&a), Mask::from_bools(&b));
+
+        let mut and = ma.clone();
+        and.and_assign(&mb);
+        let mut or = ma.clone();
+        or.or_assign(&mb);
+        let mut andnot = ma.clone();
+        andnot.and_not_assign(&mb);
+        let mut not = ma.clone();
+        not.not_assign();
+
+        for i in 0..130 {
+            assert_eq!(and.get(i), a[i] && b[i], "AND lane {i}");
+            assert_eq!(or.get(i), a[i] || b[i], "OR lane {i}");
+            assert_eq!(andnot.get(i), a[i] && !b[i], "ANDNOT lane {i}");
+            assert_eq!(not.get(i), !a[i], "NOT lane {i}");
+        }
+        assert_eq!(and.count(), (0..130).filter(|i| i % 15 == 0).count());
+    }
+
+    #[test]
+    fn cmp_kernels_mirror_scalar_nan_conventions() {
+        let vals = [1.0, f64::NAN, -3.5, 0.0, 7.25];
+        let mut m = Mask::default();
+        // The scalar engine's reference semantics: `=`/`<>` through IEEE
+        // equality (SQL equality), orderings through partial_cmp with
+        // None -> Equal.
+        let scalar = |op: CmpOp, a: f64, b: f64| {
+            let ord = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+            match op {
+                CmpOp::Eq => a == b,
+                CmpOp::NotEq => a != b,
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::LtEq => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::GtEq => ord.is_ge(),
+            }
+        };
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            cmp_f64_const(op, &vals, 0.5, &mut m);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(m.get(i), scalar(op, v, 0.5), "{op:?} lane {i} vs const");
+            }
+            let rhs = [0.5, 0.5, f64::NAN, -0.0, 7.25];
+            cmp_f64_f64(op, &vals, &rhs, &mut m);
+            for i in 0..vals.len() {
+                assert_eq!(m.get(i), scalar(op, vals[i], rhs[i]), "{op:?} lane {i}");
+            }
+            cmp_const_f64(op, 0.5, &vals, &mut m);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(m.get(i), scalar(op, 0.5, v), "{op:?} lane {i} const-lhs");
+            }
+        }
+    }
+
+    #[test]
+    fn selvec_compresses_only_set_bits() {
+        let bits: Vec<bool> = (0..200).map(|i| i % 7 == 3).collect();
+        let sel = SelVec::from_mask(&Mask::from_bools(&bits));
+        let expect: Vec<u32> = (0..200u32).filter(|i| i % 7 == 3).collect();
+        assert_eq!(sel.indices(), &expect[..]);
+        assert_eq!(sel.len(), expect.len());
+        assert!(SelVec::from_mask(&Mask::zeros(100)).is_empty());
+    }
+
+    #[test]
+    fn selvec_range_slicing_uses_binary_search() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 2 == 0).collect();
+        let sel = SelVec::from_mask(&Mask::from_bools(&bits));
+        assert_eq!(sel.slice_in_range(0, 300).len(), 150);
+        assert_eq!(sel.slice_in_range(10, 20), &[10, 12, 14, 16, 18]);
+        assert_eq!(sel.slice_in_range(11, 12), &[] as &[u32]);
+        assert_eq!(sel.slice_in_range(299, 300), &[] as &[u32]);
+        assert_eq!(sel.slice_in_range(298, 300), &[298]);
+    }
+}

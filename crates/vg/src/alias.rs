@@ -1,0 +1,289 @@
+//! Walker/Vose alias-table sampling for discrete distributions.
+//!
+//! The default [`crate::DiscreteVg`] samples with a subtractive scan over
+//! the weights — O(k) per draw for k categories, and the scan's sequential
+//! rounding is part of that VG's on-disk value contract, so it cannot be
+//! replaced in place.  This module provides the O(1)-per-draw alternative as
+//! an explicitly distinct VG configuration: an [`AliasTable`] built once per
+//! block (O(k)), then one table lookup per position.  [`AliasDiscreteVg`]
+//! carries its own cache token, so plans opt into the alias sampler
+//! deliberately and its streams never alias (pun intended) the scan
+//! sampler's streams in a plan-keyed cache.
+
+use mcdbr_prng::{Pcg64, RandomStream, SeedId};
+use mcdbr_storage::{ColumnBlock, Field, Result, Tuple, Value};
+
+use crate::function::{categories_token, discrete_weights, VgFunction};
+
+/// A Walker/Vose alias table over `k` weights: sampling draws one uniform,
+/// splits it into a bucket index and an in-bucket fraction, and resolves to
+/// either the bucket's own category or its alias — O(1) per draw regardless
+/// of `k`, against the subtractive scan's O(k).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per bucket, in `[0, 1]`.
+    prob: Vec<f64>,
+    /// The donor category for the bucket's rejected mass.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build the table from non-negative weights summing to `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty — callers validate weights first (see
+    /// `discrete_weights`), which also rejects an all-zero total.
+    pub fn new(weights: &[f64], total: f64) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table over zero categories");
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Vose's worklists: buckets under the uniform line borrow mass from
+        // buckets over it.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers on either list sit exactly on the line up to rounding.
+        for &i in large.iter().chain(small.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never constructed; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Map one `[0,1)` uniform to a category index: the integer part picks
+    /// the bucket, the fractional part decides bucket-vs-alias.
+    pub fn sample(&self, u01: f64) -> usize {
+        let n = self.prob.len();
+        let x = u01 * n as f64;
+        let k = (x as usize).min(n - 1);
+        let frac = x - k as f64;
+        if frac < self.prob[k] {
+            k
+        } else {
+            self.alias[k] as usize
+        }
+    }
+}
+
+/// A discrete category sampler backed by an [`AliasTable`] — the batched
+/// alias alternative to [`crate::DiscreteVg`]'s subtractive scan.
+///
+/// One uniform per draw, exactly like the scan sampler, but the
+/// uniform-to-category mapping differs (bucket split vs. sequential
+/// subtraction), so this is a distinct VG *configuration* with its own
+/// cache token: swapping samplers changes the generated streams, and the
+/// plan fingerprint must say so.  Within the variant, the batched block
+/// path is bit-identical to the scalar path — same uniforms, same table,
+/// same lookup — which the determinism tests pin.
+#[derive(Debug, Clone)]
+pub struct AliasDiscreteVg {
+    categories: Vec<Value>,
+}
+
+impl AliasDiscreteVg {
+    /// Create an alias-sampled discrete VG over the given category values.
+    pub fn new(categories: Vec<Value>) -> Self {
+        AliasDiscreteVg { categories }
+    }
+
+    /// The category values, in construction order.
+    pub fn categories(&self) -> &[Value] {
+        &self.categories
+    }
+}
+
+impl VgFunction for AliasDiscreteVg {
+    fn name(&self) -> &str {
+        "DiscreteAlias"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn cache_token(&self) -> String {
+        categories_token("DiscreteAlias", &self.categories)
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        let dt = self
+            .categories
+            .first()
+            .map(|v| v.data_type())
+            .unwrap_or(mcdbr_storage::DataType::Null);
+        vec![Field::new("value", dt)]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let (weights, total) = discrete_weights("DiscreteAlias", self.categories.len(), params)?;
+        // The scalar path rebuilds the table per draw — O(k) like the scan,
+        // and exactly what the ablation bench compares the batched path
+        // against.  The batched path amortizes construction over the block.
+        let table = AliasTable::new(&weights, total);
+        let chosen = table.sample(gen.next_f64());
+        Ok(vec![Tuple::new(vec![self.categories[chosen].clone()])])
+    }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let (weights, total) = discrete_weights("DiscreteAlias", self.categories.len(), params)?;
+        let table = AliasTable::new(&weights, total);
+        out.reset(1, 1, num_values);
+        let stream = RandomStream::new(seed);
+        // Pass 1: raw uniforms, consumed exactly as the scalar path does.
+        let uniforms: Vec<f64> = (0..num_values)
+            .map(|i| stream.generator_at(base_pos + i as u64).next_f64())
+            .collect();
+        // Pass 2: O(1) table lookups into the column, with the same interned
+        // fast path for string categories as the scan sampler.
+        let col = out.column_mut(0, 0);
+        let all_utf8 = self.categories.iter().all(|c| matches!(c, Value::Utf8(_)));
+        if all_utf8 && !self.categories.is_empty() {
+            let ids: Vec<u32> = self
+                .categories
+                .iter()
+                .map(|c| col.intern_utf8(c.as_str().expect("checked Utf8")))
+                .collect::<Result<_>>()?;
+            for &u in &uniforms {
+                col.push_utf8_id(ids[table.sample(u)])?;
+            }
+        } else {
+            for &u in &uniforms {
+                col.push_value(&self.categories[table.sample(u)]);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_construction_covers_all_mass() {
+        // Every bucket must end with a valid threshold and alias.
+        let weights = [0.1, 0.4, 0.2, 0.3];
+        let table = AliasTable::new(&weights, 1.0);
+        assert_eq!(table.len(), 4);
+        for k in 0..4 {
+            assert!((0.0..=1.0 + 1e-12).contains(&table.prob[k]), "bucket {k}");
+            assert!((table.alias[k] as usize) < 4, "bucket {k}");
+        }
+    }
+
+    #[test]
+    fn sampling_frequencies_match_the_weights() {
+        let weights = [1.0, 4.0, 2.0, 3.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights, total);
+        let mut counts = [0usize; 4];
+        let mut gen = Pcg64::new(42);
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(gen.next_f64())] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "category {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_single_and_point_mass_tables() {
+        let one = AliasTable::new(&[5.0], 5.0);
+        for u in [0.0, 0.5, 0.999_999] {
+            assert_eq!(one.sample(u), 0);
+        }
+        // All mass on one category out of three.
+        let point = AliasTable::new(&[0.0, 7.0, 0.0], 7.0);
+        let mut gen = Pcg64::new(7);
+        for _ in 0..10_000 {
+            assert_eq!(point.sample(gen.next_f64()), 1);
+        }
+    }
+
+    #[test]
+    fn alias_vg_batched_is_bit_identical_to_its_scalar_path() {
+        let vg = AliasDiscreteVg::new(vec![
+            Value::str("red"),
+            Value::str("green"),
+            Value::str("blue"),
+        ]);
+        let params = [
+            Value::Float64(0.5),
+            Value::Float64(0.2),
+            Value::Float64(0.3),
+        ];
+        let (seed, base, n) = (11u64, 5u64, 257);
+        let mut block = ColumnBlock::new();
+        vg.generate_block_into(&params, seed, base, n, &mut block)
+            .unwrap();
+        block.validate(n).unwrap();
+        let stream = RandomStream::new(seed);
+        for i in 0..n {
+            let mut gen = stream.generator_at(base + i as u64);
+            let rows = vg.generate(&params, &mut gen).unwrap();
+            assert_eq!(
+                block.value_at(0, 0, i).unwrap(),
+                rows[0].value(0).clone(),
+                "position {i}"
+            );
+        }
+        // The interned fast path kept the dictionary to the three categories.
+        assert_eq!(
+            block.column(0, 0).data_type(),
+            Some(mcdbr_storage::DataType::Utf8)
+        );
+    }
+
+    #[test]
+    fn alias_and_scan_samplers_have_distinct_cache_tokens() {
+        let cats = vec![Value::str("a"), Value::str("b")];
+        let alias = AliasDiscreteVg::new(cats.clone());
+        let scan = crate::DiscreteVg::new(cats);
+        assert_ne!(alias.cache_token(), scan.cache_token());
+        assert_eq!(alias.cache_token(), "DiscreteAlias|s1:a|s1:b");
+    }
+}

@@ -126,6 +126,42 @@ fn scalar_block_into(
     }
 }
 
+/// Two-pass batched driver for single-cell VG functions whose sample is a
+/// pure transform of exactly one stream uniform: pass 1 writes each
+/// position's uniform straight into the column's `f64` buffer, pass 2
+/// transforms the buffer in place.
+///
+/// Pass 1 consumes each position's sub-generator exactly as the scalar
+/// [`VgFunction::generate`] path does — one `next_f64` (or `next_f64_open`)
+/// per position — so the uniforms, and therefore the transformed values, are
+/// bit-identical to the scalar path *by construction*.  Pass 2 is a tight,
+/// allocation-free loop over one contiguous slice with no generator state in
+/// scope, which the compiler unrolls (and vectorizes where the math allows)
+/// far better than the interleaved generate-then-transform loop.
+fn two_pass_block_into(
+    seed: SeedId,
+    base_pos: u64,
+    num_values: usize,
+    out: &mut ColumnBlock,
+    open_interval: bool,
+    transform: impl FnOnce(&mut [f64]),
+) {
+    out.reset(1, 1, num_values);
+    let stream = RandomStream::new(seed);
+    let col = out.column_mut(0, 0);
+    let slots = col
+        .extend_f64_values((0..num_values).map(|i| {
+            let mut gen = stream.generator_at(base_pos + i as u64);
+            if open_interval {
+                gen.next_f64_open()
+            } else {
+                gen.next_f64()
+            }
+        }))
+        .expect("reset cleared the column, so it retypes to Float64");
+    transform(slots);
+}
+
 /// The built-in `Normal` VG function of paper §2.
 ///
 /// Parameters: `[mean, variance]`.  Produces a single row with a single
@@ -185,11 +221,15 @@ impl VgFunction for NormalVg {
                 "Normal: negative variance {variance}"
             )));
         }
-        let dist = Distribution::Normal {
-            mean,
-            sd: variance.sqrt(),
-        };
-        scalar_block_into(seed, base_pos, num_values, out, |gen| dist.sample(gen));
+        let sd = variance.sqrt();
+        // Two-pass: uniforms first, then the inverse-CDF transform in place.
+        // `Distribution::Normal::sample` is `mean + sd * Φ⁻¹(next_f64_open())`,
+        // reproduced term for term below.
+        two_pass_block_into(seed, base_pos, num_values, out, true, |vals| {
+            for v in vals {
+                *v = mean + sd * std_normal_quantile(*v);
+            }
+        });
         Ok(())
     }
 }
@@ -238,8 +278,13 @@ impl VgFunction for UniformVg {
         if hi < lo {
             return Err(Error::Invalid(format!("Uniform: hi {hi} < lo {lo}")));
         }
-        let dist = Distribution::Uniform { lo, hi };
-        scalar_block_into(seed, base_pos, num_values, out, |gen| dist.sample(gen));
+        // `Distribution::Uniform::sample` is `lo + (hi - lo) * next_f64()`,
+        // reproduced term for term in the in-place pass.
+        two_pass_block_into(seed, base_pos, num_values, out, false, |vals| {
+            for v in vals {
+                *v = lo + (hi - lo) * *v;
+            }
+        });
         Ok(())
     }
 }
@@ -317,31 +362,21 @@ impl DiscreteVg {
 
     /// Parse and validate the per-call weights (one per category).
     fn weights(&self, params: &[Value]) -> Result<(Vec<f64>, f64)> {
-        if params.len() != self.categories.len() {
-            return Err(Error::Invalid(format!(
-                "Discrete: expected {} weights, got {}",
-                self.categories.len(),
-                params.len()
-            )));
-        }
-        let weights: Vec<f64> = params
-            .iter()
-            .map(|v| v.as_f64())
-            .collect::<Result<Vec<_>>>()?;
-        if weights.iter().any(|&w| w < 0.0) {
-            return Err(Error::Invalid("Discrete: negative weight".into()));
-        }
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return Err(Error::Invalid("Discrete: weights sum to zero".into()));
-        }
-        Ok((weights, total))
+        discrete_weights("Discrete", self.categories.len(), params)
     }
 
     /// Sample a category index from the weights (floating-point edge: the
     /// last category).  Consumes exactly one uniform from `gen`.
     fn choose(weights: &[f64], total: f64, gen: &mut Pcg64) -> usize {
-        let mut u = gen.next_f64() * total;
+        Self::choose_from(weights, total, gen.next_f64())
+    }
+
+    /// The subtractive scan over a raw `[0,1)` uniform.  The sequential
+    /// `u -= w` rounding is part of the on-disk value contract — a
+    /// cumulative-sum binary search would round differently near category
+    /// boundaries — so the batched path reuses exactly this scan.
+    fn choose_from(weights: &[f64], total: f64, u01: f64) -> usize {
+        let mut u = u01 * total;
         for (idx, w) in weights.iter().enumerate() {
             if u < *w {
                 return idx;
@@ -350,6 +385,61 @@ impl DiscreteVg {
         }
         weights.len() - 1
     }
+}
+
+/// Shared weight validation for the discrete samplers: one non-negative
+/// weight per category, not all zero.
+pub(crate) fn discrete_weights(
+    fn_name: &str,
+    num_categories: usize,
+    params: &[Value],
+) -> Result<(Vec<f64>, f64)> {
+    if params.len() != num_categories {
+        return Err(Error::Invalid(format!(
+            "{fn_name}: expected {num_categories} weights, got {}",
+            params.len()
+        )));
+    }
+    let weights: Vec<f64> = params
+        .iter()
+        .map(|v| v.as_f64())
+        .collect::<Result<Vec<_>>>()?;
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(Error::Invalid(format!("{fn_name}: negative weight")));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(Error::Invalid(format!("{fn_name}: weights sum to zero")));
+    }
+    Ok((weights, total))
+}
+
+/// Unambiguous category-list serialization shared by the discrete samplers'
+/// cache tokens: a type tag per category plus a length prefix for strings.
+/// Plain `Display` would collide `Int64(1)` with `Float64(1.0)` and
+/// `["a,b"]` with `["a", "b"]`, and a fingerprint collision makes a
+/// plan-keyed session cache serve the wrong skeleton silently.
+pub(crate) fn categories_token(prefix: &str, categories: &[Value]) -> String {
+    use std::fmt::Write;
+    let mut token = String::from(prefix);
+    for c in categories {
+        match c {
+            Value::Null => token.push_str("|n"),
+            Value::Int64(i) => {
+                let _ = write!(token, "|i{i}");
+            }
+            Value::Float64(x) => {
+                let _ = write!(token, "|f{:016x}", x.to_bits());
+            }
+            Value::Bool(b) => {
+                let _ = write!(token, "|b{}", u8::from(*b));
+            }
+            Value::Utf8(s) => {
+                let _ = write!(token, "|s{}:{s}", s.len());
+            }
+        }
+    }
+    token
 }
 
 impl VgFunction for DiscreteVg {
@@ -362,31 +452,7 @@ impl VgFunction for DiscreteVg {
     }
 
     fn cache_token(&self) -> String {
-        // Unambiguous serialization: a type tag per category plus a length
-        // prefix for strings.  Plain `Display` would collide Int64(1) with
-        // Float64(1.0) and ["a,b"] with ["a", "b"], and a fingerprint
-        // collision makes a plan-keyed session cache serve the wrong
-        // skeleton silently.
-        use std::fmt::Write;
-        let mut token = String::from("Discrete");
-        for c in &self.categories {
-            match c {
-                Value::Null => token.push_str("|n"),
-                Value::Int64(i) => {
-                    let _ = write!(token, "|i{i}");
-                }
-                Value::Float64(x) => {
-                    let _ = write!(token, "|f{:016x}", x.to_bits());
-                }
-                Value::Bool(b) => {
-                    let _ = write!(token, "|b{}", u8::from(*b));
-                }
-                Value::Utf8(s) => {
-                    let _ = write!(token, "|s{}:{s}", s.len());
-                }
-            }
-        }
-        token
+        categories_token("Discrete", &self.categories)
     }
 
     fn output_fields(&self) -> Vec<Field> {
@@ -417,10 +483,15 @@ impl VgFunction for DiscreteVg {
         let (weights, total) = self.weights(params)?;
         out.reset(1, 1, num_values);
         let stream = RandomStream::new(seed);
+        // Pass 1: raw uniforms only — the generator loop stays tight.
+        let uniforms: Vec<f64> = (0..num_values)
+            .map(|i| stream.generator_at(base_pos + i as u64).next_f64())
+            .collect();
         let col = out.column_mut(0, 0);
-        // String categories are interned once up front; each sampled row
-        // then stores a dictionary index — no per-row clone, no per-row
-        // hash lookup.  Mixed or non-string category lists fall back to the
+        // Pass 2: the subtractive scan plus the column push.  String
+        // categories are interned once up front; each sampled row then
+        // stores a dictionary index — no per-row clone, no per-row hash
+        // lookup.  Mixed or non-string category lists fall back to the
         // generic value push (still cheap: scalars copy, strings intern).
         let all_utf8 = self.categories.iter().all(|c| matches!(c, Value::Utf8(_)));
         if all_utf8 && !self.categories.is_empty() {
@@ -429,16 +500,122 @@ impl VgFunction for DiscreteVg {
                 .iter()
                 .map(|c| col.intern_utf8(c.as_str().expect("checked Utf8")))
                 .collect::<Result<_>>()?;
-            for i in 0..num_values {
-                let mut gen = stream.generator_at(base_pos + i as u64);
-                col.push_utf8_id(ids[Self::choose(&weights, total, &mut gen)])?;
+            for &u in &uniforms {
+                col.push_utf8_id(ids[Self::choose_from(&weights, total, u)])?;
             }
         } else {
-            for i in 0..num_values {
-                let mut gen = stream.generator_at(base_pos + i as u64);
-                col.push_value(&self.categories[Self::choose(&weights, total, &mut gen)]);
+            for &u in &uniforms {
+                col.push_value(&self.categories[Self::choose_from(&weights, total, u)]);
             }
         }
+        Ok(())
+    }
+}
+
+/// A `Normal` sampler variant using the batched Box–Muller transform instead
+/// of the inverse CDF.
+///
+/// Box–Muller maps *two* uniforms to one normal deviate with `ln`/`sqrt`/
+/// `cos` — much cheaper than the default sampler's Acklam quantile plus
+/// Halley refinement (two `erf` evaluations per value) — but the
+/// uniform-to-value mapping necessarily differs from the inverse CDF, so
+/// this is a distinct VG *configuration* with its own [`VgFunction::
+/// cache_token`]: plans choose it explicitly, and streams generated by one
+/// sampler are never served from a cache keyed by the other.  Within the
+/// variant the batched path is bit-identical to its scalar path, which is
+/// the contract the determinism suite enforces for every VG.
+///
+/// Parameters: `[mean, variance]`, exactly as [`NormalVg`].
+#[derive(Debug, Clone, Default)]
+pub struct BoxMullerNormalVg;
+
+/// The shared Box–Muller transform: both the scalar and batched paths fold
+/// the two uniforms through this one expression, making bit-identity across
+/// paths true by construction.
+#[inline]
+fn box_muller(u1: f64, u2: f64, mean: f64, sd: f64) -> f64 {
+    mean + sd * ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos())
+}
+
+impl BoxMullerNormalVg {
+    fn params(params: &[Value]) -> Result<(f64, f64)> {
+        let mean = param_f64(params, 0, "mean", "NormalBoxMuller")?;
+        let variance = param_f64(params, 1, "variance", "NormalBoxMuller")?;
+        if variance < 0.0 {
+            return Err(Error::Invalid(format!(
+                "NormalBoxMuller: negative variance {variance}"
+            )));
+        }
+        Ok((mean, variance.sqrt()))
+    }
+}
+
+impl VgFunction for BoxMullerNormalVg {
+    fn name(&self) -> &str {
+        "NormalBoxMuller"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn cache_token(&self) -> String {
+        self.name().to_string()
+    }
+
+    fn output_fields(&self) -> Vec<Field> {
+        vec![Field::float64("value")]
+    }
+
+    fn generate(&self, params: &[Value], gen: &mut Pcg64) -> Result<Vec<Tuple>> {
+        let (mean, sd) = Self::params(params)?;
+        // Uniform order is the contract: u1 open (ln(0) guard), then u2.
+        let u1 = gen.next_f64_open();
+        let u2 = gen.next_f64();
+        Ok(vec![Tuple::from_iter_values([box_muller(
+            u1, u2, mean, sd,
+        )])])
+    }
+
+    fn generate_block_into(
+        &self,
+        params: &[Value],
+        seed: SeedId,
+        base_pos: u64,
+        num_values: usize,
+        out: &mut ColumnBlock,
+    ) -> Result<()> {
+        let (mean, sd) = Self::params(params)?;
+        out.reset(1, 1, num_values);
+        let stream = RandomStream::new(seed);
+        let col = out.column_mut(0, 0);
+        // Two passes — uniforms first, transform second — so the transform
+        // loop runs over contiguous slices with no PRNG dependency chain
+        // interleaved.  The second-uniform scratch is thread-local and reused
+        // across blocks: steady-state batched generation allocates nothing.
+        thread_local! {
+            static U2_SCRATCH: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        U2_SCRATCH.with(|scratch| {
+            let mut u2 = scratch.borrow_mut();
+            u2.clear();
+            u2.reserve(num_values);
+            // Pass 1: both uniforms per position, in scalar-path order,
+            // each written exactly once (no zero-fill).
+            let slots = col
+                .extend_f64_values((0..num_values).map(|i| {
+                    let mut gen = stream.generator_at(base_pos + i as u64);
+                    let u1 = gen.next_f64_open();
+                    u2.push(gen.next_f64());
+                    u1
+                }))
+                .expect("reset cleared the column, so it retypes to Float64");
+            // Pass 2: the transform over two contiguous slices.
+            for (slot, &u) in slots.iter_mut().zip(u2.iter()) {
+                *slot = box_muller(*slot, u, mean, sd);
+            }
+        });
         Ok(())
     }
 }
@@ -939,6 +1116,38 @@ mod tests {
             &[f(100.0), f(0.05), f(0.2), f(1.0)],
             18,
         );
+        assert_batched_matches_scalar(&BoxMullerNormalVg, &[f(3.0), f(2.0)], 19);
+        assert_batched_matches_scalar(
+            &crate::alias::AliasDiscreteVg::new(vec![
+                Value::Int64(20),
+                Value::Int64(21),
+                Value::Null,
+            ]),
+            &[f(0.4), f(0.4), f(0.2)],
+            20,
+        );
+    }
+
+    /// The opt-in sampler variants are different *configurations*: same
+    /// parameters, same seed, different streams — and different tokens, so
+    /// a plan-keyed cache can never serve one variant's streams for the
+    /// other.
+    #[test]
+    fn sampler_variants_diverge_from_the_default_samplers() {
+        let f = Value::Float64;
+        let params = [f(3.0), f(2.0)];
+        let mut a = ColumnBlock::new();
+        let mut b = ColumnBlock::new();
+        NormalVg
+            .generate_block_into(&params, 9, 0, 64, &mut a)
+            .unwrap();
+        BoxMullerNormalVg
+            .generate_block_into(&params, 9, 0, 64, &mut b)
+            .unwrap();
+        assert_ne!(NormalVg.cache_token(), BoxMullerNormalVg.cache_token());
+        let diverged =
+            (0..64).any(|i| a.value_at(0, 0, i).unwrap() != b.value_at(0, 0, i).unwrap());
+        assert!(diverged, "Box–Muller must not alias the inverse-CDF stream");
     }
 
     /// A third-party-style VG with no batched override: the default

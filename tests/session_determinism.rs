@@ -175,7 +175,7 @@ fn blocks_are_identical_across_replenishment_boundaries() {
                     assert_eq!(ss, ls);
                     assert_eq!(*base_pos, step * block as u64);
                     let lo = (step as usize) * block;
-                    assert_eq!(&lvals[lo..lo + block], svals.as_slice());
+                    assert_eq!(&lvals.to_values()[lo..lo + block], &svals.to_values()[..]);
                 }
             }
         }
@@ -535,6 +535,59 @@ fn parallel_aggregation_is_bit_identical_to_sequential() {
     // And the convenience wrapper (default threads) agrees too.
     let default = evaluate_aggregate(&set, &agg, &group, None).unwrap();
     assert_eq!(default.groups, seq.groups);
+}
+
+#[test]
+fn vectorized_kernels_are_bit_identical_to_forced_scalar_across_backends() {
+    // The kernel-mode contract: Auto (vectorized predicate masks, computed
+    // columns, and selection-vector aggregation) and ForceScalar (the
+    // retained scalar row loop) must produce bit-identical bundle sets and
+    // aggregate samples on every backend, across consecutive
+    // replenishment-style blocks.  (The process backend's workers keep
+    // their own process-global mode, so that leg additionally pins the
+    // coordinator's scalar path against worker-side vectorized blocks.)
+    use mcdbr::exec::{set_kernel_mode, KernelMode};
+    let (catalog, plan) = complex_case();
+    let seed = 41;
+    let blocks = [(0u64, 24usize), (24, 24), (48, 24), (7000, 9)];
+    let agg = mcdbr::exec::AggregateSpec::sum(Expr::col("loss"), "total");
+    let group = vec!["region".to_string()];
+    let pred = Expr::col("scaled").lt(Expr::lit(9.0));
+
+    let run = |mode: KernelMode| {
+        set_kernel_mode(mode);
+        let mut out = Vec::new();
+        for backend in [
+            Arc::new(InProcessBackend::new()) as Arc<dyn ExecBackend>,
+            Arc::new(ShardedBackend::new(3)) as Arc<dyn ExecBackend>,
+            Arc::new(ProcessBackend::new(2)) as Arc<dyn ExecBackend>,
+        ] {
+            let mut session = ExecSession::prepare(&plan, &catalog, seed)
+                .unwrap()
+                .with_threads(2)
+                .with_backend(backend);
+            for &(base, n) in &blocks {
+                let set = session.instantiate_block(&catalog, base, n).unwrap();
+                let samples =
+                    evaluate_aggregate_threads(&set, &agg, &group, Some(&pred), 3).unwrap();
+                out.push((set, samples));
+            }
+        }
+        set_kernel_mode(KernelMode::Auto);
+        out
+    };
+    let auto = run(KernelMode::Auto);
+    let scalar = run(KernelMode::ForceScalar);
+    assert_eq!(auto.len(), scalar.len());
+    for ((sa, ra), (ss, rs)) in auto.iter().zip(&scalar) {
+        assert_bit_identical(sa, ss);
+        assert_eq!(ra.group_columns, rs.group_columns);
+        assert_eq!(ra.groups.len(), rs.groups.len());
+        for ((ka, va), (kb, vb)) in ra.groups.iter().zip(&rs.groups) {
+            assert_eq!(ka, kb);
+            assert!(va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
 }
 
 #[test]
