@@ -1,0 +1,78 @@
+//! End-to-end `mcdbr-server` load: concurrent clients over real TCP
+//! sockets against one resident server sharing a session cache and
+//! buffer pool.
+//!
+//! For each client count the bench times a full load run (every client
+//! completing its query budget) and records the load generator's own
+//! measurements — p50/p99 per-query latency, aggregate queries/sec, and
+//! shared-cache skeleton hits — into `BENCH_server.json` via
+//! [`record_metric`].  The shared-cache win is asserted outside the
+//! timed region: after the warm-up query builds the skeleton, every
+//! subsequent query must ride it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use mcdbr_exec::InProcessBackend;
+use mcdbr_server::run_load;
+use mcdbr_server::service::{Server, ServerConfig};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+const CLIENT_COUNTS: [usize; 2] = [2, 8];
+const QUERIES_PER_CLIENT: usize = 8;
+const REPS: usize = 64;
+
+fn bench_server_load(c: &mut Criterion) {
+    let catalog = customer_losses_catalog(64, (2.0, 6.0), 11).unwrap();
+    let query = customer_losses_query(Some(40));
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    for clients in CLIENT_COUNTS {
+        let handle = Server::start(
+            catalog.clone(),
+            Arc::new(InProcessBackend::new()),
+            ServerConfig {
+                // Admit every client: this bench measures scheduling and
+                // cache sharing, not admission-control backoff.
+                max_inflight: CLIENT_COUNTS[1].max(clients) * 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // Prime the shared skeleton cache so the timed runs measure the
+        // resident steady state, not one cold plan build.
+        run_load(addr, &query, 1, 1, REPS).unwrap();
+
+        group.bench_function(format!("clients={clients}"), |b| {
+            b.iter(|| run_load(addr, &query, clients, QUERIES_PER_CLIENT, REPS).unwrap())
+        });
+
+        // One more run outside the timing loop supplies the recorded
+        // numbers and proves the shared-cache win end to end.
+        let report = run_load(addr, &query, clients, QUERIES_PER_CLIENT, REPS).unwrap();
+        assert_eq!(report.queries, clients * QUERIES_PER_CLIENT);
+        assert_eq!(
+            report.skeleton_hits, report.queries,
+            "every query after warm-up must ride the shared skeleton"
+        );
+        let id = format!("server/clients={clients}");
+        record_metric(&id, "p50_ms", report.p50_ms);
+        record_metric(&id, "p99_ms", report.p99_ms);
+        record_metric(&id, "qps", report.qps);
+        record_metric(&id, "skeleton_hits", report.skeleton_hits as f64);
+
+        let stats = handle.shutdown();
+        assert_eq!(stats.inflight, 0, "drained server may not leak slots");
+        assert_eq!(
+            stats.busy_rejections, 0,
+            "loadgen retries mask no Busy here"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_load);
+criterion_main!(benches);

@@ -41,12 +41,25 @@
 //! third-party VG function is not wire-serializable — [`encode_plan`]
 //! reports [`WireError::Unserializable`] and the dispatcher executes such
 //! plans locally instead.
+//!
+//! The same frame discipline carries the **client ↔ server** conversation
+//! of `mcdbr-server` over TCP (tags 8–13).  A client speaks `Hello` first
+//! (mirroring the coordinator → worker handshake), then issues [`Frame::Query`]
+//! requests; a successful response is `QueryResult` + `QueryStats`, a
+//! rejection or failure is a typed [`Frame::ErrorReply`].  Unlike `Plan`
+//! frames, a `Query` ships **no catalog snapshot** — the resident server
+//! owns the data, and the plan's table references resolve against the
+//! server's own catalog.  All server frames are additive: `WIRE_VERSION`
+//! stays 1 and existing peers never see the new tags.
 
 use std::io::{Read, Write};
 use std::sync::Arc;
 
 use mcdbr_exec::plan::{OutputColumn, RandomTableSpec};
-use mcdbr_exec::{BinaryOp, BundleValue, Expr, JoinType, PlanNode, TupleBundle, ValueChain};
+use mcdbr_exec::{
+    AggFunc, AggregateSpec, BinaryOp, BundleValue, Expr, JoinType, PlanNode, QueryResultSamples,
+    TupleBundle, ValueChain,
+};
 use mcdbr_prng::StreamKeyRange;
 use mcdbr_storage::{Column, DataType, Error, Field, Schema, Table, Tuple, Value};
 use mcdbr_vg::{
@@ -326,6 +339,78 @@ pub struct TaskStats {
     pub warm_hit: bool,
 }
 
+/// Why a server turned a request away (see [`Frame::ErrorReply`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCode {
+    /// Admission control: the in-flight query cap is reached — retry later.
+    Busy,
+    /// The server is draining for shutdown and admits no new queries.
+    ShuttingDown,
+    /// The request was malformed or used a frame the server does not accept.
+    Invalid,
+    /// The query was admitted but failed during execution.
+    Internal,
+}
+
+fn reply_code_to_u8(code: ReplyCode) -> u8 {
+    match code {
+        ReplyCode::Busy => 1,
+        ReplyCode::ShuttingDown => 2,
+        ReplyCode::Invalid => 3,
+        ReplyCode::Internal => 4,
+    }
+}
+
+fn reply_code_from_u8(raw: u8) -> WireResult<ReplyCode> {
+    Ok(match raw {
+        1 => ReplyCode::Busy,
+        2 => ReplyCode::ShuttingDown,
+        3 => ReplyCode::Invalid,
+        4 => ReplyCode::Internal,
+        other => return Err(WireError::Corrupt(format!("unknown reply code {other}"))),
+    })
+}
+
+/// Per-query counters terminating a successful query response
+/// (server → client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Whether phase 1 was skipped via the server's shared `SessionCache`.
+    pub skeleton_hit: bool,
+    /// Full plan executions this query cost the server (0 on a cache hit).
+    pub plan_executions: u64,
+    /// Tasks shipped to worker processes for this query (process backend).
+    pub tasks_dispatched: u64,
+    /// Shard/scheduler units this query fanned out into.
+    pub shards_spawned: u64,
+    /// Total time this query's scheduler units waited in queue.
+    pub queue_wait_ns: u64,
+    /// Wall-clock execution time, admission to last sample.
+    pub exec_ns: u64,
+}
+
+/// A server-wide counter snapshot (server → client, answering
+/// [`Frame::StatsRequest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Queries answered successfully since startup.
+    pub queries_served: u64,
+    /// Shared-cache skeleton hits across all sessions.
+    pub skeleton_hits: u64,
+    /// Shared-cache skeleton misses across all sessions.
+    pub skeleton_misses: u64,
+    /// Full plan executions across all sessions.
+    pub plan_executions: u64,
+    /// Tasks shipped to worker processes across all queries.
+    pub tasks_dispatched: u64,
+    /// Queries turned away with [`ReplyCode::Busy`].
+    pub busy_rejections: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Queries currently executing.
+    pub inflight: u64,
+}
+
 /// A decoded protocol frame.
 #[derive(Debug)]
 pub enum Frame {
@@ -364,8 +449,44 @@ pub enum Frame {
         /// Human-readable failure description.
         message: String,
     },
-    /// Clean-exit request (coordinator → worker).
+    /// Clean-exit request (coordinator → worker, or client → server to
+    /// begin a graceful drain).
     Shutdown,
+    /// A Monte Carlo query (client → server).  No catalog snapshot
+    /// travels — the resident server owns the data, and the plan's table
+    /// references resolve against the server's catalog.
+    Query {
+        /// The plan producing the tuples to aggregate.
+        plan: PlanNode,
+        /// The aggregate to compute.
+        aggregate: AggregateSpec,
+        /// Optional final selection predicate.
+        final_predicate: Option<Expr>,
+        /// Grouping columns (must be deterministic).
+        group_by: Vec<String>,
+        /// Monte Carlo repetition count.
+        reps: u64,
+        /// The master seed the query binds its streams from.
+        master_seed: u64,
+    },
+    /// The per-group sample matrix of a successful query (server → client);
+    /// floats travel as raw IEEE bits, so the decoded samples are
+    /// bit-identical to the server's.
+    QueryResult(QueryResultSamples),
+    /// A typed rejection or failure reply (server → client).
+    ErrorReply {
+        /// Why the request was turned away.
+        code: ReplyCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Per-query counters terminating a successful query response
+    /// (server → client, after [`Frame::QueryResult`]).
+    QueryStats(QueryStats),
+    /// Request a server-wide counter snapshot (client → server).
+    StatsRequest,
+    /// The server-wide counter snapshot (server → client).
+    ServerStats(ServerStats),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -375,6 +496,12 @@ const TAG_BUNDLE: u8 = 4;
 const TAG_TASK_STATS: u8 = 5;
 const TAG_ERROR: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_QUERY: u8 = 8;
+const TAG_QUERY_RESULT: u8 = 9;
+const TAG_ERROR_REPLY: u8 = 10;
+const TAG_QUERY_STATS: u8 = 11;
+const TAG_STATS_REQUEST: u8 = 12;
+const TAG_SERVER_STATS: u8 = 13;
 
 /// Encode the handshake frame.
 pub fn encode_hello() -> Vec<u8> {
@@ -501,6 +628,124 @@ pub fn encode_shutdown() -> Vec<u8> {
     vec![TAG_SHUTDOWN]
 }
 
+fn agg_func_to_u8(func: AggFunc) -> u8 {
+    match func {
+        AggFunc::Sum => 1,
+        AggFunc::Count => 2,
+        AggFunc::Avg => 3,
+        AggFunc::Min => 4,
+        AggFunc::Max => 5,
+    }
+}
+
+fn agg_func_from_u8(raw: u8) -> WireResult<AggFunc> {
+    Ok(match raw {
+        1 => AggFunc::Sum,
+        2 => AggFunc::Count,
+        3 => AggFunc::Avg,
+        4 => AggFunc::Min,
+        5 => AggFunc::Max,
+        other => {
+            return Err(WireError::Corrupt(format!(
+                "unknown aggregate function {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a `Query` frame.  Fails with [`WireError::Unserializable`] when
+/// the plan uses a VG function outside the built-in set (such plans cannot
+/// be shipped to a server).
+pub fn encode_query(
+    plan: &PlanNode,
+    aggregate: &AggregateSpec,
+    final_predicate: Option<&Expr>,
+    group_by: &[String],
+    reps: u64,
+    master_seed: u64,
+) -> WireResult<Vec<u8>> {
+    let mut out = vec![TAG_QUERY];
+    put_plan(&mut out, plan)?;
+    out.push(agg_func_to_u8(aggregate.func));
+    put_expr(&mut out, &aggregate.expr);
+    put_str(&mut out, &aggregate.alias);
+    match final_predicate {
+        None => out.push(0),
+        Some(expr) => {
+            out.push(1);
+            put_expr(&mut out, expr);
+        }
+    }
+    out.extend_from_slice(&(group_by.len() as u32).to_le_bytes());
+    for column in group_by {
+        put_str(&mut out, column);
+    }
+    out.extend_from_slice(&reps.to_le_bytes());
+    out.extend_from_slice(&master_seed.to_le_bytes());
+    Ok(out)
+}
+
+/// Encode a `QueryResult` frame: the per-group, per-repetition sample
+/// matrix, floats as raw IEEE bits.
+pub fn encode_query_result(samples: &QueryResultSamples) -> Vec<u8> {
+    let mut out = vec![TAG_QUERY_RESULT];
+    out.extend_from_slice(&(samples.group_columns.len() as u32).to_le_bytes());
+    for column in &samples.group_columns {
+        put_str(&mut out, column);
+    }
+    out.extend_from_slice(&(samples.groups.len() as u32).to_le_bytes());
+    for (key, xs) in &samples.groups {
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        for value in key {
+            value.encode_wire(&mut out);
+        }
+        out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+        for &x in xs {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encode an `ErrorReply` frame.
+pub fn encode_error_reply(code: ReplyCode, message: &str) -> Vec<u8> {
+    let mut out = vec![TAG_ERROR_REPLY];
+    out.push(reply_code_to_u8(code));
+    put_str(&mut out, message);
+    out
+}
+
+/// Encode the `QueryStats` frame terminating a successful query response.
+pub fn encode_query_stats(stats: QueryStats) -> Vec<u8> {
+    let mut out = vec![TAG_QUERY_STATS];
+    out.push(u8::from(stats.skeleton_hit));
+    out.extend_from_slice(&stats.plan_executions.to_le_bytes());
+    out.extend_from_slice(&stats.tasks_dispatched.to_le_bytes());
+    out.extend_from_slice(&stats.shards_spawned.to_le_bytes());
+    out.extend_from_slice(&stats.queue_wait_ns.to_le_bytes());
+    out.extend_from_slice(&stats.exec_ns.to_le_bytes());
+    out
+}
+
+/// Encode the `StatsRequest` frame.
+pub fn encode_stats_request() -> Vec<u8> {
+    vec![TAG_STATS_REQUEST]
+}
+
+/// Encode a `ServerStats` snapshot frame.
+pub fn encode_server_stats(stats: ServerStats) -> Vec<u8> {
+    let mut out = vec![TAG_SERVER_STATS];
+    out.extend_from_slice(&stats.queries_served.to_le_bytes());
+    out.extend_from_slice(&stats.skeleton_hits.to_le_bytes());
+    out.extend_from_slice(&stats.skeleton_misses.to_le_bytes());
+    out.extend_from_slice(&stats.plan_executions.to_le_bytes());
+    out.extend_from_slice(&stats.tasks_dispatched.to_le_bytes());
+    out.extend_from_slice(&stats.busy_rejections.to_le_bytes());
+    out.extend_from_slice(&stats.connections.to_le_bytes());
+    out.extend_from_slice(&stats.inflight.to_le_bytes());
+    out
+}
+
 /// Decode one frame payload.
 pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
     let mut d = Dec::new(payload);
@@ -604,6 +849,83 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
             message: d.str("error message")?,
         },
         TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_QUERY => {
+            let plan = get_plan(&mut d)?;
+            let func = agg_func_from_u8(d.u8("aggregate function")?)?;
+            let expr = get_expr(&mut d)?;
+            let alias = d.str("aggregate alias")?;
+            let final_predicate = match d.u8("final predicate flag")? {
+                0 => None,
+                1 => Some(get_expr(&mut d)?),
+                other => {
+                    return Err(WireError::Corrupt(format!(
+                        "unknown final predicate flag {other}"
+                    )))
+                }
+            };
+            let num_group = d.u32("group-by count")? as usize;
+            let mut group_by = Vec::with_capacity(num_group.min(1024));
+            for _ in 0..num_group {
+                group_by.push(d.str("group-by column")?);
+            }
+            Frame::Query {
+                plan,
+                aggregate: AggregateSpec { func, expr, alias },
+                final_predicate,
+                group_by,
+                reps: d.u64("query repetitions")?,
+                master_seed: d.u64("query master seed")?,
+            }
+        }
+        TAG_QUERY_RESULT => {
+            let num_columns = d.u32("group column count")? as usize;
+            let mut group_columns = Vec::with_capacity(num_columns.min(1024));
+            for _ in 0..num_columns {
+                group_columns.push(d.str("group column")?);
+            }
+            let num_groups = d.u32("group count")? as usize;
+            let mut groups = Vec::with_capacity(num_groups.min(4096));
+            for _ in 0..num_groups {
+                let key_len = d.u32("group key length")? as usize;
+                let mut key = Vec::with_capacity(key_len.min(1024));
+                for _ in 0..key_len {
+                    key.push(d.value("group key value")?);
+                }
+                let num_samples = d.u64("sample count")? as usize;
+                let mut xs = Vec::with_capacity(num_samples.min(1 << 20));
+                for _ in 0..num_samples {
+                    xs.push(d.f64("sample")?);
+                }
+                groups.push((key, xs));
+            }
+            Frame::QueryResult(QueryResultSamples {
+                group_columns,
+                groups,
+            })
+        }
+        TAG_ERROR_REPLY => Frame::ErrorReply {
+            code: reply_code_from_u8(d.u8("reply code")?)?,
+            message: d.str("reply message")?,
+        },
+        TAG_QUERY_STATS => Frame::QueryStats(QueryStats {
+            skeleton_hit: d.u8("stats skeleton flag")? != 0,
+            plan_executions: d.u64("stats plan executions")?,
+            tasks_dispatched: d.u64("stats tasks dispatched")?,
+            shards_spawned: d.u64("stats shards spawned")?,
+            queue_wait_ns: d.u64("stats queue wait")?,
+            exec_ns: d.u64("stats exec time")?,
+        }),
+        TAG_STATS_REQUEST => Frame::StatsRequest,
+        TAG_SERVER_STATS => Frame::ServerStats(ServerStats {
+            queries_served: d.u64("server queries served")?,
+            skeleton_hits: d.u64("server skeleton hits")?,
+            skeleton_misses: d.u64("server skeleton misses")?,
+            plan_executions: d.u64("server plan executions")?,
+            tasks_dispatched: d.u64("server tasks dispatched")?,
+            busy_rejections: d.u64("server busy rejections")?,
+            connections: d.u64("server connections")?,
+            inflight: d.u64("server inflight")?,
+        }),
         other => return Err(WireError::Corrupt(format!("unknown frame tag {other}"))),
     };
     d.finish("frame")?;

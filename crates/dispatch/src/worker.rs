@@ -162,6 +162,12 @@ pub fn run_worker<R: Read, W: Write>(input: &mut R, output: &mut W) -> WireResul
                 ))
             }
             Frame::Error { message } => return Err(WireError::Remote(message)),
+            // Server-protocol frames never travel on a worker's stdin.
+            _ => {
+                return Err(WireError::Corrupt(
+                    "received a server-protocol frame on the worker stream".into(),
+                ))
+            }
         }
     }
 }

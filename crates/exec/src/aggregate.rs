@@ -246,6 +246,97 @@ pub(crate) fn evaluate_aggregate_partials(
     Ok((samples, spawned, merge_ns))
 }
 
+/// One contiguous repetition range's accumulators, produced by
+/// [`aggregate_rep_range`] and merged by [`merge_rep_partials`] — the unit
+/// an *external* scheduler (e.g. `mcdbr-server`'s fair scheduler, which
+/// interleaves work from concurrent queries) fans aggregation out by.
+/// Opaque: the accumulator layout is this module's private contract.
+#[derive(Debug)]
+pub struct AggPartial {
+    lo: usize,
+    accs: Vec<Vec<Accum>>,
+}
+
+impl AggPartial {
+    /// First repetition of the range this partial covers.
+    pub fn start(&self) -> usize {
+        self.lo
+    }
+
+    /// Number of repetitions this partial covers.
+    pub fn len(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accs.is_empty()
+    }
+}
+
+/// Aggregate the contiguous repetition range `lo..hi` of `set` into one
+/// [`AggPartial`].
+///
+/// The group layout is discovered over the **full** set (first-seen bundle
+/// order), never over the range, so layout — and with it every group index
+/// — is identical across ranges: any decomposition of `0..num_reps` into
+/// contiguous ranges, merged back in order by [`merge_rep_partials`], is
+/// bit-identical to [`evaluate_aggregate_threads`].  `hi` is clamped to the
+/// set's repetition count, `lo` to `hi`.
+pub fn aggregate_rep_range(
+    set: &BundleSet,
+    agg: &AggregateSpec,
+    group_by: &[String],
+    final_predicate: Option<&Expr>,
+    lo: usize,
+    hi: usize,
+) -> Result<AggPartial> {
+    let layout = GroupLayout::discover(set, group_by)?;
+    let hi = hi.min(set.num_reps);
+    let lo = lo.min(hi);
+    let accs = if let Some(plan) = compile_plan(set, &layout, agg, final_predicate) {
+        accumulate_range(&plan, lo, hi)
+    } else {
+        (lo..hi)
+            .map(|rep| accumulate_rep(set, &layout, agg, final_predicate, rep))
+            .collect::<Result<Vec<Vec<Accum>>>>()?
+    };
+    Ok(AggPartial { lo, accs })
+}
+
+/// Merge rep-range partials back into the per-group sample matrix.  The
+/// partials must exactly tile `0..set.num_reps` (any order — they are
+/// sorted by range start here); gaps, overlaps, or missing repetitions are
+/// an error rather than a silently wrong result.
+pub fn merge_rep_partials(
+    set: &BundleSet,
+    agg: &AggregateSpec,
+    group_by: &[String],
+    mut partials: Vec<AggPartial>,
+) -> Result<QueryResultSamples> {
+    let layout = GroupLayout::discover(set, group_by)?;
+    partials.sort_by_key(|p| p.lo);
+    let mut per_rep: Vec<Vec<Accum>> = Vec::with_capacity(set.num_reps);
+    let mut next = 0usize;
+    for partial in partials {
+        if partial.lo != next {
+            return Err(Error::Invalid(format!(
+                "aggregate partials do not tile the repetitions: expected start {next}, got {}",
+                partial.lo
+            )));
+        }
+        next += partial.accs.len();
+        per_rep.extend(partial.accs);
+    }
+    if next != set.num_reps {
+        return Err(Error::Invalid(format!(
+            "aggregate partials cover {next} of {} repetitions",
+            set.num_reps
+        )));
+    }
+    Ok(layout.finish(per_rep, agg.func, group_by))
+}
+
 /// The group structure of a bundle set: every distinct key in first-seen
 /// order plus each bundle's group assignment.  Shared by the thread fan-out
 /// and the sharded-partials path so both resolve groups identically.

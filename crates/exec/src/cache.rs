@@ -24,7 +24,14 @@
 //!
 //! The cache is internally synchronized (`&self` methods, atomic counters),
 //! so one cache can be shared — e.g. behind an [`std::sync::Arc`] — between
-//! an engine, several Gibbs loopers, and worker threads.  Capacity is
+//! an engine, several Gibbs loopers, server connections, and worker
+//! threads.  Concurrent misses on the *same* key are **single-flight**: the
+//! first session to miss builds the skeleton (outside the entry lock, so
+//! slow builds never block unrelated lookups), every racer waits for that
+//! build and then takes it as a hit — so "one plan execution per distinct
+//! `(plan, epoch)`" holds *exactly* under concurrency, not just on average,
+//! and the hit/miss counters are race-free totals a test can assert.
+//! Capacity is
 //! bounded (LRU eviction, default [`SessionCache::DEFAULT_CAPACITY`]): a
 //! long-lived engine that keeps mutating its catalog — orphaning entries
 //! keyed on dead epochs — cannot grow the cache without bound, and under a
@@ -33,7 +40,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use mcdbr_storage::{Catalog, Result};
 
@@ -105,9 +112,53 @@ enum CacheEntry {
 #[derive(Debug)]
 pub struct SessionCache {
     entries: Mutex<Entries>,
+    /// In-progress skeleton builds, keyed like `entries` — the single-flight
+    /// table.  Held only around map operations, never across a build.
+    flights: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
     capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+}
+
+/// One in-progress skeleton build that racing sessions wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("flight poisoned");
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("flight poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Marks the guarded flight finished on every exit path — including a
+/// panicking or erroring build — so waiters can never hang on a builder
+/// that went away.
+struct FlightGuard<'a> {
+    cache: &'a SessionCache,
+    key: (u64, u64),
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache
+            .flights
+            .lock()
+            .expect("cache poisoned")
+            .remove(&self.key);
+        self.flight.finish();
+    }
 }
 
 /// The guarded map with per-entry recency stamps (for bounded LRU
@@ -177,10 +228,21 @@ impl SessionCache {
     pub fn with_capacity(capacity: usize) -> Self {
         SessionCache {
             entries: Mutex::new(Entries::default()),
+            flights: Mutex::new(HashMap::new()),
             capacity: capacity.max(1),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
+    }
+
+    /// Look `key` up, touching its recency stamp on a hit.
+    fn lookup(&self, key: (u64, u64)) -> Option<CacheEntry> {
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let stamp = entries.tick();
+        let stamped = entries.map.get_mut(&key)?;
+        // Touch on hit: the LRU order tracks use, not insertion.
+        stamped.last_used = stamp;
+        Some(stamped.entry.clone())
     }
 
     /// Hand out an [`ExecSession`] for `(plan, catalog, master_seed)`.
@@ -195,6 +257,13 @@ impl SessionCache {
     ///
     /// Ordinary plan errors (missing tables, illegal joins) are returned and
     /// never cached.
+    ///
+    /// Concurrent misses on the same key coalesce into a **single** build:
+    /// one racer runs phase 1, the others block until it lands and then
+    /// take the entry as a hit (see the [module docs](self)).  If the build
+    /// fails with a plan error, each waiter retries the build itself —
+    /// deterministic plan errors reproduce, and nothing wrong is ever
+    /// cached.
     pub fn session(
         &self,
         plan: &PlanNode,
@@ -202,14 +271,8 @@ impl SessionCache {
         master_seed: u64,
     ) -> Result<ExecSession> {
         let key = (plan.fingerprint(), catalog.epoch());
-        {
-            let mut entries = self.entries.lock().expect("cache poisoned");
-            let stamp = entries.tick();
-            if let Some(stamped) = entries.map.get_mut(&key) {
-                // Touch on hit: the LRU order tracks use, not insertion.
-                stamped.last_used = stamp;
-                let entry = stamped.entry.clone();
-                drop(entries);
+        loop {
+            if let Some(entry) = self.lookup(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(match entry {
                     CacheEntry::Skeleton(skeleton) => {
@@ -220,43 +283,65 @@ impl SessionCache {
                     }
                 });
             }
-        }
 
-        // Build outside the lock: concurrent misses on the same key build
-        // identical skeletons (the pass is deterministic), so the last insert
-        // winning is harmless and slow builds never block unrelated lookups.
-        let (entry, session) = match build_skeleton(plan, catalog) {
-            Ok(skeleton) => {
-                let skeleton = Arc::new(skeleton);
-                let session =
-                    ExecSession::from_skeleton(plan, Arc::clone(&skeleton), master_seed, false);
-                (CacheEntry::Skeleton(skeleton), session)
+            // Miss: join this key's in-progress build, or become its builder.
+            let flight = {
+                let mut flights = self.flights.lock().expect("cache poisoned");
+                match flights.get(&key) {
+                    Some(flight) => {
+                        let flight = Arc::clone(flight);
+                        drop(flights);
+                        flight.wait();
+                        // The builder landed (its waiters hit) or failed
+                        // (we re-miss and build ourselves) — re-check.
+                        continue;
+                    }
+                    None => {
+                        let flight = Arc::new(Flight::default());
+                        flights.insert(key, Arc::clone(&flight));
+                        flight
+                    }
+                }
+            };
+            let _guard = FlightGuard {
+                cache: self,
+                key,
+                flight,
+            };
+
+            // Build outside both locks, so a slow phase 1 blocks only the
+            // sessions that need this exact skeleton.
+            let (entry, session) = match build_skeleton(plan, catalog) {
+                Ok(skeleton) => {
+                    let skeleton = Arc::new(skeleton);
+                    let session =
+                        ExecSession::from_skeleton(plan, Arc::clone(&skeleton), master_seed, false);
+                    (CacheEntry::Skeleton(skeleton), session)
+                }
+                Err(PrepError::Uncacheable(reason)) => (
+                    CacheEntry::Uncacheable(reason.clone()),
+                    ExecSession::fallback(plan, master_seed, reason, false),
+                ),
+                Err(PrepError::Fail(e)) => return Err(e),
+            };
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut entries = self.entries.lock().expect("cache poisoned");
+            let stamp = entries.tick();
+            entries.map.insert(
+                key,
+                Stamped {
+                    entry,
+                    last_used: stamp,
+                },
+            );
+            // LRU-evict beyond capacity: the minimum stamp is the entry that
+            // has gone unused the longest (with a mutating catalog, the
+            // orphaned-epoch ones age there on their own).
+            while entries.map.len() > self.capacity {
+                entries.evict_lru();
             }
-            Err(PrepError::Uncacheable(reason)) => (
-                CacheEntry::Uncacheable(reason.clone()),
-                ExecSession::fallback(plan, master_seed, reason, false),
-            ),
-            Err(PrepError::Fail(e)) => return Err(e),
-        };
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        // (Re)inserting counts as a use; concurrent misses on the same key
-        // insert identical entries, so last-write-wins is harmless.
-        let stamp = entries.tick();
-        entries.map.insert(
-            key,
-            Stamped {
-                entry,
-                last_used: stamp,
-            },
-        );
-        // LRU-evict beyond capacity: the minimum stamp is the entry that has
-        // gone unused the longest (with a mutating catalog, the
-        // orphaned-epoch ones age there on their own).
-        while entries.map.len() > self.capacity {
-            entries.evict_lru();
+            return Ok(session);
         }
-        Ok(session)
     }
 
     /// Number of lookups that skipped phase 1 (the skeleton — or the
@@ -324,6 +409,38 @@ mod tests {
             "val",
             1,
         ))
+    }
+
+    #[test]
+    fn racing_sessions_single_flight_one_miss() {
+        // All racers ask for the same (plan, epoch) at once: exactly one
+        // builds (one miss, plan_executions == 1 across the cache), the
+        // rest coalesce onto that build and count as hits.
+        let cache = Arc::new(SessionCache::new());
+        let catalog = Arc::new(catalog());
+        let plan = Arc::new(losses_plan());
+        const RACERS: usize = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(RACERS));
+        let handles: Vec<_> = (0..RACERS)
+            .map(|seed| {
+                let (cache, catalog, plan, barrier) = (
+                    Arc::clone(&cache),
+                    Arc::clone(&catalog),
+                    Arc::clone(&plan),
+                    Arc::clone(&barrier),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let session = cache.session(&plan, &catalog, seed as u64).unwrap();
+                    session.plan_executions()
+                })
+            })
+            .collect();
+        let executions: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(executions, 1, "exactly one racer pays phase 1");
+        assert_eq!(cache.skeleton_misses(), 1);
+        assert_eq!(cache.skeleton_hits(), RACERS - 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod session;
 pub mod shard;
 pub mod stream_registry;
 
-pub use aggregate::{AggFunc, AggregateSpec, QueryResultSamples};
+pub use aggregate::{
+    aggregate_rep_range, merge_rep_partials, AggFunc, AggPartial, AggregateSpec, QueryResultSamples,
+};
 pub use backend::{
     default_backend, default_backend_kind, default_workers, install_default_backend, BackendKind,
     ExecBackend, InProcessBackend, ShardStats,

@@ -1,0 +1,240 @@
+//! [`FairBackend`]: a per-query [`ExecBackend`] adapter that routes a
+//! query's phase-2 and aggregation work through the server's shared
+//! [`FairScheduler`] instead of a private thread fan-out.
+//!
+//! The server hands every admitted query its own `FairBackend` wrapping
+//! the server-wide inner backend (in-process, sharded, or process).  Block
+//! instantiation decomposes into [`ShardTask`]s — the same self-describing
+//! unit the sharded backend and the process dispatcher use — and
+//! aggregation into contiguous repetition ranges
+//! ([`mcdbr_exec::aggregate_rep_range`]); both kinds of unit are submitted
+//! under the query's id, so the scheduler's round-robin ring interleaves
+//! *tasks* of concurrent queries rather than running the queries serially.
+//!
+//! Bit-identity is inherited, not re-argued: shard tasks merge by skeleton
+//! slot exactly like [`mcdbr_exec::ShardedBackend`], and rep-range partials
+//! merge in repetition order with the group layout discovered over the
+//! full set (range-invariant), so results equal a single-threaded run of
+//! the same query bit for bit — the property `tests/server_concurrency.rs`
+//! asserts across all three inner backends.
+//!
+//! The **process** inner backend keeps its own multi-process fan-out: its
+//! block instantiation is one coordinator-side conversation holding the
+//! dispatcher's state lock, so it runs as a *single* scheduler unit (the
+//! blocking wire I/O occupies one pool slot; fairness is at block
+//! granularity).  Aggregation still fans out per rep range, since the
+//! process backend aggregates locally anyway.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcdbr_exec::{
+    aggregate_rep_range, merge_rep_partials, plan_shards, AggPartial, AggregateSpec,
+    BlockBufferPool, BundleSet, DeterministicPrefix, ExecBackend, Expr, PlanNode,
+    QueryResultSamples, ShardStats, ShardTask, TupleBundle,
+};
+use mcdbr_storage::{Catalog, Result};
+
+use crate::sched::FairScheduler;
+
+/// A per-query scheduler-routed backend.  See the [module docs](self).
+pub struct FairBackend {
+    inner: Arc<dyn ExecBackend>,
+    sched: Arc<FairScheduler>,
+    pool: Arc<BlockBufferPool>,
+    /// The query id the scheduler keys fairness by.
+    qid: u64,
+    /// Shard/rep-range units this query fanned out into.
+    units: AtomicUsize,
+    /// Cumulative queue wait across this query's units (shared with the
+    /// unit closures).
+    wait_ns: Arc<AtomicU64>,
+    merge_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for FairBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairBackend")
+            .field("inner", &self.inner.name())
+            .field("qid", &self.qid)
+            .finish()
+    }
+}
+
+impl FairBackend {
+    /// Wrap `inner` for one query.  `pool` must be the same pool the
+    /// session passes to [`ExecBackend::instantiate_block`] — the server
+    /// wires one pool everywhere, and scheduler units (being `'static`)
+    /// capture this `Arc` rather than the borrowed parameter.
+    pub fn new(
+        inner: Arc<dyn ExecBackend>,
+        sched: Arc<FairScheduler>,
+        pool: Arc<BlockBufferPool>,
+        qid: u64,
+    ) -> Self {
+        FairBackend {
+            inner,
+            sched,
+            pool,
+            qid,
+            units: AtomicUsize::new(0),
+            wait_ns: Arc::new(AtomicU64::new(0)),
+            merge_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Total nanoseconds this query's units spent waiting in the scheduler
+    /// queue — the per-query contention signal the `QueryStats` frame
+    /// reports.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// How many shard-task / rep-range units the query fanned out into.
+    pub fn units_spawned(&self) -> usize {
+        self.units.load(Ordering::Relaxed)
+    }
+}
+
+impl ExecBackend for FairBackend {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn prepare_dispatch(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        prefix: &DeterministicPrefix,
+    ) -> Result<()> {
+        self.inner.prepare_dispatch(plan, catalog, prefix)
+    }
+
+    fn instantiate_block(
+        &self,
+        prefix: &DeterministicPrefix,
+        _pool: &BlockBufferPool,
+        _threads: usize,
+        base_pos: u64,
+        num_values: usize,
+    ) -> Result<BundleSet> {
+        let skeleton = prefix.skeleton();
+
+        if !matches!(self.inner.name(), "in-process" | "sharded") {
+            // Process (and any custom) inner: one delegating unit.  The
+            // dispatcher's conversation is serialized behind its own state
+            // lock, and the prefix is re-derivable (`bind` is a pure
+            // function of skeleton + seed, and the skeleton Arc — which the
+            // dispatcher keys primed plans by — is shared).
+            let inner = Arc::clone(&self.inner);
+            let pool = Arc::clone(&self.pool);
+            let skeleton = Arc::clone(skeleton);
+            let master_seed = prefix.master_seed();
+            self.units.fetch_add(1, Ordering::Relaxed);
+            let mut out = self.sched.run_batch(
+                self.qid,
+                vec![move || {
+                    let prefix = skeleton.bind(master_seed);
+                    inner.instantiate_block(&prefix, &pool, 1, base_pos, num_values)
+                }],
+                &self.wait_ns,
+            );
+            return out.pop().expect("one unit, one result");
+        }
+
+        // In-process / sharded inner: decompose into shard tasks at the
+        // scheduler's pool width and merge by skeleton slot, exactly like
+        // `ShardedBackend::instantiate_block`.
+        let tasks: Vec<ShardTask> = plan_shards(skeleton, self.sched.pool_size())
+            .into_iter()
+            .map(|key_range| ShardTask {
+                skeleton: Arc::clone(skeleton),
+                master_seed: prefix.master_seed(),
+                key_range,
+                base_pos,
+                num_values,
+            })
+            .collect();
+        self.units.fetch_add(tasks.len(), Ordering::Relaxed);
+        let jobs: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                let pool = Arc::clone(&self.pool);
+                move || task.run(&pool)
+            })
+            .collect();
+        let partials = self.sched.run_batch(self.qid, jobs, &self.wait_ns);
+
+        let merge_start = Instant::now();
+        let mut slots: Vec<Option<TupleBundle>> = Vec::with_capacity(skeleton.num_bundles());
+        slots.resize_with(skeleton.num_bundles(), || None);
+        for partial in partials {
+            for (idx, bundle) in partial?.bundles {
+                slots[idx] = bundle;
+            }
+        }
+        self.merge_ns
+            .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(BundleSet {
+            schema: skeleton.schema().clone(),
+            bundles: slots.into_iter().flatten().collect(),
+            registry: prefix.registry().clone(),
+            num_reps: num_values,
+        })
+    }
+
+    fn aggregate(
+        &self,
+        set: &BundleSet,
+        agg: &AggregateSpec,
+        group_by: &[String],
+        final_predicate: Option<&Expr>,
+        _threads: usize,
+    ) -> Result<QueryResultSamples> {
+        // Contiguous, balanced repetition ranges — the only safe parallel
+        // unit (within a repetition the bundle fold order is the
+        // floating-point contract).  The set travels into the units as a
+        // cheap Arc'd clone (bundle chains share `Arc<Column>` segments).
+        let lens = mcdbr_prng::balanced_chunks(set.num_reps, self.sched.pool_size());
+        if lens.len() <= 1 {
+            return self.inner.aggregate(set, agg, group_by, final_predicate, 1);
+        }
+        let owned = Arc::new(set.clone());
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(lens.len());
+        let mut lo = 0usize;
+        for len in lens {
+            ranges.push((lo, lo + len));
+            lo += len;
+        }
+        self.units.fetch_add(ranges.len(), Ordering::Relaxed);
+        let jobs: Vec<_> = ranges
+            .into_iter()
+            .map(|(lo, hi)| {
+                let set = Arc::clone(&owned);
+                let agg = agg.clone();
+                let group_by = group_by.to_vec();
+                let final_predicate = final_predicate.cloned();
+                move || aggregate_rep_range(&set, &agg, &group_by, final_predicate.as_ref(), lo, hi)
+            })
+            .collect();
+        let partials: Result<Vec<AggPartial>> = self
+            .sched
+            .run_batch(self.qid, jobs, &self.wait_ns)
+            .into_iter()
+            .collect();
+
+        let merge_start = Instant::now();
+        let samples = merge_rep_partials(set, agg, group_by, partials?)?;
+        self.merge_ns
+            .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(samples)
+    }
+
+    fn shard_stats(&self) -> ShardStats {
+        let mut stats = self.inner.shard_stats();
+        stats.shards_spawned += self.units.load(Ordering::Relaxed);
+        stats.shard_merge_ns += self.merge_ns.load(Ordering::Relaxed);
+        stats
+    }
+}

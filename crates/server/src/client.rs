@@ -1,0 +1,137 @@
+//! A blocking client for the server protocol — what the loadgen binary,
+//! the benches, and the test suites speak.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mcdbr_dispatch::wire::{self, Frame, ReplyCode, WireError, WireResult};
+use mcdbr_exec::QueryResultSamples;
+use mcdbr_mcdb::MonteCarloQuery;
+
+/// One server response to a query.
+#[derive(Debug)]
+pub enum QueryReply {
+    /// The query ran; bit-exact samples plus the per-query counters.
+    Ok {
+        /// Per-group, per-repetition samples.
+        samples: QueryResultSamples,
+        /// The server's per-query counters.
+        stats: wire::QueryStats,
+    },
+    /// The server turned the query away (admission, drain, or failure).
+    Rejected {
+        /// Why.
+        code: ReplyCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A connected, handshaken client session.
+#[derive(Debug)]
+pub struct ServerClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServerClient {
+    /// Connect and run the `Hello` handshake (client speaks first).
+    pub fn connect(addr: impl ToSocketAddrs) -> WireResult<ServerClient> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = ServerClient { reader, writer };
+        wire::write_frame(&mut client.writer, &wire::encode_hello())?;
+        client.writer.flush()?;
+        match client.read()? {
+            Frame::Hello { magic, version } if magic == wire::WIRE_MAGIC => {
+                if version != wire::WIRE_VERSION {
+                    return Err(WireError::VersionMismatch {
+                        ours: wire::WIRE_VERSION,
+                        theirs: version,
+                    });
+                }
+            }
+            Frame::Hello { magic, .. } => return Err(WireError::BadMagic(magic)),
+            Frame::Error { message } => return Err(WireError::Remote(message)),
+            _ => return Err(WireError::Corrupt("expected Hello from server".into())),
+        }
+        Ok(client)
+    }
+
+    fn read(&mut self) -> WireResult<Frame> {
+        let (payload, _) = wire::read_frame(&mut self.reader)?.ok_or(WireError::Truncated {
+            what: "server response",
+        })?;
+        wire::decode_frame(&payload)
+    }
+
+    /// Run `query` for `reps` repetitions under `master_seed`.
+    ///
+    /// A [`QueryReply::Rejected`] with [`ReplyCode::Busy`] is retryable;
+    /// wire-level errors (the `Err` branch) mean the connection is gone.
+    pub fn query(
+        &mut self,
+        query: &MonteCarloQuery,
+        reps: usize,
+        master_seed: u64,
+    ) -> WireResult<QueryReply> {
+        let payload = wire::encode_query(
+            &query.plan,
+            &query.aggregate,
+            query.final_predicate.as_ref(),
+            &query.group_by,
+            reps as u64,
+            master_seed,
+        )?;
+        wire::write_frame(&mut self.writer, &payload)?;
+        self.writer.flush()?;
+        match self.read()? {
+            Frame::QueryResult(samples) => match self.read()? {
+                Frame::QueryStats(stats) => Ok(QueryReply::Ok { samples, stats }),
+                _ => Err(WireError::Corrupt(
+                    "expected QueryStats after QueryResult".into(),
+                )),
+            },
+            Frame::ErrorReply { code, message } => Ok(QueryReply::Rejected { code, message }),
+            _ => Err(WireError::Corrupt("unexpected reply to Query".into())),
+        }
+    }
+
+    /// Like [`ServerClient::query`], but retry (reconnecting is not needed
+    /// — `Busy` leaves the connection healthy) until admitted.
+    pub fn query_retrying(
+        &mut self,
+        query: &MonteCarloQuery,
+        reps: usize,
+        master_seed: u64,
+    ) -> WireResult<QueryReply> {
+        loop {
+            match self.query(query, reps, master_seed)? {
+                QueryReply::Rejected {
+                    code: ReplyCode::Busy,
+                    ..
+                } => std::thread::yield_now(),
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    /// Fetch the server-wide counter snapshot.
+    pub fn server_stats(&mut self) -> WireResult<wire::ServerStats> {
+        wire::write_frame(&mut self.writer, &wire::encode_stats_request())?;
+        self.writer.flush()?;
+        match self.read()? {
+            Frame::ServerStats(stats) => Ok(stats),
+            _ => Err(WireError::Corrupt(
+                "unexpected reply to StatsRequest".into(),
+            )),
+        }
+    }
+
+    /// Ask the server to begin a graceful drain, consuming the session.
+    pub fn shutdown(mut self) -> WireResult<()> {
+        wire::write_frame(&mut self.writer, &wire::encode_shutdown())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,27 @@
+//! The canonical demo workload the `mcdbr-server` binary, the loadgen
+//! client, and the smoke tests agree on: the paper §2 customer-losses
+//! catalog and query, so a fresh checkout can start a server and drive it
+//! without writing any SQL-free plumbing of its own.
+
+use mcdbr_mcdb::MonteCarloQuery;
+use mcdbr_storage::{Catalog, Result};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+/// Number of customers in the demo catalog.
+pub const DEMO_CUSTOMERS: usize = 500;
+
+/// Seed the demo catalog's parameter table is drawn with (fixed, so every
+/// server instance serves the same data).
+pub const DEMO_CATALOG_SEED: u64 = 0x5eed_cafe;
+
+/// Build the demo catalog: `means(cid, m)` for [`DEMO_CUSTOMERS`]
+/// customers.
+pub fn demo_catalog() -> Result<Catalog> {
+    customer_losses_catalog(DEMO_CUSTOMERS, (8.0, 12.0), DEMO_CATALOG_SEED)
+}
+
+/// The demo query: `SELECT SUM(val) AS totalLoss FROM Losses WHERE
+/// cid < 250` over the `Normal(m, 1.0)` VG table.
+pub fn demo_query() -> MonteCarloQuery {
+    customer_losses_query(Some((DEMO_CUSTOMERS / 2) as i64))
+}

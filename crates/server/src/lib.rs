@@ -1,0 +1,52 @@
+//! `mcdbr-server`: the resident, concurrent Monte Carlo query service.
+//!
+//! Everything below PR 6 is a one-shot binary: build an engine, run a
+//! query, exit — the warm [`mcdbr_exec::SessionCache`], the recycled
+//! [`mcdbr_exec::BlockBufferPool`], and the spawned worker processes all
+//! die with the process.  This crate keeps them **resident** and shares
+//! them across many concurrent clients:
+//!
+//! * [`service`] — the TCP listener ([`Server`] / [`ServerHandle`]):
+//!   MCDW-framed request/response (`Hello`, `Query`, `QueryResult` +
+//!   `QueryStats`, `ErrorReply`, `StatsRequest`/`ServerStats`,
+//!   `Shutdown`), admission control with typed `Busy` replies, and a
+//!   graceful drain that finishes in-flight queries before exit.
+//! * [`sched`] — [`FairScheduler`]: a bounded worker pool whose
+//!   round-robin ring interleaves work *units* from concurrent queries,
+//!   so one big query cannot starve the rest.
+//! * [`backend`] — [`FairBackend`]: the per-query [`mcdbr_exec::ExecBackend`]
+//!   adapter that decomposes a query into shard-task and rep-range units
+//!   on that scheduler; composes with every inner backend
+//!   (`MCDBR_BACKEND={inprocess,sharded,process}`) bit-identically.
+//! * [`client`] — [`ServerClient`]: the blocking client the loadgen
+//!   binary, benches, and test suites speak.
+//! * [`load`] — [`load::run_load`]: N concurrent connections measuring
+//!   p50/p99 latency and queries/sec.
+//! * [`demo`] — the canonical customer-losses workload the binary and
+//!   loadgen agree on.
+//! * [`testing`] — deterministic gates for concurrency tests.
+//!
+//! The correctness story is the repo's usual one, extended to
+//! concurrency: every result a client receives is **bit-identical** to a
+//! single-threaded `McdbEngine` run of the same `(query, seed)`, for any
+//! interleaving of clients, any backend, and any scheduler width —
+//! proven by `tests/server_concurrency.rs`, fuzzed at the protocol layer
+//! by `tests/server_fuzz.rs`, and exercised under faults (killed
+//! clients, killed workers, shutdown with queries in flight) by
+//! `tests/server_faults.rs`.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod client;
+pub mod demo;
+pub mod load;
+pub mod sched;
+pub mod service;
+pub mod testing;
+
+pub use backend::FairBackend;
+pub use client::{QueryReply, ServerClient};
+pub use load::{run_load, LoadReport};
+pub use sched::FairScheduler;
+pub use service::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,94 @@
+//! Deterministic concurrency-test instruments.
+//!
+//! Races make bad tests; gates make them deterministic.  [`GateBackend`]
+//! is an [`ExecBackend`] whose block instantiation *blocks* until the test
+//! opens the gate — so a test can hold a query provably in flight while it
+//! probes admission control, kills a client, or starts a drain, then
+//! release the gate and assert the outcome.  Execution delegates to the
+//! in-process backend, so results stay bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mcdbr_exec::{
+    AggregateSpec, BlockBufferPool, BundleSet, DeterministicPrefix, ExecBackend, Expr,
+    InProcessBackend, QueryResultSamples, ShardStats,
+};
+use mcdbr_storage::Result;
+
+/// An in-process backend whose `instantiate_block` waits at a gate.  See
+/// the [module docs](self).
+#[derive(Debug, Default)]
+pub struct GateBackend {
+    inner: InProcessBackend,
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl GateBackend {
+    /// A new backend with the gate closed.
+    pub fn new() -> Self {
+        GateBackend::default()
+    }
+
+    /// Open the gate permanently, releasing every waiter (current and
+    /// future).
+    pub fn open(&self) {
+        *self.open.lock().expect("gate") = true;
+        self.cv.notify_all();
+    }
+
+    /// How many block instantiations have *entered* (reached the gate).
+    pub fn entered(&self) -> usize {
+        self.entered.load(Ordering::SeqCst)
+    }
+
+    /// Spin until at least `n` block instantiations have entered — i.e.
+    /// until `n` queries are provably in flight inside the executor.
+    pub fn wait_entered(&self, n: usize) {
+        while self.entered() < n {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl ExecBackend for GateBackend {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+
+    fn instantiate_block(
+        &self,
+        prefix: &DeterministicPrefix,
+        pool: &BlockBufferPool,
+        threads: usize,
+        base_pos: u64,
+        num_values: usize,
+    ) -> Result<BundleSet> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().expect("gate");
+        while !*open {
+            open = self.cv.wait(open).expect("gate");
+        }
+        drop(open);
+        self.inner
+            .instantiate_block(prefix, pool, threads, base_pos, num_values)
+    }
+
+    fn aggregate(
+        &self,
+        set: &BundleSet,
+        agg: &AggregateSpec,
+        group_by: &[String],
+        final_predicate: Option<&Expr>,
+        threads: usize,
+    ) -> Result<QueryResultSamples> {
+        self.inner
+            .aggregate(set, agg, group_by, final_predicate, threads)
+    }
+
+    fn shard_stats(&self) -> ShardStats {
+        self.inner.shard_stats()
+    }
+}

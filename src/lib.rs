@@ -19,6 +19,7 @@
 //! | [`risk`] | risk measures: VaR, expected shortfall, empirical/analytic CDFs, frequency tables |
 //! | [`query`] | the SQL-ish dialect of §2 compiled to plans |
 //! | [`workloads`] | synthetic workload generators (customer losses, TPC-H-like join, portfolio, logistics) |
+//! | [`server`] | the resident concurrent query service: `mcdbr-server` binary, fair scheduler, wire client, load generator |
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -30,6 +31,7 @@ pub use mcdbr_mcdb as mcdb;
 pub use mcdbr_prng as prng;
 pub use mcdbr_query as query;
 pub use mcdbr_risk as risk;
+pub use mcdbr_server as server;
 pub use mcdbr_storage as storage;
 pub use mcdbr_vg as vg;
 pub use mcdbr_workloads as workloads;

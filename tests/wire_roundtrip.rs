@@ -11,11 +11,14 @@
 use std::sync::Arc;
 
 use mcdbr::dispatch::wire::{
-    self, Frame, PlanKey, TaskHeader, TaskStats, WireError, WIRE_MAGIC, WIRE_VERSION,
+    self, Frame, PlanKey, QueryStats, ReplyCode, ServerStats, TaskHeader, TaskStats, WireError,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 use mcdbr::dispatch::worker::run_worker;
 use mcdbr::exec::plan::{OutputColumn, RandomTableSpec};
-use mcdbr::exec::{BundleValue, Expr, PlanNode, TupleBundle};
+use mcdbr::exec::{
+    AggFunc, AggregateSpec, BundleValue, Expr, PlanNode, QueryResultSamples, TupleBundle,
+};
 use mcdbr::prng::{Pcg64, StreamKey, StreamKeyRange};
 use mcdbr::storage::{Catalog, Field, Schema, Table, TableBuilder, Tuple, Value};
 use mcdbr::vg::{
@@ -199,6 +202,41 @@ impl Gen {
         TupleBundle { values, is_pres }
     }
 
+    fn aggregate(&mut self) -> AggregateSpec {
+        AggregateSpec {
+            func: [
+                AggFunc::Sum,
+                AggFunc::Count,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+            ][self.usize_in(0, 5)],
+            expr: self.expr(2),
+            alias: format!("agg{}", self.usize_in(0, 9)),
+        }
+    }
+
+    /// Per-repetition sample payloads, raw-bit floats included (NaN
+    /// payloads, infinities) — the QueryResult frame must carry them
+    /// bit-exactly.
+    fn samples(&mut self) -> QueryResultSamples {
+        let num_columns = self.usize_in(0, 3);
+        let group_columns: Vec<String> = (0..num_columns).map(|i| format!("g{i}")).collect();
+        let groups = (0..self.usize_in(0, 5))
+            .map(|_| {
+                let key: Vec<Value> = (0..num_columns).map(|_| self.value(false)).collect();
+                let xs: Vec<f64> = (0..self.usize_in(0, 16))
+                    .map(|_| f64::from_bits(self.u64()))
+                    .collect();
+                (key, xs)
+            })
+            .collect();
+        QueryResultSamples {
+            group_columns,
+            groups,
+        }
+    }
+
     fn key_range(&mut self) -> StreamKeyRange {
         let start = StreamKey::new(self.u64() % 16, self.u64());
         if self.bool() {
@@ -368,6 +406,136 @@ fn control_frames_round_trip() {
 }
 
 #[test]
+fn query_frames_round_trip_identically() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let depth = g.usize_in(1, 3);
+        let plan = g.plan(depth);
+        let aggregate = g.aggregate();
+        let final_predicate = if g.bool() { Some(g.expr(2)) } else { None };
+        let group_by: Vec<String> = (0..g.usize_in(0, 4)).map(|i| format!("k{i}")).collect();
+        let (reps, master_seed) = (g.u64(), g.u64());
+        let payload = wire::encode_query(
+            &plan,
+            &aggregate,
+            final_predicate.as_ref(),
+            &group_by,
+            reps,
+            master_seed,
+        )
+        .unwrap();
+        let Frame::Query {
+            plan: got_plan,
+            aggregate: got_agg,
+            final_predicate: got_pred,
+            group_by: got_group,
+            reps: got_reps,
+            master_seed: got_seed,
+        } = wire::decode_frame(&payload).unwrap()
+        else {
+            panic!("case {case}: wrong frame shape");
+        };
+        assert_eq!(got_plan.fingerprint(), plan.fingerprint(), "case {case}");
+        assert_eq!(got_plan.to_string(), plan.to_string(), "case {case}");
+        assert_eq!(got_agg.func, aggregate.func, "case {case}");
+        assert_eq!(got_agg.expr, aggregate.expr, "case {case}");
+        assert_eq!(got_agg.alias, aggregate.alias, "case {case}");
+        assert_eq!(got_pred, final_predicate, "case {case}");
+        assert_eq!(got_group, group_by, "case {case}");
+        assert_eq!((got_reps, got_seed), (reps, master_seed), "case {case}");
+        // Byte-exact re-encode closes the loop on anything PartialEq is
+        // blind to.
+        let re = wire::encode_query(
+            &got_plan,
+            &got_agg,
+            got_pred.as_ref(),
+            &got_group,
+            got_reps,
+            got_seed,
+        )
+        .unwrap();
+        assert_eq!(re, payload, "case {case}: re-encode differs");
+    }
+}
+
+#[test]
+fn server_reply_frames_round_trip_identically() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case.wrapping_add(7777));
+
+        // QueryResult: per-repetition samples must survive bit-exactly,
+        // NaN payloads included — proven by byte-identical re-encode.
+        let samples = g.samples();
+        let payload = wire::encode_query_result(&samples);
+        let Frame::QueryResult(got) = wire::decode_frame(&payload).unwrap() else {
+            panic!("case {case}: wrong frame shape");
+        };
+        assert_eq!(got.group_columns, samples.group_columns, "case {case}");
+        assert_eq!(got.groups.len(), samples.groups.len(), "case {case}");
+        for ((ka, va), (kb, vb)) in got.groups.iter().zip(&samples.groups) {
+            assert_eq!(ka, kb, "case {case}");
+            assert!(
+                va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "case {case}: sample bits drifted"
+            );
+        }
+        assert_eq!(wire::encode_query_result(&got), payload, "case {case}");
+
+        // ErrorReply: every code survives with its message.
+        for code in [
+            ReplyCode::Busy,
+            ReplyCode::ShuttingDown,
+            ReplyCode::Invalid,
+            ReplyCode::Internal,
+        ] {
+            let message = format!("m{}", g.u64());
+            match wire::decode_frame(&wire::encode_error_reply(code, &message)).unwrap() {
+                Frame::ErrorReply {
+                    code: got_code,
+                    message: got_message,
+                } => {
+                    assert_eq!(got_code, code, "case {case}");
+                    assert_eq!(got_message, message, "case {case}");
+                }
+                other => panic!("case {case}: decoded {other:?}"),
+            }
+        }
+
+        // QueryStats and ServerStats counter frames.
+        let stats = QueryStats {
+            skeleton_hit: g.bool(),
+            plan_executions: g.u64(),
+            tasks_dispatched: g.u64(),
+            shards_spawned: g.u64(),
+            queue_wait_ns: g.u64(),
+            exec_ns: g.u64(),
+        };
+        match wire::decode_frame(&wire::encode_query_stats(stats)).unwrap() {
+            Frame::QueryStats(got) => assert_eq!(got, stats, "case {case}"),
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+        let server = ServerStats {
+            queries_served: g.u64(),
+            skeleton_hits: g.u64(),
+            skeleton_misses: g.u64(),
+            plan_executions: g.u64(),
+            tasks_dispatched: g.u64(),
+            busy_rejections: g.u64(),
+            connections: g.u64(),
+            inflight: g.u64(),
+        };
+        match wire::decode_frame(&wire::encode_server_stats(server)).unwrap() {
+            Frame::ServerStats(got) => assert_eq!(got, server, "case {case}"),
+            other => panic!("case {case}: decoded {other:?}"),
+        }
+    }
+    assert!(matches!(
+        wire::decode_frame(&wire::encode_stats_request()).unwrap(),
+        Frame::StatsRequest
+    ));
+}
+
+#[test]
 fn truncated_frames_return_typed_errors() {
     for case in 0..CASES {
         let mut g = Gen::new(case);
@@ -394,6 +562,11 @@ fn truncated_frames_return_typed_errors() {
                 warm_hit: true,
             }),
             wire::encode_error("x"),
+            wire::encode_query(&plan, &g.aggregate(), None, &["k".to_string()], 8, 3).unwrap(),
+            wire::encode_query_result(&g.samples()),
+            wire::encode_error_reply(wire::ReplyCode::Busy, "b"),
+            wire::encode_query_stats(QueryStats::default()),
+            wire::encode_server_stats(ServerStats::default()),
         ];
         for (fi, frame) in frames.iter().enumerate() {
             // Every strict prefix must fail with a typed error, not panic
