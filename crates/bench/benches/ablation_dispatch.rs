@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use mcdbr_bench::test_tpch;
 use mcdbr_dispatch::ProcessBackend;
 use mcdbr_exec::{ExecBackend, ExecSession, Expr, InProcessBackend, PlanNode, ShardedBackend};
@@ -120,5 +120,62 @@ fn bench_filtered_losses(c: &mut Criterion) {
     sweep(c, "ablation_dispatch_filtered", &plan, &catalog);
 }
 
-criterion_group!(benches, bench_tpch_join, bench_filtered_losses);
+/// Content-addressed plan shipping: the first execution against a cold
+/// worker pool ships the Plan frame plus every referenced table's pages
+/// (`TableData`); repeated executions of the same plan on the warm pool
+/// ship only hash headers and task frames.  The bench records both sides
+/// and asserts the headline claim — repeated dispatch sends at least 10x
+/// fewer bytes than the first execution.
+fn bench_content_addressed_shipping(c: &mut Criterion) {
+    let catalog = customer_losses_catalog(2_000, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(100i64)));
+
+    let backend = Arc::new(ProcessBackend::new(2));
+    let cold_base = backend.shard_stats();
+    let baseline = run_blocks(&plan, &catalog, backend.clone());
+    let cold = backend.shard_stats().since(cold_base);
+
+    let warm_base = backend.shard_stats();
+    assert_eq!(
+        run_blocks(&plan, &catalog, backend.clone()),
+        baseline,
+        "warm execution changed the output"
+    );
+    let warm = backend.shard_stats().since(warm_base);
+
+    assert!(cold.wire_bytes_sent > 0 && warm.wire_bytes_sent > 0);
+    assert!(
+        cold.wire_bytes_sent >= 10 * warm.wire_bytes_sent,
+        "content-addressed shipping must cut repeated-plan wire bytes >=10x \
+         (cold {} vs warm {})",
+        cold.wire_bytes_sent,
+        warm.wire_bytes_sent
+    );
+
+    let id = "ablation_dispatch_shipping/workers=2";
+    record_metric(id, "cold_wire_bytes_sent", cold.wire_bytes_sent as f64);
+    record_metric(id, "warm_wire_bytes_sent", warm.wire_bytes_sent as f64);
+    record_metric(
+        id,
+        "cold_over_warm_sent",
+        cold.wire_bytes_sent as f64 / warm.wire_bytes_sent as f64,
+    );
+
+    // Time the warm path so the reduction has a latency column next to it.
+    let mut group = c.benchmark_group("ablation_dispatch_shipping");
+    group.sample_size(10);
+    group.bench_function("warm_repeat", |b| {
+        b.iter(|| run_blocks(&plan, &catalog, backend.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tpch_join,
+    bench_filtered_losses,
+    bench_content_addressed_shipping
+);
 criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion bench for paged table storage: what does a full scan cost as
+//! the buffer pool's frame budget sweeps from thrashing-small to
+//! everything-resident?
+//!
+//! A table sealed into many small pages is scanned end to end through a
+//! private [`BufferPool`] per row:
+//!
+//! * `budget=2` — pathological: nearly every page access misses, decodes,
+//!   and evicts another frame (the cold-storage floor).
+//! * intermediate budgets — the working-set sweep.
+//! * `budget=unbounded` — every page decoded once, then served from
+//!   resident frames (the in-memory ceiling).
+//!
+//! Scan results are asserted bit-identical across every budget outside the
+//! timed region — the pool trades memory for decode work, never
+//! correctness — and each row's miss/eviction counters are recorded into
+//! `BENCH_ablation_storage.json` via [`record_metric`].
+
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
+use mcdbr_storage::{BufferPool, Field, Schema, Table, Tuple, Value};
+
+const ROWS: usize = 20_000;
+/// Small enough that the table spans hundreds of pages.
+const PAGE_BUDGET: usize = 1024;
+const FRAME_BUDGETS: [usize; 4] = [2, 8, 64, usize::MAX];
+
+fn build_table() -> Table {
+    let schema = Schema::new(vec![
+        Field::int64("id"),
+        Field::float64("x"),
+        Field::utf8("tag"),
+    ]);
+    let rows: Vec<Tuple> = (0..ROWS)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i as i64),
+                Value::Float64(i as f64 * 0.25),
+                Value::str(format!("tag-{}", i % 97)),
+            ])
+        })
+        .collect();
+    Table::with_page_budget(schema, rows, PAGE_BUDGET).unwrap()
+}
+
+/// Scan the whole table through `pool`, folding a checksum so the work
+/// cannot be optimized away.
+fn scan(table: &Table, pool: &BufferPool) -> u64 {
+    let mut acc = 0u64;
+    for row in table.iter_with(pool) {
+        if let Value::Int64(v) = row.value(0) {
+            acc = acc.wrapping_add(*v as u64);
+        }
+        if let Value::Float64(v) = row.value(1) {
+            acc ^= v.to_bits();
+        }
+    }
+    acc
+}
+
+fn bench_scan_vs_budget(c: &mut Criterion) {
+    let table = build_table();
+    assert!(
+        table.pages().len() > FRAME_BUDGETS[2],
+        "table must span more pages than the largest bounded budget"
+    );
+
+    // Bit-identity across budgets, asserted outside measurement: the
+    // checksum folds every int and raw float bit in scan order.
+    let reference = scan(&table, &BufferPool::new(usize::MAX));
+    for &budget in &FRAME_BUDGETS {
+        let pool = BufferPool::new(budget);
+        assert_eq!(
+            scan(&table, &pool),
+            reference,
+            "budget {budget} changed scan results"
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_storage_scan");
+    group.throughput(criterion::Throughput::Elements(ROWS as u64));
+    for &budget in &FRAME_BUDGETS {
+        let label = if budget == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            budget.to_string()
+        };
+        // A fresh pool per iteration: each measured scan pays the full
+        // miss/decode/evict cycle its budget implies, not a warm cache
+        // from the previous iteration.
+        group.bench_with_input(BenchmarkId::new("budget", &label), &budget, |b, &budget| {
+            b.iter(|| scan(&table, &BufferPool::new(budget)))
+        });
+
+        // Counter row outside the timed region: how much decode work and
+        // eviction churn this budget causes for one full scan.
+        let pool = BufferPool::new(budget);
+        let _ = scan(&table, &pool);
+        let stats = pool.stats();
+        let id = format!("ablation_storage_scan/budget={label}");
+        record_metric(&id, "pages", table.pages().len() as f64);
+        record_metric(&id, "pages_read", stats.pages_read as f64);
+        record_metric(&id, "pool_hits", stats.pool_hits as f64);
+        record_metric(&id, "pool_evictions", stats.pool_evictions as f64);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_budget);
+criterion_main!(benches);

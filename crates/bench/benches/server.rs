@@ -63,6 +63,19 @@ fn bench_server_load(c: &mut Criterion) {
         record_metric(&id, "p99_ms", report.p99_ms);
         record_metric(&id, "qps", report.qps);
         record_metric(&id, "skeleton_hits", report.skeleton_hits as f64);
+        // Client-side wire traffic, averaged per query — the measure of
+        // how chatty the server protocol is under steady-state load.
+        let per_query = |bytes: u64| bytes as f64 / report.queries as f64;
+        record_metric(
+            &id,
+            "wire_bytes_sent_per_query",
+            per_query(report.wire_bytes_sent),
+        );
+        record_metric(
+            &id,
+            "wire_bytes_received_per_query",
+            per_query(report.wire_bytes_received),
+        );
 
         let stats = handle.shutdown();
         assert_eq!(stats.inflight, 0, "drained server may not leak slots");

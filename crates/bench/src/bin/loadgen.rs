@@ -62,8 +62,15 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "queries={} p50_ms={:.3} p99_ms={:.3} qps={:.1} skeleton_hits={}",
-        report.queries, report.p50_ms, report.p99_ms, report.qps, report.skeleton_hits
+        "queries={} p50_ms={:.3} p99_ms={:.3} qps={:.1} skeleton_hits={} \
+         wire_bytes_sent={} wire_bytes_received={}",
+        report.queries,
+        report.p50_ms,
+        report.p99_ms,
+        report.qps,
+        report.skeleton_hits,
+        report.wire_bytes_sent,
+        report.wire_bytes_received
     );
 
     if shutdown {

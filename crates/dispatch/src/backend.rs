@@ -12,10 +12,21 @@
 //!
 //! **Cold vs warm workers.**  The dispatcher learns each prefix's plan and
 //! catalog through [`ExecBackend::prepare_dispatch`] (sessions call it
-//! before every cached block) and encodes the `Plan` frame once; a worker
-//! receives it only before its first task for that plan key.  After that,
-//! tasks travel as a ~60-byte header and the worker's own `SessionCache`
-//! skips phase 1 (`worker_warm_hits` counts those skips).
+//! before every cached block) and encodes the `Plan` frame — table refs
+//! only, see below — plus one `TableData` frame per referenced table, once;
+//! a worker receives the plan only before its first task for that plan
+//! key.  After that, tasks travel as a ~60-byte header and the worker's
+//! own `SessionCache` skips phase 1 (`worker_warm_hits` counts those
+//! skips).
+//!
+//! **Content-addressed shipping.**  A cold plan send is a round trip: the
+//! `Plan` frame carries each table's content hash, the worker answers
+//! `NeedTables` with the hashes its store lacks, and only those travel as
+//! paged `TableData` frames.  Repeated plans — and *new* plans over tables
+//! a worker already holds (epoch bumps with unchanged content, shared
+//! parameter tables) — exchange headers only, collapsing the
+//! workers × tables shipping cost to one transfer per distinct table
+//! version per worker.
 //!
 //! **Crash handling.**  A worker that dies mid-conversation (EOF, broken
 //! pipe, corrupt frame) is respawned — fresh process, cold cache — and its
@@ -67,12 +78,17 @@ struct Worker {
 
 /// One dispatchable plan: the skeleton it belongs to (held alive so the
 /// pointer identity used for lookup can never be reused by a different
-/// skeleton), its wire key, and the encoded `Plan` frame — `None` when the
-/// plan is not wire-serializable and blocks must run locally.
+/// skeleton), its wire key, the encoded `Plan` frame — `None` when the
+/// plan is not wire-serializable and blocks must run locally — and the
+/// encoded `TableData` frame of every table the plan reads, keyed by
+/// content hash.  Table frames are shared (`Arc`) across entries that
+/// reference the same table version, so re-priming after an epoch bump
+/// with unchanged content costs no re-encode.
 struct PlanEntry {
     skeleton: Arc<PlanSkeleton>,
     key: PlanKey,
     frame: Option<Arc<Vec<u8>>>,
+    tables: Arc<Vec<(u64, Arc<Vec<u8>>)>>,
 }
 
 #[derive(Default)]
@@ -247,12 +263,16 @@ impl ProcessBackend {
     }
 
     /// Send (plan-if-needed +) task to the worker in `slot`, spawning it
-    /// first when empty.
+    /// first when empty.  A cold plan send runs the content-addressed
+    /// fetch exchange inline: ship the `Plan` frame (refs only), read the
+    /// worker's `NeedTables` reply, and stream exactly the missing tables
+    /// as `TableData` frames before the task.
     fn send_task(
         &self,
         slot: &mut Option<Worker>,
         entry_key: PlanKey,
         plan_frame: &[u8],
+        tables: &[(u64, Arc<Vec<u8>>)],
         task_frame: &[u8],
     ) -> WireResult<()> {
         if slot.is_none() {
@@ -261,6 +281,28 @@ impl ProcessBackend {
         let worker = slot.as_mut().expect("slot just filled");
         if !worker.known.contains(&entry_key) {
             self.send(worker, plan_frame)?;
+            worker.stdin.flush()?;
+            let (payload, _) = self.receive(worker)?;
+            match wire::decode_frame(&payload)? {
+                Frame::NeedTables { hashes } => {
+                    for hash in hashes {
+                        let (_, table_frame) =
+                            tables.iter().find(|(h, _)| *h == hash).ok_or_else(|| {
+                                WireError::Corrupt(format!(
+                                    "worker requested table hash {hash:#018x} the plan never \
+                                     referenced"
+                                ))
+                            })?;
+                        self.send(worker, table_frame)?;
+                    }
+                }
+                Frame::Error { message } => return Err(WireError::Remote(message)),
+                _ => {
+                    return Err(WireError::Corrupt(
+                        "expected NeedTables in reply to Plan".into(),
+                    ))
+                }
+            }
             worker.known.insert(entry_key);
         }
         self.send(worker, task_frame)?;
@@ -322,19 +364,22 @@ impl ProcessBackend {
         state: &mut State,
         key: PlanKey,
         plan_frame: &[u8],
+        tables: &[(u64, Arc<Vec<u8>>)],
         tasks: &[Vec<u8>],
     ) -> WireResult<Vec<(Vec<(usize, Option<TupleBundle>)>, wire::TaskStats)>> {
         // Phase A: pipeline every task out to its worker before reading any
-        // response, so the workers run concurrently.  A send failure is a
-        // crashed worker: respawn once and re-send.
+        // response, so the workers run concurrently.  (A cold worker's plan
+        // exchange blocks on its NeedTables reply, but only before its
+        // first task for the key.)  A send failure is a crashed worker:
+        // respawn once and re-send.
         for (i, task_frame) in tasks.iter().enumerate() {
             let slot = &mut state.slots[i];
-            if let Err(e) = self.send_task(slot, key, plan_frame, task_frame) {
+            if let Err(e) = self.send_task(slot, key, plan_frame, tables, task_frame) {
                 if !Self::is_crash(&e) {
                     return Err(e);
                 }
                 self.fill_slot(slot, true)?;
-                self.send_task(slot, key, plan_frame, task_frame)?;
+                self.send_task(slot, key, plan_frame, tables, task_frame)?;
             }
         }
 
@@ -355,12 +400,12 @@ impl ProcessBackend {
                     if let Some(worker) = slot.as_mut() {
                         worker.known.remove(&key);
                     }
-                    self.send_task(slot, key, plan_frame, task_frame)?;
+                    self.send_task(slot, key, plan_frame, tables, task_frame)?;
                     self.read_response(slot)?
                 }
                 Err(e) if Self::is_crash(&e) => {
                     self.fill_slot(slot, true)?;
-                    self.send_task(slot, key, plan_frame, task_frame)?;
+                    self.send_task(slot, key, plan_frame, tables, task_frame)?;
                     self.read_response(slot)?
                 }
                 Err(e) => return Err(e),
@@ -401,6 +446,30 @@ impl ExecBackend for ProcessBackend {
             Err(WireError::Unserializable(_)) => None,
             Err(e) => return Err(e.into()),
         };
+        let tables = if frame.is_some() {
+            let mut tables = Vec::new();
+            for r in wire::plan_table_refs(plan, catalog).map_err(mcdbr_storage::Error::from)? {
+                // A table version already encoded for another prepared plan
+                // (same content hash) is shared, not re-encoded.
+                let table_frame = state
+                    .plans
+                    .iter()
+                    .flat_map(|e| e.tables.iter())
+                    .find(|(h, _)| *h == r.hash)
+                    .map(|(_, f)| Arc::clone(f))
+                    .map(Ok::<_, mcdbr_storage::Error>)
+                    .unwrap_or_else(|| {
+                        Ok(Arc::new(wire::encode_table_data(
+                            r.hash,
+                            catalog.get(&r.name)?,
+                        )))
+                    })?;
+                tables.push((r.hash, table_frame));
+            }
+            tables
+        } else {
+            Vec::new()
+        };
         if state.plans.len() >= MAX_PREPARED_PLANS {
             state.plans.remove(0);
         }
@@ -408,6 +477,7 @@ impl ExecBackend for ProcessBackend {
             skeleton: Arc::clone(prefix.skeleton()),
             key,
             frame,
+            tables: Arc::new(tables),
         });
         Ok(())
     }
@@ -422,7 +492,7 @@ impl ExecBackend for ProcessBackend {
     ) -> Result<BundleSet> {
         let skeleton = prefix.skeleton();
         let mut state = self.state.lock().expect("dispatch state");
-        let (key, plan_frame) = match state
+        let (key, plan_frame, tables) = match state
             .plans
             .iter()
             .find(|e| Arc::ptr_eq(&e.skeleton, skeleton))
@@ -430,8 +500,9 @@ impl ExecBackend for ProcessBackend {
             Some(PlanEntry {
                 frame: Some(frame),
                 key,
+                tables,
                 ..
-            }) => (*key, Arc::clone(frame)),
+            }) => (*key, Arc::clone(frame), Arc::clone(tables)),
             // Unprimed prefix or unserializable plan: run locally,
             // bit-identically (tasks_dispatched stays flat).
             _ => {
@@ -455,7 +526,7 @@ impl ExecBackend for ProcessBackend {
             })
             .collect();
 
-        let partials = match self.run_tasks(&mut state, key, &plan_frame, &tasks) {
+        let partials = match self.run_tasks(&mut state, key, &plan_frame, &tables, &tasks) {
             Ok(partials) => partials,
             Err(e) => {
                 // Aborting mid-conversation (a task-level Error frame, a

@@ -11,7 +11,9 @@
 //! ───────────────────         ────────────────────
 //! Hello{magic, version}   →
 //!                         ←   Hello{magic, version}      (version negotiation)
-//! Plan{key, plan, tables} →                              (cold worker only)
+//! Plan{key, plan, refs}   →                              (cold worker only)
+//!                         ←   NeedTables{hashes}         (possibly empty)
+//! TableData{hash, table}  →                         × M  (one per missing hash)
 //! Task{key, seed, range,  →
 //!      base_pos, n}
 //!                         ←   Bundle{idx, bundle}  × N   (length-prefixed partials)
@@ -19,14 +21,18 @@
 //! Shutdown                →                              (clean exit)
 //! ```
 //!
-//! The *plan* travels as a serialized [`PlanNode`] plus a catalog snapshot
-//! (only the tables the plan actually reads), so a cold worker can rebuild
-//! the seed-independent `PlanSkeleton` from scratch; the
-//! `(plan fingerprint, catalog epoch)` [`PlanKey`] travels first on every
-//! `Task`, so a *warm* worker — one that already built this plan's skeleton
-//! for an earlier task — skips phase 1 through its own
-//! [`mcdbr_exec::SessionCache`] and reports the hit in
-//! [`TaskStats::warm_hit`].  Partial results come back as one
+//! Plan shipping is **content-addressed**: a `Plan` frame carries the
+//! serialized [`PlanNode`] plus one [`TableRef`] — name and content hash —
+//! per table the plan reads, never the rows themselves.  The worker
+//! answers with the hashes absent from its hash-keyed table store, and
+//! only those travel as `TableData` frames (sealed page bytes verbatim, so
+//! the hash recomputes identically on arrival).  A warm worker that
+//! already holds every table answers with an empty `NeedTables` and the
+//! whole exchange is a few dozen bytes.  The `(plan fingerprint, catalog
+//! epoch)` [`PlanKey`] travels first on every `Task`, so a *warm* worker —
+//! one that already built this plan's skeleton for an earlier task — skips
+//! phase 1 through its own [`mcdbr_exec::SessionCache`] and reports the
+//! hit in [`TaskStats::warm_hit`].  Partial results come back as one
 //! length-prefixed frame per owned bundle, each attribute encoded through
 //! the columnar [`Column`] codec (typed little-endian vectors, dictionary
 //! arena for strings, packed null bitmaps) — floats travel as raw IEEE
@@ -49,8 +55,7 @@
 //! rejection or failure is a typed [`Frame::ErrorReply`].  Unlike `Plan`
 //! frames, a `Query` ships **no catalog snapshot** — the resident server
 //! owns the data, and the plan's table references resolve against the
-//! server's own catalog.  All server frames are additive: `WIRE_VERSION`
-//! stays 1 and existing peers never see the new tags.
+//! server's own catalog.
 
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -61,7 +66,7 @@ use mcdbr_exec::{
     TupleBundle, ValueChain,
 };
 use mcdbr_prng::StreamKeyRange;
-use mcdbr_storage::{Column, DataType, Error, Field, Schema, Table, Tuple, Value};
+use mcdbr_storage::{Column, DataType, Error, Field, Page, Schema, Table, Tuple, Value};
 use mcdbr_vg::{
     BayesianDemandVg, DiscreteVg, GbmTerminalVg, MultiNormalVg, NormalVg, PoissonVg, UniformVg,
     VgFunction,
@@ -72,7 +77,10 @@ pub const WIRE_MAGIC: u32 = 0x5744_434D;
 
 /// The protocol version this build speaks.  Bumped on any incompatible
 /// frame change; the handshake rejects peers speaking another version.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 introduced content-addressed plan shipping: `Plan` frames
+/// carry [`TableRef`]s, tables travel as paged `TableData` frames on
+/// demand, and bundle presence masks are bit-packed.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a single frame's payload, guarding against a corrupt
 /// length prefix allocating unbounded memory.
@@ -411,6 +419,18 @@ pub struct ServerStats {
     pub inflight: u64,
 }
 
+/// One table a plan reads, addressed by content rather than copied: the
+/// catalog name the plan references it by, and the table's
+/// [`Table::content_hash`].  Workers resolve refs against their hash-keyed
+/// store and request only what they lack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// The catalog name the plan resolves.
+    pub name: String,
+    /// The table's content hash (see [`Table::content_hash`]).
+    pub hash: u64,
+}
+
 /// A decoded protocol frame.
 #[derive(Debug)]
 pub enum Frame {
@@ -421,15 +441,31 @@ pub enum Frame {
         /// The sender's [`WIRE_VERSION`].
         version: u16,
     },
-    /// A plan + catalog snapshot keyed for later tasks (coordinator →
-    /// worker, once per cold worker per plan).
+    /// A plan keyed for later tasks (coordinator → worker, once per cold
+    /// worker per plan).  Tables travel by reference — name + content hash
+    /// — and the worker answers with [`Frame::NeedTables`].
     Plan {
         /// The key later `Task` frames will reference.
         key: PlanKey,
         /// The serialized plan, rebuilt by the worker.
         plan: PlanNode,
-        /// The tables the plan reads: `(name, table)` pairs.
-        tables: Vec<(String, Table)>,
+        /// The tables the plan reads, by name and content hash.
+        tables: Vec<TableRef>,
+    },
+    /// The worker's answer to a `Plan` frame: the content hashes it does
+    /// not hold (worker → coordinator; empty when fully warm).
+    NeedTables {
+        /// Missing table content hashes, in the `Plan` frame's ref order.
+        hashes: Vec<u64>,
+    },
+    /// One table's pages, shipped on demand after a `NeedTables` reply
+    /// (coordinator → worker).  Page bytes travel verbatim, so the hash
+    /// recomputes identically on the receiving side.
+    TableData {
+        /// The table's content hash — the worker's store key.
+        hash: u64,
+        /// The reassembled table.
+        table: Table,
     },
     /// One shard task (coordinator → worker).
     Task(TaskHeader),
@@ -502,6 +538,8 @@ const TAG_ERROR_REPLY: u8 = 10;
 const TAG_QUERY_STATS: u8 = 11;
 const TAG_STATS_REQUEST: u8 = 12;
 const TAG_SERVER_STATS: u8 = 13;
+const TAG_NEED_TABLES: u8 = 14;
+const TAG_TABLE_DATA: u8 = 15;
 
 /// Encode the handshake frame.
 pub fn encode_hello() -> Vec<u8> {
@@ -520,11 +558,35 @@ pub fn encode_hello_with(magic: u32, version: u16) -> Vec<u8> {
     out
 }
 
-/// Encode a `Plan` frame: the key, the serialized plan, and a snapshot of
-/// every table the plan reads from `catalog`.  Fails with
-/// [`WireError::Unserializable`] when the plan uses a VG function outside
-/// the built-in set, and with [`WireError::Corrupt`] when the plan
-/// references a table the catalog does not hold.
+/// The [`TableRef`]s of every table `plan` reads from `catalog`, in
+/// deterministic (name) order.  Fails with [`WireError::Corrupt`] when the
+/// plan references a table the catalog does not hold.
+pub fn plan_table_refs(
+    plan: &PlanNode,
+    catalog: &mcdbr_storage::Catalog,
+) -> WireResult<Vec<TableRef>> {
+    let mut names = std::collections::BTreeSet::new();
+    collect_tables(plan, &mut names);
+    names
+        .into_iter()
+        .map(|name| {
+            let table = catalog
+                .get(&name)
+                .map_err(|e| WireError::Corrupt(format!("catalog snapshot: {e}")))?;
+            Ok(TableRef {
+                hash: table.content_hash(),
+                name,
+            })
+        })
+        .collect()
+}
+
+/// Encode a `Plan` frame: the key, the serialized plan, and one
+/// [`TableRef`] per table the plan reads from `catalog` — hashes only,
+/// never rows.  Fails with [`WireError::Unserializable`] when the plan
+/// uses a VG function outside the built-in set, and with
+/// [`WireError::Corrupt`] when the plan references a table the catalog
+/// does not hold.
 pub fn encode_plan(
     key: PlanKey,
     plan: &PlanNode,
@@ -534,17 +596,32 @@ pub fn encode_plan(
     out.extend_from_slice(&key.fingerprint.to_le_bytes());
     out.extend_from_slice(&key.epoch.to_le_bytes());
     put_plan(&mut out, plan)?;
-    let mut names = std::collections::BTreeSet::new();
-    collect_tables(plan, &mut names);
-    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
-    for name in names {
-        let table = catalog
-            .get(&name)
-            .map_err(|e| WireError::Corrupt(format!("catalog snapshot: {e}")))?;
-        put_str(&mut out, &name);
-        put_table(&mut out, table);
+    let refs = plan_table_refs(plan, catalog)?;
+    out.extend_from_slice(&(refs.len() as u32).to_le_bytes());
+    for r in &refs {
+        put_str(&mut out, &r.name);
+        out.extend_from_slice(&r.hash.to_le_bytes());
     }
     Ok(out)
+}
+
+/// Encode a `NeedTables` frame: the content hashes a worker lacks.
+pub fn encode_need_tables(hashes: &[u64]) -> Vec<u8> {
+    let mut out = vec![TAG_NEED_TABLES];
+    out.extend_from_slice(&(hashes.len() as u32).to_le_bytes());
+    for hash in hashes {
+        out.extend_from_slice(&hash.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a `TableData` frame: one table's sealed pages (bytes verbatim)
+/// plus its open tail, keyed by content hash.
+pub fn encode_table_data(hash: u64, table: &Table) -> Vec<u8> {
+    let mut out = vec![TAG_TABLE_DATA];
+    out.extend_from_slice(&hash.to_le_bytes());
+    put_table(&mut out, table);
+    out
 }
 
 /// Encode a `Task` frame.
@@ -597,9 +674,23 @@ pub fn encode_bundle(idx: usize, bundle: Option<&TupleBundle>) -> Vec<u8> {
             match &bundle.is_pres {
                 None => out.push(0),
                 Some(mask) => {
+                    // Bit-packed (the NullBitmap word layout): 64 presence
+                    // flags per u64 word instead of one byte per value.
                     out.push(1);
                     out.extend_from_slice(&(mask.len() as u32).to_le_bytes());
-                    out.extend(mask.iter().map(|&p| u8::from(p)));
+                    let mut word = 0u64;
+                    for (i, &p) in mask.iter().enumerate() {
+                        if p {
+                            word |= 1 << (i % 64);
+                        }
+                        if i % 64 == 63 {
+                            out.extend_from_slice(&word.to_le_bytes());
+                            word = 0;
+                        }
+                    }
+                    if mask.len() % 64 != 0 {
+                        out.extend_from_slice(&word.to_le_bytes());
+                    }
                 }
             }
         }
@@ -761,14 +852,27 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
                 epoch: d.u64("plan key")?,
             };
             let plan = get_plan(&mut d)?;
-            let num_tables = d.u32("table count")? as usize;
+            let num_tables = d.u32("table ref count")? as usize;
             let mut tables = Vec::with_capacity(num_tables.min(1024));
             for _ in 0..num_tables {
-                let name = d.str("table name")?;
-                let table = get_table(&mut d)?;
-                tables.push((name, table));
+                let name = d.str("table ref name")?;
+                let hash = d.u64("table ref hash")?;
+                tables.push(TableRef { name, hash });
             }
             Frame::Plan { key, plan, tables }
+        }
+        TAG_NEED_TABLES => {
+            let count = d.u32("needed table count")? as usize;
+            let mut hashes = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                hashes.push(d.u64("needed table hash")?);
+            }
+            Frame::NeedTables { hashes }
+        }
+        TAG_TABLE_DATA => {
+            let hash = d.u64("table data hash")?;
+            let table = get_table(&mut d)?;
+            Frame::TableData { hash, table }
         }
         TAG_TASK => {
             let key = PlanKey {
@@ -817,10 +921,10 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
                         0 => None,
                         1 => {
                             let len = d.u32("presence length")? as usize;
+                            let words = d.take(len.div_ceil(64) * 8, "presence mask")?;
                             Some(
-                                d.take(len, "presence mask")?
-                                    .iter()
-                                    .map(|&b| b != 0)
+                                (0..len)
+                                    .map(|i| words[i / 64 * 8 + i % 64 / 8] >> (i % 8) & 1 == 1)
                                     .collect(),
                             )
                         }
@@ -1302,12 +1406,20 @@ fn put_table(out: &mut Vec<u8>, table: &Table) {
         put_str(out, &field.name);
         out.push(dtype_to_u8(field.data_type));
     }
-    // Rows travel column-major through the typed Column codec, so a table
-    // of N float rows costs ~8N bytes, not N boxed tuples.
-    out.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    // Sealed pages ship verbatim — no re-encode, and the receiving side's
+    // recomputed page hashes (and therefore the table's content hash)
+    // match the sender's exactly.
+    out.extend_from_slice(&(table.pages().len() as u32).to_le_bytes());
+    for page in table.pages() {
+        out.extend_from_slice(&(page.bytes().len() as u32).to_le_bytes());
+        out.extend_from_slice(page.bytes());
+    }
+    // The open tail travels column-major through the typed Column codec,
+    // like a page payload without the page framing.
+    out.extend_from_slice(&(table.tail_rows().len() as u64).to_le_bytes());
     for col_idx in 0..schema.len() {
         let mut column = Column::default();
-        for row in table.rows() {
+        for row in table.tail_rows() {
             column.push_value(row.value(col_idx));
         }
         column.encode_wire(out);
@@ -1323,30 +1435,42 @@ fn get_table(d: &mut Dec<'_>) -> WireResult<Table> {
         fields.push(Field::new(name, dt));
     }
     let schema = Schema::new(fields);
-    let num_rows = d.u64("row count")? as usize;
+    let num_pages = d.u32("page count")? as usize;
+    let mut pages = Vec::with_capacity(num_pages.min(4096));
+    for _ in 0..num_pages {
+        let len = d.u32("page length")? as usize;
+        let bytes = d.take(len, "page bytes")?.to_vec();
+        // from_bytes fully validates the page encoding (header, slot
+        // directory, every column payload).
+        let page =
+            Page::from_bytes(bytes).map_err(|e| WireError::Corrupt(format!("table page: {e}")))?;
+        pages.push(page);
+    }
+    let num_rows = d.u64("tail row count")? as usize;
     // The row count is untrusted until a column vouches for it (each
     // decoded column is checked against it below).  A field-less table has
     // no columns to vouch, so bound it directly — otherwise a corrupt
     // header could demand billions of empty tuples.
     if schema.is_empty() && num_rows != 0 {
         return Err(WireError::Corrupt(format!(
-            "table snapshot claims {num_rows} rows across zero fields"
+            "table snapshot claims {num_rows} tail rows across zero fields"
         )));
     }
     let mut columns = Vec::with_capacity(schema.len());
     for _ in 0..schema.len() {
         let column = Column::decode_wire(d.buf, &mut d.pos)
-            .map_err(|e| WireError::Corrupt(format!("table column: {e}")))?;
+            .map_err(|e| WireError::Corrupt(format!("table tail column: {e}")))?;
         if column.len() != num_rows {
             return Err(WireError::Corrupt(format!(
-                "table column holds {} rows, header says {num_rows}",
+                "table tail column holds {} rows, header says {num_rows}",
                 column.len()
             )));
         }
         columns.push(column);
     }
-    let rows: Vec<Tuple> = (0..num_rows)
+    let tail: Vec<Tuple> = (0..num_rows)
         .map(|r| Tuple::new(columns.iter().map(|c| c.value_at(r)).collect()))
         .collect();
-    Table::new(schema, rows).map_err(|e| WireError::Corrupt(format!("table snapshot: {e}")))
+    Table::from_parts(schema, pages, tail)
+        .map_err(|e| WireError::Corrupt(format!("table snapshot: {e}")))
 }

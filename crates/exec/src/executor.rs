@@ -111,10 +111,12 @@ fn exec_node(
     match plan {
         PlanNode::TableScan { table } => {
             let t = catalog.get(table)?;
+            // Page-at-a-time scan through the shared buffer pool: the
+            // iterator pins one decoded frame at a time, so the resident
+            // set stays bounded by MCDBR_PAGE_CACHE even for cold tables.
             let bundles = t
-                .rows()
                 .iter()
-                .map(|row| TupleBundle::constant(row.values().to_vec()))
+                .map(|row| TupleBundle::constant(row.into_values()))
                 .collect();
             Ok((t.schema().clone(), bundles))
         }
@@ -160,7 +162,7 @@ fn exec_random_table(
     let out_schema = spec.schema(catalog)?;
 
     let mut bundles = Vec::new();
-    for (row_idx, param_row) in param_table.rows().iter().enumerate() {
+    for (row_idx, param_row) in param_table.iter().enumerate() {
         // Seed operator: derive and register this tuple's stream.
         let seed = seed_for(opts.master_seed, spec.table_tag, row_idx as u64);
         let params: Vec<Value> = spec

@@ -63,7 +63,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mcdbr_prng::{SeedId, StreamKey};
-use mcdbr_storage::{Catalog, ColumnBlock, Error, Mask, Result, Schema, SelVec, Tuple, Value};
+use mcdbr_storage::{
+    BufferPool, Catalog, ColumnBlock, Error, Mask, PageCacheStats, Result, Schema, SelVec, Tuple,
+    Value,
+};
 
 use crate::backend::ExecBackend;
 use crate::bundle::{BundleSet, BundleValue, TupleBundle, ValueChain};
@@ -369,6 +372,10 @@ pub struct ExecSession {
     /// adopted it, so a shared pool's earlier work is not misattributed to
     /// this session (the `ShardStats::since` windowing pattern).
     pool_baseline: (u64, u64),
+    /// The global page cache's counters when this session was built, so
+    /// `pages_read` / `pool_evictions` report paged-scan activity since
+    /// then (same windowing pattern as `pool_baseline`).
+    page_baseline: PageCacheStats,
     mode: Mode,
     skeleton_hit: bool,
     plan_executions: usize,
@@ -454,6 +461,7 @@ impl ExecSession {
             backend: crate::backend::default_backend(),
             pool: Arc::new(BlockBufferPool::new()),
             pool_baseline: (0, 0),
+            page_baseline: BufferPool::global().stats(),
             mode: Mode::Cached(Box::new(prefix)),
             skeleton_hit: cache_hit,
             // The deterministic skeleton ran exactly once — during this
@@ -480,6 +488,7 @@ impl ExecSession {
             backend: crate::backend::default_backend(),
             pool: Arc::new(BlockBufferPool::new()),
             pool_baseline: (0, 0),
+            page_baseline: BufferPool::global().stats(),
             mode: Mode::Fallback {
                 executor: Executor::new(),
                 reason,
@@ -550,6 +559,30 @@ impl ExecSession {
         self.pool
             .buffer_reuses()
             .saturating_sub(self.pool_baseline.1)
+    }
+
+    /// Sealed pages decoded from bytes because the global page cache had no
+    /// resident frame for them (misses, i.e. actual decode work) since this
+    /// session was built.  Table scans go page-at-a-time through
+    /// [`BufferPool::global`], so this counts the paged-storage I/O the
+    /// session's phase-2 work caused.  Concurrent sessions sharing the
+    /// process blur each other's windows, like `bytes_materialized`.
+    pub fn pages_read(&self) -> u64 {
+        BufferPool::global()
+            .stats()
+            .since(&self.page_baseline)
+            .pages_read
+    }
+
+    /// Frames the global page cache evicted to stay within its budget
+    /// (`MCDBR_PAGE_CACHE`) since this session was built.  Nonzero
+    /// evictions with correct results is the point of the pool: scans
+    /// stay bit-identical no matter how small the frame budget is.
+    pub fn pool_evictions(&self) -> u64 {
+        BufferPool::global()
+            .stats()
+            .since(&self.page_baseline)
+            .pool_evictions
     }
 
     /// Whether the deterministic prefix is cached (`false` means every block
@@ -1392,10 +1425,11 @@ fn exec_sym(
     match plan {
         PlanNode::TableScan { table } => {
             let t = catalog.get(table)?;
+            // Paged scan: rows stream out of the buffer pool one pinned
+            // frame at a time (see `Table::iter`).
             let bundles = t
-                .rows()
                 .iter()
-                .map(|row| SymBundle::constant(row.values().to_vec()))
+                .map(|row| SymBundle::constant(row.into_values()))
                 .collect();
             Ok((t.schema().clone(), bundles))
         }
@@ -1405,7 +1439,7 @@ fn exec_sym(
             let out_schema = spec.schema(catalog)?;
 
             let mut bundles = Vec::new();
-            for (row_idx, param_row) in param_table.rows().iter().enumerate() {
+            for (row_idx, param_row) in param_table.iter().enumerate() {
                 // Seed operator, seed-independently: record this tuple's
                 // stream by its `(table_tag, row)` key; concrete seeds are
                 // derived at binding time.

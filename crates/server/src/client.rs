@@ -28,10 +28,16 @@ pub enum QueryReply {
 }
 
 /// A connected, handshaken client session.
+///
+/// Tracks the wire bytes it has exchanged ([`ServerClient::wire_bytes_sent`]
+/// / [`ServerClient::wire_bytes_received`]), which the loadgen surfaces per
+/// query — the client-side view of how chatty the protocol is.
 #[derive(Debug)]
 pub struct ServerClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    bytes_sent: u64,
+    bytes_received: u64,
 }
 
 impl ServerClient {
@@ -39,8 +45,13 @@ impl ServerClient {
     pub fn connect(addr: impl ToSocketAddrs) -> WireResult<ServerClient> {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
-        let mut client = ServerClient { reader, writer };
-        wire::write_frame(&mut client.writer, &wire::encode_hello())?;
+        let mut client = ServerClient {
+            reader,
+            writer,
+            bytes_sent: 0,
+            bytes_received: 0,
+        };
+        client.write(&wire::encode_hello())?;
         client.writer.flush()?;
         match client.read()? {
             Frame::Hello { magic, version } if magic == wire::WIRE_MAGIC => {
@@ -58,11 +69,28 @@ impl ServerClient {
         Ok(client)
     }
 
+    fn write(&mut self, payload: &[u8]) -> WireResult<()> {
+        self.bytes_sent += wire::write_frame(&mut self.writer, payload)?;
+        Ok(())
+    }
+
     fn read(&mut self) -> WireResult<Frame> {
-        let (payload, _) = wire::read_frame(&mut self.reader)?.ok_or(WireError::Truncated {
+        let (payload, n) = wire::read_frame(&mut self.reader)?.ok_or(WireError::Truncated {
             what: "server response",
         })?;
+        self.bytes_received += n;
         wire::decode_frame(&payload)
+    }
+
+    /// Total wire bytes this client has written (length prefixes included)
+    /// since connecting, handshake and all.
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total wire bytes this client has read since connecting.
+    pub fn wire_bytes_received(&self) -> u64 {
+        self.bytes_received
     }
 
     /// Run `query` for `reps` repetitions under `master_seed`.
@@ -83,7 +111,7 @@ impl ServerClient {
             reps as u64,
             master_seed,
         )?;
-        wire::write_frame(&mut self.writer, &payload)?;
+        self.write(&payload)?;
         self.writer.flush()?;
         match self.read()? {
             Frame::QueryResult(samples) => match self.read()? {
@@ -118,7 +146,7 @@ impl ServerClient {
 
     /// Fetch the server-wide counter snapshot.
     pub fn server_stats(&mut self) -> WireResult<wire::ServerStats> {
-        wire::write_frame(&mut self.writer, &wire::encode_stats_request())?;
+        self.write(&wire::encode_stats_request())?;
         self.writer.flush()?;
         match self.read()? {
             Frame::ServerStats(stats) => Ok(stats),
@@ -130,7 +158,7 @@ impl ServerClient {
 
     /// Ask the server to begin a graceful drain, consuming the session.
     pub fn shutdown(mut self) -> WireResult<()> {
-        wire::write_frame(&mut self.writer, &wire::encode_shutdown())?;
+        self.write(&wire::encode_shutdown())?;
         self.writer.flush()?;
         Ok(())
     }

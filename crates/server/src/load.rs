@@ -25,6 +25,12 @@ pub struct LoadReport {
     pub qps: f64,
     /// Queries whose `QueryStats` reported a shared-cache skeleton hit.
     pub skeleton_hits: usize,
+    /// Wire bytes written by all clients over the run (length prefixes
+    /// included; handshakes too).  Divide by `queries` for the per-query
+    /// average the server bench records.
+    pub wire_bytes_sent: u64,
+    /// Wire bytes read by all clients over the run.
+    pub wire_bytes_received: u64,
 }
 
 /// Drive `clients` concurrent connections, each running
@@ -43,7 +49,7 @@ pub fn run_load(
         .map(|client_idx| {
             let addr = addr.clone();
             let query = query.clone();
-            std::thread::spawn(move || -> WireResult<(Vec<f64>, usize)> {
+            std::thread::spawn(move || -> WireResult<(Vec<f64>, usize, u64, u64)> {
                 let mut session = ServerClient::connect(addr)?;
                 let mut latencies = Vec::with_capacity(queries_per_client);
                 let mut hits = 0usize;
@@ -64,19 +70,27 @@ pub fn run_load(
                         }
                     }
                 }
-                Ok((latencies, hits))
+                Ok((
+                    latencies,
+                    hits,
+                    session.wire_bytes_sent(),
+                    session.wire_bytes_received(),
+                ))
             })
         })
         .collect();
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut skeleton_hits = 0usize;
+    let (mut wire_bytes_sent, mut wire_bytes_received) = (0u64, 0u64);
     for handle in handles {
-        let (ls, hits) = handle
+        let (ls, hits, sent, received) = handle
             .join()
             .map_err(|_| WireError::Remote("load client panicked".into()))??;
         latencies.extend(ls);
         skeleton_hits += hits;
+        wire_bytes_sent += sent;
+        wire_bytes_received += received;
     }
     let elapsed = start.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.total_cmp(b));
@@ -91,6 +105,8 @@ pub fn run_load(
             0.0
         },
         skeleton_hits,
+        wire_bytes_sent,
+        wire_bytes_received,
     })
 }
 

@@ -10,9 +10,14 @@
 //!   engine (64-bit integers, 64-bit floats, booleans, strings, and NULL).
 //! * [`Field`] / [`Schema`] — named, typed columns.
 //! * [`Tuple`] — a row of values.
-//! * [`Table`] — an in-memory relation: a schema plus a vector of tuples,
-//!   with the small amount of relational algebra (filter, project, sort,
-//!   group) that the deterministic parts of an MCDB-R plan need.
+//! * [`Table`] — a paged relation: a schema plus sealed heap [`Page`]s and
+//!   an open row tail, with the small amount of relational algebra (filter,
+//!   project, sort, group) that the deterministic parts of an MCDB-R plan
+//!   need.
+//! * [`Page`] / [`BufferPool`] — the fixed-budget storage unit and the
+//!   bounded LRU cache of decoded frames that scans pin pages through, so
+//!   the resident working set is capped by `MCDBR_PAGE_CACHE` rather than
+//!   by data size.
 //! * [`Catalog`] — a named collection of tables (parameter tables and
 //!   materialized intermediate results).
 //!
@@ -22,20 +27,24 @@
 //! of a plan are ordinary relational operators whose results can be
 //! materialized and reused during replenishment runs (paper §9).
 
+pub mod bufpool;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod page;
 pub mod schema;
 pub mod selvec;
 pub mod table;
 pub mod tuple;
 pub mod value;
 
+pub use bufpool::{BufferPool, PageCacheStats, PageGuard, DEFAULT_FRAME_BUDGET};
 pub use catalog::Catalog;
 pub use column::{Column, ColumnBlock, ColumnData, NullBitmap, Utf8Column};
 pub use error::{Error, Result};
+pub use page::{Page, PAGE_BYTES};
 pub use schema::{Field, Schema};
 pub use selvec::{CmpOp, Mask, SelVec};
-pub use table::{Table, TableBuilder};
+pub use table::{Table, TableBuilder, TableIter};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

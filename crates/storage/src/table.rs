@@ -1,23 +1,67 @@
-//! In-memory relations: a schema plus rows, with the relational helpers the
-//! deterministic parts of an MCDB-R plan need (filter, project, sort, group).
+//! Paged relations: a schema plus sealed heap pages and an open row tail,
+//! with the relational helpers the deterministic parts of an MCDB-R plan
+//! need (filter, project, sort, group).
 
 use std::collections::BTreeMap;
 
+use crate::bufpool::{BufferPool, PageGuard};
 use crate::error::{Error, Result};
+use crate::page::{encode_page_bytes, estimate_row_bytes, fnv1a, Page, FNV_OFFSET, PAGE_BYTES};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// An in-memory table.
+/// A paged in-memory table.
+///
+/// Rows live in two places: a vector of sealed, immutable [`Page`]s (the
+/// heap) and an open `tail` of rows not yet big enough to seal.  Scans read
+/// page-at-a-time through a [`BufferPool`], so the decoded working set is
+/// bounded by the pool's frame budget rather than by table size.  Cloning a
+/// table is cheap — pages are `Arc`-backed and keep their ids, so catalog
+/// snapshots share buffer-pool frames with their source.
 ///
 /// Parameter tables (paper §2: `means(CID, m)`; Appendix D: `orders`,
 /// `lineitem`) are `Table`s, as are materialized deterministic intermediate
 /// results that the replenishment machinery (paper §9) re-reads instead of
 /// recomputing.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Tuple>,
+    pages: Vec<Page>,
+    paged_len: usize,
+    tail: Vec<Tuple>,
+    tail_bytes: usize,
+    page_budget: usize,
+}
+
+impl PartialEq for Table {
+    /// Logical equality: same schema, same rows in order.  Physical layout
+    /// (page boundaries, sealed-vs-tail split) does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.len() == other.len()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// Greedily seal `rows` into pages of at most ~`budget` estimated bytes.
+fn seal_rows(num_cols: usize, rows: &[Tuple], budget: usize) -> Vec<Page> {
+    let mut pages = Vec::new();
+    let mut start = 0;
+    let mut bytes = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let cost = estimate_row_bytes(row);
+        if i > start && bytes + cost > budget {
+            pages.push(Page::seal(num_cols, &rows[start..i]));
+            start = i;
+            bytes = 0;
+        }
+        bytes += cost;
+    }
+    if start < rows.len() {
+        pages.push(Page::seal(num_cols, &rows[start..]));
+    }
+    pages
 }
 
 impl Table {
@@ -25,12 +69,25 @@ impl Table {
     pub fn empty(schema: Schema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
+            pages: Vec::new(),
+            paged_len: 0,
+            tail: Vec::new(),
+            tail_bytes: 0,
+            page_budget: PAGE_BYTES,
         }
     }
 
-    /// Create a table from a schema and rows, validating arity.
+    /// Create a table from a schema and rows, validating arity.  Every row
+    /// is sealed into pages (the default [`PAGE_BYTES`] budget), including
+    /// the final partial page, so the layout is a pure function of the rows.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
+        Table::with_page_budget(schema, rows, PAGE_BYTES)
+    }
+
+    /// Like [`Table::new`] with an explicit page byte budget.  Tests and
+    /// benches use tiny budgets to force many pages (and pool eviction)
+    /// from small row counts.
+    pub fn with_page_budget(schema: Schema, rows: Vec<Tuple>, budget: usize) -> Result<Self> {
         for row in &rows {
             if row.arity() != schema.len() {
                 return Err(Error::ArityMismatch {
@@ -39,7 +96,47 @@ impl Table {
                 });
             }
         }
-        Ok(Table { schema, rows })
+        let budget = budget.max(1);
+        let pages = seal_rows(schema.len(), &rows, budget);
+        Ok(Table {
+            paged_len: rows.len(),
+            schema,
+            pages,
+            tail: Vec::new(),
+            tail_bytes: 0,
+            page_budget: budget,
+        })
+    }
+
+    /// Reassemble a table from shipped parts: sealed pages (already
+    /// validated by [`Page::from_bytes`]) plus tail rows.  The wire layer's
+    /// table decode lands here, keeping page bytes — and therefore content
+    /// hashes — identical on both ends.
+    pub fn from_parts(schema: Schema, pages: Vec<Page>, tail: Vec<Tuple>) -> Result<Self> {
+        for page in &pages {
+            if page.num_cols() != schema.len() {
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    found: page.num_cols(),
+                });
+            }
+        }
+        for row in &tail {
+            if row.arity() != schema.len() {
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.arity(),
+                });
+            }
+        }
+        Ok(Table {
+            paged_len: pages.iter().map(Page::num_rows).sum(),
+            tail_bytes: tail.iter().map(estimate_row_bytes).sum(),
+            schema,
+            pages,
+            tail,
+            page_budget: PAGE_BYTES,
+        })
     }
 
     /// The table's schema.
@@ -47,22 +144,50 @@ impl Table {
         &self.schema
     }
 
-    /// The rows.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// The sealed pages of the heap, in row order.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Rows appended since the last page was sealed.
+    pub fn tail_rows(&self) -> &[Tuple] {
+        &self.tail
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.paged_len + self.tail.len()
     }
 
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Append a row after checking its arity.
+    /// FNV-1a hash identifying this table's content *as laid out*: schema,
+    /// sealed page hashes in order, then the tail's page encoding.  Two
+    /// tables holding equal rows in different page layouts hash differently
+    /// — the hash names a physical table version for content-addressed
+    /// shipping (the receiver rebuilds from the same page bytes, so hashes
+    /// always agree across the wire), not a logical relation.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for field in self.schema.fields() {
+            h = fnv1a(h, field.name.as_bytes());
+            h = fnv1a(h, format!("{:?}", field.data_type).as_bytes());
+        }
+        for page in &self.pages {
+            h = fnv1a(h, &page.content_hash().to_le_bytes());
+        }
+        if !self.tail.is_empty() {
+            h = fnv1a(h, &encode_page_bytes(self.schema.len(), &self.tail));
+        }
+        h
+    }
+
+    /// Append a row after checking its arity.  The row lands in the open
+    /// tail; once the tail's estimated bytes reach the page budget it is
+    /// sealed into a fresh page.
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         if row.arity() != self.schema.len() {
             return Err(Error::ArityMismatch {
@@ -70,7 +195,14 @@ impl Table {
                 found: row.arity(),
             });
         }
-        self.rows.push(row);
+        self.tail_bytes += estimate_row_bytes(&row);
+        self.tail.push(row);
+        if self.tail_bytes >= self.page_budget {
+            self.pages.push(Page::seal(self.schema.len(), &self.tail));
+            self.paged_len += self.tail.len();
+            self.tail.clear();
+            self.tail_bytes = 0;
+        }
         Ok(())
     }
 
@@ -82,29 +214,48 @@ impl Table {
         Ok(())
     }
 
-    /// Iterate over rows.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.rows.iter()
+    /// Iterate over rows (owned), scanning page-at-a-time through the
+    /// process-wide [`BufferPool::global`].
+    pub fn iter(&self) -> TableIter<'_> {
+        self.iter_with(BufferPool::global())
+    }
+
+    /// Like [`Table::iter`], but through an explicit pool — how tests pin
+    /// eviction behaviour to a private pool with exact accounting.
+    pub fn iter_with<'a>(&'a self, pool: &'a BufferPool) -> TableIter<'a> {
+        TableIter {
+            table: self,
+            pool,
+            next_page: 0,
+            guard: None,
+            row_idx: 0,
+            tail_idx: 0,
+        }
+    }
+
+    /// Materialize every row.  Helpers that inherently need the full
+    /// relation (sort, group) go through this.
+    fn collect_rows(&self) -> Vec<Tuple> {
+        self.iter().collect()
     }
 
     /// The column at `name` as a vector of values.
     pub fn column(&self, name: &str) -> Result<Vec<Value>> {
         let idx = self.schema.index_of(name)?;
-        Ok(self.rows.iter().map(|r| r.value(idx).clone()).collect())
+        Ok(self.iter().map(|r| r.value(idx).clone()).collect())
     }
 
     /// The column at `name` as a vector of f64 (errors on non-numeric values).
     pub fn column_f64(&self, name: &str) -> Result<Vec<f64>> {
         let idx = self.schema.index_of(name)?;
-        self.rows.iter().map(|r| r.value(idx).as_f64()).collect()
+        self.iter().map(|r| r.value(idx).as_f64()).collect()
     }
 
     /// Keep only the rows for which `pred` returns true.
     pub fn filter(&self, pred: impl Fn(&Tuple) -> bool) -> Table {
-        Table {
-            schema: self.schema.clone(),
-            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
-        }
+        let rows: Vec<Tuple> = self.iter().filter(|r| pred(r)).collect();
+        Table::with_page_budget(self.schema.clone(), rows, self.page_budget)
+            .expect("filtered rows keep their arity")
     }
 
     /// Project onto the named columns.
@@ -114,19 +265,16 @@ impl Table {
             .map(|n| self.schema.index_of(n))
             .collect::<Result<_>>()?;
         let schema = self.schema.project(names)?;
-        let rows = self.rows.iter().map(|r| r.project(&indices)).collect();
-        Ok(Table { schema, rows })
+        let rows = self.iter().map(|r| r.project(&indices)).collect();
+        Table::with_page_budget(schema, rows, self.page_budget)
     }
 
     /// Sort rows by the named column, ascending, using the total value order.
     pub fn sort_by_column(&self, name: &str) -> Result<Table> {
         let idx = self.schema.index_of(name)?;
-        let mut rows = self.rows.clone();
+        let mut rows = self.collect_rows();
         rows.sort_by(|a, b| a.value(idx).cmp_total(b.value(idx)));
-        Ok(Table {
-            schema: self.schema.clone(),
-            rows,
-        })
+        Table::with_page_budget(self.schema.clone(), rows, self.page_budget)
     }
 
     /// Group rows by the named key column, returning `(key, rows)` pairs in
@@ -134,11 +282,11 @@ impl Table {
     pub fn group_by(&self, key: &str) -> Result<Vec<(Value, Vec<Tuple>)>> {
         let idx = self.schema.index_of(key)?;
         let mut groups: BTreeMap<OrdValue, Vec<Tuple>> = BTreeMap::new();
-        for row in &self.rows {
+        for row in self.iter() {
             groups
                 .entry(OrdValue(row.value(idx).clone()))
                 .or_default()
-                .push(row.clone());
+                .push(row);
         }
         Ok(groups.into_iter().map(|(k, v)| (k.0, v)).collect())
     }
@@ -170,12 +318,90 @@ impl Table {
 
     /// Average of a numeric column.  Errors on an empty table.
     pub fn avg(&self, name: &str) -> Result<f64> {
-        if self.rows.is_empty() {
+        if self.is_empty() {
             return Err(Error::InvalidOperation(format!(
                 "AVG over empty column {name}"
             )));
         }
-        Ok(self.sum(name)? / self.rows.len() as f64)
+        Ok(self.sum(name)? / self.len() as f64)
+    }
+}
+
+impl<'a> IntoIterator for &'a Table {
+    type Item = Tuple;
+    type IntoIter = TableIter<'a>;
+
+    fn into_iter(self) -> TableIter<'a> {
+        self.iter()
+    }
+}
+
+/// Row iterator over a table: pins one page at a time (the guard keeps the
+/// current frame unevictable), then drains the open tail.  Rows come out
+/// owned — page frames are shared cache entries, so handing out references
+/// across pin boundaries is not possible.
+pub struct TableIter<'a> {
+    table: &'a Table,
+    pool: &'a BufferPool,
+    next_page: usize,
+    guard: Option<PageGuard<'a>>,
+    row_idx: usize,
+    tail_idx: usize,
+}
+
+impl Iterator for TableIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(guard) = &self.guard {
+                if self.row_idx < guard.rows().len() {
+                    let row = guard.rows()[self.row_idx].clone();
+                    self.row_idx += 1;
+                    return Some(row);
+                }
+                self.guard = None;
+            }
+            if self.next_page < self.table.pages.len() {
+                let page = &self.table.pages[self.next_page];
+                self.next_page += 1;
+                self.row_idx = 0;
+                // Sealed (or wire-validated) pages always decode; see
+                // `Page::decode_rows`.
+                self.guard = Some(self.pool.pin(page).expect("sealed page decodes"));
+                continue;
+            }
+            if self.tail_idx < self.table.tail.len() {
+                let row = self.table.tail[self.tail_idx].clone();
+                self.tail_idx += 1;
+                return Some(row);
+            }
+            return None;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let consumed_pages: usize = self.table.pages[..self.next_page]
+            .iter()
+            .map(Page::num_rows)
+            .sum();
+        let remaining = self.table.len() - consumed_pages - self.tail_idx + {
+            // Rows still unread in the currently pinned page.
+            self.guard
+                .as_ref()
+                .map_or(0, |g| g.rows().len() - self.row_idx)
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl std::fmt::Debug for TableIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableIter")
+            .field("next_page", &self.next_page)
+            .field("row_idx", &self.row_idx)
+            .field("tail_idx", &self.tail_idx)
+            .finish()
     }
 }
 
@@ -249,6 +475,12 @@ mod tests {
             .row([Value::Int64(3), Value::Float64(5.0)])
             .build()
             .unwrap()
+    }
+
+    fn wide_rows(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::from_iter_values([Value::Int64(i as i64), Value::Float64(i as f64)]))
+            .collect()
     }
 
     #[test]
@@ -341,5 +573,77 @@ mod tests {
         t.extend((0..5).map(|i| Tuple::from_iter_values([i as i64])))
             .unwrap();
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn tiny_budget_spans_many_pages() {
+        let schema = Schema::new(vec![Field::int64("a"), Field::float64("b")]);
+        let rows = wide_rows(100);
+        let t = Table::with_page_budget(schema, rows.clone(), 64).unwrap();
+        assert!(t.pages().len() > 10, "64-byte budget must split 100 rows");
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.iter().collect::<Vec<_>>(), rows);
+    }
+
+    #[test]
+    fn push_seals_pages_at_budget() {
+        let schema = Schema::new(vec![Field::int64("a"), Field::float64("b")]);
+        let mut t = Table::with_page_budget(schema, Vec::new(), 64).unwrap();
+        for row in wide_rows(50) {
+            t.push(row).unwrap();
+        }
+        assert!(!t.pages().is_empty(), "pushes past the budget seal pages");
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.iter().collect::<Vec<_>>(), wide_rows(50));
+    }
+
+    #[test]
+    fn logical_equality_ignores_layout() {
+        let schema = Schema::new(vec![Field::int64("a"), Field::float64("b")]);
+        let coarse = Table::new(schema.clone(), wide_rows(40)).unwrap();
+        let fine = Table::with_page_budget(schema.clone(), wide_rows(40), 32).unwrap();
+        assert_ne!(coarse.pages().len(), fine.pages().len());
+        assert_eq!(coarse, fine, "equality is logical, not physical");
+        assert_ne!(
+            coarse.content_hash(),
+            fine.content_hash(),
+            "content hash names the physical layout"
+        );
+        let same = Table::new(schema, wide_rows(40)).unwrap();
+        assert_eq!(coarse.content_hash(), same.content_hash());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let schema = Schema::new(vec![Field::int64("a"), Field::float64("b")]);
+        let mut t = Table::with_page_budget(schema.clone(), wide_rows(30), 64).unwrap();
+        t.push(Tuple::from_iter_values([
+            Value::Int64(99),
+            Value::Float64(9.9),
+        ]))
+        .unwrap();
+        let rebuilt = Table::from_parts(
+            schema,
+            t.pages()
+                .iter()
+                .map(|p| Page::from_bytes(p.bytes().to_vec()).unwrap())
+                .collect(),
+            t.tail_rows().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.content_hash(), t.content_hash());
+    }
+
+    #[test]
+    fn scans_through_private_pool_under_eviction() {
+        let schema = Schema::new(vec![Field::int64("a"), Field::float64("b")]);
+        let t = Table::with_page_budget(schema, wide_rows(100), 64).unwrap();
+        let unbounded = BufferPool::new(usize::MAX);
+        let tiny = BufferPool::new(2);
+        let full: Vec<Tuple> = t.iter_with(&unbounded).collect();
+        let evicting: Vec<Tuple> = t.iter_with(&tiny).collect();
+        assert_eq!(full, evicting, "eviction must not change scan results");
+        assert!(tiny.stats().pool_evictions > 0, "tiny pool must evict");
     }
 }

@@ -166,7 +166,7 @@ mod tests {
             .iter()
             .map(|v| v.to_string())
             .collect();
-        for row in sup.rows() {
+        for row in sup.iter() {
             assert!(ids.contains(&row.value(0).to_string()));
             assert!(ids.contains(&row.value(1).to_string()));
         }

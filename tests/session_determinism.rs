@@ -514,6 +514,94 @@ fn process_backend_engine_runs_match_in_process_engines() {
 }
 
 #[test]
+fn tiny_page_cache_and_content_addressed_fetch_stay_bit_identical_across_backends() {
+    // The paged-storage contract composed with content-addressed shipping:
+    // with the global page cache forced far below the catalog's page count
+    // (every scan misses, decodes, and evicts), all three backends must
+    // still produce bit-identical blocks — cold (the first process-backend
+    // task ships the Plan frame plus every referenced table's pages), warm
+    // (repeat tasks ship only hash headers), and after a forced kill of
+    // every worker (respawned workers are cold again and re-fetch tables
+    // through the NeedTables ladder).
+    use mcdbr::storage::BufferPool;
+    let catalog = customer_losses_catalog(2_000, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(120i64)));
+    let seed = 63;
+    let blocks = [(0u64, 16usize), (16, 16), (32, 8)];
+    assert!(
+        catalog.get("means").unwrap().pages().len() > 2,
+        "catalog must span more pages than the forced budget"
+    );
+
+    let pool = BufferPool::global();
+    let saved = pool.budget();
+    pool.set_budget(2);
+    let baseline = pool.stats();
+
+    let mut reference = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    let expected: Vec<_> = blocks
+        .iter()
+        .map(|&(base, n)| reference.instantiate_block(&catalog, base, n).unwrap())
+        .collect();
+
+    let process = Arc::new(ProcessBackend::new(2));
+    let mut sharded_session = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(Arc::new(ShardedBackend::new(3)));
+    let mut process_session = ExecSession::prepare(&plan, &catalog, seed)
+        .unwrap()
+        .with_backend(process.clone());
+
+    let mut cold_sent = 0u64;
+    let mut warm_sent = 0u64;
+    for (i, &(base, n)) in blocks.iter().enumerate() {
+        if i == 2 {
+            // Kill the whole pool: the respawned workers lost their
+            // hash-keyed table stores and must re-fetch everything.
+            process.kill_worker(0);
+            process.kill_worker(1);
+        }
+        let before = process.shard_stats();
+        let got = process_session
+            .instantiate_block(&catalog, base, n)
+            .unwrap();
+        let sent = process.shard_stats().since(before).wire_bytes_sent;
+        match i {
+            0 => cold_sent = sent,
+            1 => warm_sent = sent,
+            _ => {}
+        }
+        assert_bit_identical(&expected[i], &got);
+        assert_bit_identical(
+            &expected[i],
+            &sharded_session
+                .instantiate_block(&catalog, base, n)
+                .unwrap(),
+        );
+    }
+    assert!(
+        warm_sent < cold_sent,
+        "warm dispatch ({warm_sent} bytes) must undercut the cold table \
+         shipment ({cold_sent} bytes)"
+    );
+    let stats = process.shard_stats();
+    assert!(
+        stats.worker_respawns >= 2,
+        "killing the pool must surface as respawns: {stats:?}"
+    );
+    let delta = pool.stats().since(&baseline);
+    assert!(
+        delta.pool_evictions > 0,
+        "a 2-frame budget under a multi-page catalog must evict: {delta:?}"
+    );
+    pool.set_budget(saved);
+}
+
+#[test]
 fn parallel_aggregation_is_bit_identical_to_sequential() {
     let (catalog, plan) = complex_case();
     let set = ExecSession::prepare(&plan, &catalog, 13)
