@@ -66,10 +66,14 @@ fn sweep(c: &mut Criterion, group_name: &str, plan: &PlanNode, catalog: &mcdbr_s
             baseline,
             "{workers} workers changed the output"
         );
-        let stats = backend.shard_stats();
-        assert!(stats.tasks_dispatched >= BLOCKS);
-        assert!(stats.worker_warm_hits > 0, "warm path must engage");
-        assert_eq!(stats.worker_respawns, 0);
+        // Exact counter expectations only hold without a global chaos plan
+        // (`MCDBR_FAULTS` makes respawns and degraded blocks legitimate).
+        if mcdbr_faults::env_injector().is_none() {
+            let stats = backend.shard_stats();
+            assert!(stats.tasks_dispatched >= BLOCKS);
+            assert!(stats.worker_warm_hits > 0, "warm path must engage");
+            assert_eq!(stats.worker_respawns, 0);
+        }
     }
 
     let mut group = c.benchmark_group(group_name);
@@ -145,14 +149,19 @@ fn bench_content_addressed_shipping(c: &mut Criterion) {
     );
     let warm = backend.shard_stats().since(warm_base);
 
-    assert!(cold.wire_bytes_sent > 0 && warm.wire_bytes_sent > 0);
-    assert!(
-        cold.wire_bytes_sent >= 10 * warm.wire_bytes_sent,
-        "content-addressed shipping must cut repeated-plan wire bytes >=10x \
-         (cold {} vs warm {})",
-        cold.wire_bytes_sent,
-        warm.wire_bytes_sent
-    );
+    // Chaos plans (`MCDBR_FAULTS`) legitimately perturb wire-byte counts
+    // (dropped frames, respawn-driven plan re-sends), so the exact 10x
+    // claim is only asserted on clean runs.
+    if mcdbr_faults::env_injector().is_none() {
+        assert!(cold.wire_bytes_sent > 0 && warm.wire_bytes_sent > 0);
+        assert!(
+            cold.wire_bytes_sent >= 10 * warm.wire_bytes_sent,
+            "content-addressed shipping must cut repeated-plan wire bytes >=10x \
+             (cold {} vs warm {})",
+            cold.wire_bytes_sent,
+            warm.wire_bytes_sent
+        );
+    }
 
     let id = "ablation_dispatch_shipping/workers=2";
     record_metric(id, "cold_wire_bytes_sent", cold.wire_bytes_sent as f64);

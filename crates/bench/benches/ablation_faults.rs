@@ -1,0 +1,146 @@
+//! Fault-tolerance ablation: what does surviving a misbehaving worker
+//! cost, and does the degradation ladder actually preserve results?
+//!
+//! The sweep runs the §2 filtered customer-losses workload through a
+//! 3-worker `ProcessBackend` under one deterministic fault plan per row
+//! (`mcdbr_faults` grammar, worker 0 targeted so the blast radius is one
+//! slot):
+//!
+//! * `clean` — no faults; the steady-state baseline, timed under
+//!   criterion.
+//! * `stall` — worker 0 stalls every task reply past the read deadline:
+//!   exercises deadline → respawn → retry → circuit breaker → local
+//!   degradation.
+//! * `drop` / `partial` — worker 0 swallows or truncates reply frames:
+//!   crash-class wire errors riding the same ladder.
+//! * `slow` — worker 0 adds fixed latency per task: no failures, pure
+//!   straggler cost.
+//!
+//! Every faulted run must still produce the bit-identical bundle count of
+//! the in-process baseline — that is the headline claim (graceful
+//! degradation never changes results, it only costs time) — and each row
+//! records wall time plus the recovery counters (`deadline_timeouts`,
+//! `worker_respawns`, `task_retries`, `circuit_trips`) into
+//! `BENCH_ablation_faults.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use mcdbr_dispatch::ProcessBackend;
+use mcdbr_exec::{ExecBackend, ExecSession, Expr, InProcessBackend, PlanNode};
+use mcdbr_workloads::{customer_losses_catalog, customer_losses_query};
+
+const BLOCK: usize = 100;
+const BLOCKS: usize = 4;
+const MASTER_SEED: u64 = 47;
+const WORKERS: usize = 3;
+/// Short enough that stalled/dropped replies are reclassified quickly,
+/// long enough that a loaded CI machine never times out a healthy worker.
+const DEADLINE: Duration = Duration::from_millis(2_000);
+
+/// `(plan key, fault spec)` rows for the sweep; worker 0 is always the
+/// faulty one, with probability 1 so every decision fires.
+const FAULT_ROWS: [(&str, &str); 4] = [
+    ("stall", "seed=7,worker=0,stall=1:30000"),
+    ("drop", "seed=7,worker=0,drop=1"),
+    ("partial", "seed=7,worker=0,partial=1"),
+    ("slow", "seed=7,worker=0,slow=1:10"),
+];
+
+fn run_blocks(
+    plan: &PlanNode,
+    catalog: &mcdbr_storage::Catalog,
+    backend: Arc<dyn ExecBackend>,
+) -> usize {
+    let mut session = ExecSession::prepare(plan, catalog, MASTER_SEED)
+        .unwrap()
+        .with_backend(backend);
+    let mut total_bundles = 0usize;
+    for i in 0..BLOCKS {
+        let set = session
+            .instantiate_block(catalog, (i * BLOCK) as u64, BLOCK)
+            .unwrap();
+        total_bundles += set.len();
+    }
+    total_bundles
+}
+
+fn bench_fault_recovery(c: &mut Criterion) {
+    let catalog = customer_losses_catalog(1_500, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(120i64)));
+
+    let baseline = run_blocks(&plan, &catalog, Arc::new(InProcessBackend::new()));
+
+    // `RUNS` successive query-shaped runs per fault kind on ONE backend,
+    // outside criterion measurement (a stalled worker costs deadline-sized
+    // waits by design; criterion-looping that would be all sleep).  Reusing
+    // the backend across runs is the point: run 1 pays the full ladder,
+    // the cooldown runs degrade cheaply, and the half-open probe pays
+    // again — so the p99 across runs prices the breaker's worst case while
+    // the p50 prices steady-state degradation.
+    const RUNS: usize = 6;
+    for (kind, spec) in FAULT_ROWS {
+        let backend = Arc::new(
+            ProcessBackend::new(WORKERS)
+                .with_fault_spec(spec)
+                .unwrap()
+                .with_deadline(DEADLINE),
+        );
+        let mut walls_ms = Vec::with_capacity(RUNS);
+        let mut survived = 0usize;
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let bundles = run_blocks(&plan, &catalog, backend.clone());
+            walls_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                bundles, baseline,
+                "fault `{kind}` changed the result — degradation must be invisible"
+            );
+            survived += 1;
+        }
+        walls_ms.sort_by(|a, b| a.total_cmp(b));
+        let stats = backend.shard_stats();
+        let id = format!("ablation_faults/{kind}");
+        record_metric(&id, "queries_survived", survived as f64);
+        record_metric(&id, "queries_run", RUNS as f64);
+        record_metric(&id, "p50_ms", walls_ms[RUNS / 2]);
+        record_metric(&id, "p99_ms", *walls_ms.last().unwrap());
+        record_metric(&id, "deadline_timeouts", stats.deadline_timeouts as f64);
+        record_metric(&id, "worker_respawns", stats.worker_respawns as f64);
+        record_metric(&id, "task_retries", stats.task_retries as f64);
+        record_metric(&id, "circuit_trips", stats.circuit_trips as f64);
+        record_metric(&id, "tasks_dispatched", stats.tasks_dispatched as f64);
+        if mcdbr_faults::env_injector().is_none() {
+            match kind {
+                // Stall/drop/partial must have exercised the ladder.
+                "stall" | "drop" | "partial" => {
+                    assert!(stats.worker_respawns > 0, "`{kind}` never hit the ladder");
+                    assert!(stats.task_retries > 0, "`{kind}` never retried");
+                }
+                // A straggler is not a failure: latency only.
+                _ => assert_eq!(stats.worker_respawns, 0, "`{kind}` should not respawn"),
+            }
+        }
+    }
+
+    // The clean row is the only one measured under criterion: the number
+    // the faulted walls compare against.
+    let clean = Arc::new(ProcessBackend::new(WORKERS).with_deadline(DEADLINE));
+    let clean_bundles = run_blocks(&plan, &catalog, clean.clone());
+    assert_eq!(clean_bundles, baseline, "clean process run changed output");
+    if mcdbr_faults::env_injector().is_none() {
+        assert_eq!(clean.shard_stats().worker_respawns, 0);
+    }
+    let mut group = c.benchmark_group("ablation_faults");
+    group.sample_size(10);
+    group.bench_function("clean", |b| {
+        b.iter(|| run_blocks(&plan, &catalog, clean.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_recovery);
+criterion_main!(benches);

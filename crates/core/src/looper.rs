@@ -190,6 +190,15 @@ pub struct TailSampleResult {
     /// Workers respawned after crashes this run, with their in-flight
     /// tasks re-dispatched.
     pub worker_respawns: usize,
+    /// Per-task read deadlines that expired this run, reclassifying a
+    /// silent worker as dead (multi-process backend only).
+    pub deadline_timeouts: usize,
+    /// Task dispatches retried after a crash-class worker failure this
+    /// run (each retry waits out a capped, seeded-jitter backoff).
+    pub task_retries: usize,
+    /// Per-worker circuit breakers tripped open this run; a tripped slot
+    /// degrades to local in-process execution for its cooldown window.
+    pub circuit_trips: usize,
     /// The staged parameters the run used.
     pub parameters: StagedParameters,
 }
@@ -432,6 +441,9 @@ impl GibbsLooper {
             wire_bytes_sent: backend_stats.wire_bytes_sent,
             wire_bytes_received: backend_stats.wire_bytes_received,
             worker_respawns: backend_stats.worker_respawns,
+            deadline_timeouts: backend_stats.deadline_timeouts,
+            task_retries: backend_stats.task_retries,
+            circuit_trips: backend_stats.circuit_trips,
             parameters: params,
         })
     }

@@ -28,18 +28,41 @@
 //! workers × tables shipping cost to one transfer per distinct table
 //! version per worker.
 //!
-//! **Crash handling.**  A worker that dies mid-conversation (EOF, broken
-//! pipe, corrupt frame) is respawned — fresh process, cold cache — and its
-//! in-flight task is re-dispatched, once per failure, transparently to the
-//! caller; `worker_respawns` counts the events.  Task-level errors the
-//! worker *reports* (an `Error` frame) are not crashes and propagate to
-//! the caller without a respawn.
+//! **Crash handling and deadlines.**  A worker that dies mid-conversation
+//! (EOF, broken pipe, corrupt frame) — or that is *alive but silent* past
+//! the per-task read deadline (`MCDBR_TASK_DEADLINE_MS`, default 30 s; a
+//! dedicated reader thread per worker feeds a channel so reads can time
+//! out) — is reclassified as dead: bounded reap (pipe close, short grace,
+//! SIGKILL escalation), respawn, and re-dispatch of its in-flight task,
+//! with capped exponential backoff + seeded jitter between attempts.
+//! `worker_respawns`, `deadline_timeouts`, and `task_retries` count the
+//! events.  Task-level errors the worker *reports* (an `Error` frame) are
+//! not crashes and propagate to the caller without a respawn.
+//!
+//! **Circuit breaker.**  Each worker slot carries a breaker: repeated
+//! crash-class failures (3 consecutive) trip it and the slot's tasks
+//! degrade to the local sharded path — the same bit-identical
+//! [`mcdbr_exec::ShardTask`] the worker would have run — for a cooldown
+//! (4 blocks), then a half-open probe re-dispatches; success closes the
+//! breaker, failure re-trips it.  `circuit_trips` counts trips, and
+//! `tasks_dispatched` staying flat shows the degraded blocks.
 //!
 //! **Graceful degradation.**  Plans that cannot travel — a third-party VG
 //! function outside the built-in set, or a prefix the backend was never
 //! primed for (direct `instantiate_block` calls without a session) —
 //! execute locally through the in-process path, bit-identically;
-//! `tasks_dispatched` stays flat so the fallback is observable.
+//! `tasks_dispatched` stays flat so the fallback is observable.  A task
+//! that exhausts its retry budget degrades the same way instead of failing
+//! the block: under faults, results are bit-identical or absent, never
+//! silently wrong.
+//!
+//! **Fault injection.**  Chaos runs configure a seeded
+//! [`mcdbr_faults::FaultPlan`] (the `MCDBR_FAULTS` environment variable,
+//! or [`ProcessBackend::with_fault_spec`]): the coordinator's sends route
+//! through [`wire::write_frame_faulty`] and spawned workers inherit the
+//! plan (a `worker=K` target restricts it to one slot and disables the
+//! coordinator's own send faults) — every failure mode above can be
+//! injected deterministically and replayed from the seed.
 //!
 //! Aggregation never crosses the process boundary: shipping a full
 //! `BundleSet` out and partial aggregates back would dwarf the aggregation
@@ -49,16 +72,17 @@
 use std::collections::HashSet;
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use mcdbr_exec::aggregate::{AggregateSpec, QueryResultSamples};
 use mcdbr_exec::{
     plan_shards, BlockBufferPool, BundleSet, DeterministicPrefix, ExecBackend, Expr,
-    InProcessBackend, PlanNode, PlanSkeleton, ShardStats, ShardedBackend, TupleBundle,
+    InProcessBackend, PlanNode, PlanSkeleton, ShardStats, ShardTask, ShardedBackend, TupleBundle,
 };
+use mcdbr_faults::{BackoffPolicy, FaultInjector, FaultPlan};
 use mcdbr_storage::{Catalog, Result};
 
 use crate::wire::{self, Frame, PlanKey, TaskHeader, WireError, WireResult};
@@ -67,13 +91,139 @@ use crate::wire::{self, Frame, PlanKey, TaskHeader, WireError, WireResult};
 /// evicted beyond this; re-priming re-encodes).
 const MAX_PREPARED_PLANS: usize = 64;
 
-/// One live worker process and what it already knows.
+/// Consecutive crash-class failures that trip a slot's circuit breaker.
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// Blocks a tripped breaker degrades locally before the half-open probe.
+const BREAKER_COOLDOWN_BLOCKS: u32 = 4;
+
+/// Fallback task-read deadline when `MCDBR_TASK_DEADLINE_MS` is unset.
+const DEFAULT_TASK_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Pure parse of the `MCDBR_TASK_DEADLINE_MS` environment value: a
+/// positive integer millisecond count; anything else falls back to the
+/// 30 s default.
+pub fn task_deadline_from_env(raw: Option<&str>) -> Duration {
+    raw.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_TASK_DEADLINE)
+}
+
+/// The process-wide default task deadline, memoized on first use.
+pub fn default_task_deadline() -> Duration {
+    static DEADLINE: OnceLock<Duration> = OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        task_deadline_from_env(std::env::var("MCDBR_TASK_DEADLINE_MS").ok().as_deref())
+    })
+}
+
+/// One live worker process and what it already knows.  Frames from the
+/// worker's stdout are pumped by a dedicated reader thread into `rx`, so
+/// coordinator reads can carry a deadline (`recv_timeout`) — std pipes have
+/// no portable read timeout.  Killing the child closes the pipe, which
+/// makes the reader thread exit on EOF.
 struct Worker {
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    rx: mpsc::Receiver<WireResult<(Vec<u8>, u64)>>,
+    reader: Option<std::thread::JoinHandle<()>>,
     /// Plan keys this worker has received `Plan` frames for.
     known: HashSet<PlanKey>,
+}
+
+/// Reap a worker with a bounded wait: close its stdin (a well-behaved
+/// worker exits on pipe EOF), poll for exit up to `grace`, then escalate to
+/// SIGKILL so a child that ignores the pipe close can never wedge a respawn
+/// or teardown.  Joins the reader thread (the dead child's pipe EOF has
+/// already unblocked it).
+fn reap_worker(mut worker: Worker, grace: Duration) {
+    drop(worker.stdin);
+    let deadline = Instant::now() + grace;
+    let exited = loop {
+        match worker.child.try_wait() {
+            Ok(Some(_)) => break true,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(2)),
+            _ => break false,
+        }
+    };
+    if !exited {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+    }
+    if let Some(handle) = worker.reader.take() {
+        let _ = handle.join();
+    }
+}
+
+/// Per-slot circuit breaker: consecutive crash-class failures trip it open;
+/// open slots degrade their tasks to the local sharded path for a cooldown,
+/// then a half-open probe decides between closing and re-tripping.
+#[derive(Debug, Default, Clone, Copy)]
+struct Breaker {
+    failures: u32,
+    state: BreakerState,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    #[default]
+    Closed,
+    Open {
+        cooldown: u32,
+    },
+    HalfOpen,
+}
+
+impl Breaker {
+    /// Should this block's task for the slot degrade locally?  Consumes one
+    /// cooldown unit per block while open; the block after the cooldown runs
+    /// as the half-open probe.
+    fn degrade_this_block(&mut self) -> bool {
+        match &mut self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => false,
+            BreakerState::Open { cooldown } => {
+                if *cooldown == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    false
+                } else {
+                    *cooldown -= 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a crash-class failure; returns true when this one tripped the
+    /// breaker (closed past the threshold, or a failed half-open probe).
+    fn note_failure(&mut self) -> bool {
+        self.failures += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.failures >= BREAKER_THRESHOLD,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                cooldown: BREAKER_COOLDOWN_BLOCKS,
+            };
+        }
+        trip
+    }
+
+    fn note_success(&mut self) {
+        self.failures = 0;
+        self.state = BreakerState::Closed;
+    }
+}
+
+/// How one slot's task of a block was resolved.
+enum TaskOutcome {
+    /// The worker answered over the wire.
+    Wire(Vec<(usize, Option<TupleBundle>)>, wire::TaskStats),
+    /// The slot degraded (open breaker, or retry budget exhausted): the
+    /// caller runs the slot's [`ShardTask`] locally, bit-identically.
+    Degraded,
 }
 
 /// One dispatchable plan: the skeleton it belongs to (held alive so the
@@ -95,6 +245,7 @@ struct PlanEntry {
 struct State {
     slots: Vec<Option<Worker>>,
     plans: Vec<PlanEntry>,
+    breakers: Vec<Breaker>,
 }
 
 /// The multi-process [`ExecBackend`]: see the module docs for the
@@ -104,12 +255,26 @@ pub struct ProcessBackend {
     state: Mutex<State>,
     /// Local sharded path for aggregation partials (and its counters).
     agg: ShardedBackend,
+    /// Per-task read deadline; a worker silent past it is reclassified as
+    /// dead and respawned.
+    task_deadline: Duration,
+    /// Backoff between re-dispatch attempts; `max_attempts` bounds the
+    /// retries before a slot's task degrades locally.
+    retry: BackoffPolicy,
+    /// The fault plan driving this backend's chaos run, if any (env
+    /// `MCDBR_FAULTS` by default).  Spawned workers receive the plan via
+    /// their environment; the coordinator's own sends inject only when the
+    /// plan has no `worker=K` target.
+    faults: Option<Arc<FaultInjector>>,
     workers_spawned: AtomicUsize,
     tasks_dispatched: AtomicUsize,
     wire_bytes_sent: AtomicU64,
     wire_bytes_received: AtomicU64,
     worker_respawns: AtomicUsize,
     worker_warm_hits: AtomicUsize,
+    deadline_timeouts: AtomicUsize,
+    task_retries: AtomicUsize,
+    circuit_trips: AtomicUsize,
     merge_ns: AtomicU64,
     cross_shard_regens: AtomicUsize,
 }
@@ -134,14 +299,26 @@ impl ProcessBackend {
             state: Mutex::new(State {
                 slots: (0..workers).map(|_| None).collect(),
                 plans: Vec::new(),
+                breakers: vec![Breaker::default(); workers],
             }),
             agg: ShardedBackend::new(workers),
+            task_deadline: default_task_deadline(),
+            retry: BackoffPolicy {
+                base_ms: 5,
+                cap_ms: 200,
+                max_attempts: Some(2),
+                ..BackoffPolicy::default()
+            },
+            faults: mcdbr_faults::env_injector(),
             workers_spawned: AtomicUsize::new(0),
             tasks_dispatched: AtomicUsize::new(0),
             wire_bytes_sent: AtomicU64::new(0),
             wire_bytes_received: AtomicU64::new(0),
             worker_respawns: AtomicUsize::new(0),
             worker_warm_hits: AtomicUsize::new(0),
+            deadline_timeouts: AtomicUsize::new(0),
+            task_retries: AtomicUsize::new(0),
+            circuit_trips: AtomicUsize::new(0),
             merge_ns: AtomicU64::new(0),
             cross_shard_regens: AtomicUsize::new(0),
         }
@@ -150,6 +327,38 @@ impl ProcessBackend {
     /// The target worker-process count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Override the per-task read deadline (defaults to
+    /// `MCDBR_TASK_DEADLINE_MS`, else 30 s).  Chaos tests shrink this so
+    /// stalled workers reclassify as dead in milliseconds.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.task_deadline = deadline;
+        self
+    }
+
+    /// Override the re-dispatch retry/backoff policy.
+    pub fn with_retry(mut self, retry: BackoffPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Drive this backend (and its spawned workers) from an explicit fault
+    /// plan instead of the process environment — see
+    /// [`mcdbr_faults::FaultPlan::parse`] for the grammar.  A `worker=K`
+    /// target confines injection to that one worker slot.
+    pub fn with_fault_spec(mut self, spec: &str) -> Result<Self> {
+        let plan = FaultPlan::parse(spec).map_err(mcdbr_storage::Error::Invalid)?;
+        self.faults = Some(Arc::new(FaultInjector::new(plan)));
+        Ok(self)
+    }
+
+    /// The injector applied to the coordinator's own sends: the active plan,
+    /// unless it targets a specific worker slot.
+    fn coordinator_faults(&self) -> Option<&FaultInjector> {
+        self.faults
+            .as_deref()
+            .filter(|inj| inj.plan().target_worker.is_none())
     }
 
     /// Kill worker `index`'s OS process (if one is live), leaving the dead
@@ -199,19 +408,49 @@ impl ProcessBackend {
         }
     }
 
-    /// Spawn one worker process and run the handshake.
-    fn spawn_worker(&self) -> WireResult<Worker> {
-        let mut child = Command::new(Self::worker_binary()?)
+    /// Spawn the worker process for `slot` and run the handshake.  The slot
+    /// index decides whether a `worker=K`-targeted fault plan reaches this
+    /// worker's environment.
+    fn spawn_worker(&self, slot_index: usize) -> WireResult<Worker> {
+        let mut command = Command::new(Self::worker_binary()?);
+        command
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()?;
+            .stderr(Stdio::inherit());
+        if let Some(inj) = self.faults.as_deref() {
+            if inj.plan().targets_worker(slot_index) {
+                command.env(mcdbr_faults::FAULTS_ENV, inj.plan().as_str());
+            } else {
+                command.env_remove(mcdbr_faults::FAULTS_ENV);
+            }
+        }
+        let mut child = command.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name(format!("mcdbr-worker-reader-{slot_index}"))
+            .spawn(move || loop {
+                match wire::read_frame(&mut stdout) {
+                    Ok(Some(frame)) => {
+                        if tx.send(Ok(frame)).is_err() {
+                            break;
+                        }
+                    }
+                    // Clean EOF: drop the sender so the coordinator sees a
+                    // disconnect (mapped to Truncated) instead of a frame.
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            })?;
         let mut worker = Worker {
             child,
             stdin,
-            stdout,
+            rx,
+            reader: Some(reader),
             known: HashSet::new(),
         };
         self.workers_spawned.fetch_add(1, Ordering::Relaxed);
@@ -235,30 +474,51 @@ impl ProcessBackend {
     }
 
     fn send(&self, worker: &mut Worker, payload: &[u8]) -> WireResult<()> {
-        let n = wire::write_frame(&mut worker.stdin, payload)?;
+        let n = wire::write_frame_faulty(&mut worker.stdin, payload, self.coordinator_faults())?;
         self.wire_bytes_sent.fetch_add(n, Ordering::Relaxed);
         Ok(())
     }
 
+    /// Read the worker's next frame, bounded by the per-task deadline.  A
+    /// worker that stays silent past the deadline is *reclassified as dead*:
+    /// the timeout comes back as a crash-class I/O error, so the caller's
+    /// respawn + re-dispatch ladder handles hung and crashed workers
+    /// identically.
     fn receive(&self, worker: &mut Worker) -> WireResult<(Vec<u8>, u64)> {
-        let (payload, n) = wire::read_frame(&mut worker.stdout)?.ok_or(WireError::Truncated {
-            what: "worker response",
-        })?;
-        self.wire_bytes_received.fetch_add(n, Ordering::Relaxed);
-        Ok((payload, n))
+        match worker.rx.recv_timeout(self.task_deadline) {
+            Ok(Ok((payload, n))) => {
+                self.wire_bytes_received.fetch_add(n, Ordering::Relaxed);
+                Ok((payload, n))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(WireError::Truncated {
+                what: "worker response",
+            }),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(WireError::Io(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "worker silent past the {:?} task deadline; reclassifying as dead",
+                        self.task_deadline
+                    ),
+                ))
+            }
+        }
     }
 
-    /// Replace (or fill) a worker slot with a fresh process.  `respawn`
-    /// marks crash replacements for the counter.
-    fn fill_slot(&self, slot: &mut Option<Worker>, respawn: bool) -> WireResult<()> {
+    /// Replace (or fill) worker slot `index` with a fresh process.
+    /// `respawn` marks crash replacements for the counter; the old process,
+    /// if any, gets an immediate bounded reap (it is already broken — no
+    /// grace).
+    fn fill_slot(&self, slot: &mut Option<Worker>, index: usize, respawn: bool) -> WireResult<()> {
         if respawn {
-            if let Some(old) = slot.as_mut() {
-                let _ = old.child.kill();
-                let _ = old.child.wait();
+            if let Some(old) = slot.take() {
+                reap_worker(old, Duration::ZERO);
             }
             self.worker_respawns.fetch_add(1, Ordering::Relaxed);
         }
-        *slot = Some(self.spawn_worker()?);
+        *slot = Some(self.spawn_worker(index)?);
         Ok(())
     }
 
@@ -270,13 +530,14 @@ impl ProcessBackend {
     fn send_task(
         &self,
         slot: &mut Option<Worker>,
+        index: usize,
         entry_key: PlanKey,
         plan_frame: &[u8],
         tables: &[(u64, Arc<Vec<u8>>)],
         task_frame: &[u8],
     ) -> WireResult<()> {
         if slot.is_none() {
-            self.fill_slot(slot, false)?;
+            self.fill_slot(slot, index, false)?;
         }
         let worker = slot.as_mut().expect("slot just filled");
         if !worker.known.contains(&entry_key) {
@@ -353,11 +614,39 @@ impl ProcessBackend {
         !matches!(err, WireError::Remote(_))
     }
 
+    /// Record a crash-class failure on slot `i`'s breaker, counting trips.
+    fn note_failure(&self, state: &mut State, i: usize) {
+        if state.breakers[i].note_failure() {
+            self.circuit_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Kill and reap every worker with a task in flight this block.
+    /// Aborting mid-conversation (a task-level Error frame, ...) can leave
+    /// *other* workers' completed responses queued in their pipes; a later
+    /// block would read those stale frames as its own partials.  Dropping
+    /// the in-flight workers (they respawn cold on the next dispatch) makes
+    /// that impossible.
+    fn teardown(&self, state: &mut State, in_flight: usize) {
+        for slot in state.slots[..in_flight].iter_mut() {
+            if let Some(worker) = slot.take() {
+                reap_worker(worker, Duration::ZERO);
+            }
+        }
+    }
+
     /// The fallible dispatch conversation for one block: pipeline every
     /// task to its worker (phase A), then collect responses in task order
-    /// (phase B).  The caller tears down all in-flight workers when this
-    /// errors, so no partially-read conversation can leak into the next
-    /// block.
+    /// (phase B).  `tasks[i] == None` marks a slot whose breaker is open —
+    /// nothing is dispatched for it and its outcome is `Degraded` up front.
+    ///
+    /// Each phase runs a bounded retry ladder per slot: a crash-class
+    /// failure (EOF, corrupt frame, read deadline) respawns the worker and
+    /// re-dispatches after a capped, jittered backoff; a slot that exhausts
+    /// its retries degrades to `Degraded` instead of failing the block.
+    /// Deterministic task-level errors still fail the block (the caller
+    /// tears down all in-flight workers so no stale frame can leak into the
+    /// next conversation).
     #[allow(clippy::type_complexity)]
     fn run_tasks(
         &self,
@@ -365,54 +654,135 @@ impl ProcessBackend {
         key: PlanKey,
         plan_frame: &[u8],
         tables: &[(u64, Arc<Vec<u8>>)],
-        tasks: &[Vec<u8>],
-    ) -> WireResult<Vec<(Vec<(usize, Option<TupleBundle>)>, wire::TaskStats)>> {
+        tasks: &[Option<Vec<u8>>],
+    ) -> WireResult<Vec<TaskOutcome>> {
+        let mut outcomes: Vec<Option<TaskOutcome>> = tasks
+            .iter()
+            .map(|t| t.is_none().then_some(TaskOutcome::Degraded))
+            .collect();
+
         // Phase A: pipeline every task out to its worker before reading any
         // response, so the workers run concurrently.  (A cold worker's plan
         // exchange blocks on its NeedTables reply, but only before its
-        // first task for the key.)  A send failure is a crashed worker:
-        // respawn once and re-send.
+        // first task for the key.)
         for (i, task_frame) in tasks.iter().enumerate() {
-            let slot = &mut state.slots[i];
-            if let Err(e) = self.send_task(slot, key, plan_frame, tables, task_frame) {
-                if !Self::is_crash(&e) {
-                    return Err(e);
+            let Some(task_frame) = task_frame else {
+                continue;
+            };
+            let mut attempt = 0u32;
+            loop {
+                let slot = &mut state.slots[i];
+                match self.send_task(slot, i, key, plan_frame, tables, task_frame) {
+                    Ok(()) => break,
+                    Err(e) if !Self::is_crash(&e) => {
+                        self.teardown(state, tasks.len());
+                        return Err(e);
+                    }
+                    Err(_) => {
+                        self.note_failure(state, i);
+                        if self.retry.exhausted(attempt) {
+                            if let Some(worker) = state.slots[i].take() {
+                                reap_worker(worker, Duration::ZERO);
+                            }
+                            outcomes[i] = Some(TaskOutcome::Degraded);
+                            break;
+                        }
+                        self.task_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.retry.delay(attempt, i as u64));
+                        attempt += 1;
+                        // A failed respawn is just another crash-class
+                        // failure: the next send attempt runs into the empty
+                        // or broken slot and the ladder converges.
+                        match self.fill_slot(&mut state.slots[i], i, true) {
+                            Ok(()) => {}
+                            Err(e) if Self::is_crash(&e) => {}
+                            Err(e) => {
+                                self.teardown(state, tasks.len());
+                                return Err(e);
+                            }
+                        }
+                    }
                 }
-                self.fill_slot(slot, true)?;
-                self.send_task(slot, key, plan_frame, tables, task_frame)?;
             }
         }
 
         // Phase B: collect partials in task (= ascending key-range) order.
-        // A read failure is a crashed worker: respawn, re-dispatch that
-        // task, and read again — the position-addressable streams make the
-        // re-run bit-identical.  A worker that evicted the plan from its
-        // bounded memory answers with the unknown-plan error: it is
-        // healthy, so just re-send the plan and the task.
-        let mut partials = Vec::with_capacity(tasks.len());
+        // A read failure is a crashed *or hung* worker: respawn,
+        // re-dispatch that task, and read again — the position-addressable
+        // streams make the re-run bit-identical.  A worker that evicted the
+        // plan from its bounded memory answers with the unknown-plan error:
+        // it is healthy, so just re-send the plan and the task.
         for (i, task_frame) in tasks.iter().enumerate() {
-            let slot = &mut state.slots[i];
-            let response = match self.read_response(slot) {
-                Ok(r) => r,
-                Err(WireError::Remote(msg))
-                    if msg.starts_with(wire::UNKNOWN_PLAN_MESSAGE_PREFIX) =>
-                {
-                    if let Some(worker) = slot.as_mut() {
-                        worker.known.remove(&key);
-                    }
-                    self.send_task(slot, key, plan_frame, tables, task_frame)?;
-                    self.read_response(slot)?
-                }
-                Err(e) if Self::is_crash(&e) => {
-                    self.fill_slot(slot, true)?;
-                    self.send_task(slot, key, plan_frame, tables, task_frame)?;
-                    self.read_response(slot)?
-                }
-                Err(e) => return Err(e),
+            let Some(task_frame) = task_frame else {
+                continue;
             };
-            partials.push(response);
+            if outcomes[i].is_some() {
+                continue; // degraded in phase A; nothing in flight
+            }
+            let mut attempt = 0u32;
+            let mut plan_resends = 0u32;
+            let outcome = loop {
+                let slot = &mut state.slots[i];
+                match self.read_response(slot) {
+                    Ok((bundles, stats)) => {
+                        state.breakers[i].note_success();
+                        break TaskOutcome::Wire(bundles, stats);
+                    }
+                    Err(WireError::Remote(msg))
+                        if msg.starts_with(wire::UNKNOWN_PLAN_MESSAGE_PREFIX)
+                            && plan_resends < 2 =>
+                    {
+                        plan_resends += 1;
+                        if let Some(worker) = slot.as_mut() {
+                            worker.known.remove(&key);
+                        }
+                        match self.send_task(slot, i, key, plan_frame, tables, task_frame) {
+                            // Sent (or crashed — the next read attempt sees
+                            // the broken slot and the crash ladder takes
+                            // over).
+                            Ok(()) => {}
+                            Err(e) if Self::is_crash(&e) => {}
+                            Err(e) => {
+                                self.teardown(state, tasks.len());
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) if Self::is_crash(&e) => {
+                        self.note_failure(state, i);
+                        if self.retry.exhausted(attempt) {
+                            if let Some(worker) = state.slots[i].take() {
+                                reap_worker(worker, Duration::ZERO);
+                            }
+                            break TaskOutcome::Degraded;
+                        }
+                        self.task_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.retry.delay(attempt, i as u64));
+                        attempt += 1;
+                        let slot = &mut state.slots[i];
+                        match self.fill_slot(slot, i, true).and_then(|()| {
+                            self.send_task(slot, i, key, plan_frame, tables, task_frame)
+                        }) {
+                            Ok(()) => {}
+                            Err(e) if Self::is_crash(&e) => {}
+                            Err(e) => {
+                                self.teardown(state, tasks.len());
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.teardown(state, tasks.len());
+                        return Err(e);
+                    }
+                }
+            };
+            outcomes[i] = Some(outcome);
         }
-        Ok(partials)
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every slot resolved in phase A or B"))
+            .collect())
     }
 }
 
@@ -513,52 +883,63 @@ impl ExecBackend for ProcessBackend {
         };
 
         let ranges = plan_shards(skeleton, self.workers);
-        let tasks: Vec<Vec<u8>> = ranges
+        if state.breakers.len() < ranges.len() {
+            state.breakers.resize(ranges.len(), Breaker::default());
+        }
+        // Slots with an open breaker skip dispatch entirely this block:
+        // their tasks run locally below, and the breaker's cooldown ticks
+        // down toward the half-open probe.
+        let tasks: Vec<Option<Vec<u8>>> = ranges
             .iter()
-            .map(|&key_range| {
-                wire::encode_task(&TaskHeader {
-                    key,
-                    master_seed: prefix.master_seed(),
-                    key_range,
-                    base_pos,
-                    num_values,
+            .enumerate()
+            .map(|(i, &key_range)| {
+                (!state.breakers[i].degrade_this_block()).then(|| {
+                    wire::encode_task(&TaskHeader {
+                        key,
+                        master_seed: prefix.master_seed(),
+                        key_range,
+                        base_pos,
+                        num_values,
+                    })
                 })
             })
             .collect();
 
-        let partials = match self.run_tasks(&mut state, key, &plan_frame, &tables, &tasks) {
-            Ok(partials) => partials,
-            Err(e) => {
-                // Aborting mid-conversation (a task-level Error frame, a
-                // failed respawn, ...) can leave *other* workers' completed
-                // responses queued in their pipes; a later block would read
-                // those stale frames as its own partials.  Drop every
-                // worker that had a task in flight this block — they
-                // respawn cold on the next dispatch — so no stale frame
-                // can ever desync a future conversation.
-                for slot in state.slots[..tasks.len()].iter_mut() {
-                    if let Some(worker) = slot.as_mut() {
-                        let _ = worker.child.kill();
-                        let _ = worker.child.wait();
-                    }
-                    *slot = None;
-                }
-                return Err(e.into());
-            }
-        };
+        let outcomes = self
+            .run_tasks(&mut state, key, &plan_frame, &tables, &tasks)
+            .map_err(mcdbr_storage::Error::from)?;
         drop(state);
 
         // Merge: identical slotting to ShardedBackend — partials arrive in
         // ascending key-range order and every bundle lands at its skeleton
-        // index, restoring single-shard output order exactly.
+        // index, restoring single-shard output order exactly.  Degraded
+        // slots run their ShardTask locally first: the same self-describing
+        // task the worker would have run, so the partial is bit-identical
+        // and the merge cannot tell the difference.
         let merge_start = Instant::now();
         let mut slots: Vec<Option<TupleBundle>> = Vec::with_capacity(skeleton.num_bundles());
         slots.resize_with(skeleton.num_bundles(), || None);
         let mut foreign = 0usize;
         let mut warm = 0usize;
-        for (bundles, stats) in partials {
-            foreign += stats.foreign_streams;
-            warm += usize::from(stats.warm_hit);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (bundles, task_foreign, task_warm) = match outcome {
+                TaskOutcome::Wire(bundles, stats) => {
+                    (bundles, stats.foreign_streams, stats.warm_hit)
+                }
+                TaskOutcome::Degraded => {
+                    let local = ShardTask {
+                        skeleton: Arc::clone(skeleton),
+                        master_seed: prefix.master_seed(),
+                        key_range: ranges[i],
+                        base_pos,
+                        num_values,
+                    }
+                    .run(pool)?;
+                    (local.bundles, local.foreign_streams, false)
+                }
+            };
+            foreign += task_foreign;
+            warm += usize::from(task_warm);
             for (idx, bundle) in bundles {
                 if idx >= slots.len() {
                     return Err(mcdbr_storage::Error::Invalid(format!(
@@ -609,6 +990,9 @@ impl ExecBackend for ProcessBackend {
             wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             worker_warm_hits: self.worker_warm_hits.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            circuit_trips: self.circuit_trips.load(Ordering::Relaxed),
         }
     }
 }
@@ -617,13 +1001,13 @@ impl Drop for ProcessBackend {
     fn drop(&mut self) {
         let mut state = self.state.lock().expect("dispatch state");
         for slot in state.slots.iter_mut() {
-            if let Some(worker) = slot.as_mut() {
-                // Best-effort clean shutdown, then make sure the process is
-                // reaped either way.
+            if let Some(mut worker) = slot.take() {
+                // Best-effort clean shutdown (Shutdown frame + pipe close),
+                // bounded wait, then SIGKILL escalation — a worker ignoring
+                // the pipe close cannot wedge teardown.
                 let _ = wire::write_frame(&mut worker.stdin, &wire::encode_shutdown());
                 let _ = worker.stdin.flush();
-                let _ = worker.child.kill();
-                let _ = worker.child.wait();
+                reap_worker(worker, Duration::from_millis(200));
             }
         }
     }
@@ -688,6 +1072,57 @@ mod tests {
     }
 
     #[test]
+    fn task_deadline_env_rules() {
+        assert_eq!(task_deadline_from_env(None), DEFAULT_TASK_DEADLINE);
+        assert_eq!(task_deadline_from_env(Some("")), DEFAULT_TASK_DEADLINE);
+        assert_eq!(task_deadline_from_env(Some("abc")), DEFAULT_TASK_DEADLINE);
+        assert_eq!(task_deadline_from_env(Some("0")), DEFAULT_TASK_DEADLINE);
+        assert_eq!(
+            task_deadline_from_env(Some(" 250 ")),
+            Duration::from_millis(250)
+        );
+        assert!(default_task_deadline() > Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_cools_down_and_probes() {
+        let mut b = Breaker::default();
+        assert!(!b.degrade_this_block(), "closed breakers dispatch");
+        assert!(!b.note_failure());
+        assert!(!b.note_failure());
+        assert!(b.note_failure(), "third consecutive failure trips");
+        // Open: degrade for the cooldown's worth of blocks.
+        for _ in 0..BREAKER_COOLDOWN_BLOCKS {
+            assert!(b.degrade_this_block());
+        }
+        // Cooldown spent: the next block is the half-open probe.
+        assert!(!b.degrade_this_block());
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        // A failed probe re-trips immediately...
+        assert!(b.note_failure());
+        for _ in 0..BREAKER_COOLDOWN_BLOCKS {
+            assert!(b.degrade_this_block());
+        }
+        assert!(!b.degrade_this_block());
+        // ...and a successful one closes and resets the failure count.
+        b.note_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.failures, 0);
+        assert!(!b.degrade_this_block());
+    }
+
+    #[test]
+    fn fault_spec_builder_validates_the_plan() {
+        assert!(ProcessBackend::new(1)
+            .with_fault_spec("seed=1,drop=0.5")
+            .is_ok());
+        let err = ProcessBackend::new(1)
+            .with_fault_spec("seed=1,warp=0.5")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown fault point"));
+    }
+
+    #[test]
     fn process_blocks_are_bit_identical_to_in_process_for_every_worker_count() {
         let catalog = catalog();
         let plan = complex_plan();
@@ -714,13 +1149,21 @@ mod tests {
                 stats.tasks_dispatched > 0,
                 "{workers} workers: blocks must actually cross the wire"
             );
-            assert!(stats.workers_spawned >= 1 && stats.workers_spawned <= workers);
+            assert!(stats.workers_spawned >= 1);
             assert!(stats.wire_bytes_sent > 0 && stats.wire_bytes_received > 0);
-            assert_eq!(stats.worker_respawns, 0);
-            assert!(
-                stats.worker_warm_hits > 0,
-                "later blocks must hit the warm-worker phase-1 skip"
-            );
+            // Exact-zero failure counters and the warm-hit guarantee only
+            // hold on a fault-free wire; a chaos run (MCDBR_FAULTS) may
+            // legitimately respawn workers and lose warm state.
+            if mcdbr_faults::env_injector().is_none() {
+                assert!(stats.workers_spawned <= workers);
+                assert_eq!(stats.worker_respawns, 0);
+                assert_eq!(stats.deadline_timeouts, 0);
+                assert_eq!(stats.circuit_trips, 0);
+                assert!(
+                    stats.worker_warm_hits > 0,
+                    "later blocks must hit the warm-worker phase-1 skip"
+                );
+            }
         }
     }
 
@@ -789,11 +1232,13 @@ mod tests {
             .instantiate_block(&catalog, 4, 8)
             .unwrap();
         assert_sets_identical(&want, &got);
-        let stats = backend.shard_stats();
-        assert_eq!(
-            stats.worker_respawns, 0,
-            "plan eviction is recovered by re-sending, never by respawning: {stats:?}"
-        );
+        if mcdbr_faults::env_injector().is_none() {
+            let stats = backend.shard_stats();
+            assert_eq!(
+                stats.worker_respawns, 0,
+                "plan eviction is recovered by re-sending, never by respawning: {stats:?}"
+            );
+        }
     }
 
     #[test]

@@ -6,13 +6,21 @@
 //! exits cleanly on a `Shutdown` frame or when the coordinator closes the
 //! pipe.  Protocol failures exit non-zero with the reason on stderr; the
 //! coordinator treats that as a crash and respawns.
+//!
+//! Chaos runs set `MCDBR_FAULTS` (see `mcdbr-faults`) in the worker's
+//! environment — inherited from the coordinator, or set per slot by
+//! `ProcessBackend` — and the worker injects the plan's stall / slow /
+//! drop / partial / delay faults into its own task replies.
 
 fn main() {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
     let mut output = stdout.lock();
-    if let Err(e) = mcdbr_dispatch::worker::run_worker(&mut input, &mut output) {
+    let faults = mcdbr_faults::env_injector();
+    if let Err(e) =
+        mcdbr_dispatch::worker::run_worker_with_faults(&mut input, &mut output, faults.as_deref())
+    {
         eprintln!("mcdbr-worker: {e}");
         std::process::exit(1);
     }

@@ -19,7 +19,12 @@
 //! * [`ProcessBackend`] — an [`mcdbr_exec::ExecBackend`] that spawns and
 //!   pools persistent workers, pipelines one task per worker per block,
 //!   merges the streamed partials bit-identically to the in-process and
-//!   sharded backends, and respawns + re-dispatches on worker crashes.
+//!   sharded backends, and survives worker failure end to end: per-task
+//!   read deadlines reclassify hung workers as dead, crash-class failures
+//!   ride a bounded respawn + backoff + re-dispatch ladder, and a per-slot
+//!   circuit breaker degrades repeat offenders to the local sharded path.
+//!   Chaos runs inject deterministic faults via `MCDBR_FAULTS`
+//!   (`mcdbr_faults`).
 //!
 //! Selection is environment-driven end to end: `MCDBR_BACKEND=process`
 //! (with `MCDBR_WORKERS=N`) makes [`default_backend`] hand every engine,
@@ -37,7 +42,7 @@ mod backend;
 pub mod wire;
 pub mod worker;
 
-pub use backend::ProcessBackend;
+pub use backend::{default_task_deadline, task_deadline_from_env, ProcessBackend};
 
 /// The environment-selected default backend, with multi-process dispatch
 /// resolved: `MCDBR_BACKEND=process` returns one process-shared

@@ -269,6 +269,45 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> WireResult<u64> {
     Ok(4 + payload.len() as u64)
 }
 
+/// [`write_frame`] behind a fault injector: consults the drop-frame,
+/// partial-write, and delayed-write points (in that priority order, one
+/// action per frame) before writing.  `faults: None` is exactly
+/// [`write_frame`], which stays pure — only the process-backend sends, the
+/// worker's task replies, and the server connection handler route through
+/// here.
+///
+/// Dropped and truncated frames still report success with the nominal byte
+/// count: a fault is invisible to the writer, exactly like a buffered OS
+/// write that will never reach a dead peer.  Recovery is the *reader's* job
+/// (deadline → respawn ladder), which is the failure mode chaos runs are
+/// exercising.
+pub fn write_frame_faulty(
+    w: &mut impl Write,
+    payload: &[u8],
+    faults: Option<&mcdbr_faults::FaultInjector>,
+) -> WireResult<u64> {
+    use mcdbr_faults::{FaultAction, FaultPoint};
+    let nominal = 4 + payload.len() as u64;
+    let Some(inj) = faults else {
+        return write_frame(w, payload);
+    };
+    if inj.decide(FaultPoint::DropFrame) == Some(FaultAction::Drop) {
+        return Ok(nominal);
+    }
+    if inj.decide(FaultPoint::PartialWrite) == Some(FaultAction::Truncate) {
+        // Length prefix plus roughly half the payload: the peer sees a
+        // truncated or desynced stream, never a silently-wrong frame.
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload[..payload.len() / 2])?;
+        let _ = w.flush();
+        return Ok(nominal);
+    }
+    if let Some(FaultAction::Delay(d)) = inj.decide(FaultPoint::DelayedWrite) {
+        std::thread::sleep(d);
+    }
+    write_frame(w, payload)
+}
+
 /// Read one length-prefixed frame payload, plus the total bytes consumed.
 /// EOF *before the first length byte* returns `Ok(None)` — the peer closed
 /// the stream cleanly; EOF anywhere later is [`WireError::Truncated`].
@@ -358,6 +397,10 @@ pub enum ReplyCode {
     Invalid,
     /// The query was admitted but failed during execution.
     Internal,
+    /// The query was admitted but ran past its per-query deadline (or was
+    /// cancelled cooperatively).  Unlike `Busy` this is not retryable as-is:
+    /// the same query will most likely time out again.
+    Timeout,
 }
 
 fn reply_code_to_u8(code: ReplyCode) -> u8 {
@@ -366,6 +409,7 @@ fn reply_code_to_u8(code: ReplyCode) -> u8 {
         ReplyCode::ShuttingDown => 2,
         ReplyCode::Invalid => 3,
         ReplyCode::Internal => 4,
+        ReplyCode::Timeout => 5,
     }
 }
 
@@ -375,6 +419,7 @@ fn reply_code_from_u8(raw: u8) -> WireResult<ReplyCode> {
         2 => ReplyCode::ShuttingDown,
         3 => ReplyCode::Invalid,
         4 => ReplyCode::Internal,
+        5 => ReplyCode::Timeout,
         other => return Err(WireError::Corrupt(format!("unknown reply code {other}"))),
     })
 }
@@ -417,6 +462,9 @@ pub struct ServerStats {
     pub connections: u64,
     /// Queries currently executing.
     pub inflight: u64,
+    /// Admitted queries that exceeded the server's per-query deadline and
+    /// were answered with a typed [`ReplyCode::Timeout`] reply.
+    pub query_timeouts: u64,
 }
 
 /// One table a plan reads, addressed by content rather than copied: the
@@ -834,6 +882,7 @@ pub fn encode_server_stats(stats: ServerStats) -> Vec<u8> {
     out.extend_from_slice(&stats.busy_rejections.to_le_bytes());
     out.extend_from_slice(&stats.connections.to_le_bytes());
     out.extend_from_slice(&stats.inflight.to_le_bytes());
+    out.extend_from_slice(&stats.query_timeouts.to_le_bytes());
     out
 }
 
@@ -1029,6 +1078,7 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
             busy_rejections: d.u64("server busy rejections")?,
             connections: d.u64("server connections")?,
             inflight: d.u64("server inflight")?,
+            query_timeouts: d.u64("server query timeouts")?,
         }),
         other => return Err(WireError::Corrupt(format!("unknown frame tag {other}"))),
     };

@@ -125,6 +125,21 @@ impl PlanStore {
 /// Generic over the streams so tests can drive a worker over in-memory
 /// pipes; the `mcdbr-worker` binary passes its locked stdin/stdout.
 pub fn run_worker<R: Read, W: Write>(input: &mut R, output: &mut W) -> WireResult<()> {
+    run_worker_with_faults(input, output, None)
+}
+
+/// [`run_worker`] behind a fault injector (the `mcdbr-worker` binary loads
+/// one from `MCDBR_FAULTS`).  Faults touch only the *task* path — a
+/// slow-worker sleep before serving, a stall before the first reply frame,
+/// and drop/partial/delay on the reply writes — never the handshake or the
+/// `NeedTables` exchange, so spawning a faulty worker stays deterministic
+/// and every injected failure lands where the coordinator's deadline +
+/// respawn ladder can see it.
+pub fn run_worker_with_faults<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    faults: Option<&mcdbr_faults::FaultInjector>,
+) -> WireResult<()> {
     // ===== Handshake: the coordinator speaks first; reject anything that
     // is not our magic + version before any plan bytes flow.
     let (payload, _) =
@@ -200,15 +215,33 @@ pub fn run_worker<R: Read, W: Write>(input: &mut R, output: &mut W) -> WireResul
                 }
             }
             Frame::Task(task) => {
-                match serve_task(&mut plans, &store, &cache, &pool, &task) {
+                if let Some(mcdbr_faults::FaultAction::Slow(d)) =
+                    faults.and_then(|inj| inj.decide(mcdbr_faults::FaultPoint::SlowWorker))
+                {
+                    std::thread::sleep(d);
+                }
+                let reply = serve_task(&mut plans, &store, &cache, &pool, &task);
+                // The hung-but-alive failure mode: the task ran, the reply
+                // just never starts.  The coordinator's read deadline is
+                // what turns this into a respawn.
+                if let Some(mcdbr_faults::FaultAction::Stall(d)) =
+                    faults.and_then(|inj| inj.decide(mcdbr_faults::FaultPoint::StallBeforeReply))
+                {
+                    std::thread::sleep(d);
+                }
+                match reply {
                     Ok((bundles, stats)) => {
                         for (idx, bundle) in &bundles {
-                            wire::write_frame(output, &wire::encode_bundle(*idx, bundle.as_ref()))?;
+                            wire::write_frame_faulty(
+                                output,
+                                &wire::encode_bundle(*idx, bundle.as_ref()),
+                                faults,
+                            )?;
                         }
-                        wire::write_frame(output, &wire::encode_task_stats(stats))?;
+                        wire::write_frame_faulty(output, &wire::encode_task_stats(stats), faults)?;
                     }
                     Err(message) => {
-                        wire::write_frame(output, &wire::encode_error(&message))?;
+                        wire::write_frame_faulty(output, &wire::encode_error(&message), faults)?;
                     }
                 }
                 output.flush()?;

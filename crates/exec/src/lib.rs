@@ -66,6 +66,7 @@ pub mod aggregate;
 pub mod backend;
 pub mod bundle;
 pub mod cache;
+pub mod cancel;
 pub mod executor;
 pub mod expr;
 pub mod kernels;
@@ -85,6 +86,7 @@ pub use backend::{
 };
 pub use bundle::{BundleSet, BundleValue, TupleBundle, ValueChain};
 pub use cache::SessionCache;
+pub use cancel::CancelToken;
 pub use executor::{ExecOptions, Executor};
 pub use expr::{BinaryOp, Expr};
 pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};

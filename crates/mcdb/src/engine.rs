@@ -172,6 +172,14 @@ pub struct NaiveTailReport {
     /// Workers respawned after a crash during the hunt, with their tasks
     /// re-dispatched.
     pub worker_respawns: usize,
+    /// Per-task read deadlines that expired during the hunt, reclassifying
+    /// silent workers as dead (multi-process backend only).
+    pub deadline_timeouts: usize,
+    /// Task dispatches retried after crash-class worker failures during
+    /// the hunt.
+    pub task_retries: usize,
+    /// Per-worker circuit breakers tripped open during the hunt.
+    pub circuit_trips: usize,
 }
 
 /// The naive-MCDB engine.
@@ -301,6 +309,24 @@ impl McdbEngine {
     /// during this engine's runs.
     pub fn worker_respawns(&self) -> usize {
         self.backend_window().worker_respawns
+    }
+
+    /// Per-task read deadlines that expired during this engine's runs,
+    /// each reclassifying a silent worker as dead.
+    pub fn deadline_timeouts(&self) -> usize {
+        self.backend_window().deadline_timeouts
+    }
+
+    /// Task dispatches this engine's backend retried after crash-class
+    /// worker failures.
+    pub fn task_retries(&self) -> usize {
+        self.backend_window().task_retries
+    }
+
+    /// Per-worker circuit breakers tripped open during this engine's runs
+    /// (each trip degrades the slot to local execution for a cooldown).
+    pub fn circuit_trips(&self) -> usize {
+        self.backend_window().circuit_trips
     }
 
     /// Total plan executions performed through this engine.  With the
@@ -456,6 +482,9 @@ impl McdbEngine {
             wire_bytes_sent: backend_stats.wire_bytes_sent,
             wire_bytes_received: backend_stats.wire_bytes_received,
             worker_respawns: backend_stats.worker_respawns,
+            deadline_timeouts: backend_stats.deadline_timeouts,
+            task_retries: backend_stats.task_retries,
+            circuit_trips: backend_stats.circuit_trips,
         })
     }
 

@@ -24,6 +24,14 @@
 //! blocking wire I/O occupies one pool slot; fairness is at block
 //! granularity).  Aggregation still fans out per rep range, since the
 //! process backend aggregates locally anyway.
+//!
+//! **Cancellation** is cooperative: every query carries a
+//! [`mcdbr_exec::CancelToken`] (deadline-armed when the server config sets
+//! a per-query deadline), checked on entry to block instantiation and
+//! aggregation.  A query that blows its deadline fails with a typed
+//! [`mcdbr_storage::Error::Timeout`] at its next block boundary — already
+//! completed blocks are simply dropped, and no scheduler unit is ever
+//! interrupted mid-flight.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,7 +39,7 @@ use std::time::Instant;
 
 use mcdbr_exec::{
     aggregate_rep_range, merge_rep_partials, plan_shards, AggPartial, AggregateSpec,
-    BlockBufferPool, BundleSet, DeterministicPrefix, ExecBackend, Expr, PlanNode,
+    BlockBufferPool, BundleSet, CancelToken, DeterministicPrefix, ExecBackend, Expr, PlanNode,
     QueryResultSamples, ShardStats, ShardTask, TupleBundle,
 };
 use mcdbr_storage::{Catalog, Result};
@@ -45,6 +53,12 @@ pub struct FairBackend {
     pool: Arc<BlockBufferPool>,
     /// The query id the scheduler keys fairness by.
     qid: u64,
+    /// The query's cancellation token, checked cooperatively at every
+    /// block boundary (block instantiation and aggregation entry) — a
+    /// deadlined or cancelled query stops before starting its next block
+    /// rather than being interrupted mid-unit, so partial work is never
+    /// observable and the scheduler pool is never poisoned.
+    cancel: CancelToken,
     /// Shard/rep-range units this query fanned out into.
     units: AtomicUsize,
     /// Cumulative queue wait across this query's units (shared with the
@@ -67,17 +81,23 @@ impl FairBackend {
     /// session passes to [`ExecBackend::instantiate_block`] — the server
     /// wires one pool everywhere, and scheduler units (being `'static`)
     /// capture this `Arc` rather than the borrowed parameter.
+    ///
+    /// `cancel` carries the query's deadline (or is unbounded): the
+    /// backend checks it at block boundaries, so a timed-out query fails
+    /// with [`mcdbr_storage::Error::Timeout`] before its next block.
     pub fn new(
         inner: Arc<dyn ExecBackend>,
         sched: Arc<FairScheduler>,
         pool: Arc<BlockBufferPool>,
         qid: u64,
+        cancel: CancelToken,
     ) -> Self {
         FairBackend {
             inner,
             sched,
             pool,
             qid,
+            cancel,
             units: AtomicUsize::new(0),
             wait_ns: Arc::new(AtomicU64::new(0)),
             merge_ns: AtomicU64::new(0),
@@ -119,6 +139,7 @@ impl ExecBackend for FairBackend {
         base_pos: u64,
         num_values: usize,
     ) -> Result<BundleSet> {
+        self.cancel.check()?;
         let skeleton = prefix.skeleton();
 
         if !matches!(self.inner.name(), "in-process" | "sharded") {
@@ -192,6 +213,7 @@ impl ExecBackend for FairBackend {
         final_predicate: Option<&Expr>,
         _threads: usize,
     ) -> Result<QueryResultSamples> {
+        self.cancel.check()?;
         // Contiguous, balanced repetition ranges — the only safe parallel
         // unit (within a repetition the bundle fold order is the
         // floating-point contract).  The set travels into the units as a

@@ -6,6 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use mcdbr_dispatch::wire::{self, Frame, ReplyCode, WireError, WireResult};
 use mcdbr_exec::QueryResultSamples;
+use mcdbr_faults::BackoffPolicy;
 use mcdbr_mcdb::MonteCarloQuery;
 
 /// One server response to a query.
@@ -125,20 +126,46 @@ impl ServerClient {
         }
     }
 
-    /// Like [`ServerClient::query`], but retry (reconnecting is not needed
-    /// — `Busy` leaves the connection healthy) until admitted.
+    /// Like [`ServerClient::query`], but retry `Busy` rejections until
+    /// admitted (reconnecting is not needed — `Busy` leaves the connection
+    /// healthy), waiting out a capped exponential backoff with seeded
+    /// jitter between attempts via [`BackoffPolicy::default`].  Only
+    /// `Busy` is retried: `Timeout`, `ShuttingDown`, and the rest are
+    /// policy decisions the caller owns.
     pub fn query_retrying(
         &mut self,
         query: &MonteCarloQuery,
         reps: usize,
         master_seed: u64,
     ) -> WireResult<QueryReply> {
+        self.query_retrying_with(query, reps, master_seed, &BackoffPolicy::default())
+    }
+
+    /// [`ServerClient::query_retrying`] under an explicit [`BackoffPolicy`]
+    /// — the jitter stream is salted by `master_seed`, so concurrent
+    /// clients retrying the same server decorrelate instead of stampeding
+    /// in lockstep.  A bounded policy whose attempts run out returns the
+    /// last `Busy` rejection for the caller to surface.
+    pub fn query_retrying_with(
+        &mut self,
+        query: &MonteCarloQuery,
+        reps: usize,
+        master_seed: u64,
+        policy: &BackoffPolicy,
+    ) -> WireResult<QueryReply> {
+        let mut attempt = 0u32;
         loop {
             match self.query(query, reps, master_seed)? {
-                QueryReply::Rejected {
+                reply @ QueryReply::Rejected {
                     code: ReplyCode::Busy,
                     ..
-                } => std::thread::yield_now(),
+                } => {
+                    if policy.exhausted(attempt) {
+                        return Ok(reply);
+                    }
+                    std::thread::sleep(policy.delay(attempt, master_seed));
+                    attempt += 1;
+                }
                 reply => return Ok(reply),
             }
         }

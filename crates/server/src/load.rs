@@ -7,6 +7,7 @@ use std::net::ToSocketAddrs;
 use std::time::Instant;
 
 use mcdbr_dispatch::wire::{WireError, WireResult};
+use mcdbr_faults::BackoffPolicy;
 use mcdbr_mcdb::MonteCarloQuery;
 
 use crate::client::{QueryReply, ServerClient};
@@ -44,6 +45,28 @@ pub fn run_load(
     queries_per_client: usize,
     reps: usize,
 ) -> WireResult<LoadReport> {
+    run_load_with(
+        addr,
+        query,
+        clients,
+        queries_per_client,
+        reps,
+        BackoffPolicy::default(),
+    )
+}
+
+/// [`run_load`] under an explicit Busy-retry [`BackoffPolicy`] — what the
+/// `loadgen` binary's `--retry-base-ms` / `--retry-attempts` flags thread
+/// through.  Every client uses the same policy; jitter streams decorrelate
+/// per query through the master-seed salt.
+pub fn run_load_with(
+    addr: impl ToSocketAddrs + Clone + Send + 'static,
+    query: &MonteCarloQuery,
+    clients: usize,
+    queries_per_client: usize,
+    reps: usize,
+    policy: BackoffPolicy,
+) -> WireResult<LoadReport> {
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|client_idx| {
@@ -56,7 +79,7 @@ pub fn run_load(
                 for q in 0..queries_per_client {
                     let seed = (client_idx as u64) << 32 | q as u64;
                     let sent = Instant::now();
-                    match session.query_retrying(&query, reps, seed)? {
+                    match session.query_retrying_with(&query, reps, seed, &policy)? {
                         QueryReply::Ok { stats, .. } => {
                             latencies.push(sent.elapsed().as_secs_f64() * 1e3);
                             if stats.skeleton_hit {

@@ -43,14 +43,17 @@ use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mcdbr_dispatch::wire::{self, Frame, ReplyCode, WireError, WireResult};
-use mcdbr_exec::{par, BlockBufferPool, ExecBackend, QueryResultSamples, SessionCache, ShardStats};
+use mcdbr_exec::{
+    par, BlockBufferPool, CancelToken, ExecBackend, QueryResultSamples, SessionCache, ShardStats,
+};
+use mcdbr_faults::{FaultAction, FaultInjector, FaultPoint};
 use mcdbr_mcdb::{run_query_shared, MonteCarloQuery};
-use mcdbr_storage::{Catalog, Result};
+use mcdbr_storage::{Catalog, Error, Result};
 
 use crate::backend::FairBackend;
 use crate::sched::FairScheduler;
@@ -65,6 +68,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission cap: queries executing at once before `Busy` replies.
     pub max_inflight: usize,
+    /// Per-query wall-clock deadline.  A query past its deadline is
+    /// cancelled cooperatively at its next block boundary and answered
+    /// with a typed [`ReplyCode::Timeout`] reply; `None` (the default)
+    /// never times queries out.
+    pub query_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -74,8 +82,27 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers,
             max_inflight: workers * 2,
+            query_deadline: default_query_deadline(),
         }
     }
+}
+
+/// Parse a `MCDBR_QUERY_DEADLINE_MS` value: a positive integer millisecond
+/// count arms per-query deadlines; unset, empty, zero, or malformed means
+/// no deadline.
+pub fn query_deadline_from_env(raw: Option<&str>) -> Option<Duration> {
+    raw.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// The process-wide default per-query deadline, read once from
+/// `MCDBR_QUERY_DEADLINE_MS` (see [`query_deadline_from_env`]).
+pub fn default_query_deadline() -> Option<Duration> {
+    static DEADLINE: OnceLock<Option<Duration>> = OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        query_deadline_from_env(std::env::var("MCDBR_QUERY_DEADLINE_MS").ok().as_deref())
+    })
 }
 
 /// Everything the accept loop, connection threads, and handle share.
@@ -86,6 +113,7 @@ struct Shared {
     inner: Arc<dyn ExecBackend>,
     sched: Arc<FairScheduler>,
     max_inflight: usize,
+    query_deadline: Option<Duration>,
     addr: SocketAddr,
     gate: Mutex<Gate>,
     drained: Condvar,
@@ -99,6 +127,9 @@ struct Shared {
     /// queries; the process inner's wire tasks are reported on top.
     tasks_dispatched: AtomicU64,
     busy_rejections: AtomicU64,
+    /// Admitted queries cancelled at a block boundary for blowing the
+    /// per-query deadline (each is answered with a typed `Timeout` reply).
+    query_timeouts: AtomicU64,
     connections: AtomicU64,
     /// Live write-halves of accepted connections, force-closed after drain
     /// so reader loops blocked on idle clients terminate.  Each entry is
@@ -189,6 +220,7 @@ impl Shared {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             inflight: self.gate.lock().expect("gate").inflight as u64,
+            query_timeouts: self.query_timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -200,16 +232,21 @@ impl Shared {
         master_seed: u64,
     ) -> Result<(QueryResultSamples, wire::QueryStats)> {
         let qid = self.next_qid.fetch_add(1, Ordering::Relaxed);
+        let cancel = match self.query_deadline {
+            Some(deadline) => CancelToken::with_deadline(deadline),
+            None => CancelToken::unbounded(),
+        };
         let fair = Arc::new(FairBackend::new(
             Arc::clone(&self.inner),
             Arc::clone(&self.sched),
             Arc::clone(&self.pool),
             qid,
+            cancel,
         ));
         let as_backend: Arc<dyn ExecBackend> = Arc::clone(&fair) as Arc<dyn ExecBackend>;
         let baseline = as_backend.shard_stats();
         let exec_start = Instant::now();
-        let (samples, run) = run_query_shared(
+        let (samples, run) = match run_query_shared(
             query,
             &self.catalog,
             reps,
@@ -217,7 +254,15 @@ impl Shared {
             &self.cache,
             &self.pool,
             &as_backend,
-        )?;
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                if matches!(e, Error::Timeout(_)) {
+                    self.query_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
         let exec_ns = exec_start.elapsed().as_nanos() as u64;
         let window = as_backend.shard_stats().since(baseline);
         self.queries_served.fetch_add(1, Ordering::Relaxed);
@@ -263,6 +308,7 @@ impl Server {
             inner,
             sched: FairScheduler::start(config.workers),
             max_inflight: config.max_inflight.max(1),
+            query_deadline: config.query_deadline,
             addr,
             gate: Mutex::new(Gate::default()),
             drained: Condvar::new(),
@@ -272,6 +318,7 @@ impl Server {
             plan_executions: AtomicU64::new(0),
             tasks_dispatched: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            query_timeouts: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -321,10 +368,30 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Write one post-handshake reply frame, consulting the chaos plan's
+/// *delay* point only.  A server must never drop or truncate a reply —
+/// clients have no read timeout and a lost frame would hang them, which is
+/// a client bug chaos is not trying to find — so `MCDBR_FAULTS` degrades
+/// the server to a slow pipe, nothing worse.
+fn write_reply(
+    writer: &mut TcpStream,
+    payload: &[u8],
+    faults: Option<&FaultInjector>,
+) -> WireResult<u64> {
+    if let Some(injector) = faults {
+        if let Some(FaultAction::Delay(pause)) = injector.decide(FaultPoint::DelayedWrite) {
+            std::thread::sleep(pause);
+        }
+    }
+    wire::write_frame(writer, payload)
+}
+
 /// Handshake then request loop for one connection.
 fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> WireResult<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let faults = mcdbr_faults::env_injector();
+    let faults = faults.as_deref();
 
     // Client speaks Hello first; anything else — bad magic, wrong version,
     // garbage — earns a best-effort Error frame and a close, exactly like
@@ -370,9 +437,10 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> WireResult<()> {
             Err(err) => {
                 // Typed reply, then drop the connection: after a framing
                 // error the stream offset can no longer be trusted.
-                let _ = wire::write_frame(
+                let _ = write_reply(
                     &mut writer,
                     &wire::encode_error_reply(ReplyCode::Invalid, &err.to_string()),
+                    faults,
                 );
                 let _ = writer.flush();
                 return Err(err);
@@ -408,13 +476,20 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> WireResult<()> {
                         };
                         match shared.run_query(&query, reps as usize, master_seed) {
                             Ok((samples, stats)) => {
-                                wire::write_frame(
+                                write_reply(
                                     &mut writer,
                                     &wire::encode_query_result(&samples),
+                                    faults,
                                 )?;
-                                wire::write_frame(&mut writer, &wire::encode_query_stats(stats))?;
+                                write_reply(&mut writer, &wire::encode_query_stats(stats), faults)?;
                                 writer.flush()?;
                                 continue;
+                            }
+                            // A deadlined query earns the typed Timeout
+                            // code — retryable policy lives client-side —
+                            // while everything else stays Internal.
+                            Err(e @ Error::Timeout(_)) => {
+                                wire::encode_error_reply(ReplyCode::Timeout, &e.to_string())
                             }
                             Err(e) => wire::encode_error_reply(ReplyCode::Internal, &e.to_string()),
                         }
@@ -422,13 +497,14 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> WireResult<()> {
                         // whether the reply write below succeeds or not.
                     }
                 };
-                wire::write_frame(&mut writer, &reply)?;
+                write_reply(&mut writer, &reply, faults)?;
                 writer.flush()?;
             }
             Frame::StatsRequest => {
-                wire::write_frame(
+                write_reply(
                     &mut writer,
                     &wire::encode_server_stats(shared.server_stats()),
+                    faults,
                 )?;
                 writer.flush()?;
             }
@@ -440,9 +516,10 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> WireResult<()> {
                 // Worker-protocol or server→client frames on a request
                 // stream: typed reply, then close.
                 let err = WireError::Corrupt("frame not valid on a client request stream".into());
-                let _ = wire::write_frame(
+                let _ = write_reply(
                     &mut writer,
                     &wire::encode_error_reply(ReplyCode::Invalid, &err.to_string()),
+                    faults,
                 );
                 let _ = writer.flush();
                 return Err(err);
@@ -530,5 +607,22 @@ impl ServerHandle {
         }
         self.shared.sched.shutdown();
         stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_deadline_env_rules() {
+        assert_eq!(query_deadline_from_env(None), None);
+        assert_eq!(query_deadline_from_env(Some("")), None);
+        assert_eq!(query_deadline_from_env(Some("0")), None);
+        assert_eq!(query_deadline_from_env(Some("nope")), None);
+        assert_eq!(
+            query_deadline_from_env(Some(" 1500 ")),
+            Some(Duration::from_millis(1500))
+        );
     }
 }

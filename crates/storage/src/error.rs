@@ -36,6 +36,10 @@ pub enum Error {
     InvalidOperation(String),
     /// Catch-all for malformed input (e.g. an empty schema where one is required).
     Invalid(String),
+    /// A deadline expired or the query was cancelled cooperatively.  Unlike
+    /// the variants above this one *is* a recoverable runtime condition: the
+    /// server maps it to a typed `Timeout` reply instead of `Internal`.
+    Timeout(String),
 }
 
 impl fmt::Display for Error {
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            Error::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -87,6 +92,12 @@ mod tests {
             found: 2,
         };
         assert!(e.to_string().contains("schema has 3 fields"));
+    }
+
+    #[test]
+    fn display_timeout() {
+        let e = Error::Timeout("query ran past 500ms".into());
+        assert_eq!(e.to_string(), "deadline exceeded: query ran past 500ms");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`storage`] | values, schemas, tuples, tables, catalog |
 //! | [`prng`] | deterministic position-addressable random streams |
 //! | [`vg`] | VG (variable-generation) functions: Normal, Gamma, Poisson, ... |
+//! | [`faults`] | deterministic fault injection (`MCDBR_FAULTS` plans) and seeded retry backoff |
 //! | [`exec`] | tuple-bundle query plans and operators (Seed, Instantiate, Split, joins, aggregation) |
 //! | [`dispatch`] | multi-process shard dispatch: wire protocol, `mcdbr-worker` binary, `ProcessBackend` |
 //! | [`mcdb`] | the MCDB baseline: naive Monte Carlo over bundles + result-distribution statistics |
@@ -27,6 +28,7 @@
 pub use mcdbr_core as core;
 pub use mcdbr_dispatch as dispatch;
 pub use mcdbr_exec as exec;
+pub use mcdbr_faults as faults;
 pub use mcdbr_mcdb as mcdb;
 pub use mcdbr_prng as prng;
 pub use mcdbr_query as query;

@@ -192,6 +192,80 @@ fn killed_workers_under_server_routed_queries_recover_bit_identically() {
 }
 
 #[test]
+fn fault_plan_stalled_worker_under_server_routed_queries_audits_exactly() {
+    // Deterministic fault plan instead of kill_worker: worker slot 0
+    // perma-stalls every task reply (`stall=1:30000`) while the read
+    // deadline is short.  With the retry policy's 2-attempt bound the
+    // ladder for the faulted block is fully determined, so the recovery
+    // counters can be audited *exactly*, not `>=`:
+    //
+    //   attempt 0: deadline timeout -> retry (respawn #1)
+    //   attempt 1: deadline timeout -> retry (respawn #2)
+    //   attempt 2: deadline timeout -> 3rd consecutive failure trips the
+    //              breaker, retries exhausted -> slot degrades locally
+    //
+    // = 3 deadline_timeouts, 2 task_retries, 2 worker_respawns,
+    //   1 circuit_trip.  Queries 2 and 3 fall inside the breaker's
+    //   cooldown: their slot-0 tasks degrade up front and no counter
+    //   moves.  Every query must still be bit-identical to the in-process
+    //   reference — degradation re-runs the same ShardTask on the same
+    //   position-addressable streams.
+    let catalog = small_catalog();
+    let query = customer_losses_query(Some(7));
+    let backend = Arc::new(
+        ProcessBackend::new(2)
+            .with_fault_spec("seed=9,worker=0,stall=1:30000")
+            .unwrap()
+            .with_deadline(Duration::from_millis(2_000)),
+    );
+    let handle = Server::start(
+        catalog.clone(),
+        Arc::clone(&backend) as Arc<dyn ExecBackend>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = ServerClient::connect(handle.addr()).unwrap();
+
+    for seed in [11u64, 12, 13] {
+        let QueryReply::Ok { samples, .. } = client.query_retrying(&query, 16, seed).unwrap()
+        else {
+            panic!("seed {seed} rejected");
+        };
+        assert_samples_bit_identical(
+            &samples,
+            &reference(&query, &catalog, 16, seed),
+            &format!("seed {seed}"),
+        );
+    }
+
+    let stats = backend.shard_stats();
+    assert_eq!(
+        stats.deadline_timeouts, 3,
+        "one timeout per ladder attempt on the faulted block: {stats:?}"
+    );
+    assert_eq!(
+        stats.task_retries, 2,
+        "the 2-attempt retry bound is exact: {stats:?}"
+    );
+    assert_eq!(
+        stats.worker_respawns, 2,
+        "one respawn per retry (the final give-up reaps without respawning): {stats:?}"
+    );
+    assert_eq!(
+        stats.circuit_trips, 1,
+        "the third consecutive failure trips the slot's breaker once: {stats:?}"
+    );
+
+    let server_stats = handle.shutdown();
+    assert_eq!(server_stats.queries_served, 3);
+    assert_eq!(
+        server_stats.query_timeouts, 0,
+        "degradation is not a timeout"
+    );
+    assert_eq!(server_stats.inflight, 0);
+}
+
+#[test]
 fn shutdown_with_a_query_in_flight_drains_it_not_drops_it() {
     // Client A's query is provably inside the executor when client B
     // requests shutdown.  The drain must (1) refuse new queries with a

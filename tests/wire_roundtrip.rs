@@ -586,6 +586,7 @@ fn server_reply_frames_round_trip_identically() {
             busy_rejections: g.u64(),
             connections: g.u64(),
             inflight: g.u64(),
+            query_timeouts: g.u64(),
         };
         match wire::decode_frame(&wire::encode_server_stats(server)).unwrap() {
             Frame::ServerStats(got) => assert_eq!(got, server, "case {case}"),
