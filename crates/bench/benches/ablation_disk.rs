@@ -1,0 +1,134 @@
+//! Criterion bench for the on-disk pager: what does a full scan cost when
+//! sealed pages live in a heap file instead of memory, as the buffer
+//! pool's frame budget sweeps from thrashing-small to everything-resident?
+//!
+//! A >500-page table is scanned end to end in a 2×4 matrix:
+//!
+//! * tier ∈ {`memory`, `disk`} — the same table before and after
+//!   [`Table::spill_with`] moves every sealed page into a checksummed heap
+//!   file (`disk` rows re-read and re-validate pages on every pool miss).
+//! * budget ∈ {2, 8, 64, unbounded} — the frame budget of a private
+//!   [`BufferPool`], bounding how many decoded pages stay resident.
+//!
+//! Scan results are asserted bit-identical across all eight cells outside
+//! the timed region — the disk tier and the budget trade latency for
+//! memory, never correctness — and per-cell disk/pool counters land in
+//! `BENCH_disk.json` via [`record_metric`].
+
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
+use mcdbr_storage::{BufferPool, Field, Pager, Schema, Table, Tuple, Value};
+
+const ROWS: usize = 20_000;
+/// Small enough that the table spans hundreds of pages.
+const PAGE_BUDGET: usize = 1024;
+const FRAME_BUDGETS: [usize; 4] = [2, 8, 64, usize::MAX];
+
+fn build_table() -> Table {
+    let schema = Schema::new(vec![
+        Field::int64("id"),
+        Field::float64("x"),
+        Field::utf8("tag"),
+    ]);
+    let rows: Vec<Tuple> = (0..ROWS)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int64(i as i64),
+                Value::Float64(i as f64 * 0.25),
+                Value::str(format!("tag-{}", i % 97)),
+            ])
+        })
+        .collect();
+    Table::with_page_budget(schema, rows, PAGE_BUDGET).unwrap()
+}
+
+/// Scan the whole table through `pool`, folding a checksum so the work
+/// cannot be optimized away.
+fn scan(table: &Table, pool: &BufferPool) -> u64 {
+    let mut acc = 0u64;
+    for row in table.iter_with(pool) {
+        if let Value::Int64(v) = row.value(0) {
+            acc = acc.wrapping_add(*v as u64);
+        }
+        if let Value::Float64(v) = row.value(1) {
+            acc ^= v.to_bits();
+        }
+    }
+    acc
+}
+
+fn bench_disk_vs_memory(c: &mut Criterion) {
+    let memory = build_table();
+    let pages = memory.pages().len();
+    assert!(pages > 500, "table must span >500 pages, got {pages}");
+
+    let root = std::env::temp_dir().join(format!("mcdbr-ablation-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let pager = Pager::new(&root).unwrap();
+    let mut disk = memory.clone();
+    let moved = disk.spill_with(&pager).unwrap();
+    assert!(moved > 0, "spill must move sealed pages to the heap file");
+    assert_eq!(
+        disk.resident_sealed_bytes(),
+        0,
+        "every sealed page must leave memory"
+    );
+    assert_eq!(
+        disk.content_hash(),
+        memory.content_hash(),
+        "spilling must not change table identity"
+    );
+
+    // Bit-identity across the whole matrix, asserted outside measurement:
+    // the checksum folds every int and raw float bit in scan order.
+    let reference = scan(&memory, &BufferPool::new(usize::MAX));
+    for (tier, table) in [("memory", &memory), ("disk", &disk)] {
+        for &budget in &FRAME_BUDGETS {
+            assert_eq!(
+                scan(table, &BufferPool::new(budget)),
+                reference,
+                "{tier} tier, budget {budget} changed scan results"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_disk_scan");
+    group.throughput(criterion::Throughput::Elements(ROWS as u64));
+    for (tier, table) in [("memory", &memory), ("disk", &disk)] {
+        for &budget in &FRAME_BUDGETS {
+            let label = if budget == usize::MAX {
+                format!("{tier}/unbounded")
+            } else {
+                format!("{tier}/{budget}")
+            };
+            // A fresh pool per iteration: each measured scan pays the full
+            // miss/decode/evict (and, on the disk tier, read + checksum)
+            // cycle its budget implies, not a warm cache from the previous
+            // iteration.
+            group.bench_with_input(BenchmarkId::new("budget", &label), &budget, |b, &budget| {
+                b.iter(|| scan(table, &BufferPool::new(budget)))
+            });
+
+            // Counter row outside the timed region: disk reads and pool
+            // churn for one full scan of this cell.
+            let disk_before = pager.stats();
+            let pool = BufferPool::new(budget);
+            let _ = scan(table, &pool);
+            let stats = pool.stats();
+            let window = pager.stats().since(&disk_before);
+            let id = format!("ablation_disk_scan/budget={label}");
+            record_metric(&id, "pages", pages as f64);
+            record_metric(&id, "pages_read", stats.pages_read as f64);
+            record_metric(&id, "pool_hits", stats.pool_hits as f64);
+            record_metric(&id, "pool_evictions", stats.pool_evictions as f64);
+            record_metric(&id, "disk_reads", window.disk_reads as f64);
+            record_metric(&id, "disk_read_ns", window.disk_read_ns as f64);
+        }
+    }
+    group.finish();
+
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_disk_vs_memory);
+criterion_main!(benches);

@@ -199,6 +199,19 @@ pub struct TailSampleResult {
     /// Per-worker circuit breakers tripped open this run; a tripped slot
     /// degrades to local in-process execution for its cooldown window.
     pub circuit_trips: usize,
+    /// Page records the pager appended to heap files this run (0 when
+    /// `MCDBR_DATA_DIR` is off; coordinator-process activity only).
+    pub pages_written: u64,
+    /// Page payloads read back from disk through checksummed heap records
+    /// this run — buffer-pool misses served by the disk tier.
+    pub disk_reads: u64,
+    /// Nanoseconds spent in those disk reads.
+    pub disk_read_ns: u64,
+    /// Sealed bytes spilling moved out of memory this run.
+    pub spilled_bytes: u64,
+    /// Worker table-store memory-tier evictions reported by this run's
+    /// dispatched tasks (multi-process backend only).
+    pub store_evictions: u64,
     /// The staged parameters the run used.
     pub parameters: StagedParameters,
 }
@@ -444,6 +457,11 @@ impl GibbsLooper {
             deadline_timeouts: backend_stats.deadline_timeouts,
             task_retries: backend_stats.task_retries,
             circuit_trips: backend_stats.circuit_trips,
+            pages_written: backend_stats.pages_written,
+            disk_reads: backend_stats.disk_reads,
+            disk_read_ns: backend_stats.disk_read_ns,
+            spilled_bytes: backend_stats.spilled_bytes,
+            store_evictions: backend_stats.store_evictions,
             parameters: params,
         })
     }

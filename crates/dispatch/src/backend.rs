@@ -266,6 +266,10 @@ pub struct ProcessBackend {
     /// their environment; the coordinator's own sends inject only when the
     /// plan has no `worker=K` target.
     faults: Option<Arc<FaultInjector>>,
+    /// Extra environment for spawned workers (on top of the inherited
+    /// process environment).  Tests use this to give workers their own
+    /// `MCDBR_DATA_DIR` without mutating the coordinator's environment.
+    worker_env: Vec<(String, String)>,
     workers_spawned: AtomicUsize,
     tasks_dispatched: AtomicUsize,
     wire_bytes_sent: AtomicU64,
@@ -277,6 +281,7 @@ pub struct ProcessBackend {
     circuit_trips: AtomicUsize,
     merge_ns: AtomicU64,
     cross_shard_regens: AtomicUsize,
+    store_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for ProcessBackend {
@@ -310,6 +315,7 @@ impl ProcessBackend {
                 ..BackoffPolicy::default()
             },
             faults: mcdbr_faults::env_injector(),
+            worker_env: Vec::new(),
             workers_spawned: AtomicUsize::new(0),
             tasks_dispatched: AtomicUsize::new(0),
             wire_bytes_sent: AtomicU64::new(0),
@@ -321,6 +327,7 @@ impl ProcessBackend {
             circuit_trips: AtomicUsize::new(0),
             merge_ns: AtomicU64::new(0),
             cross_shard_regens: AtomicUsize::new(0),
+            store_evictions: AtomicU64::new(0),
         }
     }
 
@@ -340,6 +347,16 @@ impl ProcessBackend {
     /// Override the re-dispatch retry/backoff policy.
     pub fn with_retry(mut self, retry: BackoffPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Set an environment variable on every worker this backend spawns
+    /// (workers otherwise inherit the coordinator's environment).  Tests
+    /// hand workers a scratch `MCDBR_DATA_DIR` this way, so the persistent
+    /// table-store tier can be exercised without touching the
+    /// coordinator's own pager mode.
+    pub fn with_worker_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.worker_env.push((key.into(), value.into()));
         self
     }
 
@@ -417,6 +434,9 @@ impl ProcessBackend {
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        for (key, value) in &self.worker_env {
+            command.env(key, value);
+        }
         if let Some(inj) = self.faults.as_deref() {
             if inj.plan().targets_worker(slot_index) {
                 command.env(mcdbr_faults::FAULTS_ENV, inj.plan().as_str());
@@ -829,10 +849,10 @@ impl ExecBackend for ProcessBackend {
                     .map(|(_, f)| Arc::clone(f))
                     .map(Ok::<_, mcdbr_storage::Error>)
                     .unwrap_or_else(|| {
-                        Ok(Arc::new(wire::encode_table_data(
-                            r.hash,
-                            catalog.get(&r.name)?,
-                        )))
+                        Ok(Arc::new(
+                            wire::encode_table_data(r.hash, catalog.get(&r.name)?)
+                                .map_err(mcdbr_storage::Error::from)?,
+                        ))
                     })?;
                 tables.push((r.hash, table_frame));
             }
@@ -921,9 +941,11 @@ impl ExecBackend for ProcessBackend {
         slots.resize_with(skeleton.num_bundles(), || None);
         let mut foreign = 0usize;
         let mut warm = 0usize;
+        let mut evicted = 0u64;
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let (bundles, task_foreign, task_warm) = match outcome {
                 TaskOutcome::Wire(bundles, stats) => {
+                    evicted += stats.store_evictions;
                     (bundles, stats.foreign_streams, stats.warm_hit)
                 }
                 TaskOutcome::Degraded => {
@@ -955,6 +977,7 @@ impl ExecBackend for ProcessBackend {
         self.cross_shard_regens
             .fetch_add(foreign, Ordering::Relaxed);
         self.worker_warm_hits.fetch_add(warm, Ordering::Relaxed);
+        self.store_evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(BundleSet {
             schema: skeleton.schema().clone(),
             bundles: slots.into_iter().flatten().collect(),
@@ -993,7 +1016,13 @@ impl ExecBackend for ProcessBackend {
             deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
             task_retries: self.task_retries.load(Ordering::Relaxed),
             circuit_trips: self.circuit_trips.load(Ordering::Relaxed),
+            store_evictions: self.store_evictions.load(Ordering::Relaxed),
+            ..ShardStats::default()
         }
+        // The coordinator's own pager counters; workers keep theirs.  The
+        // local agg's snapshot reports the same process-global numbers, so
+        // taking them once here cannot double count.
+        .with_pager()
     }
 }
 

@@ -17,7 +17,7 @@
 //! Task{key, seed, range,  →
 //!      base_pos, n}
 //!                         ←   Bundle{idx, bundle}  × N   (length-prefixed partials)
-//!                         ←   TaskStats{N, foreign, warm}
+//!                         ←   TaskStats{N, foreign, warm, evicted}
 //! Shutdown                →                              (clean exit)
 //! ```
 //!
@@ -79,8 +79,9 @@ pub const WIRE_MAGIC: u32 = 0x5744_434D;
 /// frame change; the handshake rejects peers speaking another version.
 /// Version 2 introduced content-addressed plan shipping: `Plan` frames
 /// carry [`TableRef`]s, tables travel as paged `TableData` frames on
-/// demand, and bundle presence masks are bit-packed.
-pub const WIRE_VERSION: u16 = 2;
+/// demand, and bundle presence masks are bit-packed.  Version 3 added
+/// [`TaskStats::store_evictions`] to the stats frame.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Upper bound on a single frame's payload, guarding against a corrupt
 /// length prefix allocating unbounded memory.
@@ -384,6 +385,10 @@ pub struct TaskStats {
     /// Whether the worker's own session cache already held the plan's
     /// skeleton — the warm-worker phase-1 skip.
     pub warm_hit: bool,
+    /// Table-store evictions (memory tier only; disk copies survive) on
+    /// this worker since its previous stats frame — a delta, so the
+    /// coordinator can sum frames without double counting.
+    pub store_evictions: u64,
 }
 
 /// Why a server turned a request away (see [`Frame::ErrorReply`]).
@@ -664,12 +669,34 @@ pub fn encode_need_tables(hashes: &[u64]) -> Vec<u8> {
 }
 
 /// Encode a `TableData` frame: one table's sealed pages (bytes verbatim)
-/// plus its open tail, keyed by content hash.
-pub fn encode_table_data(hash: u64, table: &Table) -> Vec<u8> {
+/// plus its open tail, keyed by content hash.  Fails with
+/// [`WireError::Io`] when a disk-backed page's bytes cannot be read back.
+pub fn encode_table_data(hash: u64, table: &Table) -> WireResult<Vec<u8>> {
     let mut out = vec![TAG_TABLE_DATA];
     out.extend_from_slice(&hash.to_le_bytes());
-    put_table(&mut out, table);
-    out
+    put_table(&mut out, table)?;
+    Ok(out)
+}
+
+/// Encode one table as a standalone blob — the `TableData` table encoding
+/// without the frame tag and hash prefix.  This is the record payload the
+/// worker's persistent store tier writes to `store/<hash>.heap`; the heap
+/// record's checksum then covers exactly these bytes.
+pub fn encode_table_bytes(table: &Table) -> WireResult<Vec<u8>> {
+    let mut out = Vec::new();
+    put_table(&mut out, table)?;
+    Ok(out)
+}
+
+/// Decode a blob produced by [`encode_table_bytes`], rejecting trailing
+/// bytes.  Validation is the same as for a `TableData` frame: every page
+/// encoding and tail column is checked, so a store file whose checksum
+/// passes but whose payload predates a format change fails typed here.
+pub fn decode_table_bytes(bytes: &[u8]) -> WireResult<Table> {
+    let mut d = Dec::new(bytes);
+    let table = get_table(&mut d)?;
+    d.finish("table blob")?;
+    Ok(table)
 }
 
 /// Encode a `Task` frame.
@@ -752,6 +779,7 @@ pub fn encode_task_stats(stats: TaskStats) -> Vec<u8> {
     out.extend_from_slice(&(stats.bundles as u64).to_le_bytes());
     out.extend_from_slice(&(stats.foreign_streams as u64).to_le_bytes());
     out.push(u8::from(stats.warm_hit));
+    out.extend_from_slice(&stats.store_evictions.to_le_bytes());
     out
 }
 
@@ -997,6 +1025,7 @@ pub fn decode_frame(payload: &[u8]) -> WireResult<Frame> {
             bundles: d.u64("stats bundle count")? as usize,
             foreign_streams: d.u64("stats foreign streams")? as usize,
             warm_hit: d.u8("stats warm flag")? != 0,
+            store_evictions: d.u64("stats store evictions")?,
         }),
         TAG_ERROR => Frame::Error {
             message: d.str("error message")?,
@@ -1449,7 +1478,7 @@ fn dtype_from_u8(raw: u8) -> WireResult<DataType> {
     })
 }
 
-fn put_table(out: &mut Vec<u8>, table: &Table) {
+fn put_table(out: &mut Vec<u8>, table: &Table) -> WireResult<()> {
     let schema = table.schema();
     out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
     for field in schema.fields() {
@@ -1458,11 +1487,16 @@ fn put_table(out: &mut Vec<u8>, table: &Table) {
     }
     // Sealed pages ship verbatim — no re-encode, and the receiving side's
     // recomputed page hashes (and therefore the table's content hash)
-    // match the sender's exactly.
+    // match the sender's exactly.  Disk-backed pages load their bytes
+    // back through the checksummed heap record, so a torn spill file
+    // fails here (typed) rather than shipping garbage.
     out.extend_from_slice(&(table.pages().len() as u32).to_le_bytes());
     for page in table.pages() {
-        out.extend_from_slice(&(page.bytes().len() as u32).to_le_bytes());
-        out.extend_from_slice(page.bytes());
+        let bytes = page
+            .load_bytes()
+            .map_err(|e| WireError::Io(std::io::ErrorKind::Other, format!("table page: {e}")))?;
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
     }
     // The open tail travels column-major through the typed Column codec,
     // like a page payload without the page framing.
@@ -1474,6 +1508,7 @@ fn put_table(out: &mut Vec<u8>, table: &Table) {
         }
         column.encode_wire(out);
     }
+    Ok(())
 }
 
 fn get_table(d: &mut Dec<'_>) -> WireResult<Table> {

@@ -64,8 +64,8 @@ use std::sync::Arc;
 
 use mcdbr_prng::{SeedId, StreamKey};
 use mcdbr_storage::{
-    BufferPool, Catalog, ColumnBlock, Error, Mask, PageCacheStats, Result, Schema, SelVec, Tuple,
-    Value,
+    BufferPool, Catalog, ColumnBlock, Error, Mask, PageCacheStats, Pager, PagerStats, Result,
+    Schema, SelVec, Tuple, Value,
 };
 
 use crate::backend::ExecBackend;
@@ -376,6 +376,10 @@ pub struct ExecSession {
     /// `pages_read` / `pool_evictions` report paged-scan activity since
     /// then (same windowing pattern as `pool_baseline`).
     page_baseline: PageCacheStats,
+    /// The global pager's disk counters when this session was built, so
+    /// `disk_reads` / `spilled_bytes` report this session's disk traffic
+    /// (zeros when `MCDBR_DATA_DIR` is off).
+    pager_baseline: PagerStats,
     mode: Mode,
     skeleton_hit: bool,
     plan_executions: usize,
@@ -462,6 +466,7 @@ impl ExecSession {
             pool: Arc::new(BlockBufferPool::new()),
             pool_baseline: (0, 0),
             page_baseline: BufferPool::global().stats(),
+            pager_baseline: Pager::global_stats(),
             mode: Mode::Cached(Box::new(prefix)),
             skeleton_hit: cache_hit,
             // The deterministic skeleton ran exactly once — during this
@@ -489,6 +494,7 @@ impl ExecSession {
             pool: Arc::new(BlockBufferPool::new()),
             pool_baseline: (0, 0),
             page_baseline: BufferPool::global().stats(),
+            pager_baseline: Pager::global_stats(),
             mode: Mode::Fallback {
                 executor: Executor::new(),
                 reason,
@@ -583,6 +589,22 @@ impl ExecSession {
             .stats()
             .since(&self.page_baseline)
             .pool_evictions
+    }
+
+    /// Disk reads the pager served since this session was built — page
+    /// cache misses whose sealed bytes had been spilled to a heap file.
+    /// Always 0 when `MCDBR_DATA_DIR` is off; windowed like
+    /// [`ExecSession::pages_read`], with the same shared-process blur.
+    pub fn disk_reads(&self) -> u64 {
+        Pager::global_stats().since(&self.pager_baseline).disk_reads
+    }
+
+    /// Sealed bytes spilling moved out of memory since this session was
+    /// built (0 when `MCDBR_DATA_DIR` is off).
+    pub fn spilled_bytes(&self) -> u64 {
+        Pager::global_stats()
+            .since(&self.pager_baseline)
+            .spilled_bytes
     }
 
     /// Whether the deterministic prefix is cached (`false` means every block

@@ -298,6 +298,7 @@ impl ExecBackend for ShardedBackend {
             cross_shard_regens: self.cross_shard_regens.load(Ordering::Relaxed),
             ..ShardStats::default()
         }
+        .with_pager()
     }
 }
 
@@ -401,7 +402,14 @@ mod tests {
         let backend = ShardedBackend::new(3);
         assert_eq!(backend.shards(), 3);
         assert_eq!(backend.name(), "sharded");
-        assert_eq!(backend.shard_stats(), ShardStats::default());
+        // Pager counters are process-global and may be nonzero when the
+        // suite runs under `MCDBR_DATA_DIR`; the backend's own work must
+        // be zero and a self-window is always all-zero.
+        let fresh = backend.shard_stats();
+        assert_eq!(fresh.shards_spawned, 0);
+        assert_eq!(fresh.shard_merge_ns, 0);
+        assert_eq!(fresh.cross_shard_regens, 0);
+        assert_eq!(fresh.since(fresh), ShardStats::default());
         let _ = backend.instantiate_block(prefix, &pool, 2, 0, 8).unwrap();
         let after_one = backend.shard_stats();
         assert_eq!(after_one.shards_spawned, 3);

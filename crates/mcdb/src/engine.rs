@@ -180,6 +180,19 @@ pub struct NaiveTailReport {
     pub task_retries: usize,
     /// Per-worker circuit breakers tripped open during the hunt.
     pub circuit_trips: usize,
+    /// Page records the pager appended to heap files during the hunt (0
+    /// when `MCDBR_DATA_DIR` is off).
+    pub pages_written: u64,
+    /// Page payloads read back from disk during the hunt — buffer-pool
+    /// misses the disk tier served.
+    pub disk_reads: u64,
+    /// Nanoseconds spent in those disk reads.
+    pub disk_read_ns: u64,
+    /// Sealed bytes spilling moved out of memory during the hunt.
+    pub spilled_bytes: u64,
+    /// Worker table-store memory-tier evictions reported by the hunt's
+    /// dispatched tasks (multi-process backend only).
+    pub store_evictions: u64,
 }
 
 /// The naive-MCDB engine.
@@ -327,6 +340,28 @@ impl McdbEngine {
     /// (each trip degrades the slot to local execution for a cooldown).
     pub fn circuit_trips(&self) -> usize {
         self.backend_window().circuit_trips
+    }
+
+    /// Disk activity during this engine's runs, as
+    /// `(pages_written, disk_reads, disk_read_ns, spilled_bytes)` — all 0
+    /// when `MCDBR_DATA_DIR` is off.  Process-global pager counters
+    /// windowed like every other backend stat, so a disk-mode engine can
+    /// report how much of its working set lived on disk.
+    pub fn disk_stats(&self) -> (u64, u64, u64, u64) {
+        let window = self.backend_window();
+        (
+            window.pages_written,
+            window.disk_reads,
+            window.disk_read_ns,
+            window.spilled_bytes,
+        )
+    }
+
+    /// Worker table-store memory-tier evictions reported by tasks this
+    /// engine dispatched (0 on in-process backends; disk copies survive
+    /// eviction when the workers run with `MCDBR_DATA_DIR`).
+    pub fn store_evictions(&self) -> u64 {
+        self.backend_window().store_evictions
     }
 
     /// Total plan executions performed through this engine.  With the
@@ -485,6 +520,11 @@ impl McdbEngine {
             deadline_timeouts: backend_stats.deadline_timeouts,
             task_retries: backend_stats.task_retries,
             circuit_trips: backend_stats.circuit_trips,
+            pages_written: backend_stats.pages_written,
+            disk_reads: backend_stats.disk_reads,
+            disk_read_ns: backend_stats.disk_read_ns,
+            spilled_bytes: backend_stats.spilled_bytes,
+            store_evictions: backend_stats.store_evictions,
         })
     }
 

@@ -15,7 +15,6 @@
 
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::error::Result;
@@ -65,6 +64,12 @@ struct PoolInner {
     /// (hundreds to low thousands of frames), so linear touch/evict scans
     /// cost less than the page decode they bracket.
     order: Vec<u64>,
+    /// Counters live under the lock so they move atomically with the
+    /// frame map: `pages_read` counts frames inserted, `pool_evictions`
+    /// frames removed, and `resident == pages_read - pool_evictions`
+    /// holds exactly even when scans race (a racing decoder that loses
+    /// the insert adopts the winner's frame and counts a *hit*).
+    stats: PageCacheStats,
 }
 
 impl PoolInner {
@@ -100,9 +105,6 @@ impl PoolInner {
 /// A bounded LRU cache of decoded page frames.  See the module docs.
 pub struct BufferPool {
     inner: Mutex<PoolInner>,
-    pages_read: AtomicU64,
-    pool_hits: AtomicU64,
-    pool_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -123,10 +125,8 @@ impl BufferPool {
                 budget: budget.max(1),
                 frames: HashMap::new(),
                 order: Vec::new(),
+                stats: PageCacheStats::default(),
             }),
-            pages_read: AtomicU64::new(0),
-            pool_hits: AtomicU64::new(0),
-            pool_evictions: AtomicU64::new(0),
         }
     }
 
@@ -146,16 +146,22 @@ impl BufferPool {
     /// Change the frame budget, evicting down if shrinking.  Tests use this
     /// to force eviction pressure on the global pool without re-execing.
     pub fn set_budget(&self, budget: usize) {
-        let evicted = {
-            let mut inner = self.inner.lock().expect("buffer pool poisoned");
-            inner.budget = budget.max(1);
-            inner.evict_to_budget()
-        };
-        self.pool_evictions.fetch_add(evicted, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        inner.budget = budget.max(1);
+        let evicted = inner.evict_to_budget();
+        inner.stats.pool_evictions += evicted;
     }
 
     /// Pin `page`, decoding it into a resident frame on a miss.  The guard
     /// keeps the frame unevictable (and its rows alive) until dropped.
+    ///
+    /// Counters are exact under concurrency: they mutate only under the
+    /// pool lock, in the same critical section as the frame map, so
+    /// `pages_read` is precisely the number of frames ever inserted and
+    /// `pool_evictions` precisely the number removed.  Two scans racing a
+    /// miss on the same page both decode (deliberately, outside the lock),
+    /// but only the insert winner counts a read — the loser adopts the
+    /// winner's frame and counts a hit.
     pub fn pin<'p>(&'p self, page: &Page) -> Result<PageGuard<'p>> {
         {
             let mut inner = self.inner.lock().expect("buffer pool poisoned");
@@ -163,7 +169,7 @@ impl BufferPool {
                 frame.pins += 1;
                 let rows = Arc::clone(&frame.rows);
                 inner.touch(page.id());
-                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                inner.stats.pool_hits += 1;
                 return Ok(PageGuard {
                     pool: self,
                     page_id: page.id(),
@@ -172,21 +178,27 @@ impl BufferPool {
             }
         }
         // Miss: decode outside the lock so concurrent scans of different
-        // pages don't serialize on the decode.  Two racing pins of the same
-        // page may both decode; the loser adopts the winner's frame.
+        // pages don't serialize on the decode (which may be a disk read).
         let rows = Arc::new(page.decode_rows()?);
-        self.pages_read.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("buffer pool poisoned");
-        let frame = inner.frames.entry(page.id()).or_insert(Frame {
-            rows: Arc::clone(&rows),
-            pins: 0,
-        });
-        frame.pins += 1;
-        let rows = Arc::clone(&frame.rows);
+        match inner.frames.entry(page.id()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // A racing scan inserted while we decoded: adopt its frame.
+                e.get_mut().pins += 1;
+                inner.stats.pool_hits += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Frame {
+                    rows: Arc::clone(&rows),
+                    pins: 1,
+                });
+                inner.stats.pages_read += 1;
+            }
+        }
+        let rows = Arc::clone(&inner.frames[&page.id()].rows);
         inner.touch(page.id());
         let evicted = inner.evict_to_budget();
-        drop(inner);
-        self.pool_evictions.fetch_add(evicted, Ordering::Relaxed);
+        inner.stats.pool_evictions += evicted;
         Ok(PageGuard {
             pool: self,
             page_id: page.id(),
@@ -195,16 +207,14 @@ impl BufferPool {
     }
 
     fn unpin(&self, page_id: u64) {
-        let evicted = {
-            let mut inner = self.inner.lock().expect("buffer pool poisoned");
-            if let Some(frame) = inner.frames.get_mut(&page_id) {
-                frame.pins = frame.pins.saturating_sub(1);
-            }
-            // A pin released while the pool sat over budget (every frame
-            // pinned at the time) is the moment the deferred eviction runs.
-            inner.evict_to_budget()
-        };
-        self.pool_evictions.fetch_add(evicted, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        if let Some(frame) = inner.frames.get_mut(&page_id) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+        // A pin released while the pool sat over budget (every frame
+        // pinned at the time) is the moment the deferred eviction runs.
+        let evicted = inner.evict_to_budget();
+        inner.stats.pool_evictions += evicted;
     }
 
     /// Number of frames currently resident (pinned or not).
@@ -218,11 +228,7 @@ impl BufferPool {
 
     /// Snapshot the monotone counters.
     pub fn stats(&self) -> PageCacheStats {
-        PageCacheStats {
-            pages_read: self.pages_read.load(Ordering::Relaxed),
-            pool_hits: self.pool_hits.load(Ordering::Relaxed),
-            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
-        }
+        self.inner.lock().expect("buffer pool poisoned").stats
     }
 }
 

@@ -40,6 +40,14 @@ pub enum Error {
     /// the variants above this one *is* a recoverable runtime condition: the
     /// server maps it to a typed `Timeout` reply instead of `Internal`.
     Timeout(String),
+    /// An operating-system I/O failure in the disk pager (open, read,
+    /// write, rename).  Carries the rendered `std::io::Error` so the enum
+    /// stays `Clone + Eq`.
+    Io(String),
+    /// On-disk page bytes failed validation: a torn write, a truncated
+    /// record, a checksum mismatch, or a bad heap-file header.  Readers
+    /// treat the page (or the whole heap file) as absent and re-fetch.
+    CorruptPage(String),
 }
 
 impl fmt::Display for Error {
@@ -60,6 +68,8 @@ impl fmt::Display for Error {
             Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
             Error::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::CorruptPage(msg) => write!(f, "corrupt on-disk page: {msg}"),
         }
     }
 }

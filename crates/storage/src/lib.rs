@@ -18,6 +18,12 @@
 //!   bounded LRU cache of decoded frames that scans pin pages through, so
 //!   the resident working set is capped by `MCDBR_PAGE_CACHE` rather than
 //!   by data size.
+//! * [`HeapFile`] / [`Pager`] — the on-disk tier (`MCDBR_DATA_DIR`):
+//!   sealed pages spill to checksummed, 4 KiB-aligned heap-file slots and
+//!   the pool re-reads (and re-validates) them on miss, so the disk tier
+//!   is as budget-transparent as the pool itself; a persistent
+//!   content-addressed `store/` tier lets dispatch workers survive
+//!   restarts with their table stores warm.
 //! * [`Catalog`] — a named collection of tables (parameter tables and
 //!   materialized intermediate results).
 //!
@@ -31,7 +37,9 @@ pub mod bufpool;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod heapfile;
 pub mod page;
+pub mod pager;
 pub mod schema;
 pub mod selvec;
 pub mod table;
@@ -42,7 +50,9 @@ pub use bufpool::{BufferPool, PageCacheStats, PageGuard, DEFAULT_FRAME_BUDGET};
 pub use catalog::Catalog;
 pub use column::{Column, ColumnBlock, ColumnData, NullBitmap, Utf8Column};
 pub use error::{Error, Result};
+pub use heapfile::HeapFile;
 pub use page::{Page, PAGE_BYTES};
+pub use pager::{DiskCounters, Pager, PagerStats};
 pub use schema::{Field, Schema};
 pub use selvec::{CmpOp, Mask, SelVec};
 pub use table::{Table, TableBuilder, TableIter};

@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use crate::column::Column;
 use crate::error::{Error, Result};
+use crate::heapfile::HeapFile;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -107,24 +108,41 @@ pub(crate) fn encode_page_bytes(num_cols: usize, rows: &[Tuple]) -> Vec<u8> {
     out
 }
 
+/// Where a sealed page's bytes wait between decodes.
+#[derive(Debug, Clone)]
+enum PageBytes {
+    /// Resident: the default, and the only mode without a data dir.
+    Memory(Arc<[u8]>),
+    /// Spilled: the bytes live in a checksummed [`HeapFile`] record and
+    /// are read back (and re-validated) on demand.  The heap file is kept
+    /// alive by this reference, so a disk page can always load.
+    Disk {
+        file: Arc<HeapFile>,
+        slot: usize,
+        len: usize,
+    },
+}
+
 /// One sealed, immutable page of table rows.
 ///
-/// Cloning is cheap (the bytes are behind an [`Arc`]) and preserves the
-/// page id, so catalog snapshots share buffer-pool frames with the table
-/// they were cloned from.
+/// Cloning is cheap (the bytes are behind an [`Arc`], or on disk) and
+/// preserves the page id, so catalog snapshots share buffer-pool frames
+/// with the table they were cloned from.
 #[derive(Debug, Clone)]
 pub struct Page {
     id: u64,
     hash: u64,
     num_cols: u32,
     num_rows: u32,
-    bytes: Arc<[u8]>,
+    bytes: PageBytes,
 }
 
 impl PartialEq for Page {
-    /// Content equality: ids are frame bookkeeping, not identity.
+    /// Content equality: ids are frame bookkeeping, not identity.  The
+    /// 64-bit content hash (plus the byte length) stands in for the bytes
+    /// themselves so disk-backed pages compare without I/O.
     fn eq(&self, other: &Self) -> bool {
-        self.hash == other.hash && self.bytes == other.bytes
+        self.hash == other.hash && self.byte_len() == other.byte_len()
     }
 }
 
@@ -156,7 +174,20 @@ impl Page {
             hash: fnv1a(FNV_OFFSET, &bytes),
             num_cols,
             num_rows,
-            bytes,
+            bytes: PageBytes::Memory(bytes),
+        }
+    }
+
+    /// The disk-backed twin of this page: same id, hash, and shape, bytes
+    /// waiting in `file` at `slot`.  Only the pager calls this, *after*
+    /// appending the identical bytes.
+    pub(crate) fn spilled(&self, file: Arc<HeapFile>, slot: usize, len: usize) -> Page {
+        Page {
+            id: self.id,
+            hash: self.hash,
+            num_cols: self.num_cols,
+            num_rows: self.num_rows,
+            bytes: PageBytes::Disk { file, slot, len },
         }
     }
 
@@ -180,16 +211,51 @@ impl Page {
         self.num_cols as usize
     }
 
-    /// The encoded bytes, as shipped verbatim by `TableData` frames.
-    pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+    /// True when the bytes wait on disk rather than in memory.
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.bytes, PageBytes::Disk { .. })
+    }
+
+    /// Encoded length in bytes (known without I/O in either mode).
+    pub fn byte_len(&self) -> usize {
+        match &self.bytes {
+            PageBytes::Memory(b) => b.len(),
+            PageBytes::Disk { len, .. } => *len,
+        }
+    }
+
+    /// The encoded bytes, as shipped verbatim by `TableData` frames.  A
+    /// memory page hands out its resident `Arc`; a disk page reads its
+    /// heap record back (counting a disk read) and re-validates both the
+    /// record checksum and this page's content hash, so a torn or stale
+    /// record surfaces as [`Error::CorruptPage`] instead of wrong rows.
+    pub fn load_bytes(&self) -> Result<Arc<[u8]>> {
+        match &self.bytes {
+            PageBytes::Memory(b) => Ok(Arc::clone(b)),
+            PageBytes::Disk { file, slot, .. } => {
+                let bytes = file.read_page(*slot)?;
+                if fnv1a(FNV_OFFSET, &bytes) != self.hash {
+                    return Err(Error::CorruptPage(format!(
+                        "{}: slot {slot} bytes no longer match page hash",
+                        file.path().display()
+                    )));
+                }
+                Ok(bytes.into())
+            }
+        }
     }
 
     /// Decode every row of the page.  Pages built by [`Page::seal`] or
     /// validated by [`Page::from_bytes`] always decode; the error branch
-    /// only fires on bytes that skipped both constructors.
+    /// fires on bytes that skipped both constructors, or on a disk page
+    /// whose heap record fails to load or validate.
     pub fn decode_rows(&self) -> Result<Vec<Tuple>> {
-        let (num_cols, num_rows) = decode_header(&self.bytes)?;
+        let bytes = self.load_bytes()?;
+        self.decode_rows_from(&bytes)
+    }
+
+    fn decode_rows_from(&self, bytes: &[u8]) -> Result<Vec<Tuple>> {
+        let (num_cols, num_rows) = decode_header(bytes)?;
         if num_cols != self.num_cols || num_rows != self.num_rows {
             return Err(Error::Invalid(
                 "corrupt page: header disagrees with page metadata".into(),
@@ -201,7 +267,7 @@ impl Page {
         let mut columns = Vec::with_capacity(num_cols);
         let mut pos = payload_start;
         for i in 0..num_cols {
-            let column = Column::decode_wire(&self.bytes, &mut pos)?;
+            let column = Column::decode_wire(bytes, &mut pos)?;
             if column.len() != self.num_rows as usize {
                 return Err(Error::Invalid(
                     "corrupt page: column length disagrees with header".into(),
@@ -209,7 +275,7 @@ impl Page {
             }
             let end = dir_start + i * 4;
             let slot = u32::from_le_bytes(
-                self.bytes[end..end + 4]
+                bytes[end..end + 4]
                     .try_into()
                     .expect("slot directory bounds checked by decode_header"),
             ) as usize;
@@ -220,7 +286,7 @@ impl Page {
             }
             columns.push(column);
         }
-        if pos != self.bytes.len() {
+        if pos != bytes.len() {
             return Err(Error::Invalid("corrupt page: trailing bytes".into()));
         }
         let mut rows = Vec::with_capacity(self.num_rows as usize);
@@ -288,7 +354,7 @@ mod tests {
     #[test]
     fn from_bytes_round_trip_preserves_hash() {
         let page = Page::seal(3, &rows(10));
-        let rebuilt = Page::from_bytes(page.bytes().to_vec()).unwrap();
+        let rebuilt = Page::from_bytes(page.load_bytes().unwrap().to_vec()).unwrap();
         assert_eq!(rebuilt.content_hash(), page.content_hash());
         assert_ne!(
             rebuilt.id(),
@@ -302,14 +368,15 @@ mod tests {
     #[test]
     fn from_bytes_rejects_corruption() {
         let page = Page::seal(3, &rows(4));
+        let sealed = page.load_bytes().unwrap();
         assert!(Page::from_bytes(Vec::new()).is_err());
-        assert!(Page::from_bytes(page.bytes()[..6].to_vec()).is_err());
+        assert!(Page::from_bytes(sealed[..6].to_vec()).is_err());
         // Flip a slot-directory byte: decode must notice the disagreement.
-        let mut bytes = page.bytes().to_vec();
+        let mut bytes = sealed.to_vec();
         bytes[9] ^= 0x5a;
         assert!(Page::from_bytes(bytes).is_err());
         // Truncate the payload mid-column.
-        let mut bytes = page.bytes().to_vec();
+        let mut bytes = sealed.to_vec();
         bytes.truncate(bytes.len() - 3);
         assert!(Page::from_bytes(bytes).is_err());
     }

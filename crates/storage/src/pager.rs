@@ -1,0 +1,330 @@
+//! The pager: disk-backed mode for sealed pages.
+//!
+//! When `MCDBR_DATA_DIR` names a directory, [`Pager::global`] returns a
+//! process-wide pager rooted there and every page a table seals is
+//! *spilled*: its bytes are appended to a per-table [`HeapFile`] under
+//! `<root>/spill/` and the in-memory [`Page`] keeps only `(file, slot,
+//! len)` plus its content hash.  The buffer pool's decoded frame is then
+//! the only resident copy — evicting it really frees the memory, and a
+//! later pin reads the bytes back through the checksummed heap record.
+//! Without the variable the pager is absent and pages keep their sealed
+//! bytes in memory, exactly as before.
+//!
+//! Spill heaps are ephemeral (deleted when the last page referencing them
+//! drops); the dispatch worker's persistent table store writes *named*
+//! heaps under `<root>/store/` via [`Pager::store_dir`] and survives
+//! process restarts.
+//!
+//! Budget transparency is the invariant that makes all of this safe to
+//! flip on in CI: any combination of `MCDBR_PAGE_CACHE` and
+//! `MCDBR_DATA_DIR` produces bit-identical query results — the pager
+//! changes where bytes wait, never what they decode to.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::error::{Error, Result};
+use crate::heapfile::HeapFile;
+use crate::page::Page;
+
+/// A monotone snapshot of the pager's counters, windowed by subtraction
+/// like every other counter family ([`PagerStats::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Page records appended to heap files (spill + store tiers).
+    pub pages_written: u64,
+    /// Page payloads read back from disk.
+    pub disk_reads: u64,
+    /// Wall-clock nanoseconds spent in those reads.
+    pub disk_read_ns: u64,
+    /// Sealed bytes moved out of memory by spilling.
+    pub spilled_bytes: u64,
+}
+
+impl PagerStats {
+    /// The counter deltas accumulated since `baseline` was snapped.
+    pub fn since(&self, baseline: &PagerStats) -> PagerStats {
+        PagerStats {
+            pages_written: self.pages_written - baseline.pages_written,
+            disk_reads: self.disk_reads - baseline.disk_reads,
+            disk_read_ns: self.disk_read_ns - baseline.disk_read_ns,
+            spilled_bytes: self.spilled_bytes - baseline.spilled_bytes,
+        }
+    }
+}
+
+/// The atomic counters behind [`PagerStats`], shared (via `Arc`) between a
+/// pager and every heap file it opens so reads count no matter which layer
+/// triggers them.
+#[derive(Debug, Default)]
+pub struct DiskCounters {
+    pages_written: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_read_ns: AtomicU64,
+    spilled_bytes: AtomicU64,
+}
+
+impl DiskCounters {
+    /// Record one disk read taking `ns` nanoseconds.
+    pub fn count_read(&self, ns: u64) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.disk_read_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one page written, `spilled` of whose bytes left memory.
+    pub fn count_write(&self, spilled: u64) {
+        self.pages_written.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(spilled, Ordering::Relaxed);
+    }
+
+    /// Snapshot the monotone counters.
+    pub fn snapshot(&self) -> PagerStats {
+        PagerStats {
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_read_ns: self.disk_read_ns.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Disk-backed page storage rooted at a data directory.  See the module
+/// docs for the global/spill/store split.
+pub struct Pager {
+    root: PathBuf,
+    counters: Arc<DiskCounters>,
+    next_spill: AtomicU64,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("root", &self.root)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Pager {
+    /// A pager rooted at `root`, creating `root`, `root/spill`, and
+    /// `root/store` as needed.  Multiple processes may share one root —
+    /// spill file names embed the pid, and store files are content-named.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Pager> {
+        let root = root.into();
+        for dir in [root.clone(), root.join("spill"), root.join("store")] {
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| Error::Io(format!("create data dir {}: {e}", dir.display())))?;
+        }
+        Ok(Pager {
+            root,
+            counters: Arc::new(DiskCounters::default()),
+            next_spill: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide pager, present iff `MCDBR_DATA_DIR` names a usable
+    /// directory (consulted once; an unusable directory logs to stderr and
+    /// degrades to in-memory mode rather than failing every seal).
+    pub fn global() -> Option<&'static Pager> {
+        static PAGER: OnceLock<Option<Pager>> = OnceLock::new();
+        PAGER
+            .get_or_init(|| {
+                let dir = std::env::var("MCDBR_DATA_DIR").ok()?;
+                let dir = dir.trim();
+                if dir.is_empty() {
+                    return None;
+                }
+                match Pager::new(dir) {
+                    Ok(pager) => Some(pager),
+                    Err(e) => {
+                        eprintln!("mcdbr: MCDBR_DATA_DIR={dir} unusable ({e}); staying in-memory");
+                        None
+                    }
+                }
+            })
+            .as_ref()
+    }
+
+    /// The global pager's counters, or zeros when disk mode is off — the
+    /// one-liner the exec backends use to fill `ShardStats`.
+    pub fn global_stats() -> PagerStats {
+        Pager::global().map(Pager::stats).unwrap_or_default()
+    }
+
+    /// Snapshot this pager's counters.
+    pub fn stats(&self) -> PagerStats {
+        self.counters.snapshot()
+    }
+
+    /// The root data directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where the persistent (content-named) store tier lives.
+    pub fn store_dir(&self) -> PathBuf {
+        self.root.join("store")
+    }
+
+    /// The counters heap files opened against this pager should share.
+    pub fn counters(&self) -> Arc<DiskCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// A fresh ephemeral spill heap (deleted when the last page drops).
+    /// One per table: pages of a table cluster in one file.
+    pub fn create_spill_heap(&self) -> Result<Arc<HeapFile>> {
+        let n = self.next_spill.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .root
+            .join("spill")
+            .join(format!("{}-{n}.heap", std::process::id()));
+        Ok(Arc::new(HeapFile::create(path, self.counters(), true)?))
+    }
+
+    /// Spill `page` into `heap`: append its bytes, return the disk-backed
+    /// twin (same id, hash, and row/column counts — only where the bytes
+    /// wait changes).  Already-disk-backed pages come back unchanged.
+    pub fn spill_page(&self, page: &Page, heap: &Arc<HeapFile>) -> Result<Page> {
+        if page.is_disk_backed() {
+            return Ok(page.clone());
+        }
+        let bytes = page.load_bytes()?;
+        let slot = heap.append_page(&bytes)?;
+        self.counters.count_write(bytes.len() as u64);
+        Ok(page.spilled(Arc::clone(heap), slot, bytes.len()))
+    }
+
+    /// Where the store-tier heap for content hash `hash` lives.
+    pub fn store_path(&self, hash: u64) -> PathBuf {
+        crate::heapfile::store_path(&self.store_dir(), hash)
+    }
+
+    /// Persist one content-addressed blob to the store tier: a single-record
+    /// heap file written to a pid-unique temp name, synced, then renamed
+    /// into place — a crash mid-write leaves only temp litter, never a
+    /// half-visible store file, and the rename is atomic so concurrent
+    /// writers of the same hash race harmlessly (same content, same name).
+    /// A no-op if the blob is already stored.
+    pub fn persist_store_blob(&self, hash: u64, payload: &[u8]) -> Result<()> {
+        let final_path = self.store_path(hash);
+        if final_path.exists() {
+            return Ok(());
+        }
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let heap = HeapFile::create(&tmp_path, self.counters(), false)?;
+            heap.append_page(payload)?;
+            self.counters.count_write(0); // the memory copy stays resident
+            heap.sync()?;
+        }
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp_path);
+            Error::Io(format!("publish store blob {}: {e}", final_path.display()))
+        })
+    }
+
+    /// Load a store-tier blob back, re-validating the record checksum.
+    /// `Ok(None)` means the hash was never stored; `Err(CorruptPage)` means
+    /// the file exists but is torn or corrupt — the caller should
+    /// [`Pager::remove_store_blob`] it and treat the hash as missing.
+    pub fn load_store_blob(&self, hash: u64) -> Result<Option<Vec<u8>>> {
+        let path = self.store_path(hash);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let heap = HeapFile::open(&path, self.counters())?;
+        if heap.page_count() != 1 {
+            return Err(Error::CorruptPage(format!(
+                "{}: store heap holds {} records, expected exactly 1",
+                path.display(),
+                heap.page_count()
+            )));
+        }
+        heap.read_page(0).map(Some)
+    }
+
+    /// Drop a store-tier blob (used after detecting corruption; a missing
+    /// file is fine).
+    pub fn remove_store_blob(&self, hash: u64) {
+        let _ = std::fs::remove_file(self.store_path(hash));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mcdbr-pager-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn rows(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::from_iter_values([Value::Int64(i as i64), Value::str(format!("r{i}"))]))
+            .collect()
+    }
+
+    #[test]
+    fn spill_round_trips_and_counts() {
+        let root = temp_root("spill");
+        let pager = Pager::new(&root).unwrap();
+        let page = Page::seal(2, &rows(20));
+        let heap = pager.create_spill_heap().unwrap();
+        let spilled = pager.spill_page(&page, &heap).unwrap();
+        assert!(spilled.is_disk_backed());
+        assert!(!page.is_disk_backed());
+        assert_eq!(spilled.id(), page.id(), "spilling keeps the frame key");
+        assert_eq!(spilled.content_hash(), page.content_hash());
+        assert_eq!(spilled.decode_rows().unwrap(), page.decode_rows().unwrap());
+        let stats = pager.stats();
+        assert_eq!(stats.pages_written, 1);
+        assert_eq!(stats.spilled_bytes, spilled.byte_len() as u64);
+        assert!(stats.disk_reads >= 1, "decode_rows read the bytes back");
+        assert!(stats.disk_read_ns > 0);
+        // Re-spilling a disk page is a no-op.
+        let again = pager.spill_page(&spilled, &heap).unwrap();
+        assert_eq!(pager.stats().pages_written, 1);
+        assert_eq!(again.content_hash(), page.content_hash());
+        drop((page, spilled, again, heap));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn spill_heaps_are_ephemeral() {
+        let root = temp_root("ephemeral");
+        let pager = Pager::new(&root).unwrap();
+        let heap = pager.create_spill_heap().unwrap();
+        let path = heap.path().to_path_buf();
+        assert!(path.exists());
+        drop(heap);
+        assert!(!path.exists(), "spill heap outlived its pages");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stats_window_by_subtraction() {
+        let a = PagerStats {
+            pages_written: 10,
+            disk_reads: 7,
+            disk_read_ns: 900,
+            spilled_bytes: 4096,
+        };
+        let b = PagerStats {
+            pages_written: 4,
+            disk_reads: 2,
+            disk_read_ns: 100,
+            spilled_bytes: 1024,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.pages_written, 6);
+        assert_eq!(d.disk_reads, 5);
+        assert_eq!(d.disk_read_ns, 800);
+        assert_eq!(d.spilled_bytes, 3072);
+    }
+}

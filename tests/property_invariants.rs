@@ -505,7 +505,7 @@ fn page_encode_decode_is_identity() {
         }
         // Adopting the raw bytes (the wire path) re-validates and re-hashes
         // to the same content under a process-fresh id.
-        let adopted = Page::from_bytes(page.bytes().to_vec()).expect("case: adopt");
+        let adopted = Page::from_bytes(page.load_bytes().unwrap().to_vec()).expect("case: adopt");
         assert_eq!(adopted.content_hash(), page.content_hash(), "case {case}");
         assert_ne!(adopted.id(), page.id(), "case {case}: ids must be fresh");
     }
@@ -541,6 +541,72 @@ fn tiny_budget_scans_are_bit_identical_to_unbounded() {
                 table.pages().len(),
                 tiny.budget()
             );
+        }
+    }
+}
+
+/// Concurrent scans through one tiny pool keep the counters *exact*, not
+/// merely monotone: every pin is classified as exactly one hit or one read
+/// (a thread that loses the decode race still counts a hit — the frame it
+/// pins was read by the winner), and the resident frame count equals
+/// `pages_read - pool_evictions` at every quiescent point.  This is the
+/// regression test for the windowing race where eviction-vs-re-read on two
+/// scanning threads underreported reads.
+#[test]
+fn concurrent_scans_keep_pool_counters_exact() {
+    const THREADS: usize = 4;
+    for case in 0..CASES {
+        let mut g = Gen::new(case.wrapping_add(0x6363_6e74));
+        let cols = g.usize_in(1, 3);
+        let schema = Schema::new((0..cols).map(|i| Field::int64(format!("c{i}"))).collect());
+        let n = g.usize_in(8, 48);
+        let rows = rand_rows(&mut g, cols, n);
+        let table = Table::with_page_budget(schema, rows, g.usize_in(24, 64)).unwrap();
+        let pages = table.pages().len();
+        if pages < 2 {
+            continue;
+        }
+
+        let pool = BufferPool::new(g.usize_in(1, 3));
+        let reference: Vec<Tuple> = table.iter_with(&BufferPool::new(usize::MAX)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let pool = &pool;
+                    let table = &table;
+                    scope.spawn(move || table.iter_with(pool).collect::<Vec<Tuple>>())
+                })
+                .collect();
+            for handle in handles {
+                let scanned = handle.join().expect("scan thread panicked");
+                assert_eq!(scanned.len(), reference.len(), "case {case}");
+                for (i, (x, y)) in scanned.iter().zip(&reference).enumerate() {
+                    for (c, (vx, vy)) in x.values().iter().zip(y.values()).enumerate() {
+                        assert_cells_eq(vx, vy, &format!("case {case} row {i} col {c}"));
+                    }
+                }
+            }
+        });
+
+        let stats = pool.stats();
+        // Every (thread, page) pin is exactly one hit or one read.
+        assert_eq!(
+            stats.pages_read + stats.pool_hits,
+            (THREADS * pages) as u64,
+            "case {case}: {pages} pages × {THREADS} threads must classify every pin"
+        );
+        // Reads minus evictions is precisely what is still resident.
+        assert_eq!(
+            pool.resident_frames() as u64,
+            stats.pages_read - stats.pool_evictions,
+            "case {case}: resident = reads - evictions must be exact (stats {stats:?})"
+        );
+        assert!(
+            stats.pages_read >= pages as u64,
+            "case {case}: each page is decoded at least once"
+        );
+        if pages > pool.budget() {
+            assert!(stats.pool_evictions > 0, "case {case}: pressure must evict");
         }
     }
 }

@@ -602,6 +602,145 @@ fn tiny_page_cache_and_content_addressed_fetch_stay_bit_identical_across_backend
 }
 
 #[test]
+fn disk_backed_tables_and_persistent_worker_stores_stay_bit_identical_across_backends() {
+    // The durable-pages contract end to end: the catalog's sealed pages are
+    // explicitly spilled to heap files (so zero sealed bytes stay resident),
+    // the global page cache is forced to 2 frames (so scans continually
+    // evict and re-read through the checksummed disk records), and all
+    // three backends must still produce blocks bit-identical to the plain
+    // in-memory path.  Worker processes additionally run with their own
+    // `MCDBR_DATA_DIR`, so their hash-keyed table stores persist across a
+    // forced kill: the respawned pool answers the re-sent plan's
+    // `NeedTables` from disk and the repeated dispatch ships headers, not
+    // table pages.
+    use mcdbr::storage::{BufferPool, Pager};
+    let catalog_mem = customer_losses_catalog(2_000, (1.0, 5.0), 11).unwrap();
+    let plan = customer_losses_query(None)
+        .plan
+        .filter(Expr::col("cid").lt(Expr::lit(150i64)));
+    let seed = 77;
+    let blocks = [(0u64, 16usize), (16, 16), (32, 8)];
+
+    // A disk-backed twin of the catalog: same rows, same content hashes,
+    // but every sealed page lives in a heap file under a private pager.
+    let spill_root =
+        std::env::temp_dir().join(format!("mcdbr-determinism-spill-{}", std::process::id()));
+    let pager: &'static Pager = Box::leak(Box::new(Pager::new(&spill_root).unwrap()));
+    let mut catalog_disk = Catalog::new();
+    for name in catalog_mem.table_names() {
+        let mut table = catalog_mem.get(name).unwrap().clone();
+        // Under the MCDBR_DATA_DIR CI matrix the global pager already
+        // spilled these pages at seal time and this explicit spill is a
+        // no-op — the scan-from-disk property holds either way.
+        let resident_before = table.resident_sealed_bytes();
+        let moved = table.spill_with(pager).unwrap();
+        if resident_before > 0 {
+            assert!(moved > 0, "{name}: a multi-page table must spill pages");
+        }
+        assert_eq!(
+            table.resident_sealed_bytes(),
+            0,
+            "{name}: spilling must leave no sealed bytes resident"
+        );
+        assert_eq!(
+            table.content_hash(),
+            catalog_mem.get(name).unwrap().content_hash(),
+            "{name}: spilling must not change content identity"
+        );
+        catalog_disk.register(name, table).unwrap();
+    }
+    assert!(
+        catalog_disk.get("means").unwrap().pages().len() > 2,
+        "catalog must span more pages than the forced budget"
+    );
+
+    let pool = BufferPool::global();
+    let saved = pool.budget();
+    pool.set_budget(2);
+    let disk_reads_before = pager.stats().disk_reads + Pager::global_stats().disk_reads;
+
+    // Reference: the fully in-memory catalog on the in-process backend.
+    let mut reference = ExecSession::prepare(&plan, &catalog_mem, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    let expected: Vec<_> = blocks
+        .iter()
+        .map(|&(base, n)| reference.instantiate_block(&catalog_mem, base, n).unwrap())
+        .collect();
+
+    // Workers get a scratch data dir of their own: their table stores gain
+    // the persistent disk tier without touching this process's pager mode.
+    let worker_root =
+        std::env::temp_dir().join(format!("mcdbr-determinism-workers-{}", std::process::id()));
+    let process = Arc::new(
+        ProcessBackend::new(2).with_worker_env("MCDBR_DATA_DIR", worker_root.display().to_string()),
+    );
+    let mut inproc_session = ExecSession::prepare(&plan, &catalog_disk, seed)
+        .unwrap()
+        .with_backend(Arc::new(InProcessBackend::new()));
+    let mut sharded_session = ExecSession::prepare(&plan, &catalog_disk, seed)
+        .unwrap()
+        .with_backend(Arc::new(ShardedBackend::new(3)));
+    let mut process_session = ExecSession::prepare(&plan, &catalog_disk, seed)
+        .unwrap()
+        .with_backend(process.clone());
+
+    let mut cold_sent = 0u64;
+    let mut respawn_sent = 0u64;
+    for (i, &(base, n)) in blocks.iter().enumerate() {
+        if i == 2 {
+            // Kill the whole pool.  Respawned workers are cold in memory
+            // but warm on disk: the re-sent plan's NeedTables must come
+            // back empty and no table pages may cross the wire again.
+            process.kill_worker(0);
+            process.kill_worker(1);
+        }
+        let before = process.shard_stats();
+        let got = process_session
+            .instantiate_block(&catalog_disk, base, n)
+            .unwrap();
+        let sent = process.shard_stats().since(before).wire_bytes_sent;
+        match i {
+            0 => cold_sent = sent,
+            2 => respawn_sent = sent,
+            _ => {}
+        }
+        assert_bit_identical(&expected[i], &got);
+        assert_bit_identical(
+            &expected[i],
+            &inproc_session
+                .instantiate_block(&catalog_disk, base, n)
+                .unwrap(),
+        );
+        assert_bit_identical(
+            &expected[i],
+            &sharded_session
+                .instantiate_block(&catalog_disk, base, n)
+                .unwrap(),
+        );
+    }
+    assert!(
+        respawn_sent < cold_sent / 4,
+        "a respawned worker pool with a persistent table store must ship \
+         headers, not pages: respawn {respawn_sent} bytes vs cold {cold_sent}"
+    );
+    let stats = process.shard_stats();
+    assert!(
+        stats.worker_respawns >= 2,
+        "killing the pool must surface as respawns: {stats:?}"
+    );
+    assert!(
+        pager.stats().disk_reads + Pager::global_stats().disk_reads > disk_reads_before,
+        "a 2-frame budget over disk-backed pages must read from disk"
+    );
+    pool.set_budget(saved);
+    drop((reference, inproc_session, sharded_session, process_session));
+    drop((catalog_mem, catalog_disk, process));
+    let _ = std::fs::remove_dir_all(&spill_root);
+    let _ = std::fs::remove_dir_all(&worker_root);
+}
+
+#[test]
 fn parallel_aggregation_is_bit_identical_to_sequential() {
     let (catalog, plan) = complex_case();
     let set = ExecSession::prepare(&plan, &catalog, 13)

@@ -328,7 +328,7 @@ fn need_tables_and_table_data_frames_round_trip_identically() {
         // payload against the hash the coordinator advertised.
         let table = g.table();
         let hash = table.content_hash();
-        let payload = wire::encode_table_data(hash, &table);
+        let payload = wire::encode_table_data(hash, &table).unwrap();
         let Frame::TableData {
             hash: got_hash,
             table: got,
@@ -357,7 +357,7 @@ fn need_tables_and_table_data_frames_round_trip_identically() {
         // Byte-identical re-encode: pages ship verbatim, so the round trip
         // preserves the physical layout, not just the logical rows.
         assert_eq!(
-            wire::encode_table_data(got_hash, &got),
+            wire::encode_table_data(got_hash, &got).unwrap(),
             payload,
             "case {case}: re-encode differs"
         );
@@ -367,7 +367,7 @@ fn need_tables_and_table_data_frames_round_trip_identically() {
         let rows: Vec<Tuple> = got.iter().collect();
         let paged = Table::with_page_budget(got.schema().clone(), rows, 32).unwrap();
         let hash = paged.content_hash();
-        let payload = wire::encode_table_data(hash, &paged);
+        let payload = wire::encode_table_data(hash, &paged).unwrap();
         let Frame::TableData { table: got, .. } = wire::decode_frame(&payload).unwrap() else {
             panic!("case {case}: wrong frame shape");
         };
@@ -377,7 +377,7 @@ fn need_tables_and_table_data_frames_round_trip_identically() {
         assert_eq!(got.pages().len(), paged.pages().len(), "case {case}");
         assert_eq!(got.content_hash(), hash, "case {case}");
         assert_eq!(
-            wire::encode_table_data(hash, &got),
+            wire::encode_table_data(hash, &got).unwrap(),
             payload,
             "case {case}: multi-page re-encode differs"
         );
@@ -441,6 +441,7 @@ fn task_bundle_and_stats_frames_round_trip_identically() {
             bundles: g.usize_in(0, 100),
             foreign_streams: g.usize_in(0, 100),
             warm_hit: g.bool(),
+            store_evictions: g.u64() % 1000,
         };
         match wire::decode_frame(&wire::encode_task_stats(stats)).unwrap() {
             Frame::TaskStats(got) => assert_eq!(got, stats, "case {case}"),
@@ -623,12 +624,13 @@ fn truncated_frames_return_typed_errors() {
             wire::encode_need_tables(&[g.u64(), g.u64()]),
             {
                 let t = g.table();
-                wire::encode_table_data(t.content_hash(), &t)
+                wire::encode_table_data(t.content_hash(), &t).unwrap()
             },
             wire::encode_task_stats(TaskStats {
                 bundles: 1,
                 foreign_streams: 0,
                 warm_hit: true,
+                store_evictions: 2,
             }),
             wire::encode_error("x"),
             wire::encode_query(&plan, &g.aggregate(), None, &["k".to_string()], 8, 3).unwrap(),
@@ -678,7 +680,7 @@ fn corrupted_frames_never_panic_and_bad_tags_are_typed() {
         )
         .unwrap();
         let table = g.table();
-        let table_frame = wire::encode_table_data(table.content_hash(), &table);
+        let table_frame = wire::encode_table_data(table.content_hash(), &table).unwrap();
         for frame in [bundle_frame, plan_frame, table_frame] {
             for _ in 0..32 {
                 let mut corrupt = frame.clone();
